@@ -1,0 +1,151 @@
+"""Ablations — why each design choice (engine + methodology) is there.
+
+DESIGN.md §6 names five load-bearing choices; each ablation flips one
+and shows the behaviour it was responsible for:
+
+1. grid snapping        -> county-level result clustering (Fig. 8a)
+2. Maps-card gating     -> the dominant local-noise component (Fig. 4)
+3. A/B score jitter     -> the noise floor itself (Fig. 2)
+4. GPS priority         -> the 94% validation result (§2.2)
+5. datacenter pinning   -> the paper's noise control #2 (§2.2)
+"""
+
+import pytest
+
+from repro.core.consistency import ConsistencyAnalysis
+from repro.core.experiment import StudyConfig
+from repro.core.noise import NoiseAnalysis
+from repro.core.parser import ResultType
+from repro.core.runner import Study
+from repro.core.validation import run_gps_validation
+from repro.queries.controversial import controversial_queries
+from repro.queries.corpus import build_corpus
+
+SEED = 1337
+
+
+def _base_config(**calibration_overrides):
+    corpus = build_corpus()
+    queries = [
+        corpus.get("School"),
+        corpus.get("Coffee"),
+        corpus.get("Hospital"),
+        corpus.get("Bank"),
+        corpus.get("Starbucks"),
+        corpus.get("Gay Marriage"),
+    ]
+    config = StudyConfig.small(queries, seed=SEED, days=2, locations_per_granularity=8)
+    if calibration_overrides:
+        config = config.with_overrides(
+            calibration=config.calibration.with_overrides(**calibration_overrides)
+        )
+    return config
+
+
+@pytest.fixture(scope="module")
+def baseline_dataset():
+    return Study(_base_config()).run()
+
+
+def test_ablation_grid_snapping(benchmark, baseline_dataset, render_sink):
+    unsnapped = benchmark.pedantic(
+        lambda: Study(_base_config(snap_to_grid=False)).run(), rounds=1, iterations=1
+    )
+    with_snap = ConsistencyAnalysis(baseline_dataset).cluster_groups("county", margin=1.0)
+    without_snap = ConsistencyAnalysis(unsnapped).cluster_groups("county", margin=1.0)
+    clustered_with = sum(map(len, with_snap))
+    clustered_without = sum(map(len, without_snap))
+    assert clustered_with >= clustered_without
+    render_sink(
+        "ablation_snapping",
+        "Ablation 1 — grid snapping off\n"
+        f"  county locations in noise-floor clusters: "
+        f"{clustered_with} (snapping on) vs {clustered_without} (off)\n"
+        "  snapping is the mechanism behind Fig. 8a's clusters.",
+    )
+
+
+def test_ablation_maps_gate(benchmark, baseline_dataset, render_sink):
+    deterministic = benchmark.pedantic(
+        lambda: Study(_base_config(maps_prob_generic=1.0)).run(), rounds=1, iterations=1
+    )
+    base_share = NoiseAnalysis(baseline_dataset).cell("local", "county").type_share(
+        ResultType.MAPS
+    )
+    ablated_share = NoiseAnalysis(deterministic).cell("local", "county").type_share(
+        ResultType.MAPS
+    )
+    assert ablated_share < base_share
+    render_sink(
+        "ablation_maps_gate",
+        "Ablation 2 — Maps card always present (no per-request gate)\n"
+        f"  Maps share of local noise: {base_share:.1%} (gated) -> "
+        f"{ablated_share:.1%} (always on)\n"
+        "  presence flicker, not content, is the dominant Maps noise.",
+    )
+
+
+def test_ablation_zero_jitter(benchmark, render_sink):
+    quiet = benchmark.pedantic(
+        lambda: Study(
+            _base_config(
+                ab_jitter_local=0.0,
+                ab_jitter_national=0.0,
+                maps_prob_generic=1.0,
+                maps_prob_brand=0.0,
+            )
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+    noise = NoiseAnalysis(quiet)
+    for category in ("local", "controversial"):
+        assert noise.cell(category, "county").edit.mean == 0.0
+    render_sink(
+        "ablation_zero_jitter",
+        "Ablation 3 — A/B jitter zeroed (and card gates made deterministic)\n"
+        "  treatment/control noise collapses to exactly 0 — the jitter IS the "
+        "noise floor.",
+    )
+
+
+def test_ablation_gps_priority(benchmark, render_sink):
+    with_gps = benchmark.pedantic(
+        lambda: run_gps_validation(
+            SEED, queries=controversial_queries()[:6], machine_count=25
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ip_only = run_gps_validation(
+        SEED, queries=controversial_queries()[:6], machine_count=25, gps=None
+    )
+    assert with_gps.result_agreement.mean > ip_only.result_agreement.mean
+    render_sink(
+        "ablation_gps_priority",
+        "Ablation 4 — remove the GPS fix (engine falls back to IP)\n"
+        f"  result agreement across 25 vantage points: "
+        f"{with_gps.result_agreement.mean:.1%} (GPS) vs "
+        f"{ip_only.result_agreement.mean:.1%} (IP fallback)\n"
+        "  the engine personalizes on GPS when present — the paper's §2.2 "
+        "validation.",
+    )
+
+
+def test_ablation_datacenter_pinning(benchmark, baseline_dataset, render_sink):
+    unpinned = benchmark.pedantic(
+        lambda: Study(_base_config().with_overrides(pin_datacenter=False)).run(),
+        rounds=1,
+        iterations=1,
+    )
+    pinned_noise = NoiseAnalysis(baseline_dataset).cell("local", "county").edit.mean
+    unpinned_noise = NoiseAnalysis(unpinned).cell("local", "county").edit.mean
+    assert unpinned_noise > pinned_noise
+    render_sink(
+        "ablation_dns_pinning",
+        "Ablation 5 — DNS not pinned (requests rotate over datacenters)\n"
+        f"  local noise floor: {pinned_noise:.2f} (pinned) -> "
+        f"{unpinned_noise:.2f} (rotating)\n"
+        "  index skew across datacenters inflates noise; the paper pins DNS "
+        "to avoid it.",
+    )

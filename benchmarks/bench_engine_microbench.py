@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the hot paths.
+
+Not a paper figure — these track the throughput of the pieces the
+full study leans on: serving a page, parsing a page, and comparing two
+pages.  Useful when tuning the engine or the parser.
+"""
+
+import pytest
+
+from repro.core.metrics import edit_distance, jaccard_index
+from repro.core.parser import parse_serp_html
+from repro.engine import DatacenterCluster, SearchEngine, SearchRequest
+from repro.geo.coords import LatLon
+from repro.net.geoip import GeoIPDatabase
+from repro.net.ip import IPv4Address
+from repro.queries.corpus import build_corpus
+from repro.web.world import WebWorld
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    world = WebWorld(99)
+    return SearchEngine(
+        world, DatacenterCluster(), GeoIPDatabase(), corpus=build_corpus(), seed=99
+    )
+
+
+def _request(engine, nonce):
+    # Spread requests in virtual time so the engine's per-IP rate limit
+    # (a real behaviour, tested elsewhere) does not trip mid-benchmark.
+    return SearchRequest(
+        query_text="School",
+        client_ip=IPv4Address.parse("192.0.2.10"),
+        frontend_ip=engine.cluster[0].frontend_ip,
+        timestamp_minutes=10.0 + nonce * 0.1,
+        gps=CLEVELAND,
+        nonce=nonce,
+    )
+
+
+def test_engine_serves_pages(benchmark, engine):
+    counter = iter(range(10**9))
+
+    def serve():
+        return engine.handle(_request(engine, next(counter)))
+
+    response = benchmark(serve)
+    assert response.ok
+
+
+def test_parser_throughput(benchmark, engine):
+    html = engine.handle(_request(engine, 1)).html
+    parsed = benchmark(parse_serp_html, html)
+    assert len(parsed.results) >= 12
+
+
+def test_metrics_throughput(benchmark, engine):
+    page_a = parse_serp_html(engine.handle(_request(engine, 1)).html).urls()
+    page_b = parse_serp_html(engine.handle(_request(engine, 2)).html).urls()
+
+    def compare():
+        return jaccard_index(page_a, page_b), edit_distance(page_a, page_b)
+
+    jaccard, edit = benchmark(compare)
+    assert 0.0 <= jaccard <= 1.0
+    assert edit >= 0

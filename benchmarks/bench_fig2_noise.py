@@ -1,0 +1,48 @@
+"""Figure 2 — average noise across query types and granularities.
+
+Paper findings this bench checks:
+* local queries are much noisier than controversial and politician
+  queries (composition and ordering);
+* local queries have higher variance;
+* noise is independent of location (uniform across granularities).
+"""
+
+from repro.core.report import CATEGORY_ORDER, GRANULARITY_ORDER
+
+#: Paper Fig. 2 approximate values (read off the plot): edit-distance
+#: noise per category, roughly constant across granularities.
+PAPER_EDIT_NOISE = {"local": 2.2, "controversial": 0.4, "politician": 0.3}
+
+
+def test_fig2_noise(benchmark, bench_report, render_sink):
+    rows = benchmark(bench_report.fig2_rows)
+    assert len(rows) == 9
+
+    cells = {(r["category"], r["granularity"]): r for r in rows}
+
+    # Local queries much noisier than the other categories everywhere.
+    for granularity in GRANULARITY_ORDER:
+        local = cells[("local", granularity)]
+        for category in ("controversial", "politician"):
+            other = cells[(category, granularity)]
+            assert local["edit_mean"] > other["edit_mean"] + 0.5
+            assert local["jaccard_mean"] < other["jaccard_mean"]
+            # Higher variance for local queries too.
+            assert local["edit_std"] > other["edit_std"]
+
+    # Noise is uniform across granularities.
+    for category in CATEGORY_ORDER:
+        values = [cells[(category, g)]["edit_mean"] for g in GRANULARITY_ORDER]
+        assert max(values) - min(values) < 1.5
+
+    # Magnitudes in the paper's ballpark (shape, not exact numbers).
+    for category, expected in PAPER_EDIT_NOISE.items():
+        measured = cells[(category, "county")]["edit_mean"]
+        assert abs(measured - expected) < max(1.5, expected), (category, measured)
+
+    lines = [bench_report.render_fig2(), ""]
+    lines.append("paper reference (edit-distance noise, all granularities):")
+    for category, expected in PAPER_EDIT_NOISE.items():
+        measured = cells[(category, "county")]["edit_mean"]
+        lines.append(f"  {category:13s} paper ~{expected:.1f}   measured {measured:.2f}")
+    render_sink("fig2_noise", "\n".join(lines))

@@ -1,0 +1,43 @@
+"""Figure 3 — per-term noise for local queries across granularities.
+
+Paper findings this bench checks:
+* a divide between brand names (low noise, e.g. "Starbucks") and
+  generic terms (high noise, e.g. "School");
+* per-term noise roughly uniform across granularities.
+"""
+
+from repro.queries.corpus import build_corpus
+
+
+def test_fig3_per_term_noise(benchmark, bench_report, render_sink):
+    rows = benchmark(bench_report.fig3_rows)
+    assert len(rows) == 33  # every local term
+
+    corpus = build_corpus()
+    by_term = {r["term"]: r for r in rows}
+
+    brand_values = [
+        r["national"] for r in rows if corpus.get(r["term"]).is_brand
+    ]
+    generic_values = [
+        r["national"] for r in rows if not corpus.get(r["term"]).is_brand
+    ]
+    brand_mean = sum(brand_values) / len(brand_values)
+    generic_mean = sum(generic_values) / len(generic_values)
+    # Paper: "brand names like Starbucks tend to be less noisy than
+    # generic terms like school".
+    assert brand_mean < generic_mean - 0.5
+
+    # Specific paper examples.
+    assert by_term["Starbucks"]["national"] < by_term["School"]["national"]
+
+    # Noise per term is location-independent (county vs national).
+    for r in rows:
+        assert abs(r["county"] - r["national"]) < 2.5, r["term"]
+
+    lines = [bench_report.render_fig3(), ""]
+    lines.append(
+        f"brand mean noise {brand_mean:.2f} < generic mean noise "
+        f"{generic_mean:.2f}  (paper: brands are less noisy)"
+    )
+    render_sink("fig3_noise_terms", "\n".join(lines))

@@ -1,0 +1,38 @@
+"""Figure 4 — noise attributed to Maps/News result types (local, county).
+
+Paper findings this bench checks:
+* Maps results are responsible for ~25% of local-query noise;
+* News results cause almost zero local-query noise;
+* the reverse holds for controversial queries (News 6-17%, Maps ~0).
+"""
+
+from repro.core.noise import NoiseAnalysis
+from repro.core.parser import ResultType
+
+
+def test_fig4_noise_by_result_type(benchmark, bench_dataset, bench_report, render_sink):
+    rows = benchmark(bench_report.fig4_rows)
+    assert len(rows) == 33
+
+    total_all = sum(r["all"] for r in rows)
+    total_maps = sum(r["maps"] for r in rows)
+    total_news = sum(r["news"] for r in rows)
+
+    maps_share = total_maps / total_all
+    # Paper: "Maps results are responsible for around 25% of noise".
+    assert 0.10 < maps_share < 0.45
+    # Paper: "News results cause almost zero noise" for local queries.
+    assert total_news / total_all < 0.02
+
+    # Reverse composition for controversial queries: noise from News,
+    # not Maps (paper §3.1 closing paragraph: 6-17% due to News).
+    noise = NoiseAnalysis(bench_dataset)
+    controversial = noise.cell("controversial", "county")
+    assert controversial.type_share(ResultType.MAPS) == 0.0
+
+    lines = [bench_report.render_fig4(), ""]
+    lines.append(
+        f"Maps share of local noise: {maps_share:.1%}  (paper: ~25%)\n"
+        f"News share of local noise: {total_news / total_all:.1%}  (paper: ~0%)"
+    )
+    render_sink("fig4_noise_types", "\n".join(lines))

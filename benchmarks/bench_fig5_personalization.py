@@ -1,0 +1,63 @@
+"""Figure 5 — average personalization across query types/granularities.
+
+Paper findings this bench checks:
+* local queries are much more personalized than controversial and
+  politician queries (which sit near the noise floor);
+* Jaccard shows 18-34% of local results varying by location;
+* after subtracting noise, 6-10 local URLs are reordered;
+* personalization increases with distance, with the largest jump
+  between county and state granularity.
+"""
+
+#: Paper Fig. 5 approximate local-query values per granularity.
+PAPER_LOCAL = {
+    "county": {"jaccard": 0.82, "edit": 6.0},
+    "state": {"jaccard": 0.72, "edit": 9.5},
+    "national": {"jaccard": 0.66, "edit": 10.5},
+}
+
+
+def test_fig5_personalization(benchmark, bench_report, render_sink):
+    rows = benchmark(bench_report.fig5_rows)
+    cells = {(r["category"], r["granularity"]): r for r in rows}
+
+    # Local dominates the other categories at every granularity.
+    for granularity in ("county", "state", "national"):
+        local = cells[("local", granularity)]
+        for category in ("controversial", "politician"):
+            assert local["edit_mean"] > cells[(category, granularity)]["edit_mean"] + 2
+
+    # Controversial/politician differences sit near their noise floors.
+    for category in ("controversial", "politician"):
+        for granularity in ("county", "state"):
+            row = cells[(category, granularity)]
+            assert row["edit_mean"] - row["noise_edit"] < 1.0
+
+    # Monotone growth with distance; biggest jump county -> state.
+    county = cells[("local", "county")]["edit_mean"]
+    state = cells[("local", "state")]["edit_mean"]
+    national = cells[("local", "national")]["edit_mean"]
+    assert county < state < national
+    assert (state - county) > (national - state)
+
+    # 18-34% of local results vary by location (Jaccard 0.66-0.82).
+    for granularity, expected in PAPER_LOCAL.items():
+        row = cells[("local", granularity)]
+        assert abs(row["jaccard_mean"] - expected["jaccard"]) < 0.15, granularity
+        assert abs(row["edit_mean"] - expected["edit"]) < 3.0, granularity
+
+    # Net reordering after noise subtraction: paper reports 6-10 URLs at
+    # state/national scale.
+    for granularity in ("state", "national"):
+        row = cells[("local", granularity)]
+        net = row["edit_mean"] - row["noise_edit"]
+        assert 4.0 < net < 12.0
+
+    lines = [bench_report.render_fig5(), "", "paper reference (local queries):"]
+    for granularity, expected in PAPER_LOCAL.items():
+        row = cells[("local", granularity)]
+        lines.append(
+            f"  {granularity:8s} paper J~{expected['jaccard']:.2f}/E~{expected['edit']:.1f}"
+            f"   measured J{row['jaccard_mean']:.2f}/E{row['edit_mean']:.2f}"
+        )
+    render_sink("fig5_personalization", "\n".join(lines))

@@ -1,0 +1,44 @@
+"""Figure 7 — personalization decomposed by result type.
+
+Paper findings this bench checks:
+* for local queries, Maps explains only 18-27% of the differences —
+  the vast majority of changes hit "typical" results;
+* for controversial queries, 6-18% of the edit distance is attributable
+  to News, and the fraction grows from county to nation;
+* politicians show small totals everywhere.
+"""
+
+
+def test_fig7_type_decomposition(benchmark, bench_report, render_sink):
+    rows = benchmark(bench_report.fig7_rows)
+    cells = {(r["category"], r["granularity"]): r for r in rows}
+
+    # Local: Maps share 18-27% (we accept 10-40%), Other dominates.
+    for granularity in ("county", "state", "national"):
+        row = cells[("local", granularity)]
+        maps_share = row["maps"] / row["total"]
+        assert 0.10 < maps_share < 0.40, (granularity, maps_share)
+        assert row["other"] > row["maps"] + row["news"]
+
+    # Controversial: News component grows with granularity.
+    news_by_granularity = [
+        cells[("controversial", g)]["news"] for g in ("county", "state", "national")
+    ]
+    assert news_by_granularity[-1] >= news_by_granularity[0]
+    national_controversial = cells[("controversial", "national")]
+    news_share = national_controversial["news"] / national_controversial["total"]
+    assert 0.03 < news_share < 0.35
+
+    # Politicians: small totals.
+    for granularity in ("county", "state", "national"):
+        assert cells[("politician", granularity)]["total"] < 3.0
+
+    lines = [bench_report.render_fig7(), ""]
+    local_national = cells[("local", "national")]
+    lines.append(
+        f"Maps share of local personalization (national): "
+        f"{local_national['maps'] / local_national['total']:.1%}  (paper: 18-27%)\n"
+        f"News share of controversial personalization (national): "
+        f"{news_share:.1%}  (paper: 6-18%)"
+    )
+    render_sink("fig7_personalization_types", "\n".join(lines))

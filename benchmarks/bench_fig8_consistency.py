@@ -1,0 +1,61 @@
+"""Figure 8 — personalization consistency over 5 days.
+
+Paper findings this bench checks:
+* personalization is stable over time (flat per-day curves);
+* at state/national granularity there is a wide gulf between the
+  baseline's control (noise floor) and every other location;
+* at county granularity some locations "cluster" near the baseline,
+  receiving nearly identical results.
+"""
+
+from repro.core.consistency import ConsistencyAnalysis
+from repro.stats.summaries import summarize
+
+
+def test_fig8_consistency_over_time(benchmark, bench_dataset, bench_report, render_sink):
+    series_by_granularity = benchmark(
+        lambda: {
+            granularity: bench_report.fig8_series(granularity)
+            for granularity in ("county", "state", "national")
+        }
+    )
+
+    lines = []
+    for granularity in ("county", "state", "national"):
+        series = series_by_granularity[granularity]
+        assert len(series.days) == 5
+
+        # Stability: day-to-day movement of the mean curve is small.
+        analysis = ConsistencyAnalysis(bench_dataset)
+        assert analysis.day_to_day_stability(granularity) < 2.5
+
+        floor = summarize(series.noise_floor).mean
+        means = series.location_means()
+
+        if granularity in ("state", "national"):
+            # "A wide gulf between the baseline and other locations."
+            above = [m for m in means.values() if m > floor + 2.0]
+            assert len(above) >= len(means) * 0.8, granularity
+
+        lines.append(bench_report.render_fig8(granularity))
+        lines.append("")
+
+    # County-level clustering: SOME locations receive near-identical
+    # results (pairwise, independent of the baseline draw).
+    analysis = ConsistencyAnalysis(bench_dataset)
+    groups = analysis.cluster_groups("county", margin=1.0)
+    assert groups, "expected at least one county-level cluster"
+    clustered_count = sum(len(group) for group in groups)
+    total = len(bench_dataset.locations("county"))
+    # ... and not all of them (otherwise there is nothing to explain).
+    assert clustered_count < total
+
+    lines.append(
+        "county-level clusters (pairwise differences at the noise floor):\n"
+        + "\n".join(
+            "  {" + ", ".join(n.split("/")[-1] for n in group) + "}"
+            for group in groups
+        )
+        + "\n(paper: 'some locations cluster at the county-level')"
+    )
+    render_sink("fig8_consistency", "\n".join(lines))

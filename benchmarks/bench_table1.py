@@ -1,0 +1,32 @@
+"""Table 1 — example controversial search terms.
+
+The paper's Table 1 lists 18 controversial terms verbatim; this bench
+regenerates the table from the corpus and times corpus construction.
+"""
+
+from repro.queries.controversial import CONTROVERSIAL_TERMS, TABLE1_TERMS
+from repro.queries.corpus import build_corpus
+from repro.queries.model import QueryCategory
+
+
+def test_table1_controversial_terms(benchmark, render_sink):
+    corpus = benchmark(build_corpus)
+
+    # Paper: 240 queries — 33 local, 87 controversial, 120 politicians.
+    counts = corpus.counts()
+    assert counts[QueryCategory.LOCAL] == 33
+    assert counts[QueryCategory.CONTROVERSIAL] == 87
+    assert counts[QueryCategory.POLITICIAN] == 120
+
+    # Table 1's example terms appear verbatim in the corpus.
+    controversial = {q.text for q in corpus.by_category(QueryCategory.CONTROVERSIAL)}
+    for term in TABLE1_TERMS:
+        assert term in controversial
+
+    lines = ["Table 1 — example controversial search terms (verbatim)"]
+    lines.extend(f"  {term}" for term in TABLE1_TERMS)
+    lines.append(
+        f"\n(corpus: {len(CONTROVERSIAL_TERMS)} controversial terms total, "
+        f"{len(corpus)} queries overall)"
+    )
+    render_sink("table1", "\n".join(lines))

@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+``bench_dataset`` is one medium-scale crawl reused by every figure
+benchmark: all 33 local terms plus controversial/politician samples,
+10 locations per granularity, 5 days, paired controls — big enough
+that every figure's shape is stable, small enough to build in well
+under a minute.
+
+Every benchmark renders its figure into ``benchmarks/_rendered/`` so a
+run leaves the full paper-vs-measured evidence on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import StudyConfig
+from repro.core.report import StudyReport
+from repro.core.runner import Study
+from repro.queries.corpus import build_corpus
+from repro.queries.model import QueryCategory
+
+BENCH_SEED = 20151028
+
+RENDER_DIR = Path(__file__).parent / "_rendered"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> StudyConfig:
+    corpus = build_corpus()
+    queries = (
+        corpus.by_category(QueryCategory.LOCAL)
+        + corpus.by_category(QueryCategory.CONTROVERSIAL)[:20]
+        + corpus.by_category(QueryCategory.POLITICIAN)[:20]
+    )
+    return StudyConfig.small(
+        queries, seed=BENCH_SEED, days=5, locations_per_granularity=10
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_config) -> Study:
+    return Study(bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_study):
+    return bench_study.run()
+
+
+@pytest.fixture(scope="session")
+def bench_report(bench_dataset) -> StudyReport:
+    return StudyReport(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def render_sink():
+    """Write a rendered figure to benchmarks/_rendered/<name>.txt."""
+    RENDER_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (RENDER_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()  # keep -s output readable
+        print(text)
+
+    return _write

@@ -1,0 +1,52 @@
+"""Cross-engine audit: the paper's "other search engines" extension.
+
+Runs the identical study design against two engines — the card-based
+"google-like" frontend of the paper and a Bing-flavoured "bingo" engine
+with a different ranking policy and HTML dialect — over the *same*
+synthetic web, then compares:
+
+* how strongly each engine personalizes by location,
+* how much their result pages overlap for identical probes
+  (set overlap via Jaccard; order-sensitive overlap via RBO).
+
+The crawler and parser are unchanged between engines: the parser
+auto-detects the markup dialect, exactly how a real multi-engine audit
+maintains per-engine selectors.
+
+Run:
+    python examples/cross_engine_comparison.py
+"""
+
+from repro import StudyConfig, build_corpus
+from repro.core.crossengine import compare_engines
+from repro.queries.model import QueryCategory
+
+SEED = 20151028
+
+
+def main() -> None:
+    corpus = build_corpus()
+    local = corpus.by_category(QueryCategory.LOCAL)
+    queries = (
+        [q for q in local if not q.is_brand][:8]
+        + [q for q in local if q.is_brand][:3]
+        + corpus.by_category(QueryCategory.CONTROVERSIAL)[:5]
+        + corpus.by_category(QueryCategory.POLITICIAN)[:5]
+    )
+    config = StudyConfig.small(queries, seed=SEED, days=1, locations_per_granularity=6)
+
+    print("auditing both engines with the same probes ...\n")
+    comparison = compare_engines(config)
+    print(comparison.render())
+    print(
+        f"\nmore location-personalized engine (national): "
+        f"{comparison.more_personalized_engine('national')}"
+    )
+    print(
+        "\nNote the methodology needed zero changes: only the dialect "
+        "registry knew about\nthe second engine's hostname and markup."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Deep-dive analyses on one collected dataset.
+
+Beyond the paper's figures, the library answers three finer questions
+about the same crawl:
+
+1. **Where** on the page does personalization land? (positional
+   volatility: the top of a local SERP is stable real estate, the
+   bottom is contested)
+2. Is the **suggestion strip** personalized too? (a second surface with
+   zero noise — any cross-location difference is pure personalization)
+3. Do the findings **replicate across worlds**? (multi-seed replication
+   of the structural claims)
+
+Run:
+    python examples/deep_dive_analysis.py
+"""
+
+from repro import Study, StudyConfig, build_corpus
+from repro.core.positions import PositionalAnalysis
+from repro.core.replication import replicate
+from repro.queries.model import QueryCategory
+
+SEED = 20151028
+
+
+def main() -> None:
+    corpus = build_corpus()
+    local = corpus.by_category(QueryCategory.LOCAL)
+    queries = (
+        [q for q in local if not q.is_brand][:8]
+        + [q for q in local if q.is_brand][:3]
+        + corpus.by_category(QueryCategory.CONTROVERSIAL)[:4]
+        + corpus.by_category(QueryCategory.POLITICIAN)[:4]
+    )
+    config = StudyConfig.small(queries, seed=SEED, days=2, locations_per_granularity=6)
+    print("collecting ...", flush=True)
+    dataset = Study(config).run()
+
+    positions = PositionalAnalysis(dataset)
+    print("\n" + positions.render_profile("local", "national"))
+    split = positions.top_vs_bottom("local", "national", split=4)
+    print(
+        f"\ntop-4 volatility {split['top']:.2f} vs below-the-fold "
+        f"{split['bottom']:.2f} — the top of the page is stable real estate."
+    )
+
+    print("\nsuggestion-strip overlap (Jaccard):")
+    for category in ("local", "controversial", "politician"):
+        noise = positions.suggestion_overlap(category, "county", noise=True)
+        personalization = positions.suggestion_overlap(category, "national")
+        print(
+            f"  {category:13s} noise {noise.mean:.3f}   "
+            f"national {personalization.mean:.3f}"
+        )
+    print(
+        "suggestions carry zero noise, so any overlap below 1.0 across "
+        "locations is pure personalization."
+    )
+
+    print("\nreplicating the structural findings across 3 worlds ...")
+    replication = replicate([SEED + 1, SEED + 2, SEED + 3])
+    print(replication.render())
+
+
+if __name__ == "__main__":
+    main()

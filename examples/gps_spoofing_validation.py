@@ -1,0 +1,46 @@
+"""The GPS-spoofing validation experiment (paper §2.2).
+
+Issues identical controversial queries from 50 machines scattered
+across the US — first with the *same* spoofed GPS coordinate (the
+engine should return near-identical results: the paper measured 94%),
+then with no GPS at all (the engine falls back to IP geolocation and
+results diverge by vantage point).
+
+Run:
+    python examples/gps_spoofing_validation.py
+"""
+
+from repro.core.validation import run_gps_validation
+from repro.geo.cuyahoga import CUYAHOGA_CENTER
+from repro.queries.controversial import controversial_queries
+
+SEED = 20151028
+
+
+def main() -> None:
+    queries = controversial_queries()[:10]
+
+    print("=== 50 machines, identical spoofed GPS (Cuyahoga County) ===")
+    with_gps = run_gps_validation(
+        SEED, queries=queries, gps=CUYAHOGA_CENTER, machine_count=50
+    )
+    print(f"identical pages:     {with_gps.identical_page_fraction:.1%}")
+    print(f"result agreement:    {with_gps.result_agreement.mean:.1%}  (paper: ~94%)")
+    print(f"pairwise Jaccard:    {with_gps.pairwise_jaccard.mean:.3f}")
+
+    print("\n=== same 50 machines, no GPS (IP geolocation fallback) ===")
+    without_gps = run_gps_validation(SEED, queries=queries, gps=None, machine_count=50)
+    print(f"identical pages:     {without_gps.identical_page_fraction:.1%}")
+    print(f"result agreement:    {without_gps.result_agreement.mean:.1%}")
+    print(f"pairwise Jaccard:    {without_gps.pairwise_jaccard.mean:.3f}")
+
+    gap = with_gps.result_agreement.mean - without_gps.result_agreement.mean
+    print(
+        f"\nGPS dominates IP: agreement drops by {gap:.1%} when the spoofed "
+        "fix is removed,\nconfirming the engine personalizes on the provided "
+        "coordinates rather than the client IP."
+    )
+
+
+if __name__ == "__main__":
+    main()

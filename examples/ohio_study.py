@@ -1,0 +1,70 @@
+"""The Ohio study: a medium-scale reproduction of every figure.
+
+This mirrors the paper's design — all 33 local terms plus controversial
+and politician samples, three granularities anchored on Ohio/Cuyahoga,
+paired controls, five days — at a size that runs in about a minute.
+Pass ``--full`` for the complete 240-query, 59-location study (takes a
+few minutes and is what EXPERIMENTS.md reports).
+
+Run:
+    python examples/ohio_study.py [--full] [--save dataset.jsonl.gz]
+"""
+
+import argparse
+import sys
+import time
+
+from repro import Study, StudyConfig, StudyReport, build_corpus
+from repro.queries.model import QueryCategory
+
+
+def build_config(full: bool) -> StudyConfig:
+    if full:
+        return StudyConfig()
+    corpus = build_corpus()
+    queries = (
+        corpus.by_category(QueryCategory.LOCAL)  # all 33
+        + corpus.by_category(QueryCategory.CONTROVERSIAL)[:20]
+        + corpus.by_category(QueryCategory.POLITICIAN)[:20]
+    )
+    return StudyConfig.small(queries, days=5, locations_per_granularity=10)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale study")
+    parser.add_argument("--save", help="save the dataset to this path")
+    args = parser.parse_args(argv)
+
+    config = build_config(args.full)
+    study = Study(config)
+    print(
+        f"running study: {len(config.queries)} queries, "
+        f"{study.locations.total()} locations, {config.days} days",
+        file=sys.stderr,
+    )
+    started = time.time()
+    dataset = study.run()
+    print(
+        f"collected {len(dataset)} pages in {time.time() - started:.0f}s "
+        f"({len(study.failures)} failures)",
+        file=sys.stderr,
+    )
+    if args.save:
+        dataset.save(args.save)
+        print(f"saved -> {args.save}", file=sys.stderr)
+
+    report = StudyReport(dataset)
+    print(report.render_fig2(), end="\n\n")
+    print(report.render_fig3(), end="\n\n")
+    print(report.render_fig4(), end="\n\n")
+    print(report.render_fig5(), end="\n\n")
+    print(report.render_fig6(), end="\n\n")
+    print(report.render_fig7(), end="\n\n")
+    for granularity in report.granularities():
+        print(report.render_fig8(granularity), end="\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Quickstart: run a scaled-down version of the study end to end.
+
+Builds the whole apparatus (synthetic web, engine, crawl fleet), runs a
+small crawl with paired controls at all three granularities, and prints
+the noise and personalization tables (paper Figures 2 and 5).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Study, StudyConfig, StudyReport, build_corpus
+from repro.queries.model import QueryCategory
+
+
+def main() -> None:
+    corpus = build_corpus()
+    # A small cross-category slice: 6 local terms (2 brands), 4
+    # controversial, 4 politicians.
+    local = corpus.by_category(QueryCategory.LOCAL)
+    queries = (
+        [q for q in local if q.is_brand][:2]
+        + [q for q in local if not q.is_brand][:4]
+        + corpus.by_category(QueryCategory.CONTROVERSIAL)[:4]
+        + corpus.by_category(QueryCategory.POLITICIAN)[:4]
+    )
+
+    config = StudyConfig.small(queries, days=2, locations_per_granularity=5)
+    study = Study(config)
+    print(
+        f"crawling: {len(config.queries)} queries x "
+        f"{study.locations.total()} locations x "
+        f"{config.copies_per_location} copies x {config.days} days ..."
+    )
+    dataset = study.run()
+    print(f"collected {len(dataset)} result pages\n")
+
+    report = StudyReport(dataset)
+    print(report.render_fig2())
+    print()
+    print(report.render_fig5())
+
+    # Peek at one raw comparison: the same query from two different
+    # states (pick the first generic local term we actually crawled).
+    query = next(q for q in queries if q.category is QueryCategory.LOCAL and not q.is_brand)
+    print(f"\nExample: {query.text!r} SERPs collected at two national locations")
+    locations = dataset.locations("national")[:2]
+    for location in locations:
+        record = dataset.get(query.text, "national", location, 0, 0)
+        print(f"\n  {location}:")
+        for result in record.results()[:6]:
+            print(f"    {result.rank:2d}. [{result.result_type.value}] {result.url}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires building a PEP 660 wheel; offline boxes that
+lack the `wheel` distribution can instead run `python setup.py develop`.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

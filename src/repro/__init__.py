@@ -1,0 +1,48 @@
+"""Reproduction of "Location, Location, Location: The Impact of
+Geolocation on Web Search Personalization" (Kliman-Silver et al.,
+IMC 2015).
+
+The package splits into the paper's *methodology* (:mod:`repro.core`:
+crawler, parser, metrics, analyses) and the *substrate* it is exercised
+against offline (:mod:`repro.engine`: a simulated location-personalizing
+search engine over the synthetic web of :mod:`repro.web`, reached
+through the network models of :mod:`repro.net`, placed on the geography
+of :mod:`repro.geo`, queried with the corpus of :mod:`repro.queries`).
+
+Quickstart::
+
+    from repro import Study, StudyConfig, StudyReport
+
+    study = Study(StudyConfig.small())
+    dataset = study.run()
+    print(StudyReport(dataset).render_fig5())
+"""
+
+from repro.core.datastore import SerpDataset, SerpRecord
+from repro.core.experiment import DEFAULT_STUDY_SEED, StudyConfig
+from repro.core.metrics import edit_distance, jaccard_index
+from repro.core.report import StudyReport
+from repro.core.runner import Study
+from repro.engine.calibration import EngineCalibration
+from repro.geo.granularity import Granularity
+from repro.queries.corpus import build_corpus
+from repro.queries.model import Query, QueryCategory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SerpDataset",
+    "SerpRecord",
+    "DEFAULT_STUDY_SEED",
+    "StudyConfig",
+    "edit_distance",
+    "jaccard_index",
+    "StudyReport",
+    "Study",
+    "EngineCalibration",
+    "Granularity",
+    "build_corpus",
+    "Query",
+    "QueryCategory",
+    "__version__",
+]

@@ -1,0 +1,351 @@
+"""Command-line interface: run the study, print figures, validate.
+
+Examples::
+
+    repro-study run --scale small --out study.jsonl.gz
+    repro-study report --dataset study.jsonl.gz --figure 5
+    repro-study validate --machines 50
+    repro-study demographics --dataset study.jsonl.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.datastore import SerpDataset
+from repro.core.demographics_analysis import DemographicsAnalysis
+from repro.core.experiment import DEFAULT_STUDY_SEED, StudyConfig
+from repro.core.report import StudyReport
+from repro.core.runner import Study
+from repro.core.validation import run_gps_validation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduce the IMC'15 geolocation search-personalization study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the crawl and save the dataset")
+    run.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    run.add_argument(
+        "--scale",
+        choices=["small", "medium", "full"],
+        default="small",
+        help="small: tests-scale; medium: calibration-scale; full: the paper",
+    )
+    run.add_argument("--days", type=int, default=None, help="override day count")
+    run.add_argument("--out", required=True, help="output dataset path (.jsonl[.gz])")
+
+    report = sub.add_parser("report", help="print figure tables from a dataset")
+    report.add_argument("--dataset", required=True)
+    report.add_argument(
+        "--figure",
+        choices=["2", "3", "4", "5", "6", "7", "8", "all"],
+        default="all",
+    )
+
+    validate = sub.add_parser("validate", help="run the GPS-vs-IP validation")
+    validate.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    validate.add_argument("--machines", type=int, default=50)
+
+    demo = sub.add_parser("demographics", help="demographic-correlation analysis")
+    demo.add_argument("--dataset", required=True)
+    demo.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+
+    charts = sub.add_parser("chart", help="render ASCII charts from a dataset")
+    charts.add_argument("--dataset", required=True)
+    charts.add_argument("--figure", choices=["2", "5", "8"], default="5")
+    charts.add_argument("--granularity", default="county",
+                        choices=["county", "state", "national"])
+
+    cross = sub.add_parser(
+        "crossengine", help="audit two engines side by side (paper's extension)"
+    )
+    cross.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+
+    carry = sub.add_parser(
+        "carryover", help="measure session-history contamination vs wait time"
+    )
+    carry.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+
+    content = sub.add_parser(
+        "content", help="content analysis: locality, diversity, advocacy balance"
+    )
+    content.add_argument("--dataset", required=True)
+
+    export = sub.add_parser("export", help="export figure data as CSV/JSON")
+    export.add_argument("--dataset", required=True)
+    export.add_argument("--out", required=True, help="output directory")
+    export.add_argument("--format", choices=["csv", "json"], default="csv")
+
+    audit = sub.add_parser(
+        "audit", help="one-shot audit of your own search terms"
+    )
+    audit.add_argument("terms", nargs="+", help="search terms to audit")
+    audit.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    audit.add_argument("--days", type=int, default=2)
+
+    diff = sub.add_parser("diff", help="compare two collected datasets")
+    diff.add_argument("--a", required=True, help="first dataset path")
+    diff.add_argument("--b", required=True, help="second dataset path")
+
+    reportcard = sub.add_parser(
+        "reportcard", help="generate a one-page markdown audit report"
+    )
+    reportcard.add_argument("--dataset", required=True)
+    reportcard.add_argument("--out", help="write to a file instead of stdout")
+    reportcard.add_argument("--title", default="Location-personalization audit")
+
+    schedule = sub.add_parser(
+        "schedule", help="analyse crawl-schedule feasibility for a config"
+    )
+    schedule.add_argument("--machines", type=int, default=44)
+    schedule.add_argument("--request-seconds", type=float, default=6.0)
+    return parser
+
+
+def _config_for_scale(scale: str, seed: int, days: Optional[int]) -> StudyConfig:
+    if scale == "small":
+        config = StudyConfig.small(seed=seed)
+    elif scale == "medium":
+        from repro.queries.corpus import build_corpus
+        from repro.queries.model import QueryCategory
+
+        corpus = build_corpus()
+        queries = (
+            corpus.by_category(QueryCategory.LOCAL)
+            + corpus.by_category(QueryCategory.CONTROVERSIAL)[:25]
+            + corpus.by_category(QueryCategory.POLITICIAN)[:25]
+        )
+        config = StudyConfig.small(
+            queries, seed=seed, days=2, locations_per_granularity=8
+        )
+    else:
+        config = StudyConfig(seed=seed)
+    if days is not None:
+        config = config.with_overrides(days=days)
+    return config
+
+
+def _cmd_run(args) -> int:
+    config = _config_for_scale(args.scale, args.seed, args.days)
+    study = Study(config)
+    print(
+        f"running {args.scale} study: {len(config.queries)} queries, "
+        f"{study.locations.total()} locations, {config.days} days ...",
+        file=sys.stderr,
+    )
+    dataset = study.run()
+    dataset.save(args.out)
+    print(
+        f"collected {len(dataset)} pages ({len(study.failures)} failures) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    dataset = SerpDataset.load(args.dataset)
+    report = StudyReport(dataset)
+    sections = []
+    wanted = args.figure
+    if wanted in ("2", "all"):
+        sections.append(report.render_fig2())
+    if wanted in ("3", "all"):
+        sections.append(report.render_fig3())
+    if wanted in ("4", "all"):
+        sections.append(report.render_fig4())
+    if wanted in ("5", "all"):
+        sections.append(report.render_fig5())
+    if wanted in ("6", "all"):
+        sections.append(report.render_fig6())
+    if wanted in ("7", "all"):
+        sections.append(report.render_fig7())
+    if wanted in ("8", "all"):
+        for granularity in report.granularities():
+            sections.append(report.render_fig8(granularity))
+    print("\n\n".join(sections))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    result = run_gps_validation(args.seed, machine_count=args.machines)
+    print(
+        f"machines={result.machine_count} queries={result.query_count}\n"
+        f"identical pages:   {result.identical_page_fraction:.1%}\n"
+        f"result agreement:  {result.result_agreement.mean:.1%} "
+        f"(paper: ~94% of results identical)\n"
+        f"pairwise Jaccard:  {result.pairwise_jaccard.mean:.3f}"
+    )
+    return 0
+
+
+def _cmd_demographics(args) -> int:
+    from repro.geo.granularity import all_known_regions
+
+    dataset = SerpDataset.load(args.dataset)
+    analysis = DemographicsAnalysis(dataset, all_known_regions(), seed=args.seed)
+    print("feature correlations with county-level result similarity:")
+    for correlation in analysis.all_feature_correlations():
+        flag = " *" if correlation.significant else ""
+        print(
+            f"  {correlation.feature:28s} r={correlation.pearson_r:+.3f} "
+            f"rho={correlation.spearman_rho:+.3f} p={correlation.p_value:.3f}{flag}"
+        )
+    distance = analysis.distance_correlation()
+    print(
+        f"  {distance.feature:28s} r={distance.pearson_r:+.3f} "
+        f"rho={distance.spearman_rho:+.3f} p={distance.p_value:.3f}"
+    )
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    dataset = SerpDataset.load(args.dataset)
+    report = StudyReport(dataset)
+    if args.figure == "2":
+        print(report.render_fig2_chart())
+    elif args.figure == "5":
+        print(report.render_fig5_chart())
+    else:
+        print(report.render_fig8_chart(args.granularity))
+    return 0
+
+
+def _cmd_crossengine(args) -> int:
+    from repro.core.crossengine import compare_engines
+    from repro.queries.corpus import build_corpus
+    from repro.queries.model import QueryCategory
+
+    corpus = build_corpus()
+    local = corpus.by_category(QueryCategory.LOCAL)
+    queries = (
+        [q for q in local if not q.is_brand][:8]
+        + [q for q in local if q.is_brand][:3]
+        + corpus.by_category(QueryCategory.CONTROVERSIAL)[:5]
+        + corpus.by_category(QueryCategory.POLITICIAN)[:5]
+    )
+    config = StudyConfig.small(
+        queries, seed=args.seed, days=1, locations_per_granularity=6
+    )
+    print(compare_engines(config).render())
+    return 0
+
+
+def _cmd_carryover(args) -> int:
+    from repro.core.carryover import run_carryover_experiment
+
+    print(run_carryover_experiment(args.seed).render())
+    return 0
+
+
+def _cmd_content(args) -> int:
+    from repro.core.content import ContentAnalysis
+
+    dataset = SerpDataset.load(args.dataset)
+    analysis = ContentAnalysis(dataset)
+    print("content analysis")
+    for category in dataset.categories():
+        locality = analysis.locality_share(category)
+        entropy = analysis.source_entropy(category)
+        print(
+            f"  {category:13s} locality {locality.mean:.3f} ± {locality.std:.3f}   "
+            f"source entropy {entropy.mean:.2f} bits"
+        )
+    print("\nsource mix (local queries):")
+    for source_type, share in analysis.source_mix("local").items():
+        print(f"  {source_type.value:14s} {share:.1%}")
+    try:
+        spread = analysis.advocacy_balance_spread("national")
+        print(
+            f"\nadvocacy-balance spread across national locations: {spread:.3f} "
+            "(0 = no geolocal slant)"
+        )
+    except ValueError:
+        print("\nno advocacy results collected (no controversial queries?)")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.core.export import export_all
+
+    dataset = SerpDataset.load(args.dataset)
+    written = export_all(StudyReport(dataset), args.out, fmt=args.format)
+    for path in written:
+        print(path)
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.core.audit import audit_queries
+
+    report = audit_queries(args.terms, seed=args.seed, days=args.days)
+    print(report.render())
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.core.diff import diff_datasets
+
+    diff = diff_datasets(SerpDataset.load(args.a), SerpDataset.load(args.b))
+    print(diff.render())
+    return 0
+
+
+def _cmd_reportcard(args) -> int:
+    from repro.core.reportcard import generate_markdown
+
+    dataset = SerpDataset.load(args.dataset)
+    text = generate_markdown(dataset, title=args.title)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.core.schedule import simulate_crawl_schedule
+
+    config = StudyConfig().with_overrides(machine_count=args.machines)
+    print(
+        simulate_crawl_schedule(
+            config, request_duration_seconds=args.request_seconds
+        ).render()
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+        "demographics": _cmd_demographics,
+        "chart": _cmd_chart,
+        "crossengine": _cmd_crossengine,
+        "carryover": _cmd_carryover,
+        "content": _cmd_content,
+        "export": _cmd_export,
+        "audit": _cmd_audit,
+        "diff": _cmd_diff,
+        "reportcard": _cmd_reportcard,
+        "schedule": _cmd_schedule,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

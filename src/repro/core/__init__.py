@@ -1,0 +1,57 @@
+"""The measurement methodology — the paper's contribution.
+
+Everything needed to audit a (simulated or real-protocol) search engine
+for location-based personalization:
+
+* a headless mobile-browser model with a Geolocation-API override
+  (:mod:`repro.core.browser`);
+* a card-aware SERP parser (:mod:`repro.core.parser`);
+* comparison metrics — Jaccard index and edit distance
+  (:mod:`repro.core.metrics`);
+* the study design: lock-stepped treatment/control pairs across three
+  location granularities over multiple days
+  (:mod:`repro.core.experiment`, :mod:`repro.core.runner`);
+* the analyses behind every figure: noise, personalization, result-type
+  attribution, temporal consistency, GPS-vs-IP validation, and
+  demographic correlation (:mod:`repro.core.analysis` modules).
+"""
+
+from repro.core.audit import AuditReport, audit_queries
+from repro.core.browser import Fingerprint, GeolocationOverride, MobileBrowser, Network
+from repro.core.datastore import IncrementalWriter, SerpDataset, SerpRecord, SerpResult
+from repro.core.diff import DatasetDiff, diff_datasets
+from repro.core.experiment import StudyConfig
+from repro.core.metrics import damerau_levenshtein, edit_distance, jaccard_index
+from repro.core.parser import ParsedSerp, ResultType, parse_serp_html
+from repro.core.rank_metrics import kendall_tau, rank_biased_overlap, top_k_overlap
+from repro.core.reportcard import generate_markdown
+from repro.core.runner import Study
+from repro.core.schedule import simulate_crawl_schedule
+
+__all__ = [
+    "AuditReport",
+    "audit_queries",
+    "Fingerprint",
+    "GeolocationOverride",
+    "MobileBrowser",
+    "Network",
+    "IncrementalWriter",
+    "SerpDataset",
+    "SerpRecord",
+    "SerpResult",
+    "DatasetDiff",
+    "diff_datasets",
+    "StudyConfig",
+    "damerau_levenshtein",
+    "edit_distance",
+    "jaccard_index",
+    "ParsedSerp",
+    "ResultType",
+    "parse_serp_html",
+    "kendall_tau",
+    "rank_biased_overlap",
+    "top_k_overlap",
+    "generate_markdown",
+    "Study",
+    "simulate_crawl_schedule",
+]

@@ -1,0 +1,168 @@
+"""High-level auditing facade.
+
+``audit_queries`` is the one-call version of the whole methodology for
+a downstream user with a list of search terms: it classifies the terms,
+runs a paired-control crawl at the chosen granularities, measures the
+noise floor, and returns per-term net personalization with significance
+— the structured equivalent of ``examples/audit_custom_queries.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.experiment import DEFAULT_STUDY_SEED, StudyConfig
+from repro.core.personalization import PersonalizationAnalysis
+from repro.core.runner import Study
+from repro.engine.calibration import EngineCalibration
+from repro.engine.classify import QueryClassifier
+from repro.queries.model import Query
+from repro.stats.hypothesis_tests import MannWhitneyResult, mann_whitney_u
+
+__all__ = ["TermAudit", "AuditReport", "audit_queries"]
+
+
+@dataclass(frozen=True)
+class TermAudit:
+    """Per-term audit outcome."""
+
+    query: Query
+    noise_edit: float
+    personalization_by_granularity: Dict[str, float]  # raw mean edit
+    net_by_granularity: Dict[str, float]  # minus the noise floor
+    significance: MannWhitneyResult
+
+    @property
+    def is_personalized(self) -> bool:
+        """Whether location measurably changes this term's results."""
+        return (
+            self.significance.significant
+            and max(self.net_by_granularity.values()) > 1.0
+        )
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The full audit across all terms."""
+
+    terms: List[TermAudit]
+    granularities: List[str]
+
+    def personalized_terms(self) -> List[TermAudit]:
+        """Terms with measurable location personalization, strongest first."""
+        return sorted(
+            (t for t in self.terms if t.is_personalized),
+            key=lambda t: -max(t.net_by_granularity.values()),
+        )
+
+    def unpersonalized_terms(self) -> List[TermAudit]:
+        """Terms whose differences are indistinguishable from noise."""
+        return [t for t in self.terms if not t.is_personalized]
+
+    def render(self) -> str:
+        """A text table of the audit."""
+        header = f"{'term':26s} {'class':14s} {'noise':>6s}"
+        for granularity in self.granularities:
+            header += f" {granularity[:8]:>9s}"
+        header += f" {'p-value':>9s} {'verdict':>13s}"
+        lines = ["location-personalization audit", header]
+        for term in sorted(
+            self.terms, key=lambda t: -max(t.net_by_granularity.values())
+        ):
+            row = (
+                f"{term.query.text[:26]:26s} {term.query.category.value:14s} "
+                f"{term.noise_edit:6.2f}"
+            )
+            for granularity in self.granularities:
+                row += f" {term.net_by_granularity[granularity]:9.2f}"
+            verdict = "PERSONALIZED" if term.is_personalized else "no effect"
+            row += f" {term.significance.p_value:9.2e} {verdict:>13s}"
+            lines.append(row)
+        lines.append(
+            "(columns are net edit distance above the per-term noise floor)"
+        )
+        return "\n".join(lines)
+
+
+def audit_queries(
+    queries: Sequence[Union[str, Query]],
+    *,
+    seed: int = DEFAULT_STUDY_SEED,
+    days: int = 2,
+    locations_per_granularity: int = 6,
+    calibration: Optional[EngineCalibration] = None,
+) -> AuditReport:
+    """Audit a list of search terms for location personalization.
+
+    Args:
+        queries: Raw strings (classified automatically) or annotated
+            :class:`Query` objects.
+        seed: Reproducibility seed for the whole audit.
+        days: Days of repetition (more days → tighter noise estimates).
+        locations_per_granularity: Vantage points per granularity.
+        calibration: Engine tunables (testing/ablation hook).
+
+    Returns:
+        An :class:`AuditReport` with per-term net personalization and a
+        Mann–Whitney significance verdict against the noise
+        distribution.
+    """
+    if not queries:
+        raise ValueError("need at least one query to audit")
+    classifier = QueryClassifier()
+    resolved: List[Query] = [
+        q if isinstance(q, Query) else classifier.classify(q) for q in queries
+    ]
+    config = StudyConfig.small(
+        resolved,
+        seed=seed,
+        days=days,
+        locations_per_granularity=locations_per_granularity,
+    )
+    if calibration is not None:
+        config = config.with_overrides(calibration=calibration)
+    dataset = Study(config).run()
+    analysis = PersonalizationAnalysis(dataset)
+    granularities = dataset.granularities()
+
+    terms: List[TermAudit] = []
+    for query in resolved:
+        category = query.category.value
+        noise_cells = {
+            g: analysis.noise.per_term(category, g).get(query.text)
+            for g in granularities
+        }
+        personalization_cells = {
+            g: analysis.per_term(category, g).get(query.text) for g in granularities
+        }
+        noise_edit = sum(
+            cell.edit.mean for cell in noise_cells.values() if cell is not None
+        ) / len(granularities)
+        raw = {
+            g: cell.edit.mean if cell is not None else 0.0
+            for g, cell in personalization_cells.items()
+        }
+        net = {g: max(0.0, value - noise_edit) for g, value in raw.items()}
+        treatment_edits = [
+            float(c.edit)
+            for g in granularities
+            if personalization_cells[g] is not None
+            for c in personalization_cells[g].comparisons
+        ]
+        noise_edits = [
+            float(c.edit)
+            for g in granularities
+            if noise_cells[g] is not None
+            for c in noise_cells[g].comparisons
+        ]
+        terms.append(
+            TermAudit(
+                query=query,
+                noise_edit=noise_edit,
+                personalization_by_granularity=raw,
+                net_by_granularity=net,
+                significance=mann_whitney_u(treatment_edits, noise_edits),
+            )
+        )
+    return AuditReport(terms=terms, granularities=granularities)

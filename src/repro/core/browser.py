@@ -1,0 +1,209 @@
+"""The headless-browser model (the PhantomJS stand-in).
+
+The paper drives the *mobile* search frontend from PhantomJS, overriding
+the JavaScript Geolocation API so the page reports arbitrary GPS
+coordinates (paper §2.2).  :class:`MobileBrowser` reproduces that
+contract:
+
+* a fixed **fingerprint** (the paper presented Safari 8 on iOS and kept
+  every attribute identical across treatments);
+* a **cookie jar** that can be cleared after every query (killing the
+  engine's session personalization and location memory);
+* a **GeolocationOverride** whose coordinates are handed to the search
+  page, exactly like the injected JS shim;
+* DNS resolution through a resolver that may be *pinned* to one
+  datacenter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.frontend import SearchEngine
+from repro.engine.request import SearchRequest, SearchResponse
+from repro.geo.coords import LatLon
+from repro.net.dns import DNSResolver
+from repro.net.machines import Machine
+from repro.seeding import stable_hash
+
+__all__ = ["Fingerprint", "GeolocationOverride", "Network", "MobileBrowser", "CrawlResult"]
+
+#: The User-Agent the paper's script presented.
+SAFARI_8_IOS_UA = (
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 8_0 like Mac OS X) "
+    "AppleWebKit/600.1.3 (KHTML, like Gecko) Version/8.0 Mobile/12A4345d Safari/600.1.4"
+)
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """The browser attributes a server could fingerprint.
+
+    All treatments in the study share one fingerprint so that nothing
+    but location differs between them (paper §2.2, "Browser State").
+    """
+
+    user_agent: str = SAFARI_8_IOS_UA
+    screen_width: int = 320
+    screen_height: int = 568
+    timezone: str = "America/New_York"
+    language: str = "en-US"
+
+
+@dataclass
+class GeolocationOverride:
+    """The injected Geolocation-API shim.
+
+    When ``coords`` is set, any page asking for the device position
+    receives these coordinates; when unset, the page gets no GPS fix
+    (and the engine falls back to IP geolocation).
+    """
+
+    coords: Optional[LatLon] = None
+
+    def set(self, coords: LatLon) -> None:
+        """Point the device at ``coords``."""
+        self.coords = coords
+
+    def clear(self) -> None:
+        """Remove the override (no GPS available)."""
+        self.coords = None
+
+    def get_current_position(self) -> Optional[LatLon]:
+        """What ``navigator.geolocation.getCurrentPosition`` reports."""
+        return self.coords
+
+
+class Network:
+    """Client-side plumbing: DNS resolution + request delivery.
+
+    One engine instance serves every datacenter frontend IP; which IP a
+    request reaches is decided here by the resolver — pinned or
+    rotating — exactly the degree of freedom the paper controls with a
+    static DNS mapping.
+    """
+
+    def __init__(self, resolver: DNSResolver, engine: SearchEngine):
+        self.resolver = resolver
+        self.engine = engine
+        self._query_counter = itertools.count()
+
+    def submit(
+        self,
+        machine: Machine,
+        query_text: str,
+        timestamp_minutes: float,
+        *,
+        gps: Optional[LatLon],
+        cookie_id: Optional[str],
+        user_agent: str,
+        nonce: int,
+        page: int = 0,
+    ) -> SearchResponse:
+        """Resolve the engine's search hostname and deliver one request."""
+        frontend_ip = self.resolver.resolve(
+            self.engine.dialect.hostname, query_id=next(self._query_counter)
+        )
+        request = SearchRequest(
+            query_text=query_text,
+            client_ip=machine.ip,
+            frontend_ip=frontend_ip,
+            timestamp_minutes=timestamp_minutes,
+            gps=gps,
+            cookie_id=cookie_id,
+            user_agent=user_agent,
+            nonce=nonce,
+            page=page,
+        )
+        return self.engine.handle(request)
+
+
+@dataclass(frozen=True)
+class CrawlResult:
+    """What one scripted query saves to disk: the raw page."""
+
+    query_text: str
+    html: str
+    ok: bool
+    timestamp_minutes: float
+
+
+class MobileBrowser:
+    """One headless browser instance bound to a crawl machine."""
+
+    def __init__(
+        self,
+        browser_id: str,
+        machine: Machine,
+        network: Network,
+        *,
+        fingerprint: Optional[Fingerprint] = None,
+        nonce_namespace: Optional[str] = None,
+    ):
+        self.browser_id = browser_id
+        self.machine = machine
+        self.network = network
+        self.fingerprint = fingerprint or Fingerprint()
+        # Request nonces derive from this namespace.  Distinct browsers
+        # normally get distinct nonce streams (their A/B noise differs),
+        # but controlled experiments can share a namespace to pin two
+        # browsers to identical per-request noise draws while keeping
+        # separate cookie identities.
+        self._nonce_namespace = nonce_namespace or browser_id
+        self.geolocation = GeolocationOverride()
+        self._cookie_generation = 0
+        self._cookie_id: Optional[str] = self._new_cookie_id()
+        self._request_counter = 0
+
+    # -- cookie jar ----------------------------------------------------------
+
+    @property
+    def cookie_id(self) -> Optional[str]:
+        """The current cookie identity presented to the engine."""
+        return self._cookie_id
+
+    def clear_cookies(self) -> None:
+        """Drop all cookies; the next request starts a fresh session."""
+        self._cookie_generation += 1
+        self._cookie_id = self._new_cookie_id()
+
+    def disable_cookies(self) -> None:
+        """Send no cookies at all."""
+        self._cookie_id = None
+
+    def _new_cookie_id(self) -> str:
+        return f"{self.browser_id}#g{self._cookie_generation}"
+
+    # -- searching ------------------------------------------------------------
+
+    def search(
+        self, query_text: str, timestamp_minutes: float, *, page: int = 0
+    ) -> CrawlResult:
+        """Load the search page, run one query, save the result HTML.
+
+        The Geolocation override (if set) is what the page reports as
+        the device position.  ``page`` follows the frontend's "Next"
+        pagination (0 = first page, the study's scope).
+        """
+        self._request_counter += 1
+        nonce = stable_hash(
+            "request-nonce", self._nonce_namespace, self._request_counter
+        )
+        response = self.network.submit(
+            self.machine,
+            query_text,
+            timestamp_minutes,
+            gps=self.geolocation.get_current_position(),
+            cookie_id=self._cookie_id,
+            user_agent=self.fingerprint.user_agent,
+            nonce=nonce,
+            page=page,
+        )
+        return CrawlResult(
+            query_text=query_text,
+            html=response.html,
+            ok=response.ok,
+            timestamp_minutes=timestamp_minutes,
+        )

@@ -1,0 +1,185 @@
+"""Session-carryover measurement — why the paper waits 11 minutes.
+
+Prior work found Google personalizes on searches made within the last
+10 minutes (paper §2.2, noise control #3).  This experiment measures
+that carryover directly: a *primed* browser issues a priming query and
+then the target query after a configurable wait (cookies retained),
+while a *fresh* browser issues only the target query.  The edit
+distance between their result pages, swept over wait times, shows the
+contamination and its cutoff — and therefore why the paper's 11-minute
+spacing (plus cookie clearing) is sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.browser import MobileBrowser, Network
+from repro.core.metrics import edit_distance, jaccard_index
+from repro.core.parser import parse_serp_html
+from repro.engine.calibration import EngineCalibration
+from repro.engine.datacenters import DatacenterCluster
+from repro.engine.frontend import SearchEngine
+from repro.geo.coords import LatLon
+from repro.geo.cuyahoga import CUYAHOGA_CENTER
+from repro.net.dns import DNSResolver
+from repro.net.geoip import GeoIPDatabase
+from repro.net.machines import MachineFleet
+from repro.queries.corpus import build_corpus
+from repro.seeding import derive_seed
+from repro.stats.summaries import MeanStd, summarize
+from repro.web.world import WebWorld
+
+__all__ = ["CarryoverPoint", "CarryoverResult", "run_carryover_experiment"]
+
+#: Priming/target pairs where the primer's top results are topically
+#: adjacent to the target query (brand → category).
+DEFAULT_QUERY_PAIRS: List[Tuple[str, str]] = [
+    ("Starbucks", "Coffee"),
+    ("McDonalds", "Burger"),
+    ("KFC", "Fast Food"),
+    ("Subway", "Restaurant"),
+]
+
+
+@dataclass(frozen=True)
+class CarryoverPoint:
+    """Contamination at one wait time."""
+
+    wait_minutes: float
+    edit: MeanStd
+    jaccard: MeanStd
+
+    @property
+    def contaminated(self) -> bool:
+        """Whether any contamination is visible at this wait."""
+        return self.edit.mean > 0.0
+
+
+@dataclass(frozen=True)
+class CarryoverResult:
+    """The full wait-time sweep."""
+
+    points: List[CarryoverPoint]
+    window_minutes: float
+
+    def cutoff_wait(self) -> Optional[float]:
+        """The first swept wait with zero mean contamination."""
+        for point in self.points:
+            if not point.contaminated:
+                return point.wait_minutes
+        return None
+
+    def render(self) -> str:
+        """A text table of contamination vs. wait time."""
+        lines = [
+            "Session carryover: primed vs fresh browser, same target query",
+            f"(engine session window: {self.window_minutes:.0f} minutes)",
+            f"{'wait (min)':>10s} {'edit distance':>14s} {'jaccard':>8s}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.wait_minutes:10.1f} {point.edit.mean:14.2f} "
+                f"{point.jaccard.mean:8.3f}"
+            )
+        cutoff = self.cutoff_wait()
+        if cutoff is not None:
+            lines.append(
+                f"carryover gone at {cutoff:.0f}-minute waits — the paper's "
+                "11-minute spacing clears the window."
+            )
+        return "\n".join(lines)
+
+
+def run_carryover_experiment(
+    seed: int,
+    *,
+    waits_minutes: Sequence[float] = (1.0, 3.0, 5.0, 8.0, 9.5, 11.0, 15.0),
+    query_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    gps: LatLon = CUYAHOGA_CENTER,
+    calibration: Optional[EngineCalibration] = None,
+) -> CarryoverResult:
+    """Sweep wait times and measure history contamination.
+
+    For every (priming, target) pair and wait ``w``: a primed browser
+    searches the priming query at t₀ and the target at t₀+w without
+    clearing cookies; a fresh browser searches the target at t₀+w.
+    Nonce-derived noise is eliminated by comparing both browsers against
+    the *same* request identity — the pages differ only through session
+    state.
+
+    Args:
+        seed: Master seed (world + engine).
+        waits_minutes: Wait times to sweep (paper's design point: 11).
+        query_pairs: (priming, target) query texts; defaults to
+            brand → category pairs.
+        gps: Fixed location for every request.
+        calibration: Engine tunables.
+    """
+    if not waits_minutes:
+        raise ValueError("need at least one wait time")
+    pairs = list(query_pairs) if query_pairs is not None else list(DEFAULT_QUERY_PAIRS)
+    if not pairs:
+        raise ValueError("need at least one query pair")
+
+    calibration = calibration or EngineCalibration()
+    world = WebWorld(derive_seed(seed, "world"))
+    cluster = DatacenterCluster()
+    resolver = DNSResolver()
+    cluster.install_into(resolver)
+    resolver.pin(cluster.hostname, cluster[0].frontend_ip)
+    geoip = GeoIPDatabase()
+    fleet = MachineFleet.crawl_fleet(count=4)
+    geoip.register_fleet(fleet)
+    engine = SearchEngine(
+        world,
+        cluster,
+        geoip,
+        corpus=build_corpus(),
+        calibration=calibration,
+        seed=derive_seed(seed, "engine"),
+    )
+    network = Network(resolver, engine)
+
+    points: List[CarryoverPoint] = []
+    base_time = 0.0
+    for wait in waits_minutes:
+        edits: List[float] = []
+        jaccards: List[float] = []
+        for pair_index, (priming, target) in enumerate(pairs):
+            # Distinct epochs per (wait, pair) keep sessions independent.
+            t0 = base_time
+            base_time += 24 * 60.0
+
+            # A shared nonce namespace pins both browsers to identical
+            # per-request noise draws (A/B bucket, card gates), so the
+            # only remaining difference is the primed browser's session
+            # state.  Cookie identities stay distinct.
+            namespace = f"carryover:{wait}:{pair_index}"
+            primed = MobileBrowser(
+                f"{namespace}:primed", fleet[0], network, nonce_namespace=namespace
+            )
+            fresh = MobileBrowser(
+                f"{namespace}:fresh", fleet[1], network, nonce_namespace=namespace
+            )
+            primed.geolocation.set(gps)
+            fresh.geolocation.set(gps)
+
+            primed.search(priming, t0)  # keep cookies: the contamination
+            fresh._request_counter += 1  # align request counters/nonces
+
+            primed_page = parse_serp_html(primed.search(target, t0 + wait).html)
+            fresh_page = parse_serp_html(fresh.search(target, t0 + wait).html)
+            edits.append(float(edit_distance(primed_page.urls(), fresh_page.urls())))
+            jaccards.append(jaccard_index(primed_page.urls(), fresh_page.urls()))
+        points.append(
+            CarryoverPoint(
+                wait_minutes=wait,
+                edit=summarize(edits),
+                jaccard=summarize(jaccards),
+            )
+        )
+    return CarryoverResult(
+        points=points, window_minutes=calibration.session_window_minutes
+    )

@@ -1,0 +1,111 @@
+"""Temporal churn: how much one location's results move day to day.
+
+Fig. 8 compares locations *against a baseline* over days; the natural
+companion (used heavily in the authors' prior work) is each location
+against *itself* on consecutive days.  Churn separates two time scales
+the substrate models:
+
+* news-driven churn — controversial queries rotate their News-card
+  articles across days;
+* ranking churn — the residual day-to-day movement of organic results
+  (here: A/B re-draws, since base rankings are time-stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.comparisons import compare_records
+from repro.core.datastore import SerpDataset
+from repro.core.parser import ResultType
+from repro.stats.summaries import MeanStd, summarize
+
+__all__ = ["ChurnCell", "ChurnAnalysis"]
+
+
+@dataclass(frozen=True)
+class ChurnCell:
+    """Day-over-day churn for one (category, granularity)."""
+
+    category: str
+    granularity: str
+    jaccard: MeanStd
+    edit: MeanStd
+    news_edit: MeanStd
+    comparisons: int
+
+
+class ChurnAnalysis:
+    """Same-location, consecutive-day comparisons over a dataset."""
+
+    def __init__(self, dataset: SerpDataset):
+        self.dataset = dataset
+        self._cells: Dict[tuple, ChurnCell] = {}
+
+    def cell(self, category: str, granularity: str) -> ChurnCell:
+        """Churn metrics for one (category, granularity)."""
+        key = (category, granularity)
+        cached = self._cells.get(key)
+        if cached is not None:
+            return cached
+
+        days = self.dataset.days()
+        if len(days) < 2:
+            raise ValueError("churn needs at least two days of data")
+        jaccards: List[float] = []
+        edits: List[float] = []
+        news_edits: List[float] = []
+        subset = self.dataset.filter(category=category, granularity=granularity)
+        for record in subset:
+            if record.copy_index != 0:
+                continue
+            next_day = record.day + 1
+            if next_day not in days:
+                continue
+            tomorrow = self.dataset.get(
+                record.query,
+                record.granularity,
+                record.location_name,
+                next_day,
+                record.copy_index,
+            )
+            if tomorrow is None:
+                continue
+            comparison = compare_records(record, tomorrow)
+            jaccards.append(comparison.jaccard)
+            edits.append(float(comparison.edit))
+            news_edits.append(float(comparison.edit_by_type[ResultType.NEWS]))
+        if not edits:
+            raise ValueError(f"no consecutive-day pairs for {key}")
+        cell = ChurnCell(
+            category=category,
+            granularity=granularity,
+            jaccard=summarize(jaccards),
+            edit=summarize(edits),
+            news_edit=summarize(news_edits),
+            comparisons=len(edits),
+        )
+        self._cells[key] = cell
+        return cell
+
+    def news_share(self, category: str, granularity: str) -> float:
+        """Fraction of day-over-day churn attributable to News results."""
+        cell = self.cell(category, granularity)
+        if cell.edit.mean == 0:
+            return 0.0
+        return cell.news_edit.mean / cell.edit.mean
+
+    def churn_vs_noise(
+        self, category: str, granularity: str
+    ) -> Optional[float]:
+        """Day-over-day churn minus the same-time noise floor.
+
+        Positive values are *genuinely temporal* variation (news
+        rotation, index updates) rather than request-level noise.
+        """
+        from repro.core.noise import NoiseAnalysis
+
+        churn = self.cell(category, granularity).edit.mean
+        noise = NoiseAnalysis(self.dataset).cell(category, granularity).edit.mean
+        return churn - noise

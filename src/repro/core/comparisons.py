@@ -1,0 +1,123 @@
+"""Shared pairwise-comparison machinery for the analyses.
+
+Two comparison families, following paper §3:
+
+* **noise pairs** — a treatment versus its same-location, same-time
+  control (copy 0 vs copy 1);
+* **treatment pairs** — all location pairs at one granularity (copy 0
+  vs copy 0), whose differences above the noise floor are attributed to
+  location-based personalization.
+
+Both yield :class:`PageComparison` values carrying the full metrics and
+the per-result-type filtered metrics used by the attribution figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.datastore import SerpDataset, SerpRecord
+from repro.core.metrics import edit_distance, jaccard_index
+from repro.core.parser import ResultType
+
+__all__ = ["PageComparison", "compare_records", "iter_noise_pairs", "iter_treatment_pairs"]
+
+
+@dataclass(frozen=True)
+class PageComparison:
+    """Metrics of one page-pair comparison."""
+
+    query: str
+    category: str
+    granularity: str
+    day: int
+    location_a: str
+    location_b: str
+    jaccard: float
+    edit: int
+    edit_by_type: Dict[ResultType, int]
+
+    @property
+    def edit_other(self) -> int:
+        """Edit operations not attributable to Maps or News results.
+
+        Per paper Fig. 7: the overall edit distance minus the Maps-only
+        and News-only components, floored at zero.
+        """
+        attributed = (
+            self.edit_by_type[ResultType.MAPS] + self.edit_by_type[ResultType.NEWS]
+        )
+        return max(0, self.edit - attributed)
+
+
+def compare_records(a: SerpRecord, b: SerpRecord) -> PageComparison:
+    """Full and per-type metrics between two pages of the same query."""
+    if a.query != b.query:
+        raise ValueError(f"comparing different queries: {a.query!r} vs {b.query!r}")
+    urls_a = a.urls_of_type(None)
+    urls_b = b.urls_of_type(None)
+    by_type = {
+        rtype: edit_distance(a.urls_of_type(rtype), b.urls_of_type(rtype))
+        for rtype in (ResultType.MAPS, ResultType.NEWS)
+    }
+    return PageComparison(
+        query=a.query,
+        category=a.category,
+        granularity=a.granularity,
+        day=a.day,
+        location_a=a.location_name,
+        location_b=b.location_name,
+        jaccard=jaccard_index(urls_a, urls_b),
+        edit=edit_distance(urls_a, urls_b),
+        edit_by_type=by_type,
+    )
+
+
+def iter_noise_pairs(
+    dataset: SerpDataset,
+    *,
+    category: Optional[str] = None,
+    granularity: Optional[str] = None,
+    query: Optional[str] = None,
+    day: Optional[int] = None,
+) -> Iterator[PageComparison]:
+    """Treatment-vs-control comparisons (same location, same time)."""
+    subset = dataset.filter(
+        category=category, granularity=granularity, query=query, day=day
+    )
+    for record in subset:
+        if record.copy_index != 0:
+            continue
+        control = dataset.get(
+            record.query, record.granularity, record.location_name, record.day, 1
+        )
+        if control is not None:
+            yield compare_records(record, control)
+
+
+def iter_treatment_pairs(
+    dataset: SerpDataset,
+    *,
+    category: Optional[str] = None,
+    granularity: Optional[str] = None,
+    query: Optional[str] = None,
+    day: Optional[int] = None,
+    copy_index: int = 0,
+) -> Iterator[PageComparison]:
+    """All-location-pair comparisons at one moment (copy vs same copy)."""
+    subset = dataset.filter(
+        category=category, granularity=granularity, query=query, day=day
+    )
+    grouped: Dict[tuple, List[SerpRecord]] = {}
+    for record in subset:
+        if record.copy_index != copy_index:
+            continue
+        grouped.setdefault((record.query, record.granularity, record.day), []).append(
+            record
+        )
+    for records in grouped.values():
+        records.sort(key=lambda r: r.location_name)
+        for a, b in itertools.combinations(records, 2):
+            yield compare_records(a, b)

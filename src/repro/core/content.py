@@ -1,0 +1,267 @@
+"""Content analysis of collected SERPs.
+
+The paper's conclusion proposes "additional content analysis on the
+search results may help us uncover the specific instances where
+personalization algorithms reinforce demographic biases".  This module
+implements that follow-up on the collected datasets:
+
+* **source classification** — every result URL is mapped to a source
+  type (reference, directory, government, national news, statewide
+  news, local outlet, business site, maps place, social, advocacy,
+  academic);
+* **locality share** — what fraction of a page is locally scoped
+  content, by query type and granularity;
+* **source diversity** — distinct domains and Shannon entropy of
+  source types per page (low diversity = narrow information exposure);
+* **advocacy balance** — for controversial queries, whether the
+  pro/anti advocacy mix shifts with location (the Filter-Bubble
+  concern that motivates the paper).
+
+Classification is rule-based over hostnames with user-extendable rules,
+mirroring how such coding is actually done on crawl data.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Pattern, Sequence, Tuple
+
+from repro.core.datastore import SerpDataset, SerpRecord
+from repro.stats.summaries import MeanStd, summarize
+
+__all__ = [
+    "SourceType",
+    "SourceClassifier",
+    "PageContentProfile",
+    "ContentAnalysis",
+]
+
+
+class SourceType(enum.Enum):
+    """Coarse categories of result sources."""
+
+    REFERENCE = "reference"  # encyclopedias, fact banks
+    DIRECTORY = "directory"  # listings/review aggregators
+    GOVERNMENT = "government"  # .gov-style pages
+    NEWS_NATIONAL = "news-national"
+    NEWS_STATE = "news-state"  # statewide outlets
+    LOCAL_OUTLET = "local-outlet"  # city sites / local papers
+    BUSINESS = "business"  # a business's own web presence
+    MAPS_PLACE = "maps-place"
+    SOCIAL = "social"
+    ADVOCACY_PRO = "advocacy-pro"
+    ADVOCACY_CON = "advocacy-con"
+    ACADEMIC = "academic"
+    OTHER = "other"
+
+
+#: Default hostname rules, first match wins.  Written against the
+#: synthetic web's domains; replace or extend for a real crawl.
+_DEFAULT_RULES: List[Tuple[str, SourceType]] = [
+    (r"^maps\.", SourceType.MAPS_PLACE),
+    (r"encyclopedia\.|refdesk\.|factcheckers\.", SourceType.REFERENCE),
+    (r"citydirectory\.|travelreviews\.|listicles\.|rankings\.|consumerwatch\.|finder\.|mapsearch\.", SourceType.DIRECTORY),
+    (r"citizensalliance\.", SourceType.ADVOCACY_PRO),
+    (r"libertycoalition\.", SourceType.ADVOCACY_CON),
+    # City sites must precede the government rule: cityofX.example.gov
+    # is local content, not a state/federal page.
+    (r"herald\.example\.com$|^cityof", SourceType.LOCAL_OUTLET),
+    (r"\.example\.gov$|usa\.example\.gov", SourceType.GOVERNMENT),
+    (r"dispatch\.example\.com$", SourceType.NEWS_STATE),
+    (
+        r"dailynational\.|usheadlines\.|thecapitoltimes\.|newswire\.|theeveningpost\.|broadcastnews\.|newsmagazine\.",
+        SourceType.NEWS_NATIONAL,
+    ),
+    (r"chirper\.", SourceType.SOCIAL),
+    (r"scholarlycommons\.|\.example\.edu$|thinktank\.", SourceType.ACADEMIC),
+]
+
+
+class SourceClassifier:
+    """Rule-based hostname → :class:`SourceType` classification."""
+
+    def __init__(self, rules: Optional[Sequence[Tuple[str, SourceType]]] = None):
+        raw = list(rules) if rules is not None else list(_DEFAULT_RULES)
+        self._rules: List[Tuple[Pattern[str], SourceType]] = [
+            (re.compile(pattern), source_type) for pattern, source_type in raw
+        ]
+
+    def add_rule(self, pattern: str, source_type: SourceType) -> None:
+        """Append a lowest-priority rule."""
+        self._rules.append((re.compile(pattern), source_type))
+
+    def classify(self, url: str) -> SourceType:
+        """Source type of one result URL.
+
+        Rules match the hostname; two URL-shape fallbacks recognise a
+        business's own presence — a deep subdomain (the synthetic POIs'
+        ``<name>.<city>.example.com`` sites), a chain-outlet path
+        (``/locations/...``), or a deep directory listing path.
+        """
+        stripped = re.sub(r"^https?://", "", url).lower()
+        host, _, path = stripped.partition("/")
+        for pattern, source_type in self._rules:
+            if pattern.search(host):
+                # A deep citydirectory path is a specific business's
+                # listing, not the directory's own search page.
+                if (
+                    source_type is SourceType.DIRECTORY
+                    and host.startswith("citydirectory.")
+                    and path.count("/") >= 2
+                ):
+                    return SourceType.BUSINESS
+                return source_type
+        if len(host.split(".")) >= 4 or path.startswith("locations/"):
+            return SourceType.BUSINESS
+        return SourceType.OTHER
+
+
+@dataclass(frozen=True)
+class PageContentProfile:
+    """Content metrics of one result page."""
+
+    counts: Dict[SourceType, int]
+    distinct_domains: int
+    total: int
+
+    @property
+    def locality_share(self) -> float:
+        """Fraction of results from locally scoped sources."""
+        if self.total == 0:
+            return 0.0
+        local = (
+            self.counts.get(SourceType.BUSINESS, 0)
+            + self.counts.get(SourceType.LOCAL_OUTLET, 0)
+            + self.counts.get(SourceType.MAPS_PLACE, 0)
+            + self.counts.get(SourceType.NEWS_STATE, 0)
+        )
+        return local / self.total
+
+    @property
+    def source_entropy(self) -> float:
+        """Shannon entropy (bits) of the source-type distribution."""
+        if self.total == 0:
+            return 0.0
+        entropy = 0.0
+        for count in self.counts.values():
+            if count:
+                probability = count / self.total
+                entropy -= probability * math.log2(probability)
+        return entropy
+
+    def advocacy_balance(self) -> Optional[float]:
+        """Pro-share of advocacy results, or ``None`` when none present.
+
+        0.5 is balanced; 1.0 all-pro; 0.0 all-con.
+        """
+        pro = self.counts.get(SourceType.ADVOCACY_PRO, 0)
+        con = self.counts.get(SourceType.ADVOCACY_CON, 0)
+        if pro + con == 0:
+            return None
+        return pro / (pro + con)
+
+
+class ContentAnalysis:
+    """Content metrics aggregated over a collected dataset."""
+
+    def __init__(
+        self, dataset: SerpDataset, *, classifier: Optional[SourceClassifier] = None
+    ):
+        self.dataset = dataset
+        self.classifier = classifier or SourceClassifier()
+
+    # -- per-page -------------------------------------------------------------
+
+    def profile(self, record: SerpRecord) -> PageContentProfile:
+        """Content profile of one page."""
+        counts: Dict[SourceType, int] = {}
+        domains = set()
+        for url in record.urls:
+            source_type = self.classifier.classify(url)
+            counts[source_type] = counts.get(source_type, 0) + 1
+            host = re.sub(r"^https?://", "", url).split("/", 1)[0]
+            domains.add(".".join(host.split(".")[-3:]))
+        return PageContentProfile(
+            counts=counts, distinct_domains=len(domains), total=len(record.urls)
+        )
+
+    # -- aggregates ------------------------------------------------------------
+
+    def _records(
+        self, *, category: Optional[str], granularity: Optional[str]
+    ) -> Iterable[SerpRecord]:
+        return (
+            r
+            for r in self.dataset.filter(category=category, granularity=granularity)
+            if r.copy_index == 0
+        )
+
+    def locality_share(
+        self, category: str, granularity: Optional[str] = None
+    ) -> MeanStd:
+        """Mean locality share of pages for one query type."""
+        shares = [
+            self.profile(record).locality_share
+            for record in self._records(category=category, granularity=granularity)
+        ]
+        return summarize(shares)
+
+    def source_entropy(
+        self, category: str, granularity: Optional[str] = None
+    ) -> MeanStd:
+        """Mean source-type entropy for one query type."""
+        values = [
+            self.profile(record).source_entropy
+            for record in self._records(category=category, granularity=granularity)
+        ]
+        return summarize(values)
+
+    def source_mix(
+        self, category: str, granularity: Optional[str] = None
+    ) -> Dict[SourceType, float]:
+        """Fraction of all results per source type."""
+        totals: Dict[SourceType, int] = {}
+        grand_total = 0
+        for record in self._records(category=category, granularity=granularity):
+            profile = self.profile(record)
+            grand_total += profile.total
+            for source_type, count in profile.counts.items():
+                totals[source_type] = totals.get(source_type, 0) + count
+        if grand_total == 0:
+            raise ValueError(f"no pages for category {category!r}")
+        return {
+            source_type: count / grand_total
+            for source_type, count in sorted(totals.items(), key=lambda kv: -kv[1])
+        }
+
+    def advocacy_balance_by_location(
+        self, granularity: str
+    ) -> Dict[str, MeanStd]:
+        """Per-location pro-share of advocacy sources (controversial).
+
+        A location whose mean departs from the others would be seeing a
+        politically slanted result mix — the geolocal Filter Bubble the
+        paper looks for (and does not find).
+        """
+        balances: Dict[str, List[float]] = {}
+        for record in self._records(category="controversial", granularity=granularity):
+            balance = self.profile(record).advocacy_balance()
+            if balance is not None:
+                balances.setdefault(record.location_name, []).append(balance)
+        if not balances:
+            raise ValueError("no advocacy results in the dataset")
+        return {name: summarize(values) for name, values in sorted(balances.items())}
+
+    def advocacy_balance_spread(self, granularity: str) -> float:
+        """Max − min of per-location mean advocacy balance.
+
+        Near zero ⇒ no location-dependent slant (the expected null).
+        """
+        means = [
+            stats.mean
+            for stats in self.advocacy_balance_by_location(granularity).values()
+        ]
+        return max(means) - min(means)

@@ -1,0 +1,199 @@
+"""Cross-engine auditing — the paper's "other search engines" extension.
+
+The conclusion of the paper notes the methodology "can easily be
+extended to other countries and search engines".  This module does the
+engine half: it runs the *same* study design (same world, same
+locations, same queries, same schedule) against two engines that differ
+in ranking policy and markup dialect, then compares
+
+* how strongly each engine personalizes by location (Fig. 5 per engine),
+* how much the two engines' result sets overlap for identical
+  (query, location, moment) probes.
+
+Both engines rank the same synthetic web, so overlap is meaningful —
+just as Google and Bing index the same underlying sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.datastore import SerpDataset
+from repro.core.experiment import StudyConfig
+from repro.core.metrics import jaccard_index
+from repro.core.personalization import PersonalizationAnalysis
+from repro.core.rank_metrics import rank_biased_overlap
+from repro.core.runner import Study
+from repro.engine.calibration import EngineCalibration
+from repro.engine.dialect import BINGO, GOOGLE_LIKE, EngineDialect
+from repro.stats.summaries import MeanStd, summarize
+
+__all__ = ["EngineAudit", "CrossEngineComparison", "compare_engines", "BINGO_CALIBRATION"]
+
+#: A plausibly different ranking policy for the second engine: a larger
+#: local pack shown less often, stronger reliance on nationally scoped
+#: results (weaker location keying), and a different noise profile.
+BINGO_CALIBRATION = EngineCalibration(
+    organic_slots=15,
+    maps_prob_generic=0.55,
+    maps_card_size=4,
+    state_perturb_local_generic=0.20,
+    metro_perturb_local_generic=0.16,
+    ab_jitter_local=0.10,
+    ab_jitter_national=0.05,
+    poi_radius_miles=3.5,
+    snap_cell_miles=3.0,
+    index_bias=0.9,
+)
+
+
+@dataclass(frozen=True)
+class EngineAudit:
+    """One engine's personalization summary."""
+
+    engine: str
+    dataset: SerpDataset
+    local_edit_by_granularity: Dict[str, float]
+    local_net_by_granularity: Dict[str, float]
+    noise_edit_local: float
+
+    @classmethod
+    def from_dataset(cls, engine: str, dataset: SerpDataset) -> "EngineAudit":
+        """Summarise one engine's collected dataset."""
+        analysis = PersonalizationAnalysis(dataset)
+        granularities = dataset.granularities()
+        return cls(
+            engine=engine,
+            dataset=dataset,
+            local_edit_by_granularity={
+                g: analysis.cell("local", g).edit.mean for g in granularities
+            },
+            local_net_by_granularity={
+                g: analysis.net_edit("local", g) for g in granularities
+            },
+            noise_edit_local=analysis.noise.cell(
+                "local", granularities[0]
+            ).edit.mean,
+        )
+
+
+@dataclass(frozen=True)
+class CrossEngineComparison:
+    """Result of auditing two engines side by side."""
+
+    audits: Tuple[EngineAudit, EngineAudit]
+    overlap: MeanStd
+    """Jaccard overlap between the two engines' pages for identical
+    (query, granularity, location, day) probes."""
+
+    overlap_by_category: Dict[str, MeanStd]
+
+    rbo: MeanStd
+    """Rank-Biased Overlap between the engines' pages — order-sensitive,
+    so it separates 'same links, different ranking' from 'same page'."""
+
+    def more_personalized_engine(self, granularity: str = "national") -> str:
+        """Name of the engine with the higher net local personalization."""
+        a, b = self.audits
+        return (
+            a.engine
+            if a.local_net_by_granularity[granularity]
+            >= b.local_net_by_granularity[granularity]
+            else b.engine
+        )
+
+    def render(self) -> str:
+        """A text table of the comparison."""
+        a, b = self.audits
+        granularities = sorted(
+            a.local_edit_by_granularity,
+            key=["county", "state", "national"].index,
+        )
+        lines = ["Cross-engine audit (same world, same probes)"]
+        lines.append(f"{'granularity':12s} {a.engine:>14s} {b.engine:>14s}   (net local edit)")
+        for granularity in granularities:
+            lines.append(
+                f"{granularity:12s} "
+                f"{a.local_net_by_granularity[granularity]:14.2f} "
+                f"{b.local_net_by_granularity[granularity]:14.2f}"
+            )
+        lines.append(
+            f"cross-engine result overlap: {self.overlap.mean:.3f} ± "
+            f"{self.overlap.std:.3f} (Jaccard), {self.rbo.mean:.3f} (RBO)"
+        )
+        for category, stats in sorted(self.overlap_by_category.items()):
+            lines.append(f"  {category:13s} {stats.mean:.3f}")
+        return "\n".join(lines)
+
+
+def _pairwise_overlap(
+    dataset_a: SerpDataset, dataset_b: SerpDataset
+) -> Tuple[MeanStd, Dict[str, MeanStd], MeanStd]:
+    values: List[float] = []
+    rbo_values: List[float] = []
+    by_category: Dict[str, List[float]] = {}
+    for record in dataset_a:
+        if record.copy_index != 0:
+            continue
+        twin = dataset_b.get(
+            record.query,
+            record.granularity,
+            record.location_name,
+            record.day,
+            record.copy_index,
+        )
+        if twin is None:
+            continue
+        value = jaccard_index(record.urls, twin.urls)
+        values.append(value)
+        rbo_values.append(rank_biased_overlap(record.urls, twin.urls))
+        by_category.setdefault(record.category, []).append(value)
+    if not values:
+        raise ValueError("datasets share no probes to compare")
+    return (
+        summarize(values),
+        {category: summarize(vals) for category, vals in by_category.items()},
+        summarize(rbo_values),
+    )
+
+
+def compare_engines(
+    base_config: StudyConfig,
+    *,
+    dialects: Sequence[EngineDialect] = (GOOGLE_LIKE, BINGO),
+    calibrations: Optional[Sequence[EngineCalibration]] = None,
+) -> CrossEngineComparison:
+    """Run the study against two engines and compare them.
+
+    Args:
+        base_config: The shared design (seed, queries, locations,
+            schedule).  The same seed means both engines rank the same
+            synthetic web from the same vantage points.
+        dialects: Exactly two engine dialects.
+        calibrations: Matching ranking policies; defaults to the study
+            calibration for the first engine and
+            :data:`BINGO_CALIBRATION` for the second.
+    """
+    if len(dialects) != 2:
+        raise ValueError("compare_engines needs exactly two dialects")
+    if calibrations is None:
+        calibrations = (base_config.calibration, BINGO_CALIBRATION)
+    if len(calibrations) != 2:
+        raise ValueError("need one calibration per dialect")
+
+    datasets: List[SerpDataset] = []
+    audits: List[EngineAudit] = []
+    for dialect, calibration in zip(dialects, calibrations):
+        config = base_config.with_overrides(dialect=dialect, calibration=calibration)
+        dataset = Study(config).run()
+        datasets.append(dataset)
+        audits.append(EngineAudit.from_dataset(dialect.name, dataset))
+
+    overlap, by_category, rbo = _pairwise_overlap(datasets[0], datasets[1])
+    return CrossEngineComparison(
+        audits=(audits[0], audits[1]),
+        overlap=overlap,
+        overlap_by_category=by_category,
+        rbo=rbo,
+    )

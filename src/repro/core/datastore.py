@@ -1,0 +1,314 @@
+"""Storage for collected SERPs.
+
+A full study collects ~140k pages; records are stored compactly (URL
+strings are interned, result types packed into bytes) so the whole
+30-day dataset fits comfortably in memory, and can be round-tripped to
+JSON for offline analysis.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.parser import ParsedSerp, ResultType
+
+__all__ = ["SerpResult", "SerpRecord", "SerpDataset"]
+
+_TYPE_TO_CODE = {ResultType.NORMAL: 0, ResultType.MAPS: 1, ResultType.NEWS: 2}
+_CODE_TO_TYPE = {code: rtype for rtype, code in _TYPE_TO_CODE.items()}
+
+
+@dataclass(frozen=True)
+class SerpResult:
+    """One result link (a view over a record's packed storage)."""
+
+    url: str
+    result_type: ResultType
+    rank: int
+
+
+@dataclass(frozen=True)
+class SerpRecord:
+    """One collected page of search results.
+
+    Attributes:
+        query: Query text.
+        category: Query category value ("local" / "controversial" /
+            "politician").
+        granularity: Granularity value ("county" / "state" / "national").
+        location_name: Qualified region name the page was collected for.
+        day: Study day index (0-based, within the query's 5-day block).
+        copy_index: 0 for the treatment, 1 for its paired control.
+        urls: Result URLs in rank order (interned).
+        type_codes: Result types, one byte per URL.
+        suggestions: Related-search suggestions from the strip under
+            the results.
+    """
+
+    query: str
+    category: str
+    granularity: str
+    location_name: str
+    day: int
+    copy_index: int
+    urls: Tuple[str, ...]
+    type_codes: bytes
+    suggestions: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.urls) != len(self.type_codes):
+            raise ValueError("urls and type_codes length mismatch")
+
+    @classmethod
+    def from_parsed(
+        cls,
+        parsed: ParsedSerp,
+        *,
+        category: str,
+        granularity: str,
+        location_name: str,
+        day: int,
+        copy_index: int,
+    ) -> "SerpRecord":
+        """Build a record from a parsed page."""
+        urls = tuple(sys.intern(r.url) for r in parsed.results)
+        codes = bytes(_TYPE_TO_CODE[r.result_type] for r in parsed.results)
+        return cls(
+            query=parsed.query,
+            category=category,
+            granularity=granularity,
+            location_name=location_name,
+            day=day,
+            copy_index=copy_index,
+            urls=urls,
+            type_codes=codes,
+            suggestions=tuple(sys.intern(s) for s in parsed.suggestions),
+        )
+
+    # -- access ---------------------------------------------------------------
+
+    def results(self) -> List[SerpResult]:
+        """Expanded result views, rank order."""
+        return [
+            SerpResult(url=url, result_type=_CODE_TO_TYPE[code], rank=i + 1)
+            for i, (url, code) in enumerate(zip(self.urls, self.type_codes))
+        ]
+
+    def urls_of_type(self, result_type: Optional[ResultType]) -> List[str]:
+        """URLs in rank order, optionally filtered to one result type."""
+        if result_type is None:
+            return list(self.urls)
+        wanted = _TYPE_TO_CODE[result_type]
+        return [url for url, code in zip(self.urls, self.type_codes) if code == wanted]
+
+    @property
+    def key(self) -> Tuple[str, str, str, int, int]:
+        """The unique identity of this record within a dataset."""
+        return (self.query, self.granularity, self.location_name, self.day, self.copy_index)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        raw = {
+            "query": self.query,
+            "category": self.category,
+            "granularity": self.granularity,
+            "location": self.location_name,
+            "day": self.day,
+            "copy": self.copy_index,
+            "urls": list(self.urls),
+            "types": list(self.type_codes),
+        }
+        if self.suggestions:
+            raw["suggestions"] = list(self.suggestions)
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SerpRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            query=raw["query"],
+            category=raw["category"],
+            granularity=raw["granularity"],
+            location_name=raw["location"],
+            day=raw["day"],
+            copy_index=raw["copy"],
+            urls=tuple(sys.intern(u) for u in raw["urls"]),
+            type_codes=bytes(raw["types"]),
+            suggestions=tuple(sys.intern(s) for s in raw.get("suggestions", [])),
+        )
+
+
+class SerpDataset:
+    """An indexed collection of :class:`SerpRecord`."""
+
+    def __init__(self, records: Optional[Iterable[SerpRecord]] = None):
+        self._records: List[SerpRecord] = []
+        self._index: Dict[Tuple, SerpRecord] = {}
+        for record in records or ():
+            self.add(record)
+
+    def add(self, record: SerpRecord) -> None:
+        """Add one record; duplicate keys are rejected."""
+        if record.key in self._index:
+            raise ValueError(f"duplicate record: {record.key}")
+        self._records.append(record)
+        self._index[record.key] = record
+
+    # -- enumeration ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SerpRecord]:
+        return iter(self._records)
+
+    def queries(self, *, category: Optional[str] = None) -> List[str]:
+        """Distinct query texts, insertion order, optionally by category."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            if category is None or record.category == category:
+                seen.setdefault(record.query, None)
+        return list(seen)
+
+    def categories(self) -> List[str]:
+        """Distinct categories present, insertion order."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.category, None)
+        return list(seen)
+
+    def granularities(self) -> List[str]:
+        """Distinct granularities present, insertion order."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.granularity, None)
+        return list(seen)
+
+    def locations(self, granularity: str) -> List[str]:
+        """Distinct location names at one granularity, insertion order."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            if record.granularity == granularity:
+                seen.setdefault(record.location_name, None)
+        return list(seen)
+
+    def days(self) -> List[int]:
+        """Distinct day indices, ascending."""
+        return sorted({record.day for record in self._records})
+
+    def copies(self) -> List[int]:
+        """Distinct copy indices, ascending."""
+        return sorted({record.copy_index for record in self._records})
+
+    def category_of(self, query: str) -> str:
+        """The category a query was recorded under."""
+        for record in self._records:
+            if record.query == query:
+                return record.category
+        raise KeyError(f"query not in dataset: {query!r}")
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(
+        self,
+        query: str,
+        granularity: str,
+        location_name: str,
+        day: int,
+        copy_index: int,
+    ) -> Optional[SerpRecord]:
+        """The record for one (query, granularity, location, day, copy)."""
+        return self._index.get((query, granularity, location_name, day, copy_index))
+
+    def filter(
+        self,
+        *,
+        category: Optional[str] = None,
+        granularity: Optional[str] = None,
+        query: Optional[str] = None,
+        day: Optional[int] = None,
+    ) -> "SerpDataset":
+        """A new dataset with only matching records."""
+        return SerpDataset(
+            r
+            for r in self._records
+            if (category is None or r.category == category)
+            and (granularity is None or r.granularity == granularity)
+            and (query is None or r.query == query)
+            and (day is None or r.day == day)
+        )
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the dataset as (optionally gzipped) JSON lines."""
+        target = Path(path)
+        opener = gzip.open if target.suffix == ".gz" else open
+        with opener(target, "wt", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SerpDataset":
+        """Read a dataset written by :meth:`save`.
+
+        Raises:
+            ValueError: naming the offending line number on corrupt
+                input — a truncated crawl file should fail loudly, not
+                load partially.
+        """
+        source = Path(path)
+        opener = gzip.open if source.suffix == ".gz" else open
+        dataset = cls()
+        with opener(source, "rt", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    dataset.add(SerpRecord.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, TypeError) as error:
+                    raise ValueError(
+                        f"{source}:{line_number}: corrupt record ({error})"
+                    ) from error
+        return dataset
+
+
+class IncrementalWriter:
+    """Stream records to disk as a crawl collects them.
+
+    A multi-hour crawl should not hold its only copy of the data in
+    memory; pass ``IncrementalWriter.write`` as the ``sink`` of
+    :meth:`repro.core.runner.Study.run` and every page lands on disk the
+    moment it is parsed.  Usable as a context manager.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        opener = gzip.open if self.path.suffix == ".gz" else open
+        self._handle = opener(self.path, "wt", encoding="utf-8")
+        self.written = 0
+
+    def write(self, record: SerpRecord) -> None:
+        """Append one record."""
+        if self._handle is None:
+            raise ValueError("writer is closed")
+        self._handle.write(json.dumps(record.to_dict()) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "IncrementalWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,130 @@
+"""Dataset-to-dataset diffing.
+
+Auditing is longitudinal: you collect a dataset today and another after
+an engine change (or a month later) and ask *what moved*.  This module
+compares two datasets probe-by-probe — same (query, granularity,
+location, day, copy) — and aggregates where and how much they differ.
+Used by the cross-engine comparison and usable standalone for
+before/after audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.datastore import SerpDataset
+from repro.core.metrics import edit_distance, jaccard_index
+from repro.core.rank_metrics import rank_biased_overlap
+from repro.stats.summaries import MeanStd, summarize
+
+__all__ = ["ProbeDiff", "DatasetDiff", "diff_datasets"]
+
+
+@dataclass(frozen=True)
+class ProbeDiff:
+    """Difference of one shared probe between two datasets."""
+
+    query: str
+    category: str
+    granularity: str
+    location_name: str
+    day: int
+    copy_index: int
+    jaccard: float
+    edit: int
+    rbo: float
+
+
+@dataclass(frozen=True)
+class DatasetDiff:
+    """Aggregate difference between two datasets."""
+
+    probes: List[ProbeDiff]
+    only_in_a: int
+    only_in_b: int
+
+    @property
+    def shared(self) -> int:
+        """Number of probes present in both datasets."""
+        return len(self.probes)
+
+    @property
+    def identical_fraction(self) -> float:
+        """Fraction of shared probes with byte-identical result lists."""
+        if not self.probes:
+            return 1.0
+        return sum(1 for p in self.probes if p.edit == 0) / len(self.probes)
+
+    def jaccard(self) -> MeanStd:
+        """Distribution of per-probe Jaccard overlap."""
+        return summarize(p.jaccard for p in self.probes)
+
+    def edit(self) -> MeanStd:
+        """Distribution of per-probe edit distance."""
+        return summarize(float(p.edit) for p in self.probes)
+
+    def by_category(self) -> Dict[str, MeanStd]:
+        """Mean edit distance per query category."""
+        grouped: Dict[str, List[float]] = {}
+        for probe in self.probes:
+            grouped.setdefault(probe.category, []).append(float(probe.edit))
+        return {category: summarize(vals) for category, vals in sorted(grouped.items())}
+
+    def most_changed_queries(self, count: int = 10) -> List[Tuple[str, float]]:
+        """Queries ranked by mean edit distance, largest first."""
+        grouped: Dict[str, List[float]] = {}
+        for probe in self.probes:
+            grouped.setdefault(probe.query, []).append(float(probe.edit))
+        ranked = sorted(
+            ((query, summarize(vals).mean) for query, vals in grouped.items()),
+            key=lambda pair: -pair[1],
+        )
+        return ranked[:count]
+
+    def render(self) -> str:
+        """A text summary of the diff."""
+        lines = [
+            f"dataset diff: {self.shared} shared probes "
+            f"({self.only_in_a} only in A, {self.only_in_b} only in B)",
+            f"identical pages: {self.identical_fraction:.1%}",
+            f"jaccard {self.jaccard()}   edit {self.edit()}",
+            "per category (mean edit):",
+        ]
+        for category, stats in self.by_category().items():
+            lines.append(f"  {category:13s} {stats.mean:.2f}")
+        lines.append("most changed queries:")
+        for query, mean_edit in self.most_changed_queries(5):
+            lines.append(f"  {query:24s} {mean_edit:.2f}")
+        return "\n".join(lines)
+
+
+def diff_datasets(dataset_a: SerpDataset, dataset_b: SerpDataset) -> DatasetDiff:
+    """Compare two datasets probe-by-probe.
+
+    Probes are matched on the full record key (query, granularity,
+    location, day, copy); unmatched probes are counted, not compared.
+    """
+    probes: List[ProbeDiff] = []
+    matched_keys = set()
+    for record in dataset_a:
+        twin = dataset_b.get(*record.key)
+        if twin is None:
+            continue
+        matched_keys.add(record.key)
+        probes.append(
+            ProbeDiff(
+                query=record.query,
+                category=record.category,
+                granularity=record.granularity,
+                location_name=record.location_name,
+                day=record.day,
+                copy_index=record.copy_index,
+                jaccard=jaccard_index(record.urls, twin.urls),
+                edit=edit_distance(record.urls, twin.urls),
+                rbo=rank_biased_overlap(record.urls, twin.urls),
+            )
+        )
+    only_in_a = len(dataset_a) - len(matched_keys)
+    only_in_b = len(dataset_b) - len(matched_keys)
+    return DatasetDiff(probes=probes, only_in_a=only_in_a, only_in_b=only_in_b)

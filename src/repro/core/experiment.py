@@ -1,0 +1,148 @@
+"""Study configuration (the experiment design of paper §2).
+
+A :class:`StudyConfig` captures every methodological decision the paper
+makes — and, importantly, lets each be *turned off* so the ablation
+benchmarks can show why it is there (unpinned DNS, kept cookies, a
+single crawl machine, no paired controls, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.engine.calibration import EngineCalibration
+from repro.engine.dialect import GOOGLE_LIKE, EngineDialect
+from repro.queries.corpus import build_corpus
+from repro.queries.model import Query
+
+__all__ = ["StudyConfig", "DEFAULT_STUDY_SEED"]
+
+#: Seed used by examples and benchmarks unless overridden.
+DEFAULT_STUDY_SEED = 20151028
+
+
+def _default_queries() -> List[Query]:
+    return list(build_corpus())
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything that defines one run of the study."""
+
+    seed: int = DEFAULT_STUDY_SEED
+    """Master seed: world, engine, location sampling, scheduling."""
+
+    queries: List[Query] = field(default_factory=_default_queries)
+    """The query corpus (paper: 240 terms)."""
+
+    days: int = 5
+    """Consecutive days each query block is repeated (paper: 5)."""
+
+    copies_per_location: int = 2
+    """Simultaneous identical browsers per location; copy 0 is the
+    treatment, copy 1 its control (paper sends two identical queries)."""
+
+    state_count: int = 22
+    county_count: int = 22
+    district_count: int = 15
+    """Location counts per granularity (paper: 22 / 22 / 15)."""
+
+    machine_count: int = 44
+    """Crawl machines in the /24 (paper: 44)."""
+
+    wait_between_queries_minutes: float = 11.0
+    """Lock-step round spacing — above the engine's 10-minute session
+    window (paper §2.2, noise control #3)."""
+
+    queries_per_day_block: int = 120
+    """Queries run per 5-day block (paper ran local+controversial for 5
+    days, then politicians for 5 days)."""
+
+    pin_datacenter: bool = True
+    """Statically map the search hostname to one datacenter (paper §2.2,
+    noise control #2).  Disabling it is an ablation."""
+
+    max_retries: int = 2
+    """Retries per query after a CAPTCHA, with escalating virtual-time
+    backoff.  A real crawl has to absorb occasional rate limiting; only
+    queries that fail every retry are recorded as failures."""
+
+    retry_backoff_minutes: float = 1.5
+    """Backoff before the first retry; doubles per attempt.  Kept well
+    under the lock-step round spacing so retried queries still land
+    inside their round."""
+
+    clear_cookies: bool = True
+    """Clear cookies after every query (paper §2.2, "Browser State")."""
+
+    calibration: EngineCalibration = field(default_factory=EngineCalibration)
+    """Engine tunables (ablations override these)."""
+
+    dialect: EngineDialect = GOOGLE_LIKE
+    """Which engine (hostname + HTML vocabulary) the study targets.
+
+    The paper's conclusion notes the methodology extends to other
+    engines; pass :data:`repro.engine.dialect.BINGO` (or a custom
+    dialect) to audit a different one."""
+
+    study_locations: Optional[object] = None
+    """Explicit :class:`~repro.geo.granularity.StudyLocations` override.
+
+    ``None`` selects the paper's US design (states / Ohio counties /
+    Cuyahoga districts) from the seed; supplying a value transplants
+    the study onto other geography — see
+    :func:`repro.geo.germany.germany_study_locations`."""
+
+    locator: Optional[object] = None
+    """Explicit :class:`~repro.geo.locate.RegionLocator` override
+    matching ``study_locations``; ``None`` means the US locator."""
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError("days must be positive")
+        if self.copies_per_location < 1:
+            raise ValueError("need at least one copy per location")
+        if self.machine_count < 1:
+            raise ValueError("need at least one machine")
+        if not self.queries:
+            raise ValueError("need at least one query")
+        if self.wait_between_queries_minutes <= 0:
+            raise ValueError("wait must be positive")
+        max_block = int(24 * 60 // self.wait_between_queries_minutes)
+        if self.queries_per_day_block > max_block:
+            raise ValueError(
+                f"{self.queries_per_day_block} queries at "
+                f"{self.wait_between_queries_minutes}-minute spacing do not "
+                f"fit in a day (max {max_block})"
+            )
+
+    def with_overrides(self, **kwargs) -> "StudyConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def small(
+        cls,
+        queries: Optional[List[Query]] = None,
+        *,
+        seed: int = DEFAULT_STUDY_SEED,
+        days: int = 2,
+        locations_per_granularity: int = 4,
+    ) -> "StudyConfig":
+        """A scaled-down configuration for tests and quick experiments.
+
+        Keeps the full methodology (paired controls, lock-step, pinned
+        DNS, cookie clearing) but shrinks the location sets, day count,
+        and optionally the corpus.
+        """
+        config = cls(
+            seed=seed,
+            days=days,
+            state_count=locations_per_granularity,
+            county_count=locations_per_granularity,
+            district_count=locations_per_granularity,
+        )
+        if queries is not None:
+            config = config.with_overrides(queries=list(queries))
+        return config

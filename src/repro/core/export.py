@@ -1,0 +1,100 @@
+"""Figure-data export: CSV / JSON for downstream plotting.
+
+The report layer renders text tables; real users also want the data in
+machine-readable form for their own plotting stacks.  Exports cover
+every figure, with one row per plotted point, and round-trip through
+the standard library's :mod:`csv` / :mod:`json`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.core.report import StudyReport
+
+__all__ = ["export_figure_csv", "export_figure_json", "export_all"]
+
+_FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def _rows_for(report: StudyReport, figure: str) -> List[dict]:
+    if figure == "fig2":
+        return report.fig2_rows()
+    if figure == "fig3":
+        return report.fig3_rows()
+    if figure == "fig4":
+        return report.fig4_rows()
+    if figure == "fig5":
+        return report.fig5_rows()
+    if figure == "fig6":
+        return report.fig6_rows()
+    if figure == "fig7":
+        return report.fig7_rows()
+    raise ValueError(f"unknown figure: {figure!r} (expected one of {_FIGURES})")
+
+
+def export_figure_csv(report: StudyReport, figure: str) -> str:
+    """One figure's data as CSV text (header + one row per point)."""
+    rows = _rows_for(report, figure)
+    if not rows:
+        raise ValueError(f"figure {figure!r} produced no rows")
+    # Union of keys across rows, first-row order first (fig3/fig6 rows
+    # may omit granularities missing from a partial dataset).
+    fieldnames: List[str] = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def export_figure_json(report: StudyReport, figure: str) -> str:
+    """One figure's data as a JSON array of row objects."""
+    return json.dumps(_rows_for(report, figure), indent=2, sort_keys=True)
+
+
+def export_all(report: StudyReport, directory, *, fmt: str = "csv") -> List[str]:
+    """Write every figure's data into ``directory``.
+
+    Args:
+        report: The report to export from.
+        directory: Target directory (created if missing).
+        fmt: ``"csv"`` or ``"json"``.
+
+    Returns:
+        The written file paths, as strings.
+    """
+    from pathlib import Path
+
+    if fmt not in ("csv", "json"):
+        raise ValueError(f"fmt must be 'csv' or 'json', got {fmt!r}")
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+    for figure in _FIGURES:
+        exporter = export_figure_csv if fmt == "csv" else export_figure_json
+        path = target / f"{figure}.{fmt}"
+        path.write_text(exporter(report, figure), encoding="utf-8")
+        written.append(str(path))
+    # Figure 8 is per-granularity series data; export as JSON always.
+    for granularity in report.granularities():
+        series = report.fig8_series(granularity)
+        payload: Dict[str, object] = {
+            "granularity": series.granularity,
+            "baseline": series.baseline,
+            "days": series.days,
+            "noise_floor": series.noise_floor,
+            "locations": series.per_location,
+        }
+        path = target / f"fig8_{granularity}.json"
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        written.append(str(path))
+    return written

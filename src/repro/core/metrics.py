@@ -1,0 +1,80 @@
+"""Comparison metrics for pages of search results (paper §2.3).
+
+Two metrics, exactly as the paper defines them:
+
+* **Jaccard index** over the *sets* of result URLs — 1 means the two
+  pages contain the same results (order ignored), 0 means no overlap.
+* **Edit distance** over the *sequences* of result URLs — "the number
+  of additions, deletions, and swaps necessary to make two lists
+  identical", i.e. Damerau–Levenshtein distance (optimal string
+  alignment variant, which counts a transposition as one operation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["jaccard_index", "damerau_levenshtein", "edit_distance"]
+
+
+def jaccard_index(a: Sequence[str], b: Sequence[str]) -> float:
+    """Jaccard index of the URL *sets* of two result pages.
+
+    Two empty pages are defined as identical (1.0), matching the
+    convention needed when type-filtering removes every result.
+
+    >>> jaccard_index(["x", "y"], ["y", "x"])
+    1.0
+    >>> jaccard_index(["x"], ["y"])
+    0.0
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    return len(set_a & set_b) / len(union)
+
+
+def damerau_levenshtein(a: Sequence[str], b: Sequence[str]) -> int:
+    """Damerau–Levenshtein distance between two result sequences.
+
+    Optimal string alignment: insertions, deletions, substitutions, and
+    adjacent transpositions each cost 1 (a transposition models two
+    results swapping places on the page).
+
+    >>> damerau_levenshtein(["a", "b", "c"], ["a", "c", "b"])
+    1
+    >>> damerau_levenshtein(["a", "b"], ["a", "b", "c"])
+    1
+    """
+    len_a, len_b = len(a), len(b)
+    if len_a == 0:
+        return len_b
+    if len_b == 0:
+        return len_a
+    # Classic O(n·m) DP with one extra diagonal for transpositions.
+    previous2 = [0] * (len_b + 1)
+    previous = list(range(len_b + 1))
+    for i in range(1, len_a + 1):
+        current = [i] + [0] * len_b
+        for j in range(1, len_b + 1):
+            substitution_cost = 0 if a[i - 1] == b[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + substitution_cost,  # substitution
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                current[j] = min(current[j], previous2[j - 2] + 1)  # transposition
+        previous2, previous = previous, current
+    return previous[len_b]
+
+
+def edit_distance(a: Sequence[str], b: Sequence[str]) -> int:
+    """Alias for :func:`damerau_levenshtein` (the paper's "edit distance")."""
+    return damerau_levenshtein(a, b)

@@ -1,0 +1,174 @@
+"""Page-depth experiment: does personalization persist beyond page 1?
+
+The paper parses only the first page of results ("we save the first
+page of search results"), where meta-cards live and users look.  A
+natural follow-up the library supports: request deeper pages via the
+frontend's pagination and measure location personalization per depth.
+
+In the simulated engine — as on a real one — the first page of a
+generic local query is dominated by nationally relevant sites with a
+few local results, while deeper pages drain the *local* candidate pool;
+so location differences do not fade with depth, they grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.browser import MobileBrowser, Network
+from repro.core.metrics import edit_distance, jaccard_index
+from repro.core.parser import parse_serp_html
+from repro.engine.calibration import EngineCalibration
+from repro.engine.datacenters import DatacenterCluster
+from repro.engine.frontend import SearchEngine
+from repro.geo.granularity import Granularity, select_study_locations
+from repro.net.dns import DNSResolver
+from repro.net.geoip import GeoIPDatabase
+from repro.net.machines import MachineFleet
+from repro.queries.corpus import build_corpus
+from repro.queries.model import Query, QueryCategory
+from repro.seeding import derive_seed
+from repro.stats.summaries import MeanStd, summarize
+
+__all__ = ["PageDepthCell", "PaginationResult", "run_pagination_experiment"]
+
+
+@dataclass(frozen=True)
+class PageDepthCell:
+    """Cross-location personalization at one page depth."""
+
+    page: int
+    jaccard: MeanStd
+    edit: MeanStd
+    mean_links: float
+
+
+@dataclass(frozen=True)
+class PaginationResult:
+    """The full depth sweep."""
+
+    cells: List[PageDepthCell]
+    location_count: int
+    query_count: int
+
+    def render(self) -> str:
+        """A text table of personalization vs page depth."""
+        lines = [
+            "Personalization by result-page depth (cross-location pairs)",
+            f"({self.query_count} local queries x {self.location_count} locations)",
+            f"{'page':>5s} {'links/page':>11s} {'jaccard':>8s} {'edit':>6s}",
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.page + 1:5d} {cell.mean_links:11.1f} "
+                f"{cell.jaccard.mean:8.3f} {cell.edit.mean:6.2f}"
+            )
+        if len(self.cells) >= 2 and self.cells[1].jaccard.mean < self.cells[0].jaccard.mean:
+            lines.append(
+                "deeper pages are MORE location-specific: the local candidate "
+                "pool drains below the fold."
+            )
+        return "\n".join(lines)
+
+
+def run_pagination_experiment(
+    seed: int,
+    *,
+    queries: Optional[List[Query]] = None,
+    pages: Sequence[int] = (0, 1),
+    location_count: int = 6,
+    calibration: Optional[EngineCalibration] = None,
+) -> PaginationResult:
+    """Measure cross-location differences at several page depths.
+
+    Args:
+        seed: Master seed (world, engine, location sample).
+        queries: Local queries to probe (default: 6 generic local terms).
+        pages: Zero-based page indexes to sweep.
+        location_count: State-granularity locations compared pairwise.
+        calibration: Engine tunables.
+    """
+    if not pages:
+        raise ValueError("need at least one page index")
+    if location_count < 2:
+        raise ValueError("need at least two locations")
+    if queries is None:
+        corpus = build_corpus()
+        queries = [
+            q for q in corpus.by_category(QueryCategory.LOCAL) if not q.is_brand
+        ][:6]
+    if not queries:
+        raise ValueError("need at least one query")
+    if calibration is None:
+        # Deeper pages need a deeper candidate fetch, like a real
+        # engine's larger retrieval window for start= offsets.
+        calibration = EngineCalibration(
+            poi_radius_miles=5.0, poi_candidate_limit=80
+        )
+
+    world_seed = derive_seed(seed, "world")
+    from repro.web.world import WebWorld
+
+    world = WebWorld(world_seed)
+    cluster = DatacenterCluster()
+    resolver = DNSResolver()
+    cluster.install_into(resolver)
+    resolver.pin(cluster.hostname, cluster[0].frontend_ip)
+    geoip = GeoIPDatabase()
+    fleet = MachineFleet.crawl_fleet(count=max(8, location_count))
+    geoip.register_fleet(fleet)
+    engine = SearchEngine(
+        world,
+        cluster,
+        geoip,
+        corpus=build_corpus(),
+        calibration=calibration or EngineCalibration(),
+        seed=derive_seed(seed, "engine"),
+    )
+    network = Network(resolver, engine)
+
+    locations = select_study_locations(seed, state_count=location_count).locations(
+        Granularity.NATIONAL
+    )
+    browsers: List[MobileBrowser] = []
+    for index, region in enumerate(locations):
+        browser = MobileBrowser(
+            f"pagination:{region.qualified_name}",
+            fleet[index % len(fleet)],
+            network,
+        )
+        browser.geolocation.set(region.center)
+        browsers.append(browser)
+
+    cells: List[PageDepthCell] = []
+    for page in sorted(pages):
+        jaccards: List[float] = []
+        edits: List[float] = []
+        link_counts: List[int] = []
+        for query_index, query in enumerate(queries):
+            timestamp = query_index * 11.0
+            page_urls: List[List[str]] = []
+            for browser in browsers:
+                crawl = browser.search(query.text, timestamp, page=page)
+                browser.clear_cookies()
+                if not crawl.ok:
+                    raise RuntimeError("pagination crawl was rate-limited")
+                urls = parse_serp_html(crawl.html).urls()
+                page_urls.append(urls)
+                link_counts.append(len(urls))
+            for i in range(len(page_urls)):
+                for j in range(i + 1, len(page_urls)):
+                    jaccards.append(jaccard_index(page_urls[i], page_urls[j]))
+                    edits.append(float(edit_distance(page_urls[i], page_urls[j])))
+        cells.append(
+            PageDepthCell(
+                page=page,
+                jaccard=summarize(jaccards),
+                edit=summarize(edits),
+                mean_links=summarize([float(c) for c in link_counts]).mean,
+            )
+        )
+    return PaginationResult(
+        cells=cells, location_count=len(locations), query_count=len(queries)
+    )

@@ -1,0 +1,237 @@
+"""Card-aware SERP parsing (paper §2.2, "Parsing").
+
+The crawler saves raw mobile HTML; this parser recovers the ranked link
+list the analyses operate on, following the paper's rule: *the first
+link of each normal card, every link of Maps and News cards* — yielding
+12–22 results per page.
+
+Built on :class:`html.parser.HTMLParser` (no external dependencies), it
+tracks card boundaries by ``class`` attributes and also extracts the
+footer metadata the engine reports (detected location, datacenter,
+day), which the paper's authors used to verify GPS spoofing worked.
+
+Parsing is *dialect-aware*: each engine has its own HTML vocabulary
+(:mod:`repro.engine.dialect`), and :func:`parse_serp_html` tries every
+registered dialect until one matches — the multi-engine extension the
+paper sketches in its conclusion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from html.parser import HTMLParser
+from typing import List, Optional
+
+from repro.engine.dialect import DIALECTS, EngineDialect
+from repro.geo.coords import LatLon
+
+__all__ = ["ResultType", "ParsedResult", "ParsedSerp", "parse_serp_html", "SerpParseError"]
+
+
+class SerpParseError(ValueError):
+    """Raised when a page is not a parsable SERP in any known dialect."""
+
+
+class ResultType(enum.Enum):
+    """Where on the page a result link came from."""
+
+    NORMAL = "normal"
+    MAPS = "maps"
+    NEWS = "news"
+
+
+@dataclass(frozen=True)
+class ParsedResult:
+    """One extracted result link."""
+
+    url: str
+    result_type: ResultType
+    rank: int  # 1-based position in reading order
+
+
+@dataclass(frozen=True)
+class ParsedSerp:
+    """A fully parsed result page."""
+
+    query: str
+    results: List[ParsedResult]
+    reported_location: Optional[LatLon]
+    datacenter: Optional[str]
+    day: Optional[int]
+    dialect: Optional[str] = None
+    page: int = 0
+    suggestions: tuple = ()
+    """Related-search suggestions extracted from the strip under the
+    results (a second personalization surface)."""
+
+    def urls(self, result_type: Optional[ResultType] = None) -> List[str]:
+        """Result URLs in rank order, optionally filtered by type."""
+        return [
+            r.url
+            for r in self.results
+            if result_type is None or r.result_type is result_type
+        ]
+
+    @property
+    def is_captcha(self) -> bool:
+        """Whether the page is a rate-limit interstitial (no results)."""
+        return not self.results and self.query == ""
+
+
+class _SerpHTMLParser(HTMLParser):
+    """Streaming extraction of cards, links, and footer metadata."""
+
+    def __init__(self, dialect: EngineDialect) -> None:
+        super().__init__(convert_charrefs=True)
+        self.dialect = dialect
+        self.results: List[ParsedResult] = []
+        self.query: str = ""
+        self.location: Optional[LatLon] = None
+        self.datacenter: Optional[str] = None
+        self.day: Optional[int] = None
+        self.page: int = 0
+        self.saw_results_div = False
+        self.saw_captcha = False
+        self._card_type: Optional[ResultType] = None
+        self._card_link_taken = False
+        self._in_location_note = False
+        self._location_text: List[str] = []
+        self._rank = 0
+        self.suggestions: List[str] = []
+        self._in_related_link = False
+        self._related_text: List[str] = []
+
+    # -- tag handling --------------------------------------------------------
+
+    def handle_starttag(self, tag, attrs) -> None:
+        attr_map = dict(attrs)
+        classes = (attr_map.get("class") or "").split()
+        dialect = self.dialect
+        if tag == "div":
+            if dialect.card_class in classes:
+                self._card_type = self._card_type_from_classes(classes)
+                self._card_link_taken = False
+            if attr_map.get("id") == dialect.results_container_id:
+                self.saw_results_div = True
+            if attr_map.get("id") == dialect.captcha_id:
+                self.saw_captcha = True
+        elif tag == "input" and attr_map.get("name") == dialect.query_input_name:
+            self.query = attr_map.get("value") or ""
+        elif tag == "a" and dialect.link_class in classes:
+            self._handle_result_link(attr_map.get("href"))
+        elif tag == "a" and dialect.related_item_class in classes:
+            self._in_related_link = True
+            self._related_text = []
+        elif tag == "span":
+            if dialect.location_note_class in classes:
+                self._in_location_note = True
+                self._location_text = []
+            elif dialect.datacenter_note_class in classes:
+                self.datacenter = attr_map.get("data-dc")
+            elif dialect.day_note_class in classes:
+                raw_day = attr_map.get("data-day")
+                if raw_day is not None and raw_day.lstrip("-").isdigit():
+                    self.day = int(raw_day)
+        elif tag == "nav" and "pagination" in classes:
+            raw_page = attr_map.get("data-page")
+            if raw_page is not None and raw_page.isdigit():
+                self.page = int(raw_page)
+
+    def handle_endtag(self, tag) -> None:
+        if tag == "span" and self._in_location_note:
+            self._in_location_note = False
+            self._parse_location_text("".join(self._location_text))
+        elif tag == "a" and self._in_related_link:
+            self._in_related_link = False
+            text = "".join(self._related_text).strip()
+            if text:
+                self.suggestions.append(text)
+
+    def handle_data(self, data) -> None:
+        if self._in_location_note:
+            self._location_text.append(data)
+        elif self._in_related_link:
+            self._related_text.append(data)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _card_type_from_classes(self, classes: List[str]) -> ResultType:
+        if self.dialect.maps_class in classes:
+            return ResultType.MAPS
+        if self.dialect.news_class in classes:
+            return ResultType.NEWS
+        return ResultType.NORMAL
+
+    def _handle_result_link(self, href: Optional[str]) -> None:
+        if href is None or self._card_type is None:
+            return
+        if self._card_type is ResultType.NORMAL and self._card_link_taken:
+            return  # paper's rule: first link only for normal cards
+        self._card_link_taken = True
+        self._rank += 1
+        self.results.append(
+            ParsedResult(url=href, result_type=self._card_type, rank=self._rank)
+        )
+
+    def _parse_location_text(self, text: str) -> None:
+        # Footer reads "Results for <lat>,<lon> - reported by your device".
+        for token in text.replace("Results for", "").split():
+            if "," in token:
+                lat_text, _, lon_text = token.partition(",")
+                try:
+                    self.location = LatLon(float(lat_text), float(lon_text))
+                    return
+                except ValueError:
+                    continue
+
+
+def _parse_with_dialect(html_text: str, dialect: EngineDialect) -> Optional[ParsedSerp]:
+    parser = _SerpHTMLParser(dialect)
+    parser.feed(html_text)
+    parser.close()
+    if parser.saw_captcha:
+        return ParsedSerp(
+            query="",
+            results=[],
+            reported_location=None,
+            datacenter=None,
+            day=None,
+            dialect=dialect.name,
+        )
+    if not parser.saw_results_div:
+        return None
+    return ParsedSerp(
+        query=parser.query,
+        results=parser.results,
+        reported_location=parser.location,
+        datacenter=parser.datacenter,
+        day=parser.day,
+        dialect=dialect.name,
+        page=parser.page,
+        suggestions=tuple(parser.suggestions),
+    )
+
+
+def parse_serp_html(
+    html_text: str, *, dialect: Optional[EngineDialect] = None
+) -> ParsedSerp:
+    """Parse one saved page of mobile search results.
+
+    Args:
+        html_text: The raw page the crawler saved.
+        dialect: Parse with one specific engine dialect; by default
+            every registered dialect is tried in order.
+
+    Raises:
+        SerpParseError: if the page is neither a SERP nor a recognised
+            CAPTCHA interstitial in any candidate dialect.
+    """
+    candidates = [dialect] if dialect is not None else DIALECTS
+    for candidate in candidates:
+        parsed = _parse_with_dialect(html_text, candidate)
+        if parsed is not None:
+            return parsed
+    raise SerpParseError(
+        "page matches no registered engine dialect and is not a CAPTCHA"
+    )

@@ -1,0 +1,158 @@
+"""Terminal plotting: ASCII bar charts and line series.
+
+The paper's figures are bar/line plots; this module renders the same
+shapes in a terminal so `repro-study report --chart` (and the examples)
+can show them without any plotting dependency.  Pure text, fixed-width,
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["BarChart", "LineChart"]
+
+_BAR_FILL = "█"
+_BAR_PARTIALS = " ▏▎▍▌▋▊▉"  # eighth blocks for sub-character precision
+_LINE_MARKS = "ox+*#@%&"
+
+
+def _format_value(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+@dataclass
+class BarChart:
+    """A horizontal bar chart with optional reference marks.
+
+    Each row is a labelled value; ``marks`` draw a ``|`` at a reference
+    position on a row (used for the noise floors of Fig. 5).
+    """
+
+    title: str
+    width: int = 48
+    rows: List[Tuple[str, float]] = field(default_factory=list)
+    marks: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, label: str, value: float, *, mark: Optional[float] = None) -> None:
+        """Append one bar; ``mark`` places a reference tick on the row."""
+        if value < 0:
+            raise ValueError(f"bars cannot be negative: {label}={value}")
+        self.rows.append((label, value))
+        if mark is not None:
+            self.marks[label] = mark
+
+    def render(self) -> str:
+        """The chart as fixed-width text."""
+        if not self.rows:
+            raise ValueError("cannot render an empty chart")
+        peak = max(
+            [value for _, value in self.rows]
+            + [mark for mark in self.marks.values()]
+        )
+        # Treat vanishingly small peaks as zero: dividing by a subnormal
+        # float would overflow the scale.
+        scale = (self.width / peak) if peak > 1e-9 else 0.0
+        label_width = max(len(label) for label, _ in self.rows)
+        lines = [self.title]
+        for label, value in self.rows:
+            cells = value * scale
+            whole = int(cells)
+            remainder = cells - whole
+            partial_index = int(remainder * 8)
+            bar = _BAR_FILL * whole
+            if partial_index and whole < self.width:
+                bar += _BAR_PARTIALS[partial_index]
+            bar = bar.ljust(self.width)
+            mark = self.marks.get(label)
+            if mark is not None and peak > 0:
+                position = min(self.width - 1, int(mark * scale))
+                bar = bar[:position] + "|" + bar[position + 1 :]
+            lines.append(f"{label.rjust(label_width)} {bar} {_format_value(value)}")
+        axis = " " * (label_width + 1) + "0" + " " * (self.width - 2) + _format_value(peak)
+        lines.append(axis)
+        return "\n".join(lines)
+
+
+@dataclass
+class LineChart:
+    """A multi-series line chart on a character canvas.
+
+    X positions are the series indexes (the study's days); one marker
+    per series, a legend underneath.
+    """
+
+    title: str
+    height: int = 12
+    width: int = 50
+    series: List[Tuple[str, List[float]]] = field(default_factory=list)
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        """Append one named series (all series must share a length)."""
+        values = list(values)
+        if not values:
+            raise ValueError(f"series {label!r} is empty")
+        if self.series and len(values) != len(self.series[0][1]):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points, expected "
+                f"{len(self.series[0][1])}"
+            )
+        self.series.append((label, values))
+
+    def render(self) -> str:
+        """The chart as fixed-width text."""
+        if not self.series:
+            raise ValueError("cannot render an empty chart")
+        peak = max(max(values) for _, values in self.series)
+        floor = min(min(values) for _, values in self.series)
+        if peak == floor:
+            peak = floor + 1.0
+        points = len(self.series[0][1])
+        canvas = [[" "] * self.width for _ in range(self.height)]
+
+        def x_of(index: int) -> int:
+            if points == 1:
+                return 0
+            return round(index * (self.width - 1) / (points - 1))
+
+        def y_of(value: float) -> int:
+            fraction = (value - floor) / (peak - floor)
+            return (self.height - 1) - round(fraction * (self.height - 1))
+
+        for series_index, (_, values) in enumerate(self.series):
+            marker = _LINE_MARKS[series_index % len(_LINE_MARKS)]
+            previous: Optional[Tuple[int, int]] = None
+            for index, value in enumerate(values):
+                x, y = x_of(index), y_of(value)
+                if previous is not None:
+                    # Simple interpolation between consecutive points.
+                    px, py = previous
+                    steps = max(abs(x - px), abs(y - py))
+                    for step in range(1, steps):
+                        ix = px + round(step * (x - px) / steps)
+                        iy = py + round(step * (y - py) / steps)
+                        if canvas[iy][ix] == " ":
+                            canvas[iy][ix] = "."
+                canvas[y][x] = marker
+                previous = (x, y)
+
+        lines = [self.title]
+        top_label = _format_value(peak)
+        bottom_label = _format_value(floor)
+        gutter = max(len(top_label), len(bottom_label))
+        for row_index, row in enumerate(canvas):
+            if row_index == 0:
+                prefix = top_label.rjust(gutter)
+            elif row_index == self.height - 1:
+                prefix = bottom_label.rjust(gutter)
+            else:
+                prefix = " " * gutter
+            lines.append(f"{prefix} |{''.join(row)}")
+        lines.append(" " * gutter + " +" + "-" * self.width)
+        legend = "   ".join(
+            f"{_LINE_MARKS[i % len(_LINE_MARKS)]} {label}"
+            for i, (label, _) in enumerate(self.series)
+        )
+        lines.append(" " * (gutter + 2) + legend)
+        return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Additional rank-comparison metrics.
+
+The paper uses Jaccard and edit distance (§2.3); its predecessor
+(Hannak et al., WWW'13 — "Measuring Personalization of Web Search")
+also used Kendall's tau, and the measurement literature has since
+standardised on Rank-Biased Overlap (Webber et al. 2010) for
+*indefinite* rankings like SERPs.  Both are provided so downstream
+audits can report top-weighted differences; the figure benchmarks stay
+on the paper's two metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["kendall_tau", "rank_biased_overlap", "top_k_overlap"]
+
+
+def kendall_tau(a: Sequence[str], b: Sequence[str]) -> float:
+    """Kendall's tau between two rankings of the same item set.
+
+    Only items present in *both* lists are compared (SERPs rarely hold
+    exactly the same set); tau is computed over the concordant and
+    discordant pairs of the shared items.  Returns 1.0 for identical
+    relative order, -1.0 for reversed, and 1.0 by convention when fewer
+    than two items are shared (no pair disagrees).
+    """
+    index_a: Dict[str, int] = {}
+    for position, item in enumerate(a):
+        index_a.setdefault(item, position)
+    index_b: Dict[str, int] = {}
+    for position, item in enumerate(b):
+        index_b.setdefault(item, position)
+    shared: List[str] = [item for item in index_a if item in index_b]
+    if len(shared) < 2:
+        return 1.0
+    concordant = 0
+    discordant = 0
+    for i in range(len(shared)):
+        for j in range(i + 1, len(shared)):
+            first, second = shared[i], shared[j]
+            order_a = index_a[first] - index_a[second]
+            order_b = index_b[first] - index_b[second]
+            if order_a * order_b > 0:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    return (concordant - discordant) / total
+
+
+def rank_biased_overlap(
+    a: Sequence[str], b: Sequence[str], *, p: float = 0.9
+) -> float:
+    """Rank-Biased Overlap of two (possibly non-conjoint) rankings.
+
+    The extrapolated RBO_ext of Webber, Moffat & Zobel (2010): agreement
+    at each depth is weighted by ``p**(d-1)``, so disagreements near the
+    top matter most.  ``p = 0.9`` weights roughly the first 10 ranks —
+    appropriate for a results page.
+
+    Returns a value in [0, 1]; 1.0 for identical rankings (two empty
+    rankings are identical by convention).
+
+    Raises:
+        ValueError: if ``p`` is outside (0, 1).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    # Deduplicate while preserving order (URLs are unique on real SERPs,
+    # but be safe).
+    list_a = list(dict.fromkeys(a))
+    list_b = list(dict.fromkeys(b))
+    if not list_a and not list_b:
+        return 1.0
+    if not list_a or not list_b:
+        return 0.0
+    shorter, longer = sorted((list_a, list_b), key=len)
+    s, l = len(shorter), len(longer)
+
+    seen_shorter: set = set()
+    seen_longer: set = set()
+    overlap = 0  # |intersection of prefixes|
+    summation = 0.0
+    for depth in range(1, l + 1):
+        if depth <= s:
+            item_s = shorter[depth - 1]
+            item_l = longer[depth - 1]
+            if item_s == item_l:
+                overlap += 1
+            else:
+                if item_s in seen_longer:
+                    overlap += 1
+                if item_l in seen_shorter:
+                    overlap += 1
+            seen_shorter.add(item_s)
+            seen_longer.add(item_l)
+        else:
+            item_l = longer[depth - 1]
+            if item_l in seen_shorter:
+                overlap += 1
+            seen_longer.add(item_l)
+        agreement = overlap / depth
+        summation += (p ** (depth - 1)) * agreement
+
+    x_l = overlap  # overlap at full depth l
+    x_s = len(set(shorter) & set(longer[:s]))
+    # Webber et al. eq. 32: extrapolate the tail assuming the agreement
+    # at depth l continues.
+    summation *= 1 - p
+    extrapolation = ((x_l - x_s) / l + x_s / s) * (p**l) if l else 0.0
+    result = summation + extrapolation
+    return max(0.0, min(1.0, result))
+
+
+def top_k_overlap(a: Sequence[str], b: Sequence[str], k: int = 3) -> float:
+    """Fraction of the top-``k`` results shared by two pages.
+
+    The coarse "did the above-the-fold results change?" metric.
+
+    Raises:
+        ValueError: if ``k`` is not positive.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    top_a = set(a[:k])
+    top_b = set(b[:k])
+    if not top_a and not top_b:
+        return 1.0
+    return len(top_a & top_b) / max(len(top_a), len(top_b))

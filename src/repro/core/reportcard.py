@@ -1,0 +1,166 @@
+"""One-shot markdown report generation.
+
+``generate_markdown`` turns a collected dataset into a self-contained
+markdown report — every figure table, the noise/personalization
+headlines, result-type attribution, consistency, and (optionally) the
+content-analysis and positional extensions — the artifact you attach to
+an audit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.datastore import SerpDataset
+from repro.core.parser import ResultType
+from repro.core.report import CATEGORY_ORDER, GRANULARITY_ORDER, StudyReport
+
+__all__ = ["generate_markdown"]
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def generate_markdown(
+    dataset: SerpDataset,
+    *,
+    title: str = "Location-personalization audit",
+    include_extensions: bool = True,
+) -> str:
+    """Render the full audit of ``dataset`` as markdown text."""
+    report = StudyReport(dataset)
+    analysis = report.personalization
+    granularities = report.granularities()
+    categories = report.categories()
+
+    sections: List[str] = [f"# {title}", ""]
+    sections.append(
+        f"Dataset: {len(dataset)} pages — {len(dataset.queries())} queries, "
+        f"{sum(len(dataset.locations(g)) for g in granularities)} locations, "
+        f"{len(dataset.days())} days, categories: {', '.join(categories)}."
+    )
+
+    # -- headline -------------------------------------------------------------
+    sections.append("\n## Headline: net personalization (edit ops above noise)\n")
+    rows = []
+    for category in categories:
+        row = [category]
+        for granularity in granularities:
+            row.append(f"{analysis.net_edit(category, granularity):.2f}")
+        rows.append(row)
+    sections.append(_md_table(["category"] + granularities, rows))
+
+    # -- noise -----------------------------------------------------------------
+    sections.append("\n## Noise (treatment vs control)\n")
+    rows = [
+        [
+            r["granularity"],
+            r["category"],
+            f"{r['jaccard_mean']:.3f}",
+            f"{r['edit_mean']:.2f} ± {r['edit_std']:.2f}",
+            str(r["pairs"]),
+        ]
+        for r in report.fig2_rows()
+    ]
+    sections.append(
+        _md_table(["granularity", "category", "jaccard", "edit", "n"], rows)
+    )
+
+    # -- personalization ----------------------------------------------------------
+    sections.append("\n## Personalization (all location pairs)\n")
+    rows = [
+        [
+            r["granularity"],
+            r["category"],
+            f"{r['jaccard_mean']:.3f}",
+            f"{r['edit_mean']:.2f}",
+            f"{r['noise_edit']:.2f}",
+        ]
+        for r in report.fig5_rows()
+    ]
+    sections.append(
+        _md_table(
+            ["granularity", "category", "jaccard", "edit", "noise floor"], rows
+        )
+    )
+
+    # -- attribution -----------------------------------------------------------------
+    sections.append("\n## Result-type attribution (edit components)\n")
+    rows = [
+        [
+            r["category"],
+            r["granularity"],
+            f"{r['maps']:.2f}",
+            f"{r['news']:.2f}",
+            f"{r['other']:.2f}",
+        ]
+        for r in report.fig7_rows()
+    ]
+    sections.append(_md_table(["category", "granularity", "maps", "news", "other"], rows))
+
+    # -- most personalized terms ---------------------------------------------------------
+    sections.append("\n## Most and least personalized terms (national)\n")
+    national = "national" if "national" in granularities else granularities[-1]
+    for category in categories:
+        cells = analysis.per_term(category, national)
+        ranked = sorted(cells.items(), key=lambda kv: -kv[1].edit.mean)
+        top = ", ".join(f"{t} ({c.edit.mean:.1f})" for t, c in ranked[:3])
+        bottom = ", ".join(f"{t} ({c.edit.mean:.1f})" for t, c in ranked[-3:])
+        sections.append(f"* **{category}** — most: {top}; least: {bottom}")
+
+    # -- consistency ----------------------------------------------------------------------
+    if len(dataset.days()) >= 2:
+        sections.append("\n## Consistency over days\n")
+        from repro.core.consistency import ConsistencyAnalysis
+
+        consistency = ConsistencyAnalysis(dataset)
+        for granularity in granularities:
+            stability = consistency.day_to_day_stability(granularity)
+            sections.append(
+                f"* {granularity}: max day-to-day movement "
+                f"{stability:.2f} edit ops"
+            )
+        groups = consistency.cluster_groups(granularities[0], margin=1.0)
+        if groups:
+            rendered = "; ".join(
+                "{" + ", ".join(n.split("/")[-1] for n in g) + "}" for g in groups
+            )
+            sections.append(f"* noise-floor clusters at {granularities[0]}: {rendered}")
+
+    # -- extensions ---------------------------------------------------------------------------
+    if include_extensions:
+        sections.append("\n## Extensions\n")
+        from repro.core.content import ContentAnalysis
+        from repro.core.positions import PositionalAnalysis
+
+        content = ContentAnalysis(dataset)
+        for category in categories:
+            try:
+                locality = content.locality_share(category)
+                sections.append(
+                    f"* locality share ({category}): {locality.mean:.3f}"
+                )
+            except ValueError:
+                pass
+        positions = PositionalAnalysis(dataset)
+        try:
+            split = positions.top_vs_bottom(categories[-1], national, split=4)
+            sections.append(
+                f"* positional volatility ({categories[-1]}, {national}): "
+                f"top-4 {split['top']:.2f} vs below {split['bottom']:.2f}"
+            )
+            overlap = positions.suggestion_overlap(categories[-1], national)
+            sections.append(
+                f"* suggestion-strip overlap ({categories[-1]}, {national}): "
+                f"{overlap.mean:.3f}"
+            )
+        except ValueError:
+            pass
+
+    sections.append("")
+    return "\n".join(sections)

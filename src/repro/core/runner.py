@@ -1,0 +1,249 @@
+"""Study orchestration: wiring the crawl and running it.
+
+:class:`Study` builds the whole apparatus — synthetic web, engine,
+datacenters, DNS (pinned or not), GeoIP, the 44-machine crawl fleet,
+one browser pair per location — then executes the paper's schedule:
+
+* queries are split into day-blocks (the paper ran the 120
+  local+controversial terms for 5 days, then the 120 politicians);
+* within a day, query rounds run in **lock step**: every location and
+  its control issue the same term at the same virtual minute;
+* rounds are spaced 11 minutes apart, above the engine's 10-minute
+  session window;
+* cookies are cleared after every query.
+
+The result is a :class:`SerpDataset` the analysis modules consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.browser import MobileBrowser, Network
+from repro.core.datastore import SerpDataset, SerpRecord
+from repro.core.experiment import StudyConfig
+from repro.core.parser import parse_serp_html
+from repro.engine.datacenters import DatacenterCluster
+from repro.engine.frontend import SearchEngine
+from repro.geo.granularity import Granularity, StudyLocations, select_study_locations
+from repro.geo.regions import Region
+from repro.net.dns import DNSResolver
+from repro.net.geoip import GeoIPDatabase
+from repro.net.machines import MachineFleet
+from repro.queries.corpus import QueryCorpus
+from repro.queries.model import Query
+from repro.seeding import derive_seed
+from repro.web.world import WebWorld
+
+__all__ = ["Study", "CrawlFailure"]
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class CrawlFailure:
+    """One query that did not return a result page (e.g. a CAPTCHA)."""
+
+    query: str
+    location_name: str
+    day: int
+    copy_index: int
+    reason: str
+
+
+@dataclass
+class CrawlStats:
+    """Counters for one study run."""
+
+    requests: int = 0
+    retries: int = 0
+    captchas: int = 0
+    pages: int = 0
+
+
+@dataclass
+class _Treatment:
+    """One (granularity, location, copy) vantage point and its browser."""
+
+    granularity: Granularity
+    region: Region
+    copy_index: int
+    browser: MobileBrowser
+
+
+class Study:
+    """A fully wired, runnable instance of the paper's experiment."""
+
+    def __init__(self, config: Optional[StudyConfig] = None):
+        self.config = config or StudyConfig()
+        seed = self.config.seed
+
+        if self.config.study_locations is not None:
+            self.locations: StudyLocations = self.config.study_locations
+        else:
+            self.locations = select_study_locations(
+                seed,
+                state_count=self.config.state_count,
+                county_count=self.config.county_count,
+                district_count=self.config.district_count,
+            )
+        self.world = WebWorld(derive_seed(seed, "world"), locator=self.config.locator)
+        self.cluster = DatacenterCluster(hostname=self.config.dialect.hostname)
+        self.resolver = DNSResolver()
+        self.cluster.install_into(self.resolver)
+        if self.config.pin_datacenter:
+            self.resolver.pin(self.cluster.hostname, self.cluster[0].frontend_ip)
+
+        self.geoip = GeoIPDatabase()
+        self.fleet = MachineFleet.crawl_fleet(count=self.config.machine_count)
+        self.geoip.register_fleet(self.fleet)
+
+        corpus = QueryCorpus(queries=list(self.config.queries))
+        self.engine = SearchEngine(
+            self.world,
+            self.cluster,
+            self.geoip,
+            corpus=corpus,
+            calibration=self.config.calibration,
+            seed=derive_seed(seed, "engine", self.config.dialect.name),
+            dialect=self.config.dialect,
+        )
+        self.network = Network(self.resolver, self.engine)
+        self.treatments = self._build_treatments()
+        self.failures: List[CrawlFailure] = []
+        self.stats = CrawlStats()
+
+    # -- construction ----------------------------------------------------------
+
+    def _build_treatments(self) -> List[_Treatment]:
+        treatments: List[_Treatment] = []
+        browser_index = 0
+        for granularity in Granularity.order():
+            for region in self.locations.locations(granularity):
+                for copy_index in range(self.config.copies_per_location):
+                    machine = self.fleet[browser_index % len(self.fleet)]
+                    browser = MobileBrowser(
+                        browser_id=(
+                            f"{granularity.value}:{region.qualified_name}:c{copy_index}"
+                        ),
+                        machine=machine,
+                        network=self.network,
+                    )
+                    browser.geolocation.set(region.center)
+                    treatments.append(
+                        _Treatment(
+                            granularity=granularity,
+                            region=region,
+                            copy_index=copy_index,
+                            browser=browser,
+                        )
+                    )
+                    browser_index += 1
+        return treatments
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, *, sink=None) -> SerpDataset:
+        """Execute the full schedule and return the collected dataset.
+
+        Args:
+            sink: Optional callable receiving each :class:`SerpRecord`
+                as it is collected (e.g.
+                :meth:`~repro.core.datastore.IncrementalWriter.write`),
+                so long crawls persist as they go.
+        """
+        dataset = SerpDataset()
+        self._sink = sink
+        blocks = self._query_blocks()
+        for block_index, block in enumerate(blocks):
+            first_day = block_index * self.config.days
+            for day_offset in range(self.config.days):
+                absolute_day = first_day + day_offset
+                for round_index, query in enumerate(block):
+                    timestamp = (
+                        absolute_day * MINUTES_PER_DAY
+                        + round_index * self.config.wait_between_queries_minutes
+                    )
+                    self._run_round(dataset, query, day_offset, timestamp)
+        self._sink = None
+        return dataset
+
+    def _query_blocks(self) -> List[List[Query]]:
+        block_size = self.config.queries_per_day_block
+        queries = list(self.config.queries)
+        return [queries[i : i + block_size] for i in range(0, len(queries), block_size)]
+
+    def _run_round(
+        self,
+        dataset: SerpDataset,
+        query: Query,
+        day_offset: int,
+        timestamp: float,
+    ) -> None:
+        """One lock-step round: every treatment runs ``query`` at once."""
+        for treatment in self.treatments:
+            crawl = self._search_with_retries(treatment, query.text, timestamp)
+            if self.config.clear_cookies:
+                treatment.browser.clear_cookies()
+            if crawl is None:
+                self.failures.append(
+                    CrawlFailure(
+                        query=query.text,
+                        location_name=treatment.region.qualified_name,
+                        day=day_offset,
+                        copy_index=treatment.copy_index,
+                        reason="rate-limited",
+                    )
+                )
+                continue
+            parsed = parse_serp_html(crawl.html)
+            self.stats.pages += 1
+            record = SerpRecord.from_parsed(
+                parsed,
+                category=query.category.value,
+                granularity=treatment.granularity.value,
+                location_name=treatment.region.qualified_name,
+                day=day_offset,
+                copy_index=treatment.copy_index,
+            )
+            dataset.add(record)
+            if getattr(self, "_sink", None) is not None:
+                self._sink(record)
+
+    def _search_with_retries(self, treatment: _Treatment, query_text: str, timestamp: float):
+        """Issue one query, retrying after CAPTCHAs with backoff.
+
+        Returns the successful crawl result, or ``None`` after
+        exhausting retries.
+        """
+        backoff = self.config.retry_backoff_minutes
+        attempt_time = timestamp
+        for attempt in range(self.config.max_retries + 1):
+            self.stats.requests += 1
+            if attempt > 0:
+                self.stats.retries += 1
+            crawl = treatment.browser.search(query_text, attempt_time)
+            if crawl.ok:
+                return crawl
+            self.stats.captchas += 1
+            attempt_time += backoff
+            backoff *= 2
+        return None
+
+    # -- conveniences --------------------------------------------------------------
+
+    def regions_by_name(self) -> Dict[str, Region]:
+        """Qualified name → region, over all study locations."""
+        return {
+            region.qualified_name: region for region in self.locations.all_locations()
+        }
+
+    def run_single_query(
+        self, query: Query, *, day: int = 0
+    ) -> List[Tuple[str, int, SerpRecord]]:
+        """Run one query across all treatments (for examples/debugging)."""
+        dataset = SerpDataset()
+        timestamp = float(day * MINUTES_PER_DAY)
+        self._run_round(dataset, query, day, timestamp)
+        return [(r.location_name, r.copy_index, r) for r in dataset]

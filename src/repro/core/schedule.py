@@ -1,0 +1,164 @@
+"""Crawl-schedule feasibility: is the fleet big enough for lock-step?
+
+The paper's design commits to hard timing: every vantage point issues
+the same query at the same moment (lock-step), rounds are 11 minutes
+apart, and no machine may trip the engine's per-IP rate limit.  Whether
+that is *feasible* depends on fleet size, per-request duration, and the
+treatment count — exactly the arithmetic that led the authors to 44
+machines.
+
+:func:`simulate_crawl_schedule` walks the same schedule
+:class:`~repro.core.runner.Study` executes and models each request
+occupying its machine for a real-world duration, reporting per-machine
+load, round span (how far the "simultaneous" round actually smears),
+rate-limit headroom, and any violations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.experiment import StudyConfig
+
+__all__ = ["MachineLoad", "ScheduleReport", "simulate_crawl_schedule"]
+
+
+@dataclass(frozen=True)
+class MachineLoad:
+    """One machine's share of a lock-step round."""
+
+    machine_index: int
+    browsers: int
+    round_seconds: float  # serial time to issue its browsers' requests
+    requests_per_minute: float
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Feasibility analysis of one study configuration."""
+
+    treatments: int
+    machines: int
+    rounds_per_day: int
+    total_requests: int
+    crawl_days: int
+    round_span_seconds: float
+    """How long the busiest machine needs per round — the lock-step
+    'simultaneity' smear."""
+
+    peak_requests_per_minute: float
+    rate_limit: int
+    violations: List[str]
+
+    @property
+    def feasible(self) -> bool:
+        """No violations: the schedule runs as designed."""
+        return not self.violations
+
+    def render(self) -> str:
+        """A text summary of the feasibility analysis."""
+        lines = [
+            "crawl-schedule feasibility",
+            f"  treatments/round:    {self.treatments}",
+            f"  machines:            {self.machines}",
+            f"  rounds/day:          {self.rounds_per_day}",
+            f"  total requests:      {self.total_requests}",
+            f"  crawl length:        {self.crawl_days} days",
+            f"  round span:          {self.round_span_seconds:.0f}s "
+            "(lock-step smear on the busiest machine)",
+            f"  peak per-IP rate:    {self.peak_requests_per_minute:.1f}/min "
+            f"(limit {self.rate_limit}/min)",
+        ]
+        if self.violations:
+            lines.append("  VIOLATIONS:")
+            lines.extend(f"    - {violation}" for violation in self.violations)
+        else:
+            lines.append("  feasible: yes")
+        return "\n".join(lines)
+
+
+def simulate_crawl_schedule(
+    config: StudyConfig,
+    *,
+    request_duration_seconds: float = 6.0,
+    max_round_span_seconds: float = 60.0,
+) -> ScheduleReport:
+    """Analyse whether ``config``'s schedule is executable.
+
+    Args:
+        config: The study design to analyse.
+        request_duration_seconds: Wall time one PhantomJS-style request
+            occupies its machine (page load + render + save).
+        max_round_span_seconds: How much lock-step smear is tolerable
+            before "same moment in time" stops being credible.
+    """
+    if request_duration_seconds <= 0:
+        raise ValueError("request_duration_seconds must be positive")
+    locations = (
+        config.state_count + config.county_count + config.district_count
+        if config.study_locations is None
+        else config.study_locations.total()
+    )
+    treatments = locations * config.copies_per_location
+    machines = config.machine_count
+
+    per_machine = [
+        MachineLoad(
+            machine_index=index,
+            browsers=browsers,
+            round_seconds=browsers * request_duration_seconds,
+            requests_per_minute=browsers
+            * max(1.0, 60.0 / (config.wait_between_queries_minutes * 60.0))
+            if config.wait_between_queries_minutes < 1
+            else browsers / config.wait_between_queries_minutes,
+        )
+        for index, browsers in enumerate(_split(treatments, machines))
+    ]
+    round_span = max(load.round_seconds for load in per_machine)
+    busiest = max(load.browsers for load in per_machine)
+    # All of a machine's requests for one round land within the span —
+    # the peak per-minute rate the engine's limiter sees.
+    peak_rate = busiest / max(1.0, round_span / 60.0)
+
+    blocks = math.ceil(len(config.queries) / config.queries_per_day_block)
+    rounds_per_day = min(len(config.queries), config.queries_per_day_block)
+    crawl_days = blocks * config.days
+    total_requests = len(config.queries) * treatments * config.days
+
+    violations: List[str] = []
+    if round_span > max_round_span_seconds:
+        violations.append(
+            f"lock-step round smears over {round_span:.0f}s on the busiest "
+            f"machine (max {max_round_span_seconds:.0f}s) — add machines"
+        )
+    rate_limit = config.calibration.ratelimit_max_per_minute
+    if peak_rate > rate_limit:
+        violations.append(
+            f"peak per-IP rate {peak_rate:.1f}/min exceeds the engine's "
+            f"{rate_limit}/min budget — requests will hit CAPTCHAs"
+        )
+    if round_span > config.wait_between_queries_minutes * 60.0:
+        violations.append(
+            "a round takes longer than the inter-round wait — the schedule "
+            "falls behind immediately"
+        )
+    return ScheduleReport(
+        treatments=treatments,
+        machines=machines,
+        rounds_per_day=rounds_per_day,
+        total_requests=total_requests,
+        crawl_days=crawl_days,
+        round_span_seconds=round_span,
+        peak_requests_per_minute=peak_rate,
+        rate_limit=rate_limit,
+        violations=violations,
+    )
+
+
+def _split(total: int, buckets: int) -> List[int]:
+    """Distribute ``total`` items round-robin over ``buckets``."""
+    base = total // buckets
+    remainder = total % buckets
+    return [base + (1 if index < remainder else 0) for index in range(buckets)]

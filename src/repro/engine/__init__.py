@@ -1,0 +1,41 @@
+"""The simulated search engine.
+
+A card-based mobile search frontend with the behaviours the paper
+measures on Google:
+
+* **GPS-first geolocation** — a request's spoofed Geolocation-API fix
+  wins over the IP-derived location (validated in paper §2.2);
+* **grid-snapped local retrieval** — local candidates are fetched
+  around the user's quantised position (this produces the county-level
+  result clustering of Fig. 8);
+* **location-keyed reordering** of nationally relevant results;
+* **Maps / News meta-cards** with probabilistic and day-driven gates;
+* **A/B-bucket score jitter** and per-datacenter index skew (the noise
+  the paper's paired-control methodology quantifies);
+* **session personalization** over a 10-minute window (the confound the
+  crawler's 11-minute waits and cookie clearing remove);
+* **per-IP rate limiting** (why the crawl needed 44 machines).
+"""
+
+from repro.engine.calibration import EngineCalibration
+from repro.engine.datacenters import Datacenter, DatacenterCluster, SEARCH_HOSTNAME
+from repro.engine.frontend import SearchEngine
+from repro.engine.ratelimit import RateLimiter
+from repro.engine.request import SearchRequest, SearchResponse
+from repro.engine.serp import CardType, SerpCard, SerpPage
+from repro.engine.sessions import SessionStore
+
+__all__ = [
+    "EngineCalibration",
+    "Datacenter",
+    "DatacenterCluster",
+    "SEARCH_HOSTNAME",
+    "SearchEngine",
+    "RateLimiter",
+    "SearchRequest",
+    "SearchResponse",
+    "CardType",
+    "SerpCard",
+    "SerpPage",
+    "SessionStore",
+]

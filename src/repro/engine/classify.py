@@ -1,0 +1,85 @@
+"""Engine-side query understanding.
+
+The engine must decide what a raw query string *is* — a local-intent
+query, a person, an issue — before it can pick candidate generators and
+card policies.  Known corpus terms resolve exactly; unknown strings fall
+back to intent heuristics (local-category vocabulary → local; two
+capitalised tokens → person; otherwise issue/informational).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.queries.corpus import QueryCorpus
+from repro.queries.local import LOCAL_BRAND_TERMS
+from repro.queries.model import PoliticianScope, Query, QueryCategory
+from repro.web.pois import CATEGORY_SPECS
+from repro.web.urls import slugify
+
+__all__ = ["QueryClassifier"]
+
+#: Establishment nouns outside the study's 33-term corpus that still
+#: carry obvious local intent (keeps the heuristic useful for
+#: user-supplied query lists).
+_LOCAL_INTENT_EXTRAS = {
+    "pharmacy", "library", "gym", "grocery", "grocery-store", "supermarket",
+    "laundromat", "dentist", "doctor", "veterinarian", "gas-station",
+    "barber", "salon", "bakery", "pizza", "diner", "motel", "hotel",
+    "church", "mosque", "synagogue", "dmv", "courthouse", "city-hall",
+    "playground", "pool", "stadium", "theater", "cinema", "museum", "zoo",
+    "daycare", "urgent-care", "clinic", "atm", "car-wash", "mechanic",
+    "hardware-store", "bookstore", "florist", "pet-store",
+}
+
+#: Words that mark a two-token capitalised query as an *issue*, not a
+#: person ("Net Neutrality", "Gun Control", "Gay Marriage").
+_ISSUE_WORDS = {
+    "neutrality", "wage", "control", "marriage", "tax", "reform",
+    "rights", "policy", "act", "party", "care", "health", "energy",
+    "power", "research", "warming", "drilling", "abortion", "vouchers",
+    "security", "immigration", "surveillance", "amendment", "penalty",
+    "punishment", "pipeline", "spending", "shutdown", "ceiling",
+    "loopholes", "subsidies", "jobs", "laws", "finance", "college",
+    "schools", "prisons", "drugs", "net", "gun", "gay", "death",
+    "minimum", "global", "climate", "border", "voter", "campaign",
+}
+
+
+class QueryClassifier:
+    """Maps raw query text to an annotated :class:`Query`."""
+
+    def __init__(self, corpus: Optional[QueryCorpus] = None):
+        self.corpus = corpus
+        self._brand_slugs = {slugify(term) for term in LOCAL_BRAND_TERMS}
+
+    def classify(self, text: str) -> Query:
+        """Resolve ``text`` to a :class:`Query` (never raises on unknowns)."""
+        stripped = text.strip()
+        if not stripped:
+            raise ValueError("cannot classify an empty query")
+        if self.corpus is not None:
+            known = self.corpus.get(stripped)
+            if known is not None:
+                return known
+        return self._heuristic(stripped)
+
+    def _heuristic(self, text: str) -> Query:
+        slug = slugify(text)
+        if slug in self._brand_slugs:
+            return Query(text=text, category=QueryCategory.LOCAL, is_brand=True)
+        if slug in CATEGORY_SPECS or slug in _LOCAL_INTENT_EXTRAS:
+            return Query(text=text, category=QueryCategory.LOCAL, is_brand=False)
+        tokens = text.split()
+        if (
+            len(tokens) == 2
+            and all(t[:1].isupper() and t.isalpha() for t in tokens)
+            and not any(t.lower() in _ISSUE_WORDS for t in tokens)
+        ):
+            return Query(
+                text=text,
+                category=QueryCategory.POLITICIAN,
+                politician_scope=PoliticianScope.NATIONAL,
+                is_common_name=False,
+            )
+        return Query(text=text, category=QueryCategory.CONTROVERSIAL)

@@ -1,0 +1,80 @@
+"""Datacenters and the search service's DNS footprint.
+
+Google serves search from many datacenters whose indexes drift slightly
+out of sync; hitting different ones between paired queries is a noise
+source.  The paper pins the frontend hostname to one datacenter via a
+static DNS mapping (§2.2).  Here a :class:`DatacenterCluster` owns the
+frontend IPs and the per-datacenter *index skew* identity the ranking
+layer keys its drift on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net.dns import DNSRecord, DNSResolver
+from repro.net.ip import IPv4Address
+
+__all__ = ["SEARCH_HOSTNAME", "Datacenter", "DatacenterCluster"]
+
+#: The search frontend's DNS name (the paper statically mapped
+#: google.com's equivalent).
+SEARCH_HOSTNAME = "search.example.com"
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """One serving site."""
+
+    name: str
+    frontend_ip: IPv4Address
+
+
+class DatacenterCluster:
+    """The set of datacenters behind one search service's hostname."""
+
+    def __init__(
+        self,
+        count: int = 6,
+        base_ip: str = "198.51.100.0",
+        hostname: str = SEARCH_HOSTNAME,
+    ):
+        if count <= 0:
+            raise ValueError(f"need at least one datacenter, got {count}")
+        self.hostname = hostname
+        base = IPv4Address.parse(base_ip)
+        self._datacenters: List[Datacenter] = [
+            Datacenter(name=f"dc{i:02d}", frontend_ip=base + (i + 1))
+            for i in range(count)
+        ]
+        self._by_ip: Dict[IPv4Address, Datacenter] = {
+            dc.frontend_ip: dc for dc in self._datacenters
+        }
+
+    def __len__(self) -> int:
+        return len(self._datacenters)
+
+    def __iter__(self):
+        return iter(self._datacenters)
+
+    def __getitem__(self, index: int) -> Datacenter:
+        return self._datacenters[index]
+
+    def by_ip(self, ip: IPv4Address) -> Datacenter:
+        """The datacenter owning a frontend IP."""
+        try:
+            return self._by_ip[ip]
+        except KeyError:
+            raise KeyError(f"no datacenter serves {ip}") from None
+
+    def dns_record(self) -> DNSRecord:
+        """The A record set for the search hostname."""
+        return DNSRecord(
+            name=self.hostname,
+            addresses=[dc.frontend_ip for dc in self._datacenters],
+        )
+
+    def install_into(self, resolver: DNSResolver) -> None:
+        """Register the search hostname in a resolver."""
+        resolver.add_record(self.dns_record())

@@ -1,0 +1,119 @@
+"""Engine dialects: markup and hostname differences between engines.
+
+The paper notes its methodology "could easily be applied to other
+search engines like Bing" (§1).  What actually differs between engines,
+from the crawler's point of view, is the *dialect*: the DNS name, and
+the HTML vocabulary the parser must understand.  A
+:class:`EngineDialect` captures exactly that surface, so one parser
+(with a dialect registry) and one renderer serve any number of engines.
+
+Two dialects ship:
+
+* ``GOOGLE_LIKE`` — the card-based mobile layout of the paper (Fig. 1);
+* ``BINGO`` — a Bing-flavoured layout with different class names,
+  container ids, and hostname.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["EngineDialect", "GOOGLE_LIKE", "BINGO", "DIALECTS", "register_dialect"]
+
+
+@dataclass(frozen=True)
+class EngineDialect:
+    """The crawler-visible surface of one search engine.
+
+    Attributes mirror the selectors a scraper would maintain per
+    engine.  All values are class names / ids except ``hostname`` and
+    ``query_input_name``.
+    """
+
+    name: str
+    hostname: str
+    results_container_id: str
+    card_class: str
+    organic_class: str
+    maps_class: str
+    news_class: str
+    link_class: str
+    maps_item_class: str
+    news_item_class: str
+    location_note_class: str
+    datacenter_note_class: str
+    day_note_class: str
+    query_input_name: str
+    captcha_id: str
+    maps_heading: str
+    news_heading: str
+    related_class: str
+    related_item_class: str
+    knowledge_class: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dialect needs a name")
+        if "." not in self.hostname:
+            raise ValueError(f"implausible hostname: {self.hostname!r}")
+
+
+GOOGLE_LIKE = EngineDialect(
+    name="google-like",
+    hostname="search.example.com",
+    results_container_id="rso",
+    card_class="card",
+    organic_class="card-organic",
+    maps_class="card-maps",
+    news_class="card-news",
+    link_class="result-link",
+    maps_item_class="map-place",
+    news_item_class="news-item",
+    location_note_class="location-note",
+    datacenter_note_class="dc-note",
+    day_note_class="day-note",
+    query_input_name="q",
+    captcha_id="captcha",
+    maps_heading="Places",
+    news_heading="In the news",
+    related_class="related-searches",
+    related_item_class="related-link",
+    knowledge_class="card-knowledge",
+)
+
+BINGO = EngineDialect(
+    name="bingo",
+    hostname="www.bingo.example.net",
+    results_container_id="b_results",
+    card_class="b_algo",
+    organic_class="b_web",
+    maps_class="b_localpack",
+    news_class="b_newsstrip",
+    link_class="b_title",
+    maps_item_class="b_place",
+    news_item_class="b_story",
+    location_note_class="b_geo",
+    datacenter_note_class="b_edge",
+    day_note_class="b_date",
+    query_input_name="qs",
+    captcha_id="b_captcha",
+    maps_heading="Local results",
+    news_heading="News about this",
+    related_class="b_rs",
+    related_item_class="b_rs_link",
+    knowledge_class="b_entity",
+)
+
+#: Registry the parser consults, in priority order.
+DIALECTS: List[EngineDialect] = [GOOGLE_LIKE, BINGO]
+
+_BY_NAME: Dict[str, EngineDialect] = {d.name: d for d in DIALECTS}
+
+
+def register_dialect(dialect: EngineDialect) -> None:
+    """Add a user-defined dialect to the parser registry."""
+    if dialect.name in _BY_NAME:
+        raise ValueError(f"dialect already registered: {dialect.name!r}")
+    DIALECTS.append(dialect)
+    _BY_NAME[dialect.name] = dialect

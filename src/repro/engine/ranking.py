@@ -1,0 +1,312 @@
+"""The ranking layer: candidates → scored results → a card page.
+
+Score composition per document::
+
+    score = base_score
+          + geo decay        (POIs: per-mile penalty; ambiguity entities:
+                              slow country-scale decay)
+          + location keying  (nationally scoped docs get a deterministic
+                              per-(doc, state) and per-(doc, metro)
+                              offset — the reordering personalization)
+          + A/B jitter       (per-(bucket, doc); the bucket is hashed
+                              from the request nonce — the noise)
+          + datacenter skew  (per-(datacenter, doc) index drift)
+          + session boost    (docs matching a recent query's topic)
+
+Meta-cards are attached after organic ranking: a Maps card (gated per
+request — presence flicker is the paper's dominant Maps noise) and a
+News card (gated per (topic, day) — stable within a day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.engine.calibration import EngineCalibration
+from repro.engine.serp import CardType, SerpCard, SerpPage
+from repro.geo.coords import LatLon, haversine_miles
+from repro.queries.model import Query, QueryCategory
+from repro.seeding import stable_unit
+from repro.web.documents import DocKind, Document, GeoScope
+from repro.web.grid import GeoGrid
+from repro.web.world import WebWorld
+
+__all__ = ["RankingContext", "Ranker"]
+
+
+def _centered(*parts) -> float:
+    """A deterministic value in (-1, 1) from a seed path."""
+    return (stable_unit(*parts) - 0.5) * 2.0
+
+
+@dataclass(frozen=True)
+class RankingContext:
+    """Request-derived inputs the ranking depends on."""
+
+    location: LatLon
+    day: int
+    datacenter: str
+    bucket: int
+    nonce: int
+    session_slugs: tuple = ()
+    session_queries: tuple = ()  # classified recent queries (history blending)
+    page: int = 0  # zero-based result page
+
+
+class Ranker:
+    """Scoring and page assembly over a :class:`WebWorld`.
+
+    Caches the *request-independent* part of every candidate's score
+    (base + geo decay + location keying) per (query, snapped position);
+    only the per-request terms (A/B jitter, datacenter skew, session
+    boost) are computed per call.  This makes the 140k-request full
+    study tractable without changing any ranking semantics.
+    """
+
+    def __init__(self, world: WebWorld, calibration: EngineCalibration, seed: int):
+        self.world = world
+        self.calibration = calibration
+        self.seed = seed
+        self._snap_grid = GeoGrid(calibration.snap_cell_miles)
+        self._static_pools: dict = {}
+        self._state_cache: dict = {}
+        self._maps_cache: dict = {}
+        self._news_cache: dict = {}
+
+    # -- public -------------------------------------------------------------
+
+    def build_page(self, query: Query, ctx: RankingContext) -> SerpPage:
+        """Rank candidates and assemble the card page for one request."""
+        cal = self.calibration
+        snapped = self._snap_grid.snap(ctx.location) if cal.snap_to_grid else ctx.location
+        state = self._nearest_state(snapped)
+        metro = self.world.metro_grid.cell_of(snapped)
+
+        pool = self._static_pool(query, snapped, state, metro)
+        if ctx.session_queries:
+            pool = pool + self._history_entries(query, pool, ctx)
+        scored = sorted(
+            pool,
+            key=lambda entry: (
+                -(entry[1] + self._dynamic_score(entry[0], ctx)),
+                entry[0].identity,
+            ),
+        )
+        window_start = ctx.page * cal.organic_slots
+        organic = [
+            doc for doc, _ in scored[window_start : window_start + cal.organic_slots]
+        ]
+
+        cards: List[SerpCard] = [
+            SerpCard(card_type=CardType.ORGANIC, documents=[doc]) for doc in organic
+        ]
+        # Meta-cards belong to the first page only, as on real frontends.
+        if ctx.page == 0:
+            knowledge_card = self._knowledge_card(query)
+            if knowledge_card is not None:
+                cards.insert(0, knowledge_card)
+            maps_card = self._maps_card(query, snapped, ctx)
+            if maps_card is not None:
+                cards.insert(min(cal.maps_insert_rank, len(cards)), maps_card)
+            news_card = self._news_card(query, state, ctx)
+            if news_card is not None:
+                cards.insert(min(cal.news_insert_rank, len(cards)), news_card)
+
+        from repro.engine.suggestions import related_searches
+
+        return SerpPage(
+            query_text=query.text,
+            cards=cards,
+            reported_location=ctx.location,
+            datacenter=ctx.datacenter,
+            day=ctx.day,
+            page=ctx.page,
+            suggestions=tuple(
+                related_searches(query, state, metro, seed=self.seed)
+            ),
+        )
+
+    # -- candidates and static scoring ----------------------------------------
+
+    def _nearest_state(self, snapped: LatLon) -> str:
+        state = self._state_cache.get(snapped)
+        if state is None:
+            state = self.world.locator.nearest_region(snapped)
+            self._state_cache[snapped] = state
+        return state
+
+    def _static_pool(self, query: Query, snapped: LatLon, state: str, metro) -> List[tuple]:
+        """Candidates with their request-independent scores, memoised."""
+        key = (query.key, snapped)
+        pool = self._static_pools.get(key)
+        if pool is not None:
+            return pool
+        cal = self.calibration
+        candidates = list(self.world.universal_candidates(query))
+        candidates.extend(self.world.state_candidates(query, state))
+        candidates.extend(self.world.city_candidates(query, metro))
+        candidates.extend(self.world.ambiguity_candidates(query))
+        candidates.extend(
+            self.world.poi_candidates(
+                query,
+                snapped,
+                radius_miles=cal.poi_radius_miles,
+                limit=cal.poi_candidate_limit,
+            )
+        )
+        # Deduplicate by URL, keeping the best-scoring instance: two
+        # nearby POIs can legitimately share a canonical URL (e.g. the
+        # same business straddling a cell boundary), and an index serves
+        # one entry per URL.
+        best: dict = {}
+        for doc in candidates:
+            score = self._static_score(doc, query, snapped, state, metro)
+            existing = best.get(doc.identity)
+            if existing is None or score > existing[1]:
+                best[doc.identity] = (doc, score)
+        pool = list(best.values())
+        self._static_pools[key] = pool
+        return pool
+
+    def _static_score(
+        self, doc: Document, query: Query, snapped: LatLon, state: str, metro
+    ) -> float:
+        cal = self.calibration
+        score = doc.base_score
+        url = doc.identity
+        if cal.index_bias:
+            # This engine's crawl/scoring idiosyncrasy for the document.
+            score += cal.index_bias * _centered("index-bias", self.seed, url)
+        if doc.scope is GeoScope.POINT:
+            assert doc.anchor is not None
+            if doc.kind is DocKind.LOCAL_BUSINESS:
+                distance = self.world.grid.distance_miles(snapped, doc.anchor)
+                score -= cal.poi_distance_penalty_per_mile * distance
+            else:
+                distance = haversine_miles(snapped, doc.anchor)
+                score -= cal.ambiguity_decay_per_mile * distance
+        elif doc.scope is GeoScope.NATIONAL:
+            amp_state, amp_metro = self._perturb_amplitudes(query)
+            score += amp_state * _centered("state-perturb", self.seed, url, state)
+            score += amp_metro * _centered(
+                "metro-perturb", self.seed, url, metro.ix, metro.iy
+            )
+        return score
+
+    def _history_entries(
+        self, query: Query, pool: List[tuple], ctx: RankingContext
+    ) -> List[tuple]:
+        """Candidates blended in from the session's recent searches.
+
+        The engine surfaces a few top results of recently issued queries
+        (discounted, plus the session boost) — the 10-minute carryover
+        personalization the paper's 11-minute waits are designed to
+        dodge.
+        """
+        cal = self.calibration
+        existing = {doc.identity for doc, _ in pool}
+        entries: List[tuple] = []
+        for recent in ctx.session_queries:
+            if recent.key == query.key:
+                continue
+            for doc in self.world.universal_candidates(recent)[:2]:
+                if doc.identity in existing:
+                    continue
+                existing.add(doc.identity)
+                entries.append((doc, doc.base_score * 0.7 + cal.session_boost))
+        return entries
+
+    def _dynamic_score(self, doc: Document, ctx: RankingContext) -> float:
+        """The per-request score terms: jitter, datacenter skew, session."""
+        cal = self.calibration
+        url = doc.identity
+        jitter_amp = (
+            cal.ab_jitter_local
+            if doc.scope in (GeoScope.POINT, GeoScope.CITY)
+            else cal.ab_jitter_national
+        )
+        score = jitter_amp * _centered("ab-jitter", self.seed, ctx.bucket, url)
+        score += cal.datacenter_skew * _centered("dc-skew", self.seed, ctx.datacenter, url)
+        if ctx.session_slugs and any(slug in url for slug in ctx.session_slugs):
+            score += cal.session_boost
+        return score
+
+    def _perturb_amplitudes(self, query: Query) -> tuple:
+        cal = self.calibration
+        if query.category is QueryCategory.LOCAL:
+            if query.is_brand:
+                return (cal.state_perturb_local_brand, cal.metro_perturb_local_brand)
+            return (cal.state_perturb_local_generic, cal.metro_perturb_local_generic)
+        if query.category is QueryCategory.CONTROVERSIAL:
+            from repro.web.entities import BROAD_CONTROVERSIAL_TERMS
+
+            amp_state = (
+                cal.state_perturb_controversial_broad
+                if query.text.lower() in BROAD_CONTROVERSIAL_TERMS
+                else cal.state_perturb_controversial
+            )
+            return (amp_state, cal.metro_perturb_controversial)
+        return (cal.state_perturb_politician, cal.metro_perturb_politician)
+
+    # -- meta-cards ----------------------------------------------------------
+
+    def _knowledge_card(self, query: Query) -> Optional[SerpCard]:
+        """An entity panel for unambiguous named entities.
+
+        Politicians get a panel unless their name is shared by other
+        people (the engine cannot pick an entity for "Bill Johnson" —
+        the same ambiguity that drives their residual personalization);
+        brand queries get the chain's panel.  The panel links the
+        entity's official site, so the parser extracts it as a normal
+        first-link card.
+        """
+        if query.category is QueryCategory.POLITICIAN and not query.is_common_name:
+            official = self.world.universal_candidates(query)[0]
+            return SerpCard(card_type=CardType.KNOWLEDGE, documents=[official])
+        if query.category is QueryCategory.LOCAL and query.is_brand:
+            homepage = self.world.universal_candidates(query)[0]
+            return SerpCard(card_type=CardType.KNOWLEDGE, documents=[homepage])
+        return None
+
+    def _maps_card(
+        self, query: Query, snapped: LatLon, ctx: RankingContext
+    ) -> Optional[SerpCard]:
+        cal = self.calibration
+        if query.category is not QueryCategory.LOCAL:
+            return None
+        probability = cal.maps_prob_brand if query.is_brand else cal.maps_prob_generic
+        gate = stable_unit("maps-gate", self.seed, query.key, ctx.nonce)
+        if gate >= probability:
+            return None
+        cache_key = (query.key, snapped)
+        places = self._maps_cache.get(cache_key)
+        if places is None:
+            places = self.world.maps_places(query, snapped, cal.maps_card_size)
+            self._maps_cache[cache_key] = places
+        if not places:
+            return None
+        return SerpCard(card_type=CardType.MAPS, documents=places)
+
+    def _news_card(
+        self, query: Query, state: str, ctx: RankingContext
+    ) -> Optional[SerpCard]:
+        cal = self.calibration
+        if query.category is QueryCategory.CONTROVERSIAL:
+            threshold = cal.news_threshold_controversial
+        elif query.category is QueryCategory.POLITICIAN:
+            threshold = cal.news_threshold_politician
+        else:
+            return None
+        if not self.world.news.has_news_card(
+            query.text, ctx.day, affinity_threshold=threshold
+        ):
+            return None
+        cache_key = (query.key, ctx.day, state)
+        articles = self._news_cache.get(cache_key)
+        if articles is None:
+            articles = self.world.news_articles(query, ctx.day, state, cal.news_card_size)
+            self._news_cache[cache_key] = articles
+        if not articles:
+            return None
+        return SerpCard(card_type=CardType.NEWS, documents=articles)

@@ -1,0 +1,50 @@
+"""Per-IP rate limiting.
+
+The paper distributed its query load over 44 machines in a /24 "to
+avoid being rate-limited by Google".  The engine enforces a rolling
+per-minute budget per source IP; exceeding it returns a CAPTCHA
+interstitial instead of results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict
+
+from repro.net.ip import IPv4Address
+
+__all__ = ["RateLimiter"]
+
+
+@dataclass
+class RateLimiter:
+    """A rolling-window request counter per client IP."""
+
+    max_per_minute: int = 20
+    window_minutes: float = 1.0
+    _history: Dict[IPv4Address, Deque[float]] = field(default_factory=dict)
+
+    def allow(self, ip: IPv4Address, timestamp_minutes: float) -> bool:
+        """Record a request and report whether it is admitted.
+
+        Requests are admitted while fewer than ``max_per_minute``
+        requests from ``ip`` fall inside the rolling window; a rejected
+        request still counts toward the window (hammering a blocked IP
+        keeps it blocked).
+        """
+        window = self._history.setdefault(ip, deque())
+        cutoff = timestamp_minutes - self.window_minutes
+        while window and window[0] <= cutoff:
+            window.popleft()
+        admitted = len(window) < self.max_per_minute
+        window.append(timestamp_minutes)
+        return admitted
+
+    def outstanding(self, ip: IPv4Address, timestamp_minutes: float) -> int:
+        """Requests currently inside the window for ``ip``."""
+        window = self._history.get(ip)
+        if not window:
+            return 0
+        cutoff = timestamp_minutes - self.window_minutes
+        return sum(1 for t in window if t > cutoff)

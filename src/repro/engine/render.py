@@ -1,0 +1,130 @@
+"""Mobile SERP HTML rendering.
+
+The measurement pipeline parses *HTML*, exactly like the paper's
+PhantomJS crawler parsed Google's mobile pages — the engine's internal
+page structure is never handed to the analysis directly.  The markup
+mimics the card layout of paper Fig. 1, including the footer line that
+reports the user's detected location (which the authors used to verify
+their GPS spoofing worked).
+
+Rendering is parameterised by an :class:`~repro.engine.dialect.EngineDialect`,
+so a second engine ("Bingo") emits structurally equivalent pages in a
+different HTML vocabulary — which the dialect-aware parser must detect,
+just as a real multi-engine crawler maintains per-engine selectors.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional
+
+from repro.engine.dialect import GOOGLE_LIKE, EngineDialect
+from repro.engine.serp import CardType, SerpCard, SerpPage
+
+__all__ = ["render_page", "render_captcha"]
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{query} - Search</title>
+</head>
+<body>
+<div id="sbox"><form action="/search"><input name="{query_input}" value="{query}"></form></div>
+<div id="{container_id}">
+{cards}
+</div>
+<div class="{related_class}">{related}</div>
+<footer>
+  <span class="{location_class}">Results for <b class="loc">{lat:.5f},{lon:.5f}</b> - reported by your device</span>
+  <span class="{dc_class}" data-dc="{datacenter}"></span>
+  <span class="{day_class}" data-day="{day}"></span>
+  <nav class="pagination" data-page="{page}"><a href="/search?{query_input}={query}&start={next_start}">Next</a></nav>
+</footer>
+</body>
+</html>
+"""
+
+
+def _render_card(card: SerpCard, index: int, dialect: EngineDialect) -> str:
+    if card.card_type is CardType.ORGANIC:
+        doc = card.documents[0]
+        return (
+            f'<div class="{dialect.card_class} {dialect.organic_class}" data-rank="{index}">'
+            f'<a class="{dialect.link_class}" href="{html.escape(str(doc.url), quote=True)}">'
+            f"{html.escape(doc.title)}</a>"
+            f"<cite>{html.escape(doc.url.host)}</cite>"
+            f"</div>"
+        )
+    if card.card_type is CardType.KNOWLEDGE:
+        doc = card.documents[0]
+        return (
+            f'<div class="{dialect.card_class} {dialect.knowledge_class}" data-rank="{index}">'
+            f"<h2>{html.escape(doc.title)}</h2>"
+            f'<a class="{dialect.link_class}" href="{html.escape(str(doc.url), quote=True)}">'
+            f"{html.escape(doc.url.host)}</a>"
+            f"<dl><dt>Source</dt><dd>{html.escape(doc.url.host)}</dd></dl>"
+            f"</div>"
+        )
+    if card.card_type is CardType.MAPS:
+        css = dialect.maps_class
+        heading = dialect.maps_heading
+        item_css = dialect.maps_item_class
+    else:
+        css = dialect.news_class
+        heading = dialect.news_heading
+        item_css = dialect.news_item_class
+    items = "".join(
+        f'<div class="{item_css}">'
+        f'<a class="{dialect.link_class}" href="{html.escape(str(doc.url), quote=True)}">'
+        f"{html.escape(doc.title)}</a>"
+        f"</div>"
+        for doc in card.documents
+    )
+    return (
+        f'<div class="{dialect.card_class} {css}" data-rank="{index}">'
+        f"<h3>{heading}</h3>{items}</div>"
+    )
+
+
+def render_page(page: SerpPage, dialect: Optional[EngineDialect] = None) -> str:
+    """Render a :class:`SerpPage` to the mobile HTML the crawler saves."""
+    dialect = dialect or GOOGLE_LIKE
+    cards = "\n".join(
+        _render_card(card, index + 1, dialect)
+        for index, card in enumerate(page.cards)
+    )
+    related = "".join(
+        f'<a class="{dialect.related_item_class}" '
+        f'href="/search?{dialect.query_input_name}={html.escape(s, quote=True)}">'
+        f"{html.escape(s)}</a>"
+        for s in page.suggestions
+    )
+    return _PAGE_TEMPLATE.format(
+        query=html.escape(page.query_text, quote=True),
+        query_input=dialect.query_input_name,
+        container_id=dialect.results_container_id,
+        cards=cards,
+        related_class=dialect.related_class,
+        related=related,
+        lat=page.reported_location.lat,
+        lon=page.reported_location.lon,
+        location_class=dialect.location_note_class,
+        dc_class=dialect.datacenter_note_class,
+        day_class=dialect.day_note_class,
+        datacenter=html.escape(page.datacenter, quote=True),
+        day=page.day,
+        page=page.page,
+        next_start=(page.page + 1) * max(1, page.card_count(CardType.ORGANIC)),
+    )
+
+
+def render_captcha(query_text: str, dialect: Optional[EngineDialect] = None) -> str:
+    """The interstitial served to rate-limited clients."""
+    dialect = dialect or GOOGLE_LIKE
+    return (
+        "<!DOCTYPE html><html><head><title>Unusual traffic</title></head>"
+        f"<body><div id='{dialect.captcha_id}'>Our systems have detected unusual "
+        f"traffic from your computer network. Query: {html.escape(query_text)}</div>"
+        "</body></html>"
+    )

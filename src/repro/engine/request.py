@@ -1,0 +1,82 @@
+"""Search request / response models.
+
+The engine's contract mirrors what a real mobile search frontend sees:
+a query string, the client IP the TCP connection came from, an optional
+Geolocation-API fix (possibly spoofed), cookies, a user agent, and which
+frontend (datacenter) IP the request reached after DNS resolution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geo.coords import LatLon
+from repro.net.ip import IPv4Address
+
+__all__ = ["SearchRequest", "SearchResponse", "ResponseStatus"]
+
+
+class ResponseStatus(enum.Enum):
+    """Outcome of a search request."""
+
+    OK = 200
+    RATE_LIMITED = 429
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One query hitting the search frontend.
+
+    Attributes:
+        query_text: The raw query string.
+        client_ip: Source IP of the request.
+        frontend_ip: The datacenter frontend IP the request reached
+            (decided by DNS resolution on the client side).
+        timestamp_minutes: Virtual time in minutes since the study epoch.
+        gps: Geolocation-API fix, if the page obtained one (spoofable).
+        cookie_id: Stable cookie identifier, or ``None`` if cookies are
+            cleared/blocked.
+        user_agent: Browser User-Agent string.
+        nonce: Unique per-request entropy (connection/event identity);
+            drives the A/B bucket assignment and per-request card gates.
+        page: Zero-based result-page index (the ``start=`` parameter of
+            a real frontend).  The study uses page 0, like the paper;
+            the pagination experiment requests deeper pages.
+    """
+
+    query_text: str
+    client_ip: IPv4Address
+    frontend_ip: IPv4Address
+    timestamp_minutes: float
+    gps: Optional[LatLon] = None
+    cookie_id: Optional[str] = None
+    user_agent: str = "Mozilla/5.0"
+    nonce: int = 0
+    page: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.query_text.strip():
+            raise ValueError("query_text must be non-empty")
+        if self.timestamp_minutes < 0:
+            raise ValueError("timestamp_minutes must be non-negative")
+        if self.page < 0:
+            raise ValueError("page must be non-negative")
+
+    @property
+    def day(self) -> int:
+        """Virtual day index of the request."""
+        return int(self.timestamp_minutes // (24 * 60))
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """What the frontend returns: rendered HTML plus a status."""
+
+    status: ResponseStatus
+    html: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResponseStatus.OK

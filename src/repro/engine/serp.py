@@ -1,0 +1,95 @@
+"""SERP structure: cards and pages.
+
+The mobile frontend renders results as *cards* (paper Fig. 1).  Normal
+cards carry one result; Maps and News meta-cards carry several.  The
+paper's parser extracts the first link of each normal card and every
+link of each meta-card, yielding 12–22 links per page.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.geo.coords import LatLon
+from repro.web.documents import Document
+
+__all__ = ["CardType", "SerpCard", "SerpPage"]
+
+
+class CardType(enum.Enum):
+    """The card flavours the renderer emits.
+
+    The paper's parser distinguishes only normal/Maps/News; a
+    ``KNOWLEDGE`` entity panel (paper Fig. 1 shows such cards) renders
+    with its own class but parses as a normal card — its first link is
+    extracted like any other, which is exactly how the original study
+    treated panels it did not special-case.
+    """
+
+    ORGANIC = "organic"
+    MAPS = "maps"
+    NEWS = "news"
+    KNOWLEDGE = "knowledge"
+
+
+@dataclass(frozen=True)
+class SerpCard:
+    """One card on the page."""
+
+    card_type: CardType
+    documents: List[Document]
+
+    def __post_init__(self) -> None:
+        if not self.documents:
+            raise ValueError("a card must carry at least one document")
+        if (
+            self.card_type in (CardType.ORGANIC, CardType.KNOWLEDGE)
+            and len(self.documents) != 1
+        ):
+            raise ValueError(
+                f"{self.card_type.value} cards carry exactly one document"
+            )
+
+
+@dataclass(frozen=True)
+class SerpPage:
+    """A full page of search results.
+
+    Attributes:
+        query_text: The query the page answers.
+        cards: Cards in display order.
+        reported_location: The location the engine personalised for —
+            rendered in the page footer, which is how the paper's
+            authors manually verified GPS spoofing worked.
+        datacenter: Name of the datacenter that served the page.
+        day: Virtual day the page was served.
+        page: Zero-based result-page index (0 = first page, the paper's
+            scope; meta-cards appear only here).
+    """
+
+    query_text: str
+    cards: List[SerpCard]
+    reported_location: LatLon
+    datacenter: str
+    day: int
+    page: int = 0
+    suggestions: tuple = ()
+    """Related-search suggestions shown under the results."""
+
+    def links(self) -> List[str]:
+        """Every link on the page, in reading order (pre-parser truth).
+
+        Used by engine-level tests; the measurement pipeline gets its
+        links from the HTML parser instead.
+        """
+        urls: List[str] = []
+        for card in self.cards:
+            for doc in card.documents:
+                urls.append(str(doc.url))
+        return urls
+
+    def card_count(self, card_type: CardType) -> int:
+        """Number of cards of one type."""
+        return sum(1 for c in self.cards if c.card_type is card_type)

@@ -1,0 +1,91 @@
+"""Cookie-keyed session state: the 10-minute personalization window.
+
+Prior work found Google personalizes on searches made within the last
+10 minutes (paper §2.2, noise control #3).  The engine reproduces this:
+for a cookie seen recently, documents topically matching a recent query
+get a score boost, and the session *remembers the last location* — two
+confounds the paper's methodology removes by clearing cookies after
+every query and waiting 11 minutes between queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.geo.coords import LatLon
+from repro.web.urls import slugify
+
+__all__ = ["SessionStore"]
+
+
+@dataclass
+class _SessionEntry:
+    recent: List[Tuple[float, str]] = field(default_factory=list)  # (time, query slug)
+    last_location: Optional[LatLon] = None
+    last_seen_minutes: float = 0.0
+
+
+@dataclass
+class SessionStore:
+    """Per-cookie search history with a sliding relevance window."""
+
+    window_minutes: float = 10.0
+    _sessions: Dict[str, _SessionEntry] = field(default_factory=dict)
+
+    def record(
+        self,
+        cookie_id: str,
+        query_text: str,
+        timestamp_minutes: float,
+        location: Optional[LatLon],
+    ) -> None:
+        """Record a completed search for a cookie."""
+        entry = self._sessions.setdefault(cookie_id, _SessionEntry())
+        entry.recent.append((timestamp_minutes, slugify(query_text)))
+        entry.last_seen_minutes = timestamp_minutes
+        if location is not None:
+            entry.last_location = location
+        self._prune(entry, timestamp_minutes)
+
+    def recent_query_slugs(self, cookie_id: Optional[str], now_minutes: float) -> List[str]:
+        """Slugs of the cookie's searches inside the window."""
+        if cookie_id is None:
+            return []
+        entry = self._sessions.get(cookie_id)
+        if entry is None:
+            return []
+        self._prune(entry, now_minutes)
+        return [slug for _, slug in entry.recent]
+
+    def remembered_location(
+        self, cookie_id: Optional[str], now_minutes: float
+    ) -> Optional[LatLon]:
+        """The location the session remembers, if still fresh.
+
+        Location memory outlives the 10-minute topical window a little
+        (3x), modelling the "remembering a treatment's prior location"
+        effect the paper clears cookies to avoid.
+        """
+        if cookie_id is None:
+            return None
+        entry = self._sessions.get(cookie_id)
+        if entry is None:
+            return None
+        if now_minutes - entry.last_seen_minutes > 3 * self.window_minutes:
+            return None
+        return entry.last_location
+
+    def clear(self, cookie_id: str) -> None:
+        """Forget one cookie entirely (what clearing cookies causes)."""
+        self._sessions.pop(cookie_id, None)
+
+    def _prune(self, entry: _SessionEntry, now_minutes: float) -> None:
+        entry.recent = [
+            (t, slug)
+            for t, slug in entry.recent
+            if now_minutes - t <= self.window_minutes
+        ]
+
+    def __len__(self) -> int:
+        return len(self._sessions)

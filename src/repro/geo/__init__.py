@@ -1,0 +1,53 @@
+"""Geographic substrate: coordinates, regions, study locations, demographics.
+
+The paper compares search results collected at three granularities —
+voting districts inside Cuyahoga County (~1 mile apart), county centroids
+inside Ohio (~100 miles apart), and centroids of US states.  This package
+provides those location sets, the coordinate math used throughout the
+engine and the analyses, and per-region demographic feature vectors used
+by the demographics-correlation experiment (paper §3.2).
+"""
+
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    KM_PER_MILE,
+    LatLon,
+    centroid,
+    destination,
+    haversine_km,
+    haversine_miles,
+)
+from repro.geo.cuyahoga import CUYAHOGA_CENTER, cuyahoga_voting_districts
+from repro.geo.demographics import (
+    DEMOGRAPHIC_FEATURES,
+    DemographicProfile,
+    demographic_profile,
+)
+from repro.geo.granularity import Granularity, StudyLocations, select_study_locations
+from repro.geo.ohio import OHIO_COUNTIES, ohio_county_regions
+from repro.geo.regions import Region, RegionKind
+from repro.geo.usa import US_STATES, us_state_regions
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "KM_PER_MILE",
+    "LatLon",
+    "centroid",
+    "destination",
+    "haversine_km",
+    "haversine_miles",
+    "CUYAHOGA_CENTER",
+    "cuyahoga_voting_districts",
+    "DEMOGRAPHIC_FEATURES",
+    "DemographicProfile",
+    "demographic_profile",
+    "Granularity",
+    "StudyLocations",
+    "select_study_locations",
+    "OHIO_COUNTIES",
+    "ohio_county_regions",
+    "Region",
+    "RegionKind",
+    "US_STATES",
+    "us_state_regions",
+]

@@ -1,0 +1,124 @@
+"""Latitude/longitude coordinates and great-circle geometry.
+
+All distance math in the reproduction goes through this module so that
+the engine's geo-ranker, the location pickers, and the analysis code
+agree on a single distance definition (haversine on a spherical Earth —
+accurate to ~0.5% which is far below anything the study depends on).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "KM_PER_MILE",
+    "LatLon",
+    "haversine_km",
+    "haversine_miles",
+    "destination",
+    "centroid",
+]
+
+EARTH_RADIUS_KM = 6371.0088
+KM_PER_MILE = 1.609344
+
+
+@dataclass(frozen=True, order=True)
+class LatLon:
+    """A WGS84-style latitude/longitude pair in decimal degrees.
+
+    Instances are immutable and hashable so they can key caches (the
+    engine memoises candidate pools per snapped coordinate).
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "LatLon") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+    def distance_miles(self, other: "LatLon") -> float:
+        """Great-circle distance to ``other`` in statute miles."""
+        return haversine_miles(self, other)
+
+    def offset(self, bearing_deg: float, distance_km: float) -> "LatLon":
+        """The point ``distance_km`` away along ``bearing_deg``."""
+        return destination(self, bearing_deg, distance_km)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.lat:.5f}, {self.lon:.5f})"
+
+
+def haversine_km(a: LatLon, b: LatLon) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def haversine_miles(a: LatLon, b: LatLon) -> float:
+    """Great-circle distance between two points in statute miles."""
+    return haversine_km(a, b) / KM_PER_MILE
+
+
+def destination(origin: LatLon, bearing_deg: float, distance_km: float) -> LatLon:
+    """The destination point from ``origin`` along a great circle.
+
+    Used to synthesise voting-district grids and to scatter POIs around a
+    region centroid.
+    """
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    angular = distance_km / EARTH_RADIUS_KM
+    bearing = math.radians(bearing_deg)
+    lat1 = math.radians(origin.lat)
+    lon1 = math.radians(origin.lon)
+    lat2 = math.asin(
+        math.sin(lat1) * math.cos(angular) + math.cos(lat1) * math.sin(angular) * math.cos(bearing)
+    )
+    lon2 = lon1 + math.atan2(
+        math.sin(bearing) * math.sin(angular) * math.cos(lat1),
+        math.cos(angular) - math.sin(lat1) * math.sin(lat2),
+    )
+    # Normalise longitude to [-180, 180).
+    lon2_deg = (math.degrees(lon2) + 540.0) % 360.0 - 180.0
+    return LatLon(math.degrees(lat2), lon2_deg)
+
+
+def centroid(points: Iterable[LatLon]) -> LatLon:
+    """The (spherical) centroid of a set of points.
+
+    Computed by averaging the unit vectors of each point, which behaves
+    correctly across the antimeridian — unlike naive lat/lon averaging.
+    """
+    pts: Sequence[LatLon] = list(points)
+    if not pts:
+        raise ValueError("centroid of empty point set is undefined")
+    x = y = z = 0.0
+    for p in pts:
+        lat = math.radians(p.lat)
+        lon = math.radians(p.lon)
+        x += math.cos(lat) * math.cos(lon)
+        y += math.cos(lat) * math.sin(lon)
+        z += math.sin(lat)
+    n = len(pts)
+    x, y, z = x / n, y / n, z / n
+    norm = math.sqrt(x * x + y * y + z * z)
+    if norm < 1e-12:
+        raise ValueError("centroid is undefined for antipodal point sets")
+    lat = math.asin(z / norm)
+    lon = math.atan2(y, x)
+    return LatLon(math.degrees(lat), math.degrees(lon))

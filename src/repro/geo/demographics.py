@@ -1,0 +1,137 @@
+"""Per-region demographic feature vectors.
+
+Paper §3.2 ("Demographics") correlates 25 demographic features —
+population density, poverty, educational attainment, ethnic composition,
+English fluency, income, etc. — against the pairwise similarity of
+county-level search results, and finds *no* correlation.  Census data is
+not available offline, so profiles are synthesised deterministically per
+region with realistic ranges and internal consistency constraints
+(e.g. ethnic shares sum to 1, poverty anticorrelates with income).
+
+The *independence* finding survives the substitution by construction:
+the engine's geo-ranker never reads these features, so any correlation
+the analysis finds would be spurious — exactly the null the paper tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.geo.regions import Region
+from repro.seeding import derive_rng
+
+__all__ = ["DEMOGRAPHIC_FEATURES", "DemographicProfile", "demographic_profile"]
+
+#: The 25 demographic features examined in paper §3.2.
+DEMOGRAPHIC_FEATURES: List[str] = [
+    "population",
+    "population_density",
+    "median_age",
+    "median_income",
+    "mean_income",
+    "poverty_rate",
+    "unemployment_rate",
+    "high_school_attainment",
+    "bachelors_attainment",
+    "graduate_attainment",
+    "white_share",
+    "black_share",
+    "hispanic_share",
+    "asian_share",
+    "other_ethnicity_share",
+    "english_fluency",
+    "foreign_born_share",
+    "homeownership_rate",
+    "median_home_value",
+    "median_rent",
+    "commute_minutes",
+    "households",
+    "household_size",
+    "veteran_share",
+    "internet_access_rate",
+]
+
+_GEOGRAPHY_SEED = 20151028
+
+
+@dataclass(frozen=True)
+class DemographicProfile:
+    """A 25-feature demographic vector for one region."""
+
+    region_name: str
+    features: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        missing = set(DEMOGRAPHIC_FEATURES) - set(self.features)
+        if missing:
+            raise ValueError(f"profile missing features: {sorted(missing)}")
+
+    def __getitem__(self, feature: str) -> float:
+        return self.features[feature]
+
+    def vector(self) -> List[float]:
+        """Feature values in the canonical :data:`DEMOGRAPHIC_FEATURES` order."""
+        return [self.features[name] for name in DEMOGRAPHIC_FEATURES]
+
+
+def demographic_profile(region: Region) -> DemographicProfile:
+    """Synthesise the demographic profile of ``region``.
+
+    Deterministic per region (keyed by qualified name), with realistic
+    ranges and the internal constraints described in the module docstring.
+    """
+    rng = derive_rng(_GEOGRAPHY_SEED, "demographics", region.qualified_name)
+
+    population = rng.lognormvariate(11.0, 1.1)  # ~60k median, heavy tail
+    density = rng.lognormvariate(5.0, 1.4)  # people per square mile
+    median_income = rng.uniform(32_000, 95_000)
+    income_noise = rng.uniform(0.95, 1.25)
+    mean_income = median_income * income_noise
+    # Poverty anticorrelates with income with some residual noise.
+    income_pos = (median_income - 32_000) / (95_000 - 32_000)
+    poverty = max(0.02, min(0.40, 0.30 - 0.22 * income_pos + rng.gauss(0, 0.03)))
+    unemployment = max(0.02, min(0.20, 0.5 * poverty + rng.gauss(0.03, 0.015)))
+
+    hs = rng.uniform(0.75, 0.95)
+    bachelors = rng.uniform(0.12, min(0.55, hs - 0.2))
+    graduate = rng.uniform(0.04, bachelors * 0.6)
+
+    # Ethnic composition via a crude stick-breaking draw.
+    white = rng.uniform(0.45, 0.95)
+    remaining = 1.0 - white
+    black = remaining * rng.uniform(0.1, 0.7)
+    remaining -= black
+    hispanic = remaining * rng.uniform(0.1, 0.8)
+    remaining -= hispanic
+    asian = remaining * rng.uniform(0.1, 0.9)
+    other = max(0.0, 1.0 - white - black - hispanic - asian)
+
+    features: Dict[str, float] = {
+        "population": population,
+        "population_density": density,
+        "median_age": rng.uniform(28.0, 48.0),
+        "median_income": median_income,
+        "mean_income": mean_income,
+        "poverty_rate": poverty,
+        "unemployment_rate": unemployment,
+        "high_school_attainment": hs,
+        "bachelors_attainment": bachelors,
+        "graduate_attainment": graduate,
+        "white_share": white,
+        "black_share": black,
+        "hispanic_share": hispanic,
+        "asian_share": asian,
+        "other_ethnicity_share": other,
+        "english_fluency": rng.uniform(0.80, 0.99),
+        "foreign_born_share": rng.uniform(0.01, 0.25),
+        "homeownership_rate": rng.uniform(0.40, 0.80),
+        "median_home_value": rng.uniform(70_000, 450_000),
+        "median_rent": rng.uniform(550, 1_800),
+        "commute_minutes": rng.uniform(14.0, 38.0),
+        "households": population / rng.uniform(2.1, 2.9),
+        "household_size": rng.uniform(2.1, 2.9),
+        "veteran_share": rng.uniform(0.04, 0.14),
+        "internet_access_rate": rng.uniform(0.60, 0.97),
+    }
+    return DemographicProfile(region_name=region.qualified_name, features=features)

@@ -1,0 +1,205 @@
+"""Germany country pack — the "other countries" extension.
+
+The paper's conclusion: "Our methodology can easily be extended to
+other countries and search engines."  This module is the country half
+of that claim: the same three-granularity design transplanted onto
+German geography —
+
+* **national** granularity: centroids of the 16 Länder,
+* **state** granularity: district (Kreis) centroids inside Bavaria
+  (Germany's largest Land, the Ohio analogue),
+* **county** granularity: Bezirke of Berlin (the Cuyahoga analogue —
+  the most populous urban area, districts ~a few km apart).
+
+Land centroids and major-city anchors are real approximate values;
+Bavarian Kreis centroids are synthesised inside Bavaria's bounding box
+(same documented substitution as Ohio's counties).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.geo.coords import KM_PER_MILE, LatLon, destination
+from repro.geo.granularity import Granularity, StudyLocations, _sample
+from repro.geo.locate import RegionLocator
+from repro.geo.regions import Region, RegionKind
+from repro.seeding import derive_rng
+
+__all__ = [
+    "GERMAN_LAENDER",
+    "GERMANY_LOCATOR",
+    "german_land_regions",
+    "bavarian_kreis_regions",
+    "berlin_bezirk_regions",
+    "germany_study_locations",
+]
+
+#: Approximate centroids of the 16 German Länder.
+GERMAN_LAENDER: Dict[str, LatLon] = {
+    "Baden-Wuerttemberg": LatLon(48.6616, 9.3501),
+    "Bayern": LatLon(48.7904, 11.4979),
+    "Berlin": LatLon(52.5200, 13.4050),
+    "Brandenburg": LatLon(52.4125, 12.5316),
+    "Bremen": LatLon(53.0793, 8.8017),
+    "Hamburg": LatLon(53.5511, 9.9937),
+    "Hessen": LatLon(50.6521, 9.1624),
+    "Mecklenburg-Vorpommern": LatLon(53.6127, 12.4296),
+    "Niedersachsen": LatLon(52.6367, 9.8451),
+    "Nordrhein-Westfalen": LatLon(51.4332, 7.6616),
+    "Rheinland-Pfalz": LatLon(50.1183, 7.3090),
+    "Saarland": LatLon(49.3964, 7.0230),
+    "Sachsen": LatLon(51.1045, 13.2017),
+    "Sachsen-Anhalt": LatLon(51.9503, 11.6923),
+    "Schleswig-Holstein": LatLon(54.2194, 9.6961),
+    "Thueringen": LatLon(50.9013, 11.0262),
+}
+
+#: Major-city anchors per Land (for border resolution).
+_GERMAN_CITY_ANCHORS: Dict[str, List[Tuple[float, float]]] = {
+    "Bayern": [(48.1351, 11.5820), (49.4521, 11.0767), (49.0134, 12.1016)],
+    "Baden-Wuerttemberg": [(48.7758, 9.1829), (47.9990, 7.8421)],
+    "Nordrhein-Westfalen": [(50.9375, 6.9603), (51.5136, 7.4653), (51.2277, 6.7735)],
+    "Hessen": [(50.1109, 8.6821), (51.3127, 9.4797)],
+    "Niedersachsen": [(52.3759, 9.7320), (53.0793, 8.8017)],
+    "Sachsen": [(51.3397, 12.3731), (51.0504, 13.7373)],
+    "Berlin": [(52.5200, 13.4050)],
+    "Hamburg": [(53.5511, 9.9937)],
+    "Rheinland-Pfalz": [(49.9929, 8.2473)],
+    "Thueringen": [(50.9848, 11.0299)],
+    "Brandenburg": [(52.3906, 13.0645)],
+    "Mecklenburg-Vorpommern": [(54.0924, 12.0991)],
+    "Schleswig-Holstein": [(54.3233, 10.1228)],
+    "Sachsen-Anhalt": [(52.1205, 11.6276), (51.4964, 11.9688)],
+    "Saarland": [(49.2402, 6.9969)],
+    "Bremen": [(53.0793, 8.8017)],
+}
+
+#: The German locator (drop-in for the US one in the engine).
+GERMANY_LOCATOR = RegionLocator.from_tables(
+    "Germany", GERMAN_LAENDER, _GERMAN_CITY_ANCHORS
+)
+
+_GEOGRAPHY_SEED = 20151028
+
+# Bavaria's bounding box, clipped well inside its borders so the
+# nearest-anchor locator never attributes a synthesised Kreis to a
+# neighbouring Land.
+_BAVARIA_LAT_RANGE = (47.95, 49.85)
+_BAVARIA_LON_RANGE = (10.45, 12.55)
+
+#: Real Bezirke of Berlin with approximate centres.
+_BERLIN_BEZIRKE: List[Tuple[str, float, float]] = [
+    ("Mitte", 52.5200, 13.4050),
+    ("Friedrichshain-Kreuzberg", 52.5070, 13.4500),
+    ("Pankow", 52.5970, 13.4360),
+    ("Charlottenburg-Wilmersdorf", 52.5060, 13.3040),
+    ("Spandau", 52.5360, 13.2000),
+    ("Steglitz-Zehlendorf", 52.4340, 13.2420),
+    ("Tempelhof-Schoeneberg", 52.4670, 13.3850),
+    ("Neukoelln", 52.4410, 13.4360),
+    ("Treptow-Koepenick", 52.4430, 13.5740),
+    ("Marzahn-Hellersdorf", 52.5370, 13.6060),
+    ("Lichtenberg", 52.5310, 13.4970),
+    ("Reinickendorf", 52.5880, 13.3290),
+]
+
+
+def german_land_regions() -> List[Region]:
+    """The 16 Länder as regions (the 'state centroids' analogue)."""
+    return [
+        Region(
+            name=name,
+            kind=RegionKind.STATE,
+            center=GERMAN_LAENDER[name],
+            parent="Germany",
+        )
+        for name in sorted(GERMAN_LAENDER)
+    ]
+
+
+def bavarian_kreis_regions(count: int = 71) -> List[Region]:
+    """Synthesised district (Kreis) centroids inside Bavaria.
+
+    Bavaria has 71 Landkreise; their centroids are synthesised inside
+    the state's bounding box, ~50-100 km apart — the Ohio-counties
+    analogue at state granularity.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    regions: List[Region] = []
+    for index in range(count):
+        rng = derive_rng(_GEOGRAPHY_SEED, "bavaria-kreis", index)
+        center = LatLon(
+            round(rng.uniform(*_BAVARIA_LAT_RANGE), 4),
+            round(rng.uniform(*_BAVARIA_LON_RANGE), 4),
+        )
+        regions.append(
+            Region(
+                name=f"Kreis-{index + 1:03d}",
+                kind=RegionKind.COUNTY,
+                center=center,
+                parent="Bayern",
+            )
+        )
+    return regions
+
+
+def berlin_bezirk_regions() -> List[Region]:
+    """Berlin's 12 Bezirke (the Cuyahoga voting-district analogue).
+
+    Bezirk centres are a few kilometres apart; to mirror the paper's
+    ~1-mile district spacing, each Bezirk also contributes a jittered
+    sub-centre, giving a 24-point urban pool.
+    """
+    regions: List[Region] = []
+    for index, (name, lat, lon) in enumerate(_BERLIN_BEZIRKE):
+        center = LatLon(lat, lon)
+        regions.append(
+            Region(
+                name=name,
+                kind=RegionKind.DISTRICT,
+                center=center,
+                parent="Berlin",
+            )
+        )
+        rng = derive_rng(_GEOGRAPHY_SEED, "berlin-subdistrict", index)
+        offset = destination(
+            center, rng.uniform(0, 360), rng.uniform(0.8, 1.6) * KM_PER_MILE
+        )
+        regions.append(
+            Region(
+                name=f"{name}-Sued" if offset.lat < lat else f"{name}-Nord",
+                kind=RegionKind.DISTRICT,
+                center=offset,
+                parent="Berlin",
+            )
+        )
+    return regions
+
+
+def germany_study_locations(
+    seed: int,
+    *,
+    land_count: int = 10,
+    kreis_count: int = 10,
+    bezirk_count: int = 8,
+) -> StudyLocations:
+    """The paper's three-granularity design on German geography.
+
+    Berlin is always among the Länder (the study is anchored there, as
+    Ohio anchors the US design).
+    """
+    rng = derive_rng(seed, "germany-study-locations")
+    laender = _sample(rng, german_land_regions(), land_count - 1, exclude=("Berlin",))
+    laender.append(next(r for r in german_land_regions() if r.name == "Berlin"))
+    laender.sort(key=Region.key)
+    kreise = _sample(rng, bavarian_kreis_regions(), kreis_count)
+    bezirke = _sample(rng, berlin_bezirk_regions(), bezirk_count)
+    return StudyLocations(
+        by_granularity={
+            Granularity.NATIONAL: laender,
+            Granularity.STATE: kreise,
+            Granularity.COUNTY: bezirke,
+        }
+    )

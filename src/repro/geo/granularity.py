@@ -1,0 +1,161 @@
+"""Granularities and study-location selection.
+
+The paper picks 66 query locations: the centroids of 22 random US states
+(*national* granularity), the centroids of 22 random Ohio counties
+(*state* granularity), and 15 voting districts in Cuyahoga County
+(*county* granularity).  :func:`select_study_locations` reproduces that
+selection deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.geo.cuyahoga import cuyahoga_voting_districts
+from repro.geo.ohio import ohio_county_regions
+from repro.geo.regions import Region
+from repro.geo.usa import us_state_regions
+from repro.seeding import derive_rng
+
+__all__ = [
+    "Granularity",
+    "StudyLocations",
+    "select_study_locations",
+    "all_known_regions",
+]
+
+#: Paper defaults: 22 states + 22 counties + 15 districts.
+DEFAULT_STATE_COUNT = 22
+DEFAULT_COUNTY_COUNT = 22
+DEFAULT_DISTRICT_COUNT = 15
+
+
+class Granularity(enum.Enum):
+    """The three spatial scales the study compares.
+
+    Values sort from smallest to largest scale; ``Granularity.order()``
+    gives the canonical plotting order used by every figure.
+    """
+
+    COUNTY = "county"  # voting districts inside Cuyahoga County (~1 mi)
+    STATE = "state"  # county centroids inside Ohio (~100 mi)
+    NATIONAL = "national"  # state centroids across the USA (~1000 mi)
+
+    @staticmethod
+    def order() -> List["Granularity"]:
+        """Granularities from smallest to largest spatial scale."""
+        return [Granularity.COUNTY, Granularity.STATE, Granularity.NATIONAL]
+
+    @property
+    def label(self) -> str:
+        """Axis label as printed in the paper's figures."""
+        return {
+            Granularity.COUNTY: "County (Cuyahoga)",
+            Granularity.STATE: "State (Ohio)",
+            Granularity.NATIONAL: "National (USA)",
+        }[self]
+
+
+@dataclass(frozen=True)
+class StudyLocations:
+    """The location sets for all three granularities."""
+
+    by_granularity: Dict[Granularity, List[Region]]
+
+    def locations(self, granularity: Granularity) -> List[Region]:
+        """The query locations at one granularity."""
+        return list(self.by_granularity[granularity])
+
+    def all_locations(self) -> List[Region]:
+        """Every location in the study, county scale first."""
+        result: List[Region] = []
+        for granularity in Granularity.order():
+            result.extend(self.by_granularity[granularity])
+        return result
+
+    def total(self) -> int:
+        """Total number of query locations."""
+        return sum(len(v) for v in self.by_granularity.values())
+
+    def mean_pairwise_distance_miles(self, granularity: Granularity) -> float:
+        """Mean great-circle distance between location pairs.
+
+        The paper reports ~1 mile for districts and ~100 miles for Ohio
+        counties; this lets tests and benchmarks check the synthesised
+        geography matches that scale.
+        """
+        regions = self.by_granularity[granularity]
+        distances = [
+            a.distance_miles(b) for a, b in itertools.combinations(regions, 2)
+        ]
+        if not distances:
+            raise ValueError(f"need at least two locations at {granularity}")
+        return statistics.fmean(distances)
+
+
+def all_known_regions() -> Dict[str, Region]:
+    """Every region in the geographic pools, by qualified name.
+
+    Covers all 50 states, all 88 Ohio counties, and the full synthesised
+    Cuyahoga precinct pool — a superset of any study's sampled
+    locations, so analyses can resolve locations regardless of which
+    seed sampled them.
+    """
+    regions: Dict[str, Region] = {}
+    for region in us_state_regions():
+        regions[region.qualified_name] = region
+    for region in ohio_county_regions():
+        regions[region.qualified_name] = region
+    for region in cuyahoga_voting_districts():
+        regions[region.qualified_name] = region
+    return regions
+
+
+def _sample(rng, pool: Sequence[Region], count: int, *, exclude: Sequence[str] = ()) -> List[Region]:
+    candidates = [r for r in pool if r.name not in exclude]
+    if count > len(candidates):
+        raise ValueError(f"cannot sample {count} from pool of {len(candidates)}")
+    return sorted(rng.sample(candidates, count), key=Region.key)
+
+
+def select_study_locations(
+    seed: int,
+    *,
+    state_count: int = DEFAULT_STATE_COUNT,
+    county_count: int = DEFAULT_COUNTY_COUNT,
+    district_count: int = DEFAULT_DISTRICT_COUNT,
+) -> StudyLocations:
+    """Pick the study's query locations, reproducing the paper's design.
+
+    Ohio is always included among the national-level states (the study is
+    anchored there), Cuyahoga is always among the Ohio counties, and the
+    districts are sampled from the synthesised Cuyahoga precinct pool.
+
+    Args:
+        seed: Master seed; the same seed always yields the same study.
+        state_count: States at national granularity (paper: 22).
+        county_count: Ohio counties at state granularity (paper: 22).
+        district_count: Cuyahoga districts at county granularity (paper: 15).
+    """
+    rng = derive_rng(seed, "study-locations")
+    states = _sample(rng, us_state_regions(), state_count - 1, exclude=("Ohio",))
+    states.append(next(r for r in us_state_regions() if r.name == "Ohio"))
+    states.sort(key=Region.key)
+
+    counties = _sample(rng, ohio_county_regions(), county_count - 1, exclude=("Cuyahoga",))
+    counties.append(next(r for r in ohio_county_regions() if r.name == "Cuyahoga"))
+    counties.sort(key=Region.key)
+
+    districts = _sample(rng, cuyahoga_voting_districts(), district_count)
+
+    return StudyLocations(
+        by_granularity={
+            Granularity.NATIONAL: states,
+            Granularity.STATE: counties,
+            Granularity.COUNTY: districts,
+        }
+    )

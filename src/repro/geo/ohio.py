@@ -1,0 +1,92 @@
+"""Ohio counties.
+
+The state granularity of the study issues queries from the centroids of
+22 randomly chosen Ohio counties, which the paper reports are ~100 miles
+apart on average.  All 88 county names are real.  Centroids for a set of
+well-known counties are real approximate values; the remainder are
+synthesised deterministically inside Ohio's bounding box (documented
+substitution — the study depends only on the *scale* of inter-county
+distances, not on exact coordinates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.geo.coords import LatLon
+from repro.geo.regions import Region, RegionKind
+from repro.seeding import derive_rng
+
+__all__ = ["OHIO_COUNTIES", "ohio_county_regions", "ohio_county"]
+
+#: The 88 counties of Ohio.
+OHIO_COUNTIES: List[str] = [
+    "Adams", "Allen", "Ashland", "Ashtabula", "Athens", "Auglaize",
+    "Belmont", "Brown", "Butler", "Carroll", "Champaign", "Clark",
+    "Clermont", "Clinton", "Columbiana", "Coshocton", "Crawford",
+    "Cuyahoga", "Darke", "Defiance", "Delaware", "Erie", "Fairfield",
+    "Fayette", "Franklin", "Fulton", "Gallia", "Geauga", "Greene",
+    "Guernsey", "Hamilton", "Hancock", "Hardin", "Harrison", "Henry",
+    "Highland", "Hocking", "Holmes", "Huron", "Jackson", "Jefferson",
+    "Knox", "Lake", "Lawrence", "Licking", "Logan", "Lorain", "Lucas",
+    "Madison", "Mahoning", "Marion", "Medina", "Meigs", "Mercer",
+    "Miami", "Monroe", "Montgomery", "Morgan", "Morrow", "Muskingum",
+    "Noble", "Ottawa", "Paulding", "Perry", "Pickaway", "Pike",
+    "Portage", "Preble", "Putnam", "Richland", "Ross", "Sandusky",
+    "Scioto", "Seneca", "Shelby", "Stark", "Summit", "Trumbull",
+    "Tuscarawas", "Union", "Van Wert", "Vinton", "Warren", "Washington",
+    "Wayne", "Williams", "Wood", "Wyandot",
+]
+
+#: Real approximate centroids for the most populous / well-known counties.
+_KNOWN_CENTROIDS: Dict[str, LatLon] = {
+    "Cuyahoga": LatLon(41.4339, -81.6758),
+    "Franklin": LatLon(39.9696, -83.0093),
+    "Hamilton": LatLon(39.1946, -84.5438),
+    "Summit": LatLon(41.1260, -81.5317),
+    "Montgomery": LatLon(39.7545, -84.2898),
+    "Lucas": LatLon(41.6846, -83.4682),
+    "Stark": LatLon(40.8140, -81.3674),
+    "Butler": LatLon(39.4395, -84.5756),
+    "Lorain": LatLon(41.2951, -82.1515),
+    "Mahoning": LatLon(41.0145, -80.7762),
+    "Lake": LatLon(41.7137, -81.2452),
+    "Warren": LatLon(39.4273, -84.1666),
+    "Trumbull": LatLon(41.3175, -80.7610),
+    "Delaware": LatLon(40.2785, -83.0049),
+    "Licking": LatLon(40.0916, -82.4830),
+    "Athens": LatLon(39.3338, -82.0451),
+    "Wood": LatLon(41.3617, -83.6227),
+}
+
+# Ohio's bounding box, clipped well inside the borders so synthesised
+# centroids do not fall in Lake Erie, across the river, or close enough
+# to a neighbouring state that nearest-centroid reverse geolocation
+# (see repro.geo.locate) would misattribute them.
+_OHIO_LAT_RANGE = (39.35, 41.30)
+_OHIO_LON_RANGE = (-84.20, -81.30)
+
+# Synthetic centroid placement is seeded by a fixed constant, not the
+# study seed: the *map of Ohio* is part of the world, not the experiment.
+_GEOGRAPHY_SEED = 20151028  # IMC'15 opening day
+
+
+def _synthesise_centroid(county: str) -> LatLon:
+    rng = derive_rng(_GEOGRAPHY_SEED, "ohio-county-centroid", county)
+    lat = rng.uniform(*_OHIO_LAT_RANGE)
+    lon = rng.uniform(*_OHIO_LON_RANGE)
+    return LatLon(round(lat, 4), round(lon, 4))
+
+
+def ohio_county(name: str) -> Region:
+    """Return the :class:`Region` for one Ohio county by name."""
+    if name not in OHIO_COUNTIES:
+        raise KeyError(f"unknown Ohio county: {name!r}")
+    center = _KNOWN_CENTROIDS.get(name) or _synthesise_centroid(name)
+    fips = f"39{(OHIO_COUNTIES.index(name) * 2 + 1):03d}"
+    return Region(name=name, kind=RegionKind.COUNTY, center=center, parent="Ohio", fips=fips)
+
+
+def ohio_county_regions() -> List[Region]:
+    """All 88 Ohio counties as :class:`Region` objects, alphabetical."""
+    return [ohio_county(name) for name in OHIO_COUNTIES]

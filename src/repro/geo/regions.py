@@ -1,0 +1,61 @@
+"""The region hierarchy used by the study.
+
+A :class:`Region` is a named geographic unit with a representative
+coordinate (its centroid).  The paper's three granularities map onto
+three :class:`RegionKind` values: ``STATE`` (national granularity uses
+state centroids), ``COUNTY`` (state granularity uses Ohio county
+centroids), and ``DISTRICT`` (county granularity uses Cuyahoga voting
+districts).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.geo.coords import LatLon
+
+__all__ = ["RegionKind", "Region"]
+
+
+class RegionKind(enum.Enum):
+    """The level of a region in the nation → district hierarchy."""
+
+    NATION = "nation"
+    STATE = "state"
+    COUNTY = "county"
+    DISTRICT = "district"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named geographic unit with a centroid.
+
+    Attributes:
+        name: Human-readable name, e.g. ``"Ohio"`` or ``"Cuyahoga"``.
+        kind: Level in the hierarchy.
+        center: Representative coordinate (queries are issued from here).
+        parent: Name of the enclosing region (``None`` for the nation).
+        fips: Census FIPS-style identifier where applicable.
+    """
+
+    name: str
+    kind: RegionKind
+    center: LatLon
+    parent: Optional[str] = None
+    fips: Optional[str] = None
+
+    @property
+    def qualified_name(self) -> str:
+        """Unambiguous name, e.g. ``"county:Ohio/Cuyahoga"``."""
+        prefix = f"{self.parent}/" if self.parent else ""
+        return f"{self.kind.value}:{prefix}{self.name}"
+
+    def distance_miles(self, other: "Region") -> float:
+        """Great-circle distance between the two region centroids."""
+        return self.center.distance_miles(other.center)
+
+    def key(self) -> Tuple[str, str]:
+        """A stable sort/dict key."""
+        return (self.kind.value, self.qualified_name)

@@ -1,0 +1,110 @@
+"""US state centroids.
+
+The national granularity of the study issues queries from the centroids
+of 22 randomly chosen states.  Coordinates below are approximate interior
+centroids (within ~30 km of published geographic centers), which is far
+more precise than the study needs — inter-state distances are hundreds of
+miles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.geo.coords import LatLon
+from repro.geo.regions import Region, RegionKind
+
+__all__ = ["US_STATES", "us_state_regions", "us_state"]
+
+#: Approximate geographic centers of the 50 US states: name -> (lat, lon).
+US_STATES: Dict[str, LatLon] = {
+    "Alabama": LatLon(32.7794, -86.8287),
+    "Alaska": LatLon(64.0685, -152.2782),
+    "Arizona": LatLon(34.2744, -111.6602),
+    "Arkansas": LatLon(34.8938, -92.4426),
+    "California": LatLon(37.1841, -119.4696),
+    "Colorado": LatLon(38.9972, -105.5478),
+    "Connecticut": LatLon(41.6219, -72.7273),
+    "Delaware": LatLon(38.9896, -75.5050),
+    "Florida": LatLon(28.6305, -82.4497),
+    "Georgia": LatLon(32.6415, -83.4426),
+    "Hawaii": LatLon(20.2927, -156.3737),
+    "Idaho": LatLon(44.3509, -114.6130),
+    "Illinois": LatLon(40.0417, -89.1965),
+    "Indiana": LatLon(39.8942, -86.2816),
+    "Iowa": LatLon(42.0751, -93.4960),
+    "Kansas": LatLon(38.4937, -98.3804),
+    "Kentucky": LatLon(37.5347, -85.3021),
+    "Louisiana": LatLon(31.0689, -91.9968),
+    "Maine": LatLon(45.3695, -69.2428),
+    "Maryland": LatLon(39.0550, -76.7909),
+    "Massachusetts": LatLon(42.2596, -71.8083),
+    "Michigan": LatLon(44.3467, -85.4102),
+    "Minnesota": LatLon(46.2807, -94.3053),
+    "Mississippi": LatLon(32.7364, -89.6678),
+    "Missouri": LatLon(38.3566, -92.4580),
+    "Montana": LatLon(47.0527, -109.6333),
+    "Nebraska": LatLon(41.5378, -99.7951),
+    "Nevada": LatLon(39.3289, -116.6312),
+    "New Hampshire": LatLon(43.6805, -71.5811),
+    "New Jersey": LatLon(40.1907, -74.6728),
+    "New Mexico": LatLon(34.4071, -106.1126),
+    "New York": LatLon(42.9538, -75.5268),
+    "North Carolina": LatLon(35.5557, -79.3877),
+    "North Dakota": LatLon(47.4501, -100.4659),
+    "Ohio": LatLon(40.2862, -82.7937),
+    "Oklahoma": LatLon(35.5889, -97.4943),
+    "Oregon": LatLon(43.9336, -120.5583),
+    "Pennsylvania": LatLon(40.8781, -77.7996),
+    "Rhode Island": LatLon(41.6762, -71.5562),
+    "South Carolina": LatLon(33.9169, -80.8964),
+    "South Dakota": LatLon(44.4443, -100.2263),
+    "Tennessee": LatLon(35.8580, -86.3505),
+    "Texas": LatLon(31.4757, -99.3312),
+    "Utah": LatLon(39.3055, -111.6703),
+    "Vermont": LatLon(44.0687, -72.6658),
+    "Virginia": LatLon(37.5215, -78.8537),
+    "Washington": LatLon(47.3826, -120.4472),
+    "West Virginia": LatLon(38.6409, -80.6227),
+    "Wisconsin": LatLon(44.6243, -89.9941),
+    "Wyoming": LatLon(42.9957, -107.5512),
+}
+
+#: FIPS codes for the 50 states, used as stable identifiers.
+_STATE_FIPS: Dict[str, str] = {
+    "Alabama": "01", "Alaska": "02", "Arizona": "04", "Arkansas": "05",
+    "California": "06", "Colorado": "08", "Connecticut": "09",
+    "Delaware": "10", "Florida": "12", "Georgia": "13", "Hawaii": "15",
+    "Idaho": "16", "Illinois": "17", "Indiana": "18", "Iowa": "19",
+    "Kansas": "20", "Kentucky": "21", "Louisiana": "22", "Maine": "23",
+    "Maryland": "24", "Massachusetts": "25", "Michigan": "26",
+    "Minnesota": "27", "Mississippi": "28", "Missouri": "29",
+    "Montana": "30", "Nebraska": "31", "Nevada": "32",
+    "New Hampshire": "33", "New Jersey": "34", "New Mexico": "35",
+    "New York": "36", "North Carolina": "37", "North Dakota": "38",
+    "Ohio": "39", "Oklahoma": "40", "Oregon": "41", "Pennsylvania": "42",
+    "Rhode Island": "44", "South Carolina": "45", "South Dakota": "46",
+    "Tennessee": "47", "Texas": "48", "Utah": "49", "Vermont": "50",
+    "Virginia": "51", "Washington": "53", "West Virginia": "54",
+    "Wisconsin": "55", "Wyoming": "56",
+}
+
+
+def us_state(name: str) -> Region:
+    """Return the :class:`Region` for one state by name."""
+    try:
+        center = US_STATES[name]
+    except KeyError:
+        raise KeyError(f"unknown US state: {name!r}") from None
+    return Region(
+        name=name,
+        kind=RegionKind.STATE,
+        center=center,
+        parent="USA",
+        fips=_STATE_FIPS[name],
+    )
+
+
+def us_state_regions() -> List[Region]:
+    """All 50 states as :class:`Region` objects, in alphabetical order."""
+    return [us_state(name) for name in sorted(US_STATES)]

@@ -1,0 +1,24 @@
+"""Network substrate: IPv4 addresses, crawl machines, GeoIP, DNS.
+
+The paper's crawl ran on 44 machines inside a single /24 subnet (to
+spread query load below Google's rate limits), pinned the search
+frontend's DNS entry to a single datacenter, and validated GPS-over-IP
+personalization from 50 PlanetLab vantage points.  This package models
+exactly those pieces.
+"""
+
+from repro.net.dns import DNSResolver, DNSRecord
+from repro.net.geoip import GeoIPDatabase
+from repro.net.ip import IPv4Address, IPv4Subnet
+from repro.net.machines import Machine, MachineFleet, MachineKind
+
+__all__ = [
+    "DNSResolver",
+    "DNSRecord",
+    "GeoIPDatabase",
+    "IPv4Address",
+    "IPv4Subnet",
+    "Machine",
+    "MachineFleet",
+    "MachineKind",
+]

@@ -1,0 +1,88 @@
+"""DNS resolution with static-mapping override.
+
+Google serves search from many datacenters whose indexes are not
+perfectly synchronised — a noise source.  The paper controls for it by
+statically mapping the search frontend's DNS name to one datacenter
+(§2.2, "Controlling for Noise" item 2).  This resolver models both
+behaviours: normal resolution rotates over all A records per query
+(round-robin-ish, seeded), while a static mapping pins a name to one
+address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.ip import IPv4Address
+from repro.seeding import stable_hash
+
+__all__ = ["DNSRecord", "DNSResolver"]
+
+
+@dataclass(frozen=True)
+class DNSRecord:
+    """A DNS A record set for one name."""
+
+    name: str
+    addresses: List[IPv4Address]
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            raise ValueError(f"record for {self.name!r} has no addresses")
+
+
+class ResolutionError(KeyError):
+    """Raised when a name has no record."""
+
+
+@dataclass
+class DNSResolver:
+    """A resolver over a static zone, with per-client pinning support."""
+
+    _zone: Dict[str, DNSRecord] = field(default_factory=dict)
+    _static: Dict[str, IPv4Address] = field(default_factory=dict)
+
+    def add_record(self, record: DNSRecord) -> None:
+        """Install an A record set."""
+        self._zone[record.name.lower()] = record
+
+    def pin(self, name: str, address: IPv4Address) -> None:
+        """Statically map ``name`` to ``address`` (as in /etc/hosts).
+
+        The pinned address must be one of the record's real addresses —
+        pinning to an arbitrary IP would model a broken crawl setup.
+        """
+        record = self._zone.get(name.lower())
+        if record is None:
+            raise ResolutionError(name)
+        if address not in record.addresses:
+            raise ValueError(f"{address} is not an address of {name!r}")
+        self._static[name.lower()] = address
+
+    def unpin(self, name: str) -> None:
+        """Remove a static mapping, restoring rotation."""
+        self._static.pop(name.lower(), None)
+
+    def resolve(self, name: str, *, query_id: int = 0) -> IPv4Address:
+        """Resolve ``name`` to one address.
+
+        Without a static mapping, the chosen address rotates as a
+        deterministic function of ``query_id`` — modelling the way
+        successive lookups land on different frontends.
+        """
+        key = name.lower()
+        if key in self._static:
+            return self._static[key]
+        record = self._zone.get(key)
+        if record is None:
+            raise ResolutionError(name)
+        index = stable_hash("dns-rotation", key, query_id) % len(record.addresses)
+        return record.addresses[index]
+
+    def record(self, name: str) -> DNSRecord:
+        """The full record set for ``name``."""
+        record = self._zone.get(name.lower())
+        if record is None:
+            raise ResolutionError(name)
+        return record

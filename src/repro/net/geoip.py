@@ -1,0 +1,61 @@
+"""A GeoIP database model.
+
+The paper's prior work established that Google infers location from the
+client's IP address when nothing better is available.  Our engine does
+the same: requests without a GPS fix are geolocated through this
+database.  The validation experiment (§2.2) hinges on the engine
+*preferring* the spoofed GPS coordinates over this IP-derived location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.geo.coords import LatLon
+from repro.net.ip import IPv4Address, IPv4Subnet
+from repro.net.machines import Machine
+
+__all__ = ["GeoIPDatabase"]
+
+
+@dataclass
+class GeoIPDatabase:
+    """Maps IP addresses to approximate physical locations.
+
+    Lookup order: exact host entry, then longest-prefix subnet entry,
+    then ``None`` (unknown).  Real GeoIP databases resolve to city-level
+    accuracy at best; the granularity modelled here (exact for
+    registered hosts, subnet-wide otherwise) is enough for the engine's
+    fallback path and the validation experiment.
+    """
+
+    _hosts: Dict[IPv4Address, LatLon] = field(default_factory=dict)
+    _subnets: List[Tuple[IPv4Subnet, LatLon]] = field(default_factory=list)
+
+    def add_host(self, ip: IPv4Address, location: LatLon) -> None:
+        """Register an exact host entry."""
+        self._hosts[ip] = location
+
+    def add_subnet(self, subnet: IPv4Subnet, location: LatLon) -> None:
+        """Register a subnet-wide entry."""
+        self._subnets.append((subnet, location))
+        # Keep longest prefixes first so lookup is a simple scan.
+        self._subnets.sort(key=lambda pair: -pair[0].prefix_len)
+
+    def register_fleet(self, machines: Iterable[Machine]) -> None:
+        """Register every machine in a fleet as an exact host entry."""
+        for machine in machines:
+            self.add_host(machine.ip, machine.location)
+
+    def lookup(self, ip: IPv4Address) -> Optional[LatLon]:
+        """Best-known location for ``ip``, or ``None`` if unknown."""
+        if ip in self._hosts:
+            return self._hosts[ip]
+        for subnet, location in self._subnets:
+            if ip in subnet:
+                return location
+        return None
+
+    def __len__(self) -> int:
+        return len(self._hosts) + len(self._subnets)

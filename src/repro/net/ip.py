@@ -1,0 +1,111 @@
+"""A small IPv4 address / subnet model.
+
+Deliberately self-contained (rather than wrapping :mod:`ipaddress`) so
+the whole network substrate is explicit, and sized to what the study
+needs: dotted-quad parsing, subnet membership, and enumerating hosts of
+a /24.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["IPv4Address", "IPv4Subnet"]
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address stored as a 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"IPv4 value out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse a dotted-quad string such as ``"192.0.2.17"``."""
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+                raise ValueError(f"malformed IPv4 octet in {text!r}: {part!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"IPv4 octet out of range in {text!r}: {octet}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def octets(self) -> tuple:
+        """The four octets, most significant first."""
+        return (
+            (self.value >> 24) & 0xFF,
+            (self.value >> 16) & 0xFF,
+            (self.value >> 8) & 0xFF,
+            self.value & 0xFF,
+        )
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.octets)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+
+@dataclass(frozen=True)
+class IPv4Subnet:
+    """A CIDR subnet, e.g. ``192.0.2.0/24``."""
+
+    network: IPv4Address
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {self.prefix_len}")
+        if self.network.value & (self.host_mask()):
+            raise ValueError(
+                f"{self.network} has host bits set for /{self.prefix_len}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Subnet":
+        """Parse CIDR notation such as ``"192.0.2.0/24"``."""
+        try:
+            addr_text, prefix_text = text.split("/")
+        except ValueError:
+            raise ValueError(f"malformed CIDR: {text!r}") from None
+        return cls(IPv4Address.parse(addr_text), int(prefix_text))
+
+    def net_mask(self) -> int:
+        """The network mask as a 32-bit integer."""
+        if self.prefix_len == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.prefix_len)) & 0xFFFFFFFF
+
+    def host_mask(self) -> int:
+        """The host mask (inverse of the network mask)."""
+        return ~self.net_mask() & 0xFFFFFFFF
+
+    def __contains__(self, address: IPv4Address) -> bool:
+        return (address.value & self.net_mask()) == self.network.value
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the subnet (including network/broadcast)."""
+        return 1 << (32 - self.prefix_len)
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Usable host addresses (network and broadcast excluded for /<31)."""
+        if self.prefix_len >= 31:
+            yield from (self.network + i for i in range(self.size))
+            return
+        for i in range(1, self.size - 1):
+            yield self.network + i
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"

@@ -1,0 +1,128 @@
+"""Crawl-machine fleets.
+
+Two fleets appear in the paper:
+
+* 44 crawl machines in a single /24 subnet (all physically at the
+  authors' institution in Boston), used to distribute query load and
+  stay under the search engine's per-IP rate limits (§2.2);
+* 50 PlanetLab machines scattered across the US, used for the
+  GPS-versus-IP validation experiment (§2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.geo.coords import LatLon
+from repro.geo.usa import US_STATES
+from repro.net.ip import IPv4Address, IPv4Subnet
+from repro.seeding import derive_rng
+
+__all__ = ["MachineKind", "Machine", "MachineFleet"]
+
+#: Approximate location of the authors' lab (Boston, MA) — where the
+#: crawl /24 physically sits.
+_LAB_LOCATION = LatLon(42.3398, -71.0892)
+
+
+class MachineKind(enum.Enum):
+    """What role a machine plays in the study."""
+
+    CRAWLER = "crawler"
+    PLANETLAB = "planetlab"
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One vantage point: a hostname, an IP, and a physical location.
+
+    The physical location is what a GeoIP database would report for the
+    machine's IP — the engine falls back to it when a request carries no
+    GPS fix.
+    """
+
+    hostname: str
+    ip: IPv4Address
+    location: LatLon
+    kind: MachineKind
+
+
+@dataclass(frozen=True)
+class MachineFleet:
+    """A named collection of machines."""
+
+    name: str
+    machines: List[Machine]
+
+    def __post_init__(self) -> None:
+        ips = [m.ip for m in self.machines]
+        if len(set(ips)) != len(ips):
+            raise ValueError(f"fleet {self.name!r} has duplicate IPs")
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __iter__(self):
+        return iter(self.machines)
+
+    def __getitem__(self, index: int) -> Machine:
+        return self.machines[index]
+
+    @classmethod
+    def crawl_fleet(
+        cls,
+        count: int = 44,
+        subnet: str = "192.0.2.0/24",
+    ) -> "MachineFleet":
+        """The paper's crawl fleet: ``count`` machines in one /24.
+
+        Args:
+            count: Number of machines (paper: 44).
+            subnet: CIDR the fleet lives in (defaults to TEST-NET-1).
+        """
+        net = IPv4Subnet.parse(subnet)
+        hosts = list(net.hosts())
+        if count > len(hosts):
+            raise ValueError(f"cannot fit {count} machines in {subnet}")
+        machines = [
+            Machine(
+                hostname=f"crawl{i:02d}.lab.example.edu",
+                ip=hosts[i],
+                location=_LAB_LOCATION,
+                kind=MachineKind.CRAWLER,
+            )
+            for i in range(count)
+        ]
+        return cls(name=f"crawl-fleet-{subnet}", machines=machines)
+
+    @classmethod
+    def planetlab_fleet(cls, seed: int, count: int = 50) -> "MachineFleet":
+        """The validation fleet: ``count`` machines spread across US states.
+
+        Each machine gets an IP in a distinct /16 (so IP-based
+        geolocation would map them far apart) and a physical location
+        jittered around a state centroid.
+        """
+        rng = derive_rng(seed, "planetlab-fleet", count)
+        states = sorted(US_STATES)
+        machines: List[Machine] = []
+        for i in range(count):
+            state = states[i % len(states)]
+            base = US_STATES[state]
+            location = LatLon(
+                max(-90.0, min(90.0, base.lat + rng.uniform(-0.8, 0.8))),
+                max(-180.0, min(180.0, base.lon + rng.uniform(-0.8, 0.8))),
+            )
+            # One /16 per machine inside 10.0.0.0/8.
+            ip = IPv4Address((10 << 24) | ((i + 1) << 16) | (rng.randrange(1, 255) << 8) | rng.randrange(1, 255))
+            machines.append(
+                Machine(
+                    hostname=f"planetlab{i:02d}.{state.replace(' ', '').lower()}.example.org",
+                    ip=ip,
+                    location=location,
+                    kind=MachineKind.PLANETLAB,
+                )
+            )
+        return cls(name="planetlab-fleet", machines=machines)

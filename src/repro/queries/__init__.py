@@ -1,0 +1,34 @@
+"""The study's 240-term query corpus.
+
+Three categories, matching paper §2.1:
+
+* 33 **local** queries — physical establishments and public services,
+  split between national *brands* ("Starbucks") and *generic* terms
+  ("school").  Expected upper bound on location personalization.
+* 87 **controversial** queries — news/politics issues (Table 1 terms
+  included verbatim).  Personalizing these by location would be the
+  worrying Filter Bubble case.
+* 120 **politician** names — 11 Cuyahoga County Board members, 53 Ohio
+  legislators, 18 members of the US Congress from Ohio, 36 members not
+  from Ohio, plus Joe Biden and Barack Obama.
+"""
+
+from repro.queries.controversial import TABLE1_TERMS, controversial_queries
+from repro.queries.corpus import QueryCorpus, build_corpus
+from repro.queries.local import LOCAL_BRAND_TERMS, LOCAL_GENERIC_TERMS, local_queries
+from repro.queries.model import PoliticianScope, Query, QueryCategory
+from repro.queries.politicians import politician_queries
+
+__all__ = [
+    "TABLE1_TERMS",
+    "controversial_queries",
+    "QueryCorpus",
+    "build_corpus",
+    "LOCAL_BRAND_TERMS",
+    "LOCAL_GENERIC_TERMS",
+    "local_queries",
+    "PoliticianScope",
+    "Query",
+    "QueryCategory",
+    "politician_queries",
+]

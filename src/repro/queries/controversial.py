@@ -1,0 +1,126 @@
+"""The 87 controversial query terms.
+
+Table 1 of the paper lists 18 example terms verbatim; the full released
+corpus is no longer fetchable offline, so the remaining 69 are drawn from
+the same universe the paper describes — "news or politics-related
+issues" that were not tied to a specific newsworthy event.  The three
+terms the paper singles out as most personalized ("health", "republican
+party", "politics") are included.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.queries.model import Query, QueryCategory
+
+__all__ = ["TABLE1_TERMS", "CONTROVERSIAL_TERMS", "controversial_queries"]
+
+#: The 18 example terms printed in Table 1, verbatim.
+TABLE1_TERMS: List[str] = [
+    "Progressive Tax",
+    "Impose A Flat Tax",
+    "End Medicaid",
+    "Affordable Health And Care Act",
+    "Fluoridate Water",
+    "Stem Cell Research",
+    "Andrew Wakefield Vindicated",
+    "Autism Caused By Vaccines",
+    "US Government Loses AAA Bond Rate",
+    "Is Global Warming Real",
+    "Man Made Global Warming Hoax",
+    "Nuclear Power Plants",
+    "Offshore Drilling",
+    "Genetically Modified Organisms",
+    "Late Term Abortion",
+    "Barack Obama Birth Certificate",
+    "Impeach Barack Obama",
+    "Gay Marriage",
+]
+
+#: Terms §3.2 names as the most personalized controversial queries.
+_HIGHLIGHTED_TERMS: List[str] = ["Health", "Republican Party", "Politics"]
+
+#: The remaining synthesised issue terms (same universe as Table 1).
+_EXTRA_TERMS: List[str] = [
+    "Gun Control",
+    "Second Amendment Rights",
+    "Assault Weapons Ban",
+    "Death Penalty",
+    "Capital Punishment Deterrence",
+    "Minimum Wage Increase",
+    "Living Wage",
+    "Right To Work Laws",
+    "Union Collective Bargaining",
+    "Illegal Immigration",
+    "Immigration Reform",
+    "Path To Citizenship",
+    "Border Fence",
+    "Deportation Policy",
+    "Marijuana Legalization",
+    "Medical Marijuana",
+    "War On Drugs",
+    "Mandatory Minimum Sentences",
+    "Prison Overcrowding",
+    "Private Prisons",
+    "Voter Id Laws",
+    "Gerrymandering",
+    "Campaign Finance Reform",
+    "Super Pacs",
+    "Citizens United",
+    "Electoral College Abolition",
+    "Term Limits For Congress",
+    "Social Security Privatization",
+    "Raise Retirement Age",
+    "Medicare Cuts",
+    "Single Payer Healthcare",
+    "Health Insurance Mandate",
+    "Vaccine Exemptions",
+    "Teaching Evolution",
+    "Intelligent Design In Schools",
+    "School Prayer",
+    "Common Core Standards",
+    "School Vouchers",
+    "Charter Schools",
+    "Affirmative Action",
+    "College Tuition Free",
+    "Student Loan Forgiveness",
+    "Welfare Reform",
+    "Food Stamp Cuts",
+    "Estate Tax Repeal",
+    "Capital Gains Tax",
+    "Corporate Tax Loopholes",
+    "Balanced Budget Amendment",
+    "Government Shutdown",
+    "Debt Ceiling",
+    "Federal Reserve Audit",
+    "Too Big To Fail Banks",
+    "Wall Street Regulation",
+    "Keystone Pipeline",
+    "Fracking",
+    "Carbon Tax",
+    "Cap And Trade",
+    "Renewable Energy Subsidies",
+    "Coal Industry Jobs",
+    "Endangered Species Act",
+    "Net Neutrality",
+    "Nsa Surveillance",
+    "Patriot Act",
+    "Drone Strikes",
+    "Guantanamo Bay Closure",
+    "Military Spending Cuts",
+]
+
+
+def _full_term_list() -> List[str]:
+    terms = TABLE1_TERMS + _HIGHLIGHTED_TERMS + _EXTRA_TERMS
+    return terms[:87]
+
+
+#: The full list of 87 controversial terms.
+CONTROVERSIAL_TERMS: List[str] = _full_term_list()
+
+
+def controversial_queries() -> List[Query]:
+    """The 87 controversial queries."""
+    return [Query(text=term, category=QueryCategory.CONTROVERSIAL) for term in CONTROVERSIAL_TERMS]

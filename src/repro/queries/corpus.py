@@ -1,0 +1,113 @@
+"""Corpus assembly: the full 240-query study corpus.
+
+Corpora serialise to JSON so custom audit corpora can be versioned
+alongside collected datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.queries.controversial import controversial_queries
+from repro.queries.local import local_queries
+from repro.queries.model import PoliticianScope, Query, QueryCategory
+from repro.queries.politicians import politician_queries
+
+__all__ = ["QueryCorpus", "build_corpus"]
+
+
+def _query_to_dict(query: Query) -> dict:
+    raw = {"text": query.text, "category": query.category.value}
+    if query.is_brand:
+        raw["is_brand"] = True
+    if query.politician_scope is not None:
+        raw["politician_scope"] = query.politician_scope.value
+    if query.home_state is not None:
+        raw["home_state"] = query.home_state
+    if query.is_common_name:
+        raw["is_common_name"] = True
+    return raw
+
+
+def _query_from_dict(raw: dict) -> Query:
+    scope = raw.get("politician_scope")
+    return Query(
+        text=raw["text"],
+        category=QueryCategory(raw["category"]),
+        is_brand=raw.get("is_brand", False),
+        politician_scope=PoliticianScope(scope) if scope else None,
+        home_state=raw.get("home_state"),
+        is_common_name=raw.get("is_common_name", False),
+    )
+
+
+@dataclass(frozen=True)
+class QueryCorpus:
+    """The study's query corpus, indexed by category and text."""
+
+    queries: List[Query]
+
+    def __post_init__(self) -> None:
+        texts = [q.text.lower() for q in self.queries]
+        duplicates = {t for t in texts if texts.count(t) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate query texts: {sorted(duplicates)}")
+
+    def by_category(self, category: QueryCategory) -> List[Query]:
+        """All queries of one category, corpus order preserved."""
+        return [q for q in self.queries if q.category is category]
+
+    def get(self, text: str) -> Optional[Query]:
+        """Look up a query by its text, case-insensitively."""
+        lowered = text.lower()
+        for query in self.queries:
+            if query.text.lower() == lowered:
+                return query
+        return None
+
+    def counts(self) -> Dict[QueryCategory, int]:
+        """Number of queries per category."""
+        return {
+            category: len(self.by_category(category)) for category in QueryCategory
+        }
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the corpus as JSON (one object per query)."""
+        payload = [_query_to_dict(q) for q in self.queries]
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "QueryCorpus":
+        """Read a corpus written by :meth:`save`.
+
+        Raises:
+            ValueError: on malformed input, naming the offending entry.
+        """
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, list):
+            raise ValueError(f"{path}: expected a JSON array of queries")
+        queries: List[Query] = []
+        for index, entry in enumerate(raw):
+            try:
+                queries.append(_query_from_dict(entry))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(f"{path}: entry {index}: {error}") from error
+        return cls(queries=queries)
+
+
+def build_corpus() -> QueryCorpus:
+    """Build the paper's full corpus: 33 local + 87 controversial + 120 politicians."""
+    return QueryCorpus(
+        queries=local_queries() + controversial_queries() + politician_queries()
+    )

@@ -1,0 +1,70 @@
+"""The 33 local query terms.
+
+These are read directly off the x-axes of Figures 3, 4 and 6 in the
+paper.  They split into national *brand* terms and *generic*
+establishment/service terms; the paper finds brands are less noisy and
+less personalized, largely because brand queries do not trigger Maps
+cards (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.queries.model import Query, QueryCategory
+
+__all__ = ["LOCAL_BRAND_TERMS", "LOCAL_GENERIC_TERMS", "LOCAL_TERMS", "local_queries"]
+
+#: National chains / brand names (9 terms).
+LOCAL_BRAND_TERMS: List[str] = [
+    "Starbucks",
+    "Chipotle",
+    "Dairy Queen",
+    "McDonalds",
+    "Subway",
+    "Burger King",
+    "KFC",
+    "Wendy's",
+    "Chick-fil-a",
+]
+
+#: Generic establishments and public services (24 terms).
+#: Together with the brands these are the 33 local terms of Figs 3/4/6.
+LOCAL_GENERIC_TERMS: List[str] = [
+    "Post Office",
+    "Polling Place",
+    "Train",
+    "University",
+    "Sushi",
+    "Football",
+    "Bank",
+    "Burger",
+    "Rail",
+    "Coffee",
+    "Restaurant",
+    "Park",
+    "Fast Food",
+    "Police Station",
+    "Bus",
+    "School",
+    "Fire Station",
+    "Airport",
+    "Hospital",
+    "College",
+    "Station",
+    "High School",
+    "Elementary School",
+    "Middle School",
+]
+
+#: All 33 local terms, brands first.
+LOCAL_TERMS: List[str] = LOCAL_BRAND_TERMS + LOCAL_GENERIC_TERMS
+
+
+def local_queries() -> List[Query]:
+    """The 33 local queries with brand annotations."""
+    brands = {term.lower() for term in LOCAL_BRAND_TERMS}
+    return [
+        Query(text=term, category=QueryCategory.LOCAL, is_brand=term.lower() in brands)
+        for term in LOCAL_TERMS
+    ]

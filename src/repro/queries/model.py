@@ -1,0 +1,75 @@
+"""Query model shared by the corpus, the engine, and the analyses."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["QueryCategory", "PoliticianScope", "Query"]
+
+
+class QueryCategory(enum.Enum):
+    """The three query types compared throughout the paper."""
+
+    LOCAL = "local"
+    CONTROVERSIAL = "controversial"
+    POLITICIAN = "politician"
+
+    @property
+    def label(self) -> str:
+        """Legend label as printed in the paper's figures."""
+        return {
+            QueryCategory.LOCAL: "Local",
+            QueryCategory.CONTROVERSIAL: "Controversial",
+            QueryCategory.POLITICIAN: "Politicians",
+        }[self]
+
+
+class PoliticianScope(enum.Enum):
+    """How geographically scoped a politician's constituency is."""
+
+    COUNTY = "county"  # Cuyahoga County Board
+    STATE = "state"  # Ohio House / Senate
+    FEDERAL_OHIO = "federal-ohio"  # US House/Senate members from Ohio
+    FEDERAL_OTHER = "federal-other"  # US House/Senate members not from Ohio
+    NATIONAL = "national"  # Biden, Obama
+
+
+@dataclass(frozen=True)
+class Query:
+    """One search term with its study annotations.
+
+    Attributes:
+        text: The query string as typed into the search box.
+        category: Local / controversial / politician.
+        is_brand: For local queries — whether the term names a national
+            chain (brands tend not to trigger Maps cards; paper §3.1).
+        politician_scope: For politician queries — constituency scope.
+        home_state: For politician queries — the politician's state.
+        is_common_name: For politician queries — whether the name is
+            shared by many people (ambiguity drives residual
+            personalization; paper §3.2).
+    """
+
+    text: str
+    category: QueryCategory
+    is_brand: bool = False
+    politician_scope: Optional[PoliticianScope] = None
+    home_state: Optional[str] = None
+    is_common_name: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.text.strip():
+            raise ValueError("query text must be non-empty")
+        if self.category is QueryCategory.POLITICIAN and self.politician_scope is None:
+            raise ValueError(f"politician query {self.text!r} needs a scope")
+        if self.category is not QueryCategory.POLITICIAN and self.politician_scope is not None:
+            raise ValueError(f"{self.category} query {self.text!r} must not set a scope")
+        if self.is_brand and self.category is not QueryCategory.LOCAL:
+            raise ValueError("is_brand only applies to local queries")
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used in seeds and data files."""
+        return f"{self.category.value}:{self.text.lower()}"

@@ -1,0 +1,151 @@
+"""The 120 politician-name queries.
+
+Composition matches paper §2.1 exactly:
+
+* 11 members of the Cuyahoga County Board,
+* 53 members of the Ohio House and Senate,
+* 18 members of the US Senate and House from Ohio,
+* 36 members of the US House and Senate *not* from Ohio,
+* Joe Biden and Barack Obama.
+
+Real rosters are not available offline; names are synthesised from US
+name-frequency pools.  The two real Ohio congressmen the paper calls out
+for name ambiguity — "Bill Johnson" and "Tim Ryan" — are included
+verbatim and flagged ``is_common_name``, as are any synthesised names
+whose first and last name both come from the high-frequency pools.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.queries.model import PoliticianScope, Query, QueryCategory
+from repro.seeding import derive_rng
+
+__all__ = ["politician_queries", "POLITICIAN_ROSTER_SEED"]
+
+#: Roster synthesis is part of the fixed world, like geography.
+POLITICIAN_ROSTER_SEED = 20151028
+
+_COMMON_FIRST = [
+    "James", "John", "Robert", "Michael", "William", "David", "Richard",
+    "Joseph", "Thomas", "Charles", "Mary", "Patricia", "Jennifer",
+    "Linda", "Elizabeth", "Barbara", "Susan", "Jessica", "Sarah", "Karen",
+    "Bill", "Tim", "Mike", "Dave", "Tom", "Dan", "Jim", "Bob",
+]
+_UNCOMMON_FIRST = [
+    "Marcia", "Sherrod", "Quentin", "Rosalind", "Thaddeus", "Maxine",
+    "Blanche", "Orrin", "Mitch", "Nancy", "Dennis", "Marcy", "Frederica",
+    "Zoe", "Raul", "Tulsi", "Cory", "Kirsten", "Tammy", "Mazie",
+    "Jeanne", "Heidi", "Amy", "Claire", "Debbie", "Lamar", "Thad",
+    "Saxby", "Johnny", "Lindsey", "Rand", "Marco", "Ted", "Jerry",
+]
+_COMMON_LAST = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Wilson", "Moore", "Taylor", "Anderson", "Thomas",
+    "Jackson", "White", "Harris", "Martin", "Thompson", "Young", "Ryan",
+]
+_UNCOMMON_LAST = [
+    "Kucinich", "Voinovich", "Kasich", "Boehner", "Kaptur", "Fudge",
+    "Gillibrand", "Blumenthal", "Murkowski", "Heitkamp", "Klobuchar",
+    "Shaheen", "Portman", "Vance", "Stivers", "Wenstrup", "Latta",
+    "Gibbs", "Renacci", "Turner", "Beatty", "Joyce", "Chabot",
+    "Tiberi", "Crowley", "Pelosi", "Hoyer", "Scalise", "McCarthy",
+    "Cantor", "Issa", "Gowdy", "Amash", "Mulvaney", "Meadows",
+]
+
+_OTHER_STATES = [
+    "California", "Texas", "New York", "Florida", "Pennsylvania",
+    "Illinois", "Michigan", "Georgia", "North Carolina", "Virginia",
+    "Washington", "Massachusetts", "Arizona", "Indiana", "Tennessee",
+    "Missouri", "Wisconsin", "Minnesota", "Colorado", "Alabama",
+]
+
+
+def _synthesise_names(
+    rng,
+    count: int,
+    used: Set[str],
+    *,
+    common_fraction: float,
+) -> List[tuple]:
+    """Generate ``count`` unique (name, is_common) pairs."""
+    names: List[tuple] = []
+    while len(names) < count:
+        common = rng.random() < common_fraction
+        if common:
+            first = rng.choice(_COMMON_FIRST)
+            last = rng.choice(_COMMON_LAST)
+        else:
+            first = rng.choice(_COMMON_FIRST + _UNCOMMON_FIRST)
+            last = rng.choice(_UNCOMMON_LAST)
+        name = f"{first} {last}"
+        if name in used:
+            continue
+        used.add(name)
+        names.append((name, common))
+    return names
+
+
+def _make_queries(
+    names: Sequence[tuple],
+    scope: PoliticianScope,
+    home_state: str,
+) -> List[Query]:
+    return [
+        Query(
+            text=name,
+            category=QueryCategory.POLITICIAN,
+            politician_scope=scope,
+            home_state=home_state,
+            is_common_name=common,
+        )
+        for name, common in names
+    ]
+
+
+def politician_queries() -> List[Query]:
+    """The full 120-politician roster, deterministic across processes."""
+    rng = derive_rng(POLITICIAN_ROSTER_SEED, "politician-roster")
+    used: Set[str] = {"Joe Biden", "Barack Obama", "Bill Johnson", "Tim Ryan"}
+
+    queries: List[Query] = []
+
+    county_names = _synthesise_names(rng, 11, used, common_fraction=0.3)
+    queries.extend(_make_queries(county_names, PoliticianScope.COUNTY, "Ohio"))
+
+    state_names = _synthesise_names(rng, 53, used, common_fraction=0.25)
+    queries.extend(_make_queries(state_names, PoliticianScope.STATE, "Ohio"))
+
+    # 18 federal legislators from Ohio; the paper's two ambiguous real
+    # names are both Ohio US-House members.
+    federal_ohio_names = [("Bill Johnson", True), ("Tim Ryan", True)]
+    federal_ohio_names += _synthesise_names(rng, 16, used, common_fraction=0.2)
+    queries.extend(_make_queries(federal_ohio_names, PoliticianScope.FEDERAL_OHIO, "Ohio"))
+
+    federal_other_names = _synthesise_names(rng, 36, used, common_fraction=0.2)
+    for (name, common), state_index in zip(
+        federal_other_names, range(len(federal_other_names))
+    ):
+        state = _OTHER_STATES[state_index % len(_OTHER_STATES)]
+        queries.append(
+            Query(
+                text=name,
+                category=QueryCategory.POLITICIAN,
+                politician_scope=PoliticianScope.FEDERAL_OTHER,
+                home_state=state,
+                is_common_name=common,
+            )
+        )
+
+    for name in ("Joe Biden", "Barack Obama"):
+        queries.append(
+            Query(
+                text=name,
+                category=QueryCategory.POLITICIAN,
+                politician_scope=PoliticianScope.NATIONAL,
+                home_state=None,
+                is_common_name=False,
+            )
+        )
+    return queries

@@ -1,0 +1,6 @@
+"""Small statistics helpers shared by the analyses."""
+
+from repro.stats.correlation import pearson, permutation_pvalue, spearman
+from repro.stats.summaries import MeanStd, summarize
+
+__all__ = ["pearson", "permutation_pvalue", "spearman", "MeanStd", "summarize"]

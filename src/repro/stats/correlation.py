@@ -1,0 +1,84 @@
+"""Correlation coefficients with permutation significance tests.
+
+Used by the demographics analysis (paper §3.2): Pearson and Spearman
+coefficients between pairwise SERP similarity and pairwise demographic
+distance, with a seeded permutation test for p-values — self-contained
+and exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from repro.seeding import derive_rng
+
+__all__ = ["pearson", "spearman", "permutation_pvalue"]
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson product-moment correlation of two equal-length samples.
+
+    Returns 0.0 when either sample is constant (correlation undefined).
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if len(x) < 2:
+        raise ValueError("need at least two observations")
+    n = len(x)
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(x, y))
+    var_x = sum((a - mean_x) ** 2 for a in x)
+    var_y = sum((b - mean_y) ** 2 for b in y)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    """Fractional ranks (ties get the average of their rank range)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average_rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson over fractional ranks)."""
+    return pearson(_ranks(x), _ranks(y))
+
+
+def permutation_pvalue(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    statistic: Callable[[Sequence[float], Sequence[float]], float] = pearson,
+    iterations: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Two-sided permutation p-value for a correlation statistic.
+
+    Shuffles ``y`` ``iterations`` times (seeded, reproducible) and
+    reports the fraction of permutations whose |statistic| is at least
+    the observed |statistic| (with the +1 small-sample correction).
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    observed = abs(statistic(x, y))
+    rng = derive_rng(seed, "permutation-test", iterations)
+    shuffled = list(y)
+    at_least_as_extreme = 0
+    for _ in range(iterations):
+        rng.shuffle(shuffled)
+        if abs(statistic(x, shuffled)) >= observed:
+            at_least_as_extreme += 1
+    return (at_least_as_extreme + 1) / (iterations + 1)

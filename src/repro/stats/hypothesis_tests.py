@@ -1,0 +1,159 @@
+"""Nonparametric significance tests and bootstrap intervals.
+
+The paper reads personalization off bar charts against noise floors;
+for a library release we also want formal statements — "is the
+personalization distribution actually different from the noise
+distribution?".  Implemented from scratch (no scipy): the Mann–Whitney
+U test with normal approximation and tie correction, and seeded
+bootstrap confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.seeding import derive_rng
+from repro.stats.correlation import _ranks
+
+__all__ = ["MannWhitneyResult", "mann_whitney_u", "bootstrap_ci", "BootstrapCI"]
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """Outcome of a two-sided Mann–Whitney U test."""
+
+    u_statistic: float
+    z_score: float
+    p_value: float
+    n_a: int
+    n_b: int
+    u_first: float = 0.0
+    """U of the *first* sample (direction-preserving, unlike the
+    two-sided ``u_statistic``)."""
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05."""
+        return self.p_value < 0.05
+
+    @property
+    def effect_size(self) -> float:
+        """Rank-biserial correlation, in [-1, 1].
+
+        0 means the two samples are stochastically identical; +1 means
+        every value of the first sample exceeds every value of the
+        second.  The p-value says *whether* distributions differ; this
+        says *how much* — essential at the study's sample sizes, where
+        trivial differences reach significance.
+        """
+        return 2.0 * self.u_first / (self.n_a * self.n_b) - 1.0
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal (via erfc)."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> MannWhitneyResult:
+    """Two-sided Mann–Whitney U test with tie correction.
+
+    Tests whether samples ``a`` and ``b`` come from distributions with
+    the same location.  Uses the normal approximation, which is
+    excellent at the sample sizes the analyses produce (hundreds to
+    thousands of page comparisons).
+
+    Raises:
+        ValueError: if either sample is empty.
+    """
+    n_a, n_b = len(a), len(b)
+    if n_a == 0 or n_b == 0:
+        raise ValueError("both samples must be non-empty")
+    combined = list(a) + list(b)
+    ranks = _ranks(combined)
+    rank_sum_a = sum(ranks[:n_a])
+    u_a = rank_sum_a - n_a * (n_a + 1) / 2.0
+    # Symmetric U for the two-sided test.
+    u = min(u_a, n_a * n_b - u_a)
+
+    mean_u = n_a * n_b / 2.0
+    n = n_a + n_b
+    # Tie correction on the variance.
+    tie_counts: dict = {}
+    for value in combined:
+        tie_counts[value] = tie_counts.get(value, 0) + 1
+    tie_term = sum(t**3 - t for t in tie_counts.values())
+    variance = (n_a * n_b / 12.0) * ((n + 1) - tie_term / (n * (n - 1))) if n > 1 else 0.0
+    if variance <= 0:
+        # All values identical: no evidence of a difference.
+        return MannWhitneyResult(
+            u_statistic=u, z_score=0.0, p_value=1.0, n_a=n_a, n_b=n_b, u_first=u_a
+        )
+    z = (u_a - mean_u) / math.sqrt(variance)
+    p = min(1.0, 2.0 * _normal_sf(abs(z)))
+    return MannWhitneyResult(
+        u_statistic=u, z_score=z, p_value=p, n_a=n_a, n_b=n_b, u_first=u_a
+    )
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap percentile confidence interval for a sample mean."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Seeded percentile-bootstrap CI for the mean of ``values``.
+
+    Deterministic for a given seed, so figures carry reproducible error
+    estimates.
+
+    Raises:
+        ValueError: on an empty sample or a nonsensical confidence.
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples <= 0:
+        raise ValueError("resamples must be positive")
+    data: List[float] = list(values)
+    n = len(data)
+    mean = sum(data) / n
+    rng = derive_rng(seed, "bootstrap", n, resamples)
+    means: List[float] = []
+    for _ in range(resamples):
+        total = 0.0
+        for _ in range(n):
+            total += data[rng.randrange(n)]
+        means.append(total / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = max(0, min(resamples - 1, int(math.floor(alpha * resamples))))
+    high_index = max(0, min(resamples - 1, int(math.ceil((1.0 - alpha) * resamples)) - 1))
+    return BootstrapCI(
+        mean=mean,
+        low=means[low_index],
+        high=means[high_index],
+        confidence=confidence,
+        resamples=resamples,
+    )

@@ -1,0 +1,40 @@
+"""Mean / standard-deviation summaries.
+
+The paper's bar figures report means with standard-deviation error bars;
+this tiny module keeps that aggregation in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["MeanStd", "summarize"]
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """A mean with its (population) standard deviation and sample count."""
+
+    mean: float
+    std: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={self.count})"
+
+
+def summarize(values: Iterable[float]) -> MeanStd:
+    """Mean and population standard deviation of ``values``.
+
+    Raises:
+        ValueError: on an empty input — an empty cell in a figure is a
+            bug upstream, not a zero.
+    """
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarize an empty sequence")
+    mean = sum(data) / len(data)
+    variance = sum((x - mean) ** 2 for x in data) / len(data)
+    return MeanStd(mean=mean, std=math.sqrt(variance), count=len(data))

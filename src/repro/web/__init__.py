@@ -1,0 +1,30 @@
+"""Synthetic web substrate.
+
+The engine ranks documents from a deterministic synthetic web: national
+sites, per-state sites, per-city sites, local business points of
+interest, news outlets with a rotating article pool, and the web
+presence of every politician in the query corpus.  Everything is
+generated lazily and reproducibly from seeds, so the "web" is unbounded
+in extent but identical across runs.
+"""
+
+from repro.web.documents import DocKind, Document, GeoScope
+from repro.web.grid import GeoGrid, GridCell
+from repro.web.news import NewsArticle, NewsPool
+from repro.web.pois import Poi, PoiDatabase
+from repro.web.urls import Url
+from repro.web.world import WebWorld
+
+__all__ = [
+    "DocKind",
+    "Document",
+    "GeoScope",
+    "GeoGrid",
+    "GridCell",
+    "NewsArticle",
+    "NewsPool",
+    "Poi",
+    "PoiDatabase",
+    "Url",
+    "WebWorld",
+]

@@ -1,0 +1,68 @@
+"""Document model: what the engine indexes and SERPs link to."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geo.coords import LatLon
+from repro.web.urls import Url
+
+__all__ = ["DocKind", "GeoScope", "Document"]
+
+
+class DocKind(enum.Enum):
+    """Coarse document type; drives card rendering and attribution."""
+
+    ORGANIC = "organic"  # an ordinary web page
+    LOCAL_BUSINESS = "local-business"  # a POI's own page or listing
+    NEWS_ARTICLE = "news"  # a dated news article
+    MAP_PLACE = "map-place"  # a place entry inside a Maps card
+
+
+class GeoScope(enum.Enum):
+    """How geographically scoped a document's relevance is."""
+
+    NATIONAL = "national"  # equally relevant everywhere
+    STATE = "state"  # relevant within one state
+    CITY = "city"  # relevant within one metro cell
+    POINT = "point"  # anchored to one coordinate (a POI)
+
+
+@dataclass(frozen=True)
+class Document:
+    """One indexable web document.
+
+    Attributes:
+        url: Canonical URL; the identity used by all metrics.
+        title: Human-readable title (rendered in SERP cards).
+        kind: Coarse type (drives card type and attribution).
+        scope: Geographic relevance scope.
+        base_score: Query-independent quality/topicality score assigned
+            at generation time.  The ranking layer adds geo boosts,
+            personalization, and noise on top.
+        anchor: Physical anchor for ``POINT``-scoped documents.
+        state: Home state for ``STATE``-scoped documents.
+    """
+
+    url: Url
+    title: str
+    kind: DocKind
+    scope: GeoScope
+    base_score: float
+    anchor: Optional[LatLon] = None
+    state: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scope is GeoScope.POINT and self.anchor is None:
+            raise ValueError(f"POINT-scoped document needs an anchor: {self.url}")
+        if self.scope is GeoScope.STATE and self.state is None:
+            raise ValueError(f"STATE-scoped document needs a state: {self.url}")
+        if self.base_score < 0:
+            raise ValueError(f"base_score must be non-negative: {self.base_score}")
+
+    @property
+    def identity(self) -> str:
+        """The string identity used by metrics and dedup."""
+        return str(self.url)

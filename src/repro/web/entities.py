@@ -1,0 +1,293 @@
+"""Query-entity web presence: the universal and scoped documents.
+
+For every query the engine needs a candidate pool.  This module
+generates the *non-POI* part of that pool:
+
+* a **universal** slate — nationally relevant pages whose base scores
+  are well separated (their stability is why controversial/politician
+  queries barely personalize);
+* **state-scoped** documents (state government pages, statewide
+  directories, op-eds) shared by everyone in one state;
+* **city-scoped** documents (the synthetic city site and local paper)
+  shared by everyone in one metro cell;
+* **ambiguity entities** for common politician names — other people
+  with the same name anchored elsewhere in the country, whose pages
+  surface near their own home (the paper's "Bill Johnson" effect).
+
+Score *spacing* per category is the engine's main noise knob: tightly
+spaced slates churn under score jitter, widely spaced slates do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.geo.coords import LatLon
+from repro.geo.usa import US_STATES
+from repro.queries.model import PoliticianScope, Query, QueryCategory
+from repro.seeding import derive_rng, stable_unit
+from repro.web.documents import DocKind, Document, GeoScope
+from repro.web.grid import GridCell
+from repro.web.naming import city_name
+from repro.web.urls import Url, slugify
+
+__all__ = [
+    "AmbiguousEntity",
+    "universal_docs",
+    "state_docs",
+    "city_docs",
+    "ambiguous_entities",
+]
+
+# ---------------------------------------------------------------------------
+# Universal slates
+# ---------------------------------------------------------------------------
+
+#: (host template, path template, title template, score offset)
+#: Nationally relevant pages dominate generic-local SERPs; their tight
+#: score spacing plus the location-keyed perturbation is what makes
+#: "school" pages share most links across the country but in wildly
+#: different orders (paper: high edit distance, moderate Jaccard,
+#: "the vast majority of changes ... impact typical results").
+_GENERIC_LOCAL_UNIVERSAL = [
+    ("encyclopedia.example.org", "/wiki/{slug}", "{term} - Encyclopedia", 10.00),
+    ("citydirectory.example.com", "/search/{slug}", "Top {term} near you", 9.82),
+    ("travelreviews.example.com", "/c/{slug}", "Best {term} - Reviews", 9.65),
+    ("qna.example.com", "/questions/{slug}", "How to choose a {term}", 9.47),
+    ("national-{slug}.example.org", "/", "National {term} Association", 9.30),
+    ("howstuff.example.com", "/guide/{slug}", "{term} explained", 9.13),
+    ("listicles.example.com", "/rank/{slug}", "10 best {term} options", 8.97),
+    ("forum.example.com", "/t/{slug}", "{term} - discussion", 8.80),
+    ("newsmagazine.example.com", "/life/{slug}", "Choosing the right {term}", 8.63),
+    ("consumerwatch.example.org", "/ratings/{slug}", "{term} ratings", 8.46),
+    ("finder.example.com", "/near-me/{slug}", "{term} near me - Finder", 8.30),
+    ("mapsearch.example.com", "/browse/{slug}", "Browse {term} listings", 8.13),
+    ("opinionsite.example.com", "/why/{slug}", "Why your {term} matters", 7.96),
+    ("statsbureau.example.gov", "/data/{slug}", "{term} statistics", 7.79),
+]
+
+_BRAND_UNIVERSAL = [
+    ("{slug}.example.com", "/", "{term} - Official Site", 12.00),
+    ("{slug}.example.com", "/locations", "{term} Locations", 11.65),
+    ("{slug}.example.com", "/menu", "{term} Menu & Prices", 11.30),
+    ("encyclopedia.example.org", "/wiki/{slug}", "{term} - Encyclopedia", 10.95),
+    ("dailynational.example.com", "/business/{slug}", "{term} in the news", 10.60),
+    ("chirper.example.com", "/{slug}", "{term} (@{slug}) on Chirper", 10.28),
+    ("travelreviews.example.com", "/brand/{slug}", "{term} - Reviews", 9.96),
+    ("couponhub.example.com", "/store/{slug}", "{term} deals", 9.65),
+    ("appstore.example.com", "/app/{slug}", "{term} mobile app", 9.35),
+    ("jobboards.example.com", "/company/{slug}", "Careers at {term}", 9.05),
+    ("pressroom.example.com", "/brand/{slug}", "{term} press room", 8.80),
+    ("stockwatch.example.com", "/ticker/{slug}", "{term} investor news", 8.55),
+    ("foodblog.example.com", "/reviews/{slug}", "We tried everything at {term}", 8.30),
+    ("nutrition-db.example.org", "/chains/{slug}", "{term} nutrition facts", 8.05),
+    ("rankings.example.com", "/fast-food/{slug}", "How {term} ranks", 7.80),
+]
+
+_CONTROVERSIAL_UNIVERSAL = [
+    ("encyclopedia.example.org", "/wiki/{slug}", "{term} - Encyclopedia", 11.00),
+    ("refdesk.example.org", "/topic/{slug}", "{term} - Reference", 10.72),
+    ("prosandcons.example.org", "/{slug}", "{term}: Pros and Cons", 10.46),
+    ("citizensalliance.example.org", "/issues/{slug}", "Support {term}", 10.20),
+    ("libertycoalition.example.org", "/stop/{slug}", "The case against {term}", 9.95),
+    ("usa.example.gov", "/policy/{slug}", "{term} - Official policy", 9.70),
+    ("thinktank.example.org", "/research/{slug}", "{term}: evidence review", 9.44),
+    ("dailynational.example.com", "/explainer/{slug}", "{term}, explained", 9.18),
+    ("factcheckers.example.org", "/claims/{slug}", "Fact-check: {term}", 8.92),
+    ("quarterlyreview.example.com", "/essay/{slug}", "Rethinking {term}", 8.68),
+    ("scholarlycommons.example.edu", "/papers/{slug}", "{term}: a survey", 8.44),
+    ("forum.example.com", "/t/{slug}", "{term} - discussion", 8.20),
+]
+
+_POLITICIAN_UNIVERSAL = [
+    ("{slug}.example.com", "/", "{term} - Official Website", 11.20),
+    ("encyclopedia.example.org", "/wiki/{slug}", "{term} - Encyclopedia", 10.88),
+    ("ballotfacts.example.org", "/people/{slug}", "{term} - Ballot Facts", 10.56),
+    ("chirper.example.com", "/{slug}", "{term} (@{slug}) on Chirper", 10.24),
+    ("votetracker.example.org", "/member/{slug}", "{term} voting record", 9.92),
+    ("dailynational.example.com", "/politics/{slug}", "{term} in the news", 9.60),
+    ("campaigncash.example.org", "/donors/{slug}", "{term} campaign finance", 9.30),
+    ("civicmirror.example.org", "/bio/{slug}", "{term} biography", 9.00),
+    ("speecharchive.example.org", "/speaker/{slug}", "{term}: speeches", 8.72),
+    ("townhall-directory.example.com", "/events/{slug}", "{term} town halls", 8.44),
+    ("photoarchive.example.com", "/galleries/{slug}", "{term} - photos", 8.18),
+    ("quotesite.example.com", "/author/{slug}", "{term} quotes", 7.92),
+]
+
+
+def _build_slate(template, term: str) -> List[Document]:
+    slug = slugify(term)
+    docs: List[Document] = []
+    for host_t, path_t, title_t, score in template:
+        docs.append(
+            Document(
+                url=Url(host=host_t.format(slug=slug), path=path_t.format(slug=slug)),
+                title=title_t.format(term=term, slug=slug),
+                kind=DocKind.ORGANIC,
+                scope=GeoScope.NATIONAL,
+                base_score=score,
+            )
+        )
+    return docs
+
+
+def universal_docs(query: Query) -> List[Document]:
+    """The nationally scoped candidate slate for ``query``."""
+    if query.category is QueryCategory.LOCAL:
+        template = _BRAND_UNIVERSAL if query.is_brand else _GENERIC_LOCAL_UNIVERSAL
+    elif query.category is QueryCategory.CONTROVERSIAL:
+        template = _CONTROVERSIAL_UNIVERSAL
+    else:
+        template = _POLITICIAN_UNIVERSAL
+    return _build_slate(template, query.text)
+
+
+# ---------------------------------------------------------------------------
+# State- and city-scoped documents
+# ---------------------------------------------------------------------------
+
+#: Controversial terms the paper singles out as most personalized get a
+#: stronger state-scoped presence.
+BROAD_CONTROVERSIAL_TERMS = {"health", "republican party", "politics"}
+
+
+def state_docs(query: Query, state: str) -> List[Document]:
+    """Documents scoped to one state for ``query``."""
+    slug = slugify(query.text)
+    state_slug = slugify(state)
+    docs: List[Document] = []
+    if query.category is QueryCategory.LOCAL and not query.is_brand:
+        docs.append(
+            Document(
+                url=Url(host=f"{state_slug}.example.gov", path=f"/services/{slug}"),
+                title=f"{query.text} services - State of {state}",
+                kind=DocKind.ORGANIC,
+                scope=GeoScope.STATE,
+                base_score=8.45,
+                state=state,
+            )
+        )
+    elif query.category is QueryCategory.CONTROVERSIAL:
+        broad = query.text.lower() in BROAD_CONTROVERSIAL_TERMS
+        docs.append(
+            Document(
+                url=Url(
+                    host=f"{state_slug}dispatch.example.com",
+                    path=f"/opinion/{slug}",
+                ),
+                title=f"Opinion: {query.text} and {state}",
+                kind=DocKind.ORGANIC,
+                scope=GeoScope.STATE,
+                base_score=8.95 if broad else 8.30,
+                state=state,
+            )
+        )
+    elif query.category is QueryCategory.POLITICIAN:
+        if query.home_state is not None and query.home_state == state:
+            docs.append(
+                Document(
+                    url=Url(
+                        host=f"{state_slug}dispatch.example.com",
+                        path=f"/profiles/{slug}",
+                    ),
+                    title=f"{query.text}: profile ({state} Dispatch)",
+                    kind=DocKind.ORGANIC,
+                    scope=GeoScope.STATE,
+                    base_score=8.60,
+                    state=state,
+                )
+            )
+            if query.politician_scope in (PoliticianScope.COUNTY, PoliticianScope.STATE):
+                docs.append(
+                    Document(
+                        url=Url(host=f"{state_slug}.example.gov", path=f"/officials/{slug}"),
+                        title=f"{query.text} - {state} government",
+                        kind=DocKind.ORGANIC,
+                        scope=GeoScope.STATE,
+                        base_score=8.35,
+                        state=state,
+                    )
+                )
+    return docs
+
+
+def city_docs(query: Query, metro_cell: GridCell) -> List[Document]:
+    """Documents scoped to one metro cell (the synthetic locality)."""
+    if query.category is not QueryCategory.LOCAL or query.is_brand:
+        return []
+    slug = slugify(query.text)
+    city = city_name(metro_cell)
+    city_slug = slugify(city)
+    return [
+        Document(
+            url=Url(host=f"cityof{city_slug}.example.gov", path=f"/{slug}"),
+            title=f"{query.text} - City of {city}",
+            kind=DocKind.ORGANIC,
+            scope=GeoScope.CITY,
+            base_score=7.40,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Common-name ambiguity
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AmbiguousEntity:
+    """Another person sharing a politician's name, anchored elsewhere."""
+
+    name: str
+    occupation: str
+    anchor: LatLon
+    document: Document
+
+
+_OCCUPATIONS = [
+    "realtor", "attorney", "dentist", "professor", "contractor",
+    "photographer", "chiropractor", "insurance-agent",
+]
+
+
+def ambiguous_entities(query: Query, world_seed: int) -> List[AmbiguousEntity]:
+    """Same-named people for a common politician name.
+
+    Each entity is anchored near a state centroid; its page's relevance
+    decays with distance from that anchor, so it only cracks the SERP
+    for users near the entity — this is what differentiates results for
+    "Bill Johnson" across the country.
+    """
+    if not query.is_common_name:
+        return []
+    slug = slugify(query.text)
+    rng = derive_rng(world_seed, "ambiguous", slug)
+    count = rng.randrange(2, 5)
+    states = rng.sample(sorted(US_STATES), count)
+    entities: List[AmbiguousEntity] = []
+    for index, state in enumerate(states):
+        base = US_STATES[state]
+        anchor = LatLon(
+            max(-90.0, min(90.0, base.lat + rng.uniform(-1.0, 1.0))),
+            max(-180.0, min(180.0, base.lon + rng.uniform(-1.0, 1.0))),
+        )
+        occupation = rng.choice(_OCCUPATIONS)
+        score = 9.4 + rng.uniform(-0.2, 0.2)
+        doc = Document(
+            url=Url(
+                host=f"{slug}-{occupation}.example.com",
+                path="/",
+            ),
+            title=f"{query.text}, {occupation.replace('-', ' ')} in {state}",
+            kind=DocKind.ORGANIC,
+            scope=GeoScope.POINT,
+            base_score=score,
+            anchor=anchor,
+        )
+        entities.append(
+            AmbiguousEntity(
+                name=query.text, occupation=occupation, anchor=anchor, document=doc
+            )
+        )
+    return entities

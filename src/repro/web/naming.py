@@ -1,0 +1,79 @@
+"""Deterministic synthetic naming for cities and businesses.
+
+Every locality and business in the synthetic web has a plausible,
+reproducible name derived from its grid position — so result URLs look
+like a real crawl ("maple-grove-coffee-roasters.com") and stay identical
+across runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.seeding import derive_rng
+from repro.web.grid import GridCell
+
+__all__ = ["city_name", "business_name", "person_name"]
+
+_NAMING_SEED = 20151028
+
+_CITY_FIRST = [
+    "Maple", "Oak", "Cedar", "River", "Lake", "Fair", "Brook", "Shaker",
+    "Cleve", "East", "West", "North", "South", "Spring", "Garfield",
+    "Park", "Bay", "Rocky", "Chagrin", "Euclid", "Berea", "Avon",
+    "Willow", "High", "Green", "Stone", "Clear", "Pleasant", "Union",
+    "Grand",
+]
+_CITY_SECOND = [
+    "wood", "field", "view", "ville", "ton", " Heights", " Falls",
+    " Park", "dale", "burg", " Grove", "land", "ford", " City",
+    " Springs", "mont", "side", " Lake", "boro", "port",
+]
+
+_BUSINESS_ADJ = [
+    "Golden", "Village", "Family", "Metro", "Corner", "Sunrise", "Royal",
+    "Lakeside", "Downtown", "Classic", "Friendly", "Premier", "Hometown",
+    "Riverside", "Century", "Liberty", "Heritage", "Pioneer", "Summit",
+    "Harbor",
+]
+
+_LAST_NAMES = [
+    "Miller", "Novak", "Kowalski", "Russo", "Schmidt", "Horvath",
+    "Janssen", "O'Brien", "Petrov", "Kim", "Nguyen", "Garcia",
+    "Johnson", "Walsh", "Bauer", "Costa", "Larsen", "Adams", "Bishop",
+    "Carver",
+]
+
+
+def city_name(metro_cell: GridCell) -> str:
+    """The synthetic city/locality name for one metro-grid cell.
+
+    >>> city_name(GridCell(10, 20)) == city_name(GridCell(10, 20))
+    True
+    """
+    rng = derive_rng(_NAMING_SEED, "city", metro_cell.ix, metro_cell.iy)
+    first = rng.choice(_CITY_FIRST)
+    second = rng.choice(_CITY_SECOND)
+    return f"{first}{second}".strip()
+
+
+def business_name(category: str, city: str, index: int) -> str:
+    """A plausible business name for the ``index``-th POI of a category.
+
+    Mixes three patterns: "<Adj> <Category>", "<City> <Category>",
+    and "<Surname>'s <Category>".
+    """
+    rng = derive_rng(_NAMING_SEED, "business", category, city, index)
+    pattern = rng.randrange(3)
+    noun = category.title()
+    if pattern == 0:
+        return f"{rng.choice(_BUSINESS_ADJ)} {noun}"
+    if pattern == 1:
+        return f"{city} {noun}"
+    return f"{rng.choice(_LAST_NAMES)}'s {noun}"
+
+
+def person_name(rng_path: List[str]) -> str:
+    """A synthetic person name for entity disambiguation scenarios."""
+    rng = derive_rng(_NAMING_SEED, "person", *rng_path)
+    return f"{rng.choice(_BUSINESS_ADJ)} {rng.choice(_LAST_NAMES)}"

@@ -1,0 +1,145 @@
+"""The rotating news-article pool.
+
+Controversial (and, less often, politician) queries carry an
+"In the News" meta-card.  Articles rotate day by day: each (topic, day)
+spawns zero or more articles that stay in the pool for a few days, so
+adjacent days share most of their articles — matching the slow news
+churn the paper attributes 6–17% of controversial-query noise to.
+
+Statewide outlets contribute a geo-scoped article per topic, which is
+what makes the News share of *personalization* grow with granularity
+(paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.seeding import derive_rng, stable_unit
+from repro.web.documents import DocKind, Document, GeoScope
+from repro.web.urls import Url, slugify
+
+__all__ = ["NewsArticle", "NewsPool", "NATIONAL_OUTLETS"]
+
+#: National news outlets (synthetic stand-ins for the usual suspects).
+NATIONAL_OUTLETS: List[str] = [
+    "dailynational.example.com",
+    "usheadlines.example.com",
+    "thecapitoltimes.example.com",
+    "newswire.example.com",
+    "theeveningpost.example.com",
+    "broadcastnews.example.com",
+]
+
+#: How many days an article stays in the candidate pool.
+ARTICLE_LIFETIME_DAYS = 4
+
+
+@dataclass(frozen=True)
+class NewsArticle:
+    """One dated article (wraps a Document with its publication day)."""
+
+    document: Document
+    published_day: int
+    outlet: str
+
+
+def state_outlet(state: str) -> str:
+    """The statewide outlet domain for ``state``."""
+    return f"{slugify(state)}dispatch.example.com"
+
+
+class NewsPool:
+    """Deterministic per-topic, per-day article generation."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def newsworthiness(self, topic: str) -> float:
+        """Stable propensity of a topic to be in the news, in [0, 1)."""
+        return stable_unit("newsworthiness", self.seed, slugify(topic))
+
+    def articles_for(
+        self,
+        topic: str,
+        day: int,
+        *,
+        state: Optional[str] = None,
+    ) -> List[NewsArticle]:
+        """Articles alive on ``day`` for ``topic``.
+
+        National articles are independent of location; if ``state`` is
+        given, a statewide-outlet article may be appended (scoped to
+        that state).  Articles published on day *p* score higher the
+        fresher they are.
+        """
+        slug = slugify(topic)
+        articles: List[NewsArticle] = []
+        for published in range(day - ARTICLE_LIFETIME_DAYS + 1, day + 1):
+            rng = derive_rng(self.seed, "news", slug, published)
+            count = rng.randrange(0, 3)  # 0-2 national articles per day
+            for index in range(count):
+                outlet = rng.choice(NATIONAL_OUTLETS)
+                age = day - published
+                score = 8.6 - 0.35 * age + rng.uniform(-0.05, 0.05)
+                url = Url(
+                    host=outlet,
+                    path=f"/{published}/{slug}-{index}",
+                )
+                articles.append(
+                    NewsArticle(
+                        document=Document(
+                            url=url,
+                            title=f"{topic}: coverage ({outlet.split('.')[0]})",
+                            kind=DocKind.NEWS_ARTICLE,
+                            scope=GeoScope.NATIONAL,
+                            base_score=score,
+                        ),
+                        published_day=published,
+                        outlet=outlet,
+                    )
+                )
+        if state is not None:
+            articles.extend(self._state_articles(slug, topic, day, state))
+        articles.sort(key=lambda a: (-a.document.base_score, str(a.document.url)))
+        return articles
+
+    def _state_articles(
+        self, slug: str, topic: str, day: int, state: str
+    ) -> List[NewsArticle]:
+        """Zero or one statewide article alive on ``day``."""
+        week = day // 7
+        rng = derive_rng(self.seed, "state-news", slug, slugify(state), week)
+        if rng.random() > 0.40:
+            return []
+        outlet = state_outlet(state)
+        score = 8.05 + rng.uniform(-0.1, 0.1)
+        url = Url(host=outlet, path=f"/w{week}/{slug}")
+        return [
+            NewsArticle(
+                document=Document(
+                    url=url,
+                    title=f"{topic}: what it means for {state}",
+                    kind=DocKind.NEWS_ARTICLE,
+                    scope=GeoScope.STATE,
+                    base_score=score,
+                    state=state,
+                ),
+                published_day=week * 7,
+                outlet=outlet,
+            )
+        ]
+
+    def has_news_card(self, topic: str, day: int, *, affinity_threshold: float) -> bool:
+        """Whether ``topic`` carries a News card on ``day``.
+
+        Deterministic per (topic, day): a topic's newsworthiness is
+        blended with a per-day draw, so the *set* of topics with news
+        cards drifts slowly across days, but two simultaneous requests
+        always agree — the paper found News causes almost no noise for
+        local queries and only modest noise for controversial ones.
+        """
+        daily = stable_unit("news-card-day", self.seed, slugify(topic), day)
+        blended = 0.75 * self.newsworthiness(topic) + 0.25 * daily
+        return blended > affinity_threshold

@@ -1,0 +1,58 @@
+"""URL model.
+
+Search results are compared *by URL* in the paper's metrics, so URLs
+are the atoms of the whole analysis.  A tiny structured model keeps
+canonicalisation in one place (lower-cased host, no trailing slash
+ambiguity) so that two pipelines never disagree about equality.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Url"]
+
+_HOST_RE = re.compile(r"^[a-z0-9]([a-z0-9-]*[a-z0-9])?(\.[a-z0-9]([a-z0-9-]*[a-z0-9])?)+$")
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def slugify(text: str) -> str:
+    """Lower-case ``text`` and squeeze non-alphanumerics to hyphens.
+
+    >>> slugify("Elementary School #3, Cleveland!")
+    'elementary-school-3-cleveland'
+    """
+    return _SLUG_RE.sub("-", text.lower()).strip("-")
+
+
+@dataclass(frozen=True, order=True)
+class Url:
+    """An absolute http(s) URL split into host and path."""
+
+    host: str
+    path: str = "/"
+
+    def __post_init__(self) -> None:
+        host = self.host.lower()
+        if not _HOST_RE.match(host):
+            raise ValueError(f"malformed host: {self.host!r}")
+        object.__setattr__(self, "host", host)
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/': {self.path!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse an absolute URL string (scheme optional)."""
+        stripped = re.sub(r"^https?://", "", text.strip())
+        host, _, rest = stripped.partition("/")
+        return cls(host=host, path="/" + rest if rest else "/")
+
+    @property
+    def domain(self) -> str:
+        """The registrable domain (last two labels of the host)."""
+        labels = self.host.split(".")
+        return ".".join(labels[-2:])
+
+    def __str__(self) -> str:
+        return f"https://{self.host}{self.path}"

@@ -1,0 +1,94 @@
+"""Shared fixtures.
+
+The expensive fixtures (collected datasets) are session-scoped: the
+small study takes a few seconds and is reused by every analysis test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datastore import SerpDataset
+from repro.core.experiment import StudyConfig
+from repro.core.runner import Study
+from repro.engine import DatacenterCluster, SearchEngine, SearchRequest
+from repro.net.geoip import GeoIPDatabase
+from repro.net.ip import IPv4Address
+from repro.queries.corpus import build_corpus
+from repro.queries.model import QueryCategory
+from repro.web.world import WebWorld
+
+TEST_SEED = 987654321
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full 240-query corpus."""
+    return build_corpus()
+
+
+@pytest.fixture(scope="session")
+def small_queries(corpus):
+    """A balanced cross-category slice of the corpus."""
+    local = corpus.by_category(QueryCategory.LOCAL)
+    brands = [q for q in local if q.is_brand][:3]
+    generics = [q for q in local if not q.is_brand][:6]
+    controversial = corpus.by_category(QueryCategory.CONTROVERSIAL)[:6]
+    politicians = corpus.by_category(QueryCategory.POLITICIAN)
+    common = [q for q in politicians if q.is_common_name][:2]
+    national = [q for q in politicians if q.politician_scope.value == "national"]
+    scoped = [q for q in politicians if q not in common and q not in national][:3]
+    return brands + generics + controversial + common + national + scoped
+
+
+@pytest.fixture(scope="session")
+def small_config(small_queries):
+    """A small but methodologically complete study configuration."""
+    return StudyConfig.small(
+        small_queries, seed=TEST_SEED, days=2, locations_per_granularity=5
+    )
+
+
+@pytest.fixture(scope="session")
+def small_study(small_config):
+    """A wired (not yet run) small study."""
+    return Study(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_study) -> SerpDataset:
+    """The collected dataset of the small study (run once per session)."""
+    return small_study.run()
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A synthetic web world."""
+    return WebWorld(TEST_SEED)
+
+
+@pytest.fixture()
+def engine(world, corpus):
+    """A fresh engine (function-scoped: sessions/rate limits are stateful)."""
+    cluster = DatacenterCluster()
+    geoip = GeoIPDatabase()
+    return SearchEngine(world, cluster, geoip, corpus=corpus, seed=TEST_SEED)
+
+
+@pytest.fixture()
+def make_request(engine):
+    """Factory for well-formed search requests against ``engine``."""
+
+    def _make(query_text, *, gps=None, nonce=1, t=100.0, cookie=None, ip="192.0.2.10",
+              frontend_index=0):
+        return SearchRequest(
+            query_text=query_text,
+            client_ip=IPv4Address.parse(ip),
+            frontend_ip=engine.cluster[frontend_index].frontend_ip,
+            timestamp_minutes=t,
+            gps=gps,
+            cookie_id=cookie,
+            nonce=nonce,
+        )
+
+    return _make

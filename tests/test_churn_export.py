@@ -1,0 +1,137 @@
+"""Tests for churn analysis, figure export, and incremental persistence."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.churn import ChurnAnalysis
+from repro.core.datastore import IncrementalWriter, SerpDataset
+from repro.core.export import export_all, export_figure_csv, export_figure_json
+from repro.core.report import StudyReport
+
+
+class TestChurnAnalysis:
+    @pytest.fixture(scope="class")
+    def churn(self, small_dataset):
+        return ChurnAnalysis(small_dataset)
+
+    def test_cell_counts_consecutive_day_pairs(self, churn, small_dataset, small_config):
+        cell = churn.cell("local", "county")
+        local_queries = len(small_dataset.queries(category="local"))
+        expected = local_queries * small_config.district_count * (small_config.days - 1)
+        assert cell.comparisons == expected
+
+    def test_churn_bounded_by_metrics(self, churn):
+        cell = churn.cell("local", "national")
+        assert 0.0 <= cell.jaccard.mean <= 1.0
+        assert cell.edit.mean >= 0.0
+
+    def test_local_churn_similar_to_noise(self, churn):
+        # Local rankings are time-stable in the substrate: day-over-day
+        # movement is mostly the same A/B noise as same-time pairs.
+        residual = churn.churn_vs_noise("local", "county")
+        assert abs(residual) < 2.0
+
+    def test_controversial_churn_has_news_component(self, churn, small_dataset):
+        # News pools rotate across days; if any controversial query held
+        # a news card, its day-over-day churn shows a News component.
+        cell = churn.cell("controversial", "national")
+        assert cell.news_edit.mean >= 0.0
+        assert 0.0 <= churn.news_share("controversial", "national") <= 1.0
+
+    def test_single_day_dataset_rejected(self, small_dataset):
+        single = small_dataset.filter(day=0)
+        with pytest.raises(ValueError):
+            ChurnAnalysis(single).cell("local", "county")
+
+    def test_unknown_cell_rejected(self, churn):
+        with pytest.raises(ValueError):
+            churn.cell("local", "continental")
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def report(self, small_dataset):
+        return StudyReport(small_dataset)
+
+    def test_csv_round_trip(self, report):
+        text = export_figure_csv(report, "fig2")
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 9
+        assert {"granularity", "category", "edit_mean"} <= set(rows[0])
+
+    def test_csv_values_numeric(self, report):
+        rows = list(csv.DictReader(io.StringIO(export_figure_csv(report, "fig5"))))
+        for row in rows:
+            float(row["edit_mean"])
+            float(row["noise_edit"])
+
+    def test_json_round_trip(self, report):
+        rows = json.loads(export_figure_json(report, "fig7"))
+        assert all("maps" in row for row in rows)
+
+    def test_unknown_figure_rejected(self, report):
+        with pytest.raises(ValueError):
+            export_figure_csv(report, "fig99")
+
+    def test_export_all_writes_every_figure(self, report, tmp_path):
+        written = export_all(report, tmp_path / "out")
+        names = {p.split("/")[-1] for p in written}
+        for figure in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7"):
+            assert f"{figure}.csv" in names
+        assert any(n.startswith("fig8_") for n in names)
+
+    def test_export_all_json(self, report, tmp_path):
+        written = export_all(report, tmp_path / "out", fmt="json")
+        fig2 = next(p for p in written if p.endswith("fig2.json"))
+        rows = json.loads(open(fig2).read())
+        assert len(rows) == 9
+
+    def test_export_all_invalid_format(self, report, tmp_path):
+        with pytest.raises(ValueError):
+            export_all(report, tmp_path, fmt="xml")
+
+    def test_fig8_export_contains_series(self, report, tmp_path):
+        written = export_all(report, tmp_path / "out")
+        fig8 = next(p for p in written if "fig8_county" in p)
+        payload = json.loads(open(fig8).read())
+        assert payload["baseline"]
+        assert len(payload["noise_floor"]) == len(payload["days"])
+
+
+class TestIncrementalPersistence:
+    def test_sink_receives_every_record(self, tmp_path):
+        from repro.core.experiment import StudyConfig
+        from repro.core.runner import Study
+        from repro.queries.corpus import build_corpus
+
+        corpus = build_corpus()
+        config = StudyConfig.small(
+            [corpus.get("School"), corpus.get("Starbucks")],
+            days=1,
+            locations_per_granularity=3,
+        )
+        study = Study(config)
+        path = tmp_path / "incremental.jsonl.gz"
+        with IncrementalWriter(path) as writer:
+            dataset = study.run(sink=writer.write)
+        assert writer.written == len(dataset)
+        loaded = SerpDataset.load(path)
+        assert len(loaded) == len(dataset)
+
+    def test_writer_rejects_use_after_close(self, tmp_path):
+        writer = IncrementalWriter(tmp_path / "x.jsonl")
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write(None)  # type: ignore[arg-type]
+
+    def test_corrupt_file_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"query": "q"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError) as excinfo:
+            SerpDataset.load(path)
+        assert "corrupt.jsonl:1" in str(excinfo.value) or "corrupt.jsonl:2" in str(
+            excinfo.value
+        )

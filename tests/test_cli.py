@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.datastore import SerpDataset
+from repro.core.experiment import StudyConfig
+from repro.core.runner import Study
+from repro.queries.corpus import build_corpus
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory):
+    corpus = build_corpus()
+    queries = [corpus.get("School"), corpus.get("Starbucks"), corpus.get("Gay Marriage"),
+               corpus.get("Barack Obama")]
+    config = StudyConfig.small(queries, days=2, locations_per_granularity=3)
+    dataset = Study(config).run()
+    path = tmp_path_factory.mktemp("cli") / "dataset.jsonl.gz"
+    dataset.save(path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "--out", "x.jsonl"])
+        assert args.scale == "small"
+
+    def test_report_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--dataset", "x", "--figure", "9"])
+
+
+class TestCommands:
+    def test_run_and_report_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "mini.jsonl"
+        # A 1-day small run is the cheapest full pipeline exercise.
+        assert main(["run", "--scale", "small", "--days", "1", "--out", str(out)]) == 0
+        assert SerpDataset.load(out)
+        assert main(["report", "--dataset", str(out), "--figure", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 2" in captured.out
+
+    def test_report_all_figures(self, saved_dataset, capsys):
+        assert main(["report", "--dataset", str(saved_dataset), "--figure", "all"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+                       "Figure 7", "Figure 8"):
+            assert figure in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--machines", "6", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "result agreement" in out
+
+    def test_demographics_command(self, saved_dataset, capsys):
+        assert main(["demographics", "--dataset", str(saved_dataset), "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "median_income" in out
+        assert "physical_distance_miles" in out
+
+    def test_chart_command(self, saved_dataset, capsys):
+        assert main(["chart", "--dataset", str(saved_dataset), "--figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "█" in out
+
+    def test_chart_fig8(self, saved_dataset, capsys):
+        assert main(
+            ["chart", "--dataset", str(saved_dataset), "--figure", "8",
+             "--granularity", "county"]
+        ) == 0
+        assert "noise floor" in capsys.readouterr().out
+
+    def test_content_command(self, saved_dataset, capsys):
+        assert main(["content", "--dataset", str(saved_dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "locality" in out
+        assert "source mix" in out
+
+    def test_carryover_command(self, capsys):
+        assert main(["carryover", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Session carryover" in out
+
+    def test_export_command(self, saved_dataset, tmp_path, capsys):
+        out_dir = tmp_path / "export"
+        assert main(
+            ["export", "--dataset", str(saved_dataset), "--out", str(out_dir)]
+        ) == 0
+        assert (out_dir / "fig2.csv").exists()
+        assert (out_dir / "fig8_county.json").exists()
+
+    def test_audit_command(self, capsys):
+        assert main(["audit", "Coffee", "Barack Obama", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Coffee" in out
+        assert "verdict" in out
+
+    def test_diff_command(self, saved_dataset, capsys):
+        assert main(["diff", "--a", str(saved_dataset), "--b", str(saved_dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "identical pages: 100.0%" in out
+
+    def test_reportcard_command(self, saved_dataset, tmp_path, capsys):
+        out_file = tmp_path / "REPORT.md"
+        assert main(
+            ["reportcard", "--dataset", str(saved_dataset), "--out", str(out_file)]
+        ) == 0
+        assert "## Headline" in out_file.read_text()
+
+    def test_schedule_command(self, capsys):
+        assert main(["schedule", "--machines", "44"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible: yes" in out
+        assert main(["schedule", "--machines", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out

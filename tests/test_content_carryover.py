@@ -1,0 +1,174 @@
+"""Tests for the content analysis and the session-carryover experiment."""
+
+import pytest
+
+from repro.core.carryover import run_carryover_experiment
+from repro.core.content import (
+    ContentAnalysis,
+    PageContentProfile,
+    SourceClassifier,
+    SourceType,
+)
+from repro.engine.calibration import EngineCalibration
+
+
+class TestSourceClassifier:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        return SourceClassifier()
+
+    @pytest.mark.parametrize(
+        "url,expected",
+        [
+            ("https://maps.example.com/place/x", SourceType.MAPS_PLACE),
+            ("https://encyclopedia.example.org/wiki/school", SourceType.REFERENCE),
+            ("https://citydirectory.example.com/search/school", SourceType.DIRECTORY),
+            (
+                "https://citydirectory.example.com/maplewood/school/x-1-2-3",
+                SourceType.BUSINESS,
+            ),
+            ("https://ohio.example.gov/services/school", SourceType.GOVERNMENT),
+            ("https://cityofmaplewood.example.gov/school", SourceType.LOCAL_OUTLET),
+            ("https://ohiodispatch.example.com/opinion/health", SourceType.NEWS_STATE),
+            ("https://dailynational.example.com/explainer/health", SourceType.NEWS_NATIONAL),
+            ("https://chirper.example.com/starbucks", SourceType.SOCIAL),
+            ("https://citizensalliance.example.org/issues/health", SourceType.ADVOCACY_PRO),
+            ("https://libertycoalition.example.org/stop/health", SourceType.ADVOCACY_CON),
+            ("https://scholarlycommons.example.edu/papers/health", SourceType.ACADEMIC),
+            ("https://some-school.maplewood.example.com/", SourceType.BUSINESS),
+            ("https://starbucks.example.com/locations/maplewood/x", SourceType.BUSINESS),
+            ("https://qna.example.com/questions/school", SourceType.OTHER),
+        ],
+    )
+    def test_classification(self, classifier, url, expected):
+        assert classifier.classify(url) is expected
+
+    def test_custom_rule(self):
+        classifier = SourceClassifier()
+        classifier.add_rule(r"myblog\.", SourceType.SOCIAL)
+        assert classifier.classify("https://myblog.example.com/post") is SourceType.SOCIAL
+
+    def test_custom_rules_replace_defaults(self):
+        classifier = SourceClassifier(rules=[(r".*", SourceType.OTHER)])
+        assert classifier.classify("https://maps.example.com/x") is SourceType.OTHER
+
+
+class TestPageContentProfile:
+    def test_locality_share(self):
+        profile = PageContentProfile(
+            counts={
+                SourceType.BUSINESS: 3,
+                SourceType.MAPS_PLACE: 3,
+                SourceType.REFERENCE: 4,
+            },
+            distinct_domains=8,
+            total=10,
+        )
+        assert profile.locality_share == pytest.approx(0.6)
+
+    def test_entropy_zero_for_single_type(self):
+        profile = PageContentProfile(
+            counts={SourceType.REFERENCE: 5}, distinct_domains=1, total=5
+        )
+        assert profile.source_entropy == 0.0
+
+    def test_entropy_max_for_uniform(self):
+        profile = PageContentProfile(
+            counts={SourceType.REFERENCE: 2, SourceType.DIRECTORY: 2},
+            distinct_domains=4,
+            total=4,
+        )
+        assert profile.source_entropy == pytest.approx(1.0)
+
+    def test_advocacy_balance(self):
+        profile = PageContentProfile(
+            counts={SourceType.ADVOCACY_PRO: 1, SourceType.ADVOCACY_CON: 1},
+            distinct_domains=2,
+            total=2,
+        )
+        assert profile.advocacy_balance() == 0.5
+
+    def test_advocacy_balance_none_without_advocacy(self):
+        profile = PageContentProfile(
+            counts={SourceType.REFERENCE: 2}, distinct_domains=1, total=2
+        )
+        assert profile.advocacy_balance() is None
+
+    def test_empty_page(self):
+        profile = PageContentProfile(counts={}, distinct_domains=0, total=0)
+        assert profile.locality_share == 0.0
+        assert profile.source_entropy == 0.0
+
+
+class TestContentAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self, small_dataset):
+        return ContentAnalysis(small_dataset)
+
+    def test_local_pages_most_local(self, analysis):
+        local = analysis.locality_share("local").mean
+        controversial = analysis.locality_share("controversial").mean
+        politician = analysis.locality_share("politician").mean
+        assert local > controversial
+        assert local > politician
+
+    def test_source_mix_fractions_sum_to_one(self, analysis):
+        mix = analysis.source_mix("local")
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_controversial_pages_diverse(self, analysis):
+        assert analysis.source_entropy("controversial").mean > 1.5
+
+    def test_advocacy_balance_no_geolocal_slant(self, analysis):
+        # The Filter-Bubble check the paper motivates: no location sees
+        # a politically slanted advocacy mix.
+        spread = analysis.advocacy_balance_spread("national")
+        assert spread < 0.2
+
+    def test_advocacy_by_location_covers_locations(self, analysis, small_dataset):
+        balances = analysis.advocacy_balance_by_location("national")
+        assert set(balances) == set(small_dataset.locations("national"))
+
+    def test_unknown_category_raises(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.source_mix("astrology")
+
+
+class TestCarryover:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_carryover_experiment(
+            31337, waits_minutes=(2.0, 9.0, 11.0, 14.0)
+        )
+
+    def test_contamination_inside_window(self, result):
+        inside = [p for p in result.points if p.wait_minutes < 10.0]
+        assert all(p.contaminated for p in inside)
+        assert all(p.jaccard.mean < 1.0 for p in inside)
+
+    def test_clean_outside_window(self, result):
+        outside = [p for p in result.points if p.wait_minutes > 10.0]
+        assert all(not p.contaminated for p in outside)
+        assert all(p.jaccard.mean == 1.0 for p in outside)
+
+    def test_cutoff_is_just_past_the_window(self, result):
+        assert result.cutoff_wait() == 11.0
+
+    def test_render_mentions_cutoff(self, result):
+        assert "11" in result.render()
+
+    def test_custom_window_moves_cutoff(self):
+        result = run_carryover_experiment(
+            31337,
+            waits_minutes=(4.0, 6.0),
+            calibration=EngineCalibration(session_window_minutes=5.0),
+            query_pairs=[("Starbucks", "Coffee")],
+        )
+        assert result.points[0].contaminated
+        assert not result.points[1].contaminated
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            run_carryover_experiment(1, waits_minutes=())
+        with pytest.raises(ValueError):
+            run_carryover_experiment(1, query_pairs=[])

@@ -1,0 +1,230 @@
+"""Tests for the browser model, the network plumbing, and the datastore."""
+
+import pytest
+
+from repro.core.browser import Fingerprint, GeolocationOverride, MobileBrowser, Network
+from repro.core.datastore import SerpDataset, SerpRecord
+from repro.core.parser import ParsedResult, ParsedSerp, ResultType, parse_serp_html
+from repro.engine.datacenters import SEARCH_HOSTNAME, DatacenterCluster
+from repro.engine.frontend import SearchEngine
+from repro.geo.coords import LatLon
+from repro.net.dns import DNSResolver
+from repro.net.geoip import GeoIPDatabase
+from repro.net.machines import MachineFleet
+from repro.web.world import WebWorld
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+
+
+@pytest.fixture()
+def harness(corpus):
+    """Engine + pinned resolver + network + one crawl machine."""
+    world = WebWorld(2024)
+    cluster = DatacenterCluster()
+    resolver = DNSResolver()
+    cluster.install_into(resolver)
+    resolver.pin(SEARCH_HOSTNAME, cluster[0].frontend_ip)
+    engine = SearchEngine(world, cluster, GeoIPDatabase(), corpus=corpus, seed=2024)
+    network = Network(resolver, engine)
+    fleet = MachineFleet.crawl_fleet(count=2)
+    return network, fleet
+
+
+class TestGeolocationOverride:
+    def test_default_is_unset(self):
+        assert GeolocationOverride().get_current_position() is None
+
+    def test_set_and_clear(self):
+        override = GeolocationOverride()
+        override.set(CLEVELAND)
+        assert override.get_current_position() == CLEVELAND
+        override.clear()
+        assert override.get_current_position() is None
+
+
+class TestFingerprint:
+    def test_default_is_safari_8_ios(self):
+        assert "iPhone OS 8_0" in Fingerprint().user_agent
+
+    def test_fingerprints_identical_across_instances(self):
+        # Paper §2.2: every treatment presents an identical fingerprint.
+        assert Fingerprint() == Fingerprint()
+
+
+class TestMobileBrowser:
+    def test_search_returns_parsable_html(self, harness):
+        network, fleet = harness
+        browser = MobileBrowser("b0", fleet[0], network)
+        browser.geolocation.set(CLEVELAND)
+        result = browser.search("School", 10.0)
+        assert result.ok
+        parsed = parse_serp_html(result.html)
+        assert parsed.query == "School"
+        assert len(parsed.results) >= 12
+
+    def test_gps_override_reaches_engine(self, harness):
+        network, fleet = harness
+        browser = MobileBrowser("b0", fleet[0], network)
+        browser.geolocation.set(CLEVELAND)
+        parsed = parse_serp_html(browser.search("School", 10.0).html)
+        assert parsed.reported_location.lat == pytest.approx(CLEVELAND.lat, abs=1e-4)
+
+    def test_clear_cookies_rotates_identity(self, harness):
+        network, fleet = harness
+        browser = MobileBrowser("b0", fleet[0], network)
+        first = browser.cookie_id
+        browser.clear_cookies()
+        assert browser.cookie_id != first
+
+    def test_disable_cookies(self, harness):
+        network, fleet = harness
+        browser = MobileBrowser("b0", fleet[0], network)
+        browser.disable_cookies()
+        assert browser.cookie_id is None
+        assert browser.search("School", 10.0).ok
+
+    def test_nonces_unique_per_request(self, harness):
+        network, fleet = harness
+        browser_a = MobileBrowser("bA", fleet[0], network)
+        browser_b = MobileBrowser("bB", fleet[1], network)
+        browser_a.geolocation.set(CLEVELAND)
+        browser_b.geolocation.set(CLEVELAND)
+        pages = set()
+        for t in range(4):
+            pages.add(browser_a.search("School", 10.0 + t).html)
+            pages.add(browser_b.search("School", 10.0 + t).html)
+        # With distinct nonces at least some pages must differ.
+        assert len(pages) > 1
+
+
+def _parsed(urls_types, query="q"):
+    results = [
+        ParsedResult(url=url, result_type=rtype, rank=i + 1)
+        for i, (url, rtype) in enumerate(urls_types)
+    ]
+    return ParsedSerp(
+        query=query, results=results, reported_location=None, datacenter=None, day=None
+    )
+
+
+def _record(query="q", granularity="county", location="loc-a", day=0, copy=0,
+            urls_types=(("https://a.example.com/", ResultType.NORMAL),)):
+    return SerpRecord.from_parsed(
+        _parsed(list(urls_types), query=query),
+        category="local",
+        granularity=granularity,
+        location_name=location,
+        day=day,
+        copy_index=copy,
+    )
+
+
+class TestSerpRecord:
+    def test_from_parsed_round_trip(self):
+        record = _record(
+            urls_types=[
+                ("https://a.example.com/", ResultType.NORMAL),
+                ("https://maps.example.com/p", ResultType.MAPS),
+                ("https://news.example.com/n", ResultType.NEWS),
+            ]
+        )
+        results = record.results()
+        assert [r.url for r in results] == list(record.urls)
+        assert results[1].result_type is ResultType.MAPS
+        assert [r.rank for r in results] == [1, 2, 3]
+
+    def test_urls_of_type(self):
+        record = _record(
+            urls_types=[
+                ("https://a.example.com/", ResultType.NORMAL),
+                ("https://maps.example.com/p", ResultType.MAPS),
+            ]
+        )
+        assert record.urls_of_type(ResultType.MAPS) == ["https://maps.example.com/p"]
+        assert record.urls_of_type(None) == list(record.urls)
+
+    def test_dict_round_trip(self):
+        record = _record(
+            urls_types=[
+                ("https://a.example.com/", ResultType.NORMAL),
+                ("https://maps.example.com/p", ResultType.MAPS),
+            ]
+        )
+        assert SerpRecord.from_dict(record.to_dict()) == record
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SerpRecord(
+                query="q",
+                category="local",
+                granularity="county",
+                location_name="x",
+                day=0,
+                copy_index=0,
+                urls=("https://a.example.com/",),
+                type_codes=b"\x00\x01",
+            )
+
+
+class TestSerpDataset:
+    def test_add_and_get(self):
+        dataset = SerpDataset()
+        record = _record()
+        dataset.add(record)
+        assert dataset.get("q", "county", "loc-a", 0, 0) == record
+        assert dataset.get("q", "county", "loc-a", 0, 1) is None
+
+    def test_duplicate_rejected(self):
+        dataset = SerpDataset([_record()])
+        with pytest.raises(ValueError):
+            dataset.add(_record())
+
+    def test_enumerations(self):
+        dataset = SerpDataset(
+            [
+                _record(query="q1", location="a", day=0),
+                _record(query="q1", location="a", day=1),
+                _record(query="q2", location="b", day=0),
+                _record(query="q2", granularity="state", location="c", day=0),
+            ]
+        )
+        assert dataset.queries() == ["q1", "q2"]
+        assert dataset.days() == [0, 1]
+        assert set(dataset.granularities()) == {"county", "state"}
+        assert dataset.locations("county") == ["a", "b"]
+
+    def test_filter(self):
+        dataset = SerpDataset(
+            [
+                _record(query="q1", location="a"),
+                _record(query="q2", location="b"),
+            ]
+        )
+        filtered = dataset.filter(query="q1")
+        assert len(filtered) == 1
+        assert filtered.queries() == ["q1"]
+
+    def test_category_of(self):
+        dataset = SerpDataset([_record(query="q1")])
+        assert dataset.category_of("q1") == "local"
+        with pytest.raises(KeyError):
+            dataset.category_of("missing")
+
+    def test_save_load_round_trip(self, tmp_path):
+        dataset = SerpDataset(
+            [
+                _record(query="q1", location="a"),
+                _record(query="q1", location="a", copy=1),
+            ]
+        )
+        path = tmp_path / "data.jsonl"
+        dataset.save(path)
+        loaded = SerpDataset.load(path)
+        assert len(loaded) == 2
+        assert loaded.get("q1", "county", "a", 0, 1) is not None
+
+    def test_save_load_gzip(self, tmp_path):
+        dataset = SerpDataset([_record()])
+        path = tmp_path / "data.jsonl.gz"
+        dataset.save(path)
+        assert SerpDataset.load(path).get("q", "county", "loc-a", 0, 0) is not None

@@ -1,0 +1,150 @@
+"""Tests for the SERP HTML parser against the engine's renderer.
+
+The parser is exercised exactly the way the study uses it: on HTML
+produced by the rendering pipeline, plus hand-written edge cases.
+"""
+
+import pytest
+
+from repro.core.parser import ResultType, SerpParseError, parse_serp_html
+from repro.engine.render import render_captcha, render_page
+from repro.engine.serp import CardType, SerpCard, SerpPage
+from repro.geo.coords import LatLon
+from repro.web.documents import DocKind, Document, GeoScope
+from repro.web.urls import Url
+
+
+def _doc(host, path="/", kind=DocKind.ORGANIC, title="A result"):
+    return Document(
+        url=Url(host=host, path=path),
+        title=title,
+        kind=kind,
+        scope=GeoScope.NATIONAL,
+        base_score=5.0,
+    )
+
+
+def _page(cards):
+    return SerpPage(
+        query_text="test query",
+        cards=cards,
+        reported_location=LatLon(41.43, -81.67),
+        datacenter="dc03",
+        day=2,
+    )
+
+
+@pytest.fixture()
+def simple_page():
+    return _page(
+        [
+            SerpCard(CardType.ORGANIC, [_doc("one.example.com")]),
+            SerpCard(
+                CardType.MAPS,
+                [
+                    _doc("maps.example.com", "/place/a", DocKind.MAP_PLACE),
+                    _doc("maps.example.com", "/place/b", DocKind.MAP_PLACE),
+                ],
+            ),
+            SerpCard(CardType.ORGANIC, [_doc("two.example.com")]),
+            SerpCard(
+                CardType.NEWS,
+                [
+                    _doc("news.example.com", "/n/1", DocKind.NEWS_ARTICLE),
+                    _doc("news.example.com", "/n/2", DocKind.NEWS_ARTICLE),
+                ],
+            ),
+        ]
+    )
+
+
+class TestParseSerpHtml:
+    def test_round_trip_link_order(self, simple_page):
+        parsed = parse_serp_html(render_page(simple_page))
+        assert parsed.urls() == simple_page.links()
+
+    def test_result_types_attributed(self, simple_page):
+        parsed = parse_serp_html(render_page(simple_page))
+        types = [r.result_type for r in parsed.results]
+        assert types == [
+            ResultType.NORMAL,
+            ResultType.MAPS,
+            ResultType.MAPS,
+            ResultType.NORMAL,
+            ResultType.NEWS,
+            ResultType.NEWS,
+        ]
+
+    def test_type_filtering(self, simple_page):
+        parsed = parse_serp_html(render_page(simple_page))
+        assert parsed.urls(ResultType.MAPS) == [
+            "https://maps.example.com/place/a",
+            "https://maps.example.com/place/b",
+        ]
+        assert len(parsed.urls(ResultType.NORMAL)) == 2
+
+    def test_ranks_are_sequential(self, simple_page):
+        parsed = parse_serp_html(render_page(simple_page))
+        assert [r.rank for r in parsed.results] == list(range(1, 7))
+
+    def test_query_extracted(self, simple_page):
+        assert parse_serp_html(render_page(simple_page)).query == "test query"
+
+    def test_footer_location_extracted(self, simple_page):
+        parsed = parse_serp_html(render_page(simple_page))
+        assert parsed.reported_location is not None
+        assert parsed.reported_location.lat == pytest.approx(41.43, abs=1e-4)
+        assert parsed.reported_location.lon == pytest.approx(-81.67, abs=1e-4)
+
+    def test_datacenter_and_day_extracted(self, simple_page):
+        parsed = parse_serp_html(render_page(simple_page))
+        assert parsed.datacenter == "dc03"
+        assert parsed.day == 2
+
+    def test_captcha_page_recognised(self):
+        parsed = parse_serp_html(render_captcha("School"))
+        assert parsed.is_captcha
+        assert parsed.results == []
+
+    def test_non_serp_rejected(self):
+        with pytest.raises(SerpParseError):
+            parse_serp_html("<html><body><p>hello</p></body></html>")
+
+    def test_html_escaping_round_trips(self):
+        page = _page(
+            [SerpCard(CardType.ORGANIC, [_doc("one.example.com", title='A & B <Café>')])]
+        )
+        parsed = parse_serp_html(render_page(page))
+        assert parsed.urls() == ["https://one.example.com/"]
+
+    def test_query_with_apostrophe(self):
+        page = SerpPage(
+            query_text="Wendy's",
+            cards=[SerpCard(CardType.ORGANIC, [_doc("a.example.com")])],
+            reported_location=LatLon(0, 0),
+            datacenter="dc00",
+            day=0,
+        )
+        assert parse_serp_html(render_page(page)).query == "Wendy's"
+
+    def test_engine_pages_parse_cleanly(self, engine, make_request):
+        for term in ("School", "Starbucks", "Gay Marriage", "Barack Obama"):
+            page = engine.serve_page(make_request(term, gps=LatLon(41.43, -81.67)))
+            parsed = parse_serp_html(render_page(page))
+            assert parsed.urls() == page.links()
+            assert parsed.query == term
+
+    def test_maps_links_counted_fully(self, engine, make_request):
+        # Paper's rule: every link of a Maps card is extracted.
+        page = None
+        for nonce in range(20):
+            candidate = engine.serve_page(
+                make_request("School", gps=LatLon(41.43, -81.67), nonce=nonce)
+            )
+            if candidate.card_count(CardType.MAPS):
+                page = candidate
+                break
+        assert page is not None, "expected a Maps card within 20 tries"
+        parsed = parse_serp_html(render_page(page))
+        maps_card = next(c for c in page.cards if c.card_type is CardType.MAPS)
+        assert len(parsed.urls(ResultType.MAPS)) == len(maps_card.documents)

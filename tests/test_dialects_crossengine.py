@@ -1,0 +1,198 @@
+"""Tests for engine dialects, dialect-aware parsing, and the
+cross-engine audit."""
+
+import pytest
+
+from repro.core.crossengine import BINGO_CALIBRATION, compare_engines
+from repro.core.experiment import StudyConfig
+from repro.core.parser import SerpParseError, parse_serp_html
+from repro.core.runner import Study
+from repro.engine import DatacenterCluster, SearchEngine, SearchRequest
+from repro.engine.dialect import BINGO, DIALECTS, GOOGLE_LIKE, EngineDialect, register_dialect
+from repro.engine.render import render_captcha, render_page
+from repro.geo.coords import LatLon
+from repro.net.geoip import GeoIPDatabase
+from repro.net.ip import IPv4Address
+from repro.queries.corpus import build_corpus
+from repro.queries.model import QueryCategory
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+
+
+def _queries():
+    corpus = build_corpus()
+    local = corpus.by_category(QueryCategory.LOCAL)
+    return (
+        [q for q in local if not q.is_brand][:4]
+        + [q for q in local if q.is_brand][:2]
+        + corpus.by_category(QueryCategory.CONTROVERSIAL)[:3]
+    )
+
+
+@pytest.fixture()
+def bingo_engine(world, corpus):
+    return SearchEngine(
+        world,
+        DatacenterCluster(hostname=BINGO.hostname, base_ip="203.0.113.0"),
+        GeoIPDatabase(),
+        corpus=corpus,
+        calibration=BINGO_CALIBRATION,
+        seed=777,
+        dialect=BINGO,
+    )
+
+
+class TestDialect:
+    def test_registry_has_both_builtin_dialects(self):
+        names = {d.name for d in DIALECTS}
+        assert {"google-like", "bingo"} <= names
+
+    def test_dialects_use_disjoint_vocabulary(self):
+        assert GOOGLE_LIKE.results_container_id != BINGO.results_container_id
+        assert GOOGLE_LIKE.link_class != BINGO.link_class
+        assert GOOGLE_LIKE.hostname != BINGO.hostname
+
+    def test_invalid_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            EngineDialect(
+                name="",
+                hostname="x.example.com",
+                results_container_id="a",
+                card_class="b",
+                organic_class="c",
+                maps_class="d",
+                news_class="e",
+                link_class="f",
+                maps_item_class="g",
+                news_item_class="h",
+                location_note_class="i",
+                datacenter_note_class="j",
+                day_note_class="k",
+                query_input_name="q",
+                captcha_id="c",
+                maps_heading="m",
+                news_heading="n",
+                related_class="r",
+                related_item_class="ri",
+                knowledge_class="k",
+            )
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_dialect(GOOGLE_LIKE)
+
+
+class TestDialectRendering:
+    def test_bingo_pages_use_bingo_markup(self, bingo_engine):
+        request = SearchRequest(
+            query_text="School",
+            client_ip=IPv4Address.parse("192.0.2.9"),
+            frontend_ip=bingo_engine.cluster[0].frontend_ip,
+            timestamp_minutes=5.0,
+            gps=CLEVELAND,
+            nonce=1,
+        )
+        html = bingo_engine.handle(request).html
+        assert 'id="b_results"' in html
+        assert "b_algo" in html
+        assert 'id="rso"' not in html
+
+    def test_parser_autodetects_bingo(self, bingo_engine):
+        request = SearchRequest(
+            query_text="School",
+            client_ip=IPv4Address.parse("192.0.2.9"),
+            frontend_ip=bingo_engine.cluster[0].frontend_ip,
+            timestamp_minutes=5.0,
+            gps=CLEVELAND,
+            nonce=1,
+        )
+        page = bingo_engine.serve_page(request)
+        parsed = parse_serp_html(render_page(page, BINGO))
+        assert parsed.dialect == "bingo"
+        assert parsed.urls() == page.links()
+        assert parsed.query == "School"
+
+    def test_google_like_pages_still_detect(self, engine, make_request):
+        parsed = parse_serp_html(
+            engine.handle(make_request("School", gps=CLEVELAND)).html
+        )
+        assert parsed.dialect == "google-like"
+
+    def test_explicit_dialect_mismatch_raises(self, engine, make_request):
+        html = engine.handle(make_request("School", gps=CLEVELAND)).html
+        with pytest.raises(SerpParseError):
+            parse_serp_html(html, dialect=BINGO)
+
+    def test_bingo_captcha_detected(self):
+        parsed = parse_serp_html(render_captcha("School", BINGO))
+        assert parsed.is_captcha
+        assert parsed.dialect == "bingo"
+
+    def test_footer_metadata_in_bingo_dialect(self, bingo_engine):
+        request = SearchRequest(
+            query_text="Gay Marriage",
+            client_ip=IPv4Address.parse("192.0.2.9"),
+            frontend_ip=bingo_engine.cluster[0].frontend_ip,
+            timestamp_minutes=5.0,
+            gps=CLEVELAND,
+            nonce=2,
+        )
+        parsed = parse_serp_html(bingo_engine.handle(request).html)
+        assert parsed.reported_location is not None
+        assert parsed.datacenter is not None
+
+
+class TestCrossEngineStudy:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        config = StudyConfig.small(
+            _queries(), seed=1717, days=1, locations_per_granularity=4
+        )
+        return compare_engines(config)
+
+    def test_both_audits_present(self, comparison):
+        names = {audit.engine for audit in comparison.audits}
+        assert names == {"google-like", "bingo"}
+
+    def test_both_engines_personalize_locally(self, comparison):
+        for audit in comparison.audits:
+            assert audit.local_net_by_granularity["national"] > 1.0
+
+    def test_engines_differ_in_strength(self, comparison):
+        a, b = comparison.audits
+        assert (
+            abs(
+                a.local_net_by_granularity["national"]
+                - b.local_net_by_granularity["national"]
+            )
+            > 0.5
+        )
+
+    def test_overlap_partial(self, comparison):
+        # Same web, different engines: overlapping but not identical.
+        assert 0.4 < comparison.overlap.mean < 0.99
+
+    def test_rbo_below_jaccard(self, comparison):
+        # Order-sensitive overlap is at most the set overlap here.
+        assert comparison.rbo.mean <= comparison.overlap.mean + 0.05
+
+    def test_render_contains_both_engines(self, comparison):
+        text = comparison.render()
+        assert "google-like" in text and "bingo" in text
+
+    def test_more_personalized_engine_named(self, comparison):
+        assert comparison.more_personalized_engine() in ("google-like", "bingo")
+
+    def test_requires_two_dialects(self):
+        config = StudyConfig.small(_queries(), days=1, locations_per_granularity=3)
+        with pytest.raises(ValueError):
+            compare_engines(config, dialects=(GOOGLE_LIKE,))
+
+    def test_bingo_study_runs_standalone(self):
+        config = StudyConfig.small(
+            _queries()[:3], seed=99, days=1, locations_per_granularity=3
+        ).with_overrides(dialect=BINGO, calibration=BINGO_CALIBRATION)
+        study = Study(config)
+        dataset = study.run()
+        assert len(dataset) == 3 * 9 * 2
+        assert not study.failures

@@ -1,0 +1,273 @@
+"""Tests for the search frontend and ranking behaviour.
+
+These cover the engine behaviours the paper's findings rest on:
+GPS-over-IP geolocation, grid snapping, card policies, noise sources,
+session effects, and rate limiting.
+"""
+
+import pytest
+
+from repro.engine.frontend import DEFAULT_LOCATION
+from repro.engine.request import ResponseStatus
+from repro.engine.serp import CardType
+from repro.geo.coords import LatLon
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+COLUMBUS = LatLon(39.9612, -82.9988)
+AUSTIN = LatLon(30.2672, -97.7431)
+
+
+def links(page):
+    return page.links()
+
+
+class TestPageGeometry:
+    def test_link_count_in_paper_range(self, engine, make_request):
+        for term, nonce in (("School", 1), ("Starbucks", 2), ("Gay Marriage", 3),
+                            ("Barack Obama", 4)):
+            page = engine.serve_page(make_request(term, gps=CLEVELAND, nonce=nonce))
+            assert 12 <= len(links(page)) <= 22, term
+
+    def test_organic_cards_have_single_link(self, engine, make_request):
+        page = engine.serve_page(make_request("School", gps=CLEVELAND))
+        for card in page.cards:
+            if card.card_type is CardType.ORGANIC:
+                assert len(card.documents) == 1
+
+    def test_no_duplicate_links_within_organic(self, engine, make_request):
+        page = engine.serve_page(make_request("School", gps=CLEVELAND))
+        organic = [
+            str(card.documents[0].url)
+            for card in page.cards
+            if card.card_type is CardType.ORGANIC
+        ]
+        assert len(set(organic)) == len(organic)
+
+    def test_footer_reports_request_location(self, engine, make_request):
+        page = engine.serve_page(make_request("School", gps=CLEVELAND))
+        assert page.reported_location == CLEVELAND
+
+
+class TestCardPolicies:
+    def test_generic_local_usually_has_maps(self, engine, make_request):
+        with_maps = sum(
+            engine.serve_page(
+                make_request("School", gps=CLEVELAND, nonce=i)
+            ).card_count(CardType.MAPS)
+            for i in range(40)
+        )
+        assert with_maps >= 25  # ~85% gate
+
+    def test_brand_rarely_has_maps(self, engine, make_request):
+        # Paper: brand queries "typically do not yield Maps results".
+        with_maps = sum(
+            engine.serve_page(
+                make_request("Starbucks", gps=CLEVELAND, nonce=i)
+            ).card_count(CardType.MAPS)
+            for i in range(40)
+        )
+        assert with_maps <= 5
+
+    def test_non_local_never_has_maps(self, engine, make_request):
+        for i in range(10):
+            page = engine.serve_page(make_request("Gay Marriage", gps=CLEVELAND, nonce=i))
+            assert page.card_count(CardType.MAPS) == 0
+
+    def test_local_never_has_news(self, engine, make_request):
+        for i in range(10):
+            page = engine.serve_page(make_request("School", gps=CLEVELAND, nonce=i))
+            assert page.card_count(CardType.NEWS) == 0
+
+    def test_some_controversial_terms_have_news(self, engine, make_request):
+        from repro.queries.controversial import CONTROVERSIAL_TERMS
+
+        cards = sum(
+            engine.serve_page(
+                make_request(term, gps=CLEVELAND, nonce=7)
+            ).card_count(CardType.NEWS)
+            for term in CONTROVERSIAL_TERMS[:25]
+        )
+        assert cards > 0
+
+    def test_news_gate_is_stable_within_a_day(self, engine, make_request):
+        # Unlike Maps, News presence must not flicker between a
+        # treatment and its control (paper: News causes ~zero noise).
+        for term in ("Gay Marriage", "Gun Control", "Fracking"):
+            counts = {
+                engine.serve_page(
+                    make_request(term, gps=CLEVELAND, nonce=i)
+                ).card_count(CardType.NEWS)
+                for i in range(6)
+            }
+            assert len(counts) == 1
+
+
+class TestGeolocationPriority:
+    def test_gps_wins_over_ip(self, engine, make_request):
+        # Same GPS from different client IPs -> nearly identical pages.
+        from repro.net.geoip import GeoIPDatabase
+
+        engine.geoip.add_host(
+            __import__("repro.net.ip", fromlist=["IPv4Address"]).IPv4Address.parse(
+                "203.0.113.5"
+            ),
+            AUSTIN,
+        )
+        page_default_ip = engine.serve_page(
+            make_request("School", gps=CLEVELAND, nonce=5)
+        )
+        page_texan_ip = engine.serve_page(
+            make_request("School", gps=CLEVELAND, nonce=5, ip="203.0.113.5")
+        )
+        assert links(page_default_ip) == links(page_texan_ip)
+
+    def test_ip_fallback_when_no_gps(self, engine, make_request):
+        from repro.net.ip import IPv4Address
+
+        engine.geoip.add_host(IPv4Address.parse("203.0.113.5"), AUSTIN)
+        engine.geoip.add_host(IPv4Address.parse("203.0.113.6"), CLEVELAND)
+        page_austin = engine.serve_page(make_request("School", nonce=5, ip="203.0.113.5"))
+        page_cleveland = engine.serve_page(
+            make_request("School", nonce=5, ip="203.0.113.6")
+        )
+        assert links(page_austin) != links(page_cleveland)
+
+    def test_unknown_ip_gets_default_location(self, engine, make_request):
+        page = engine.serve_page(make_request("School", nonce=5, ip="203.0.113.99"))
+        assert page.reported_location == DEFAULT_LOCATION
+
+    def test_gps_location_changes_results(self, engine, make_request):
+        a = engine.serve_page(make_request("School", gps=CLEVELAND, nonce=5))
+        b = engine.serve_page(make_request("School", gps=AUSTIN, nonce=5))
+        assert links(a) != links(b)
+
+
+class TestSnapping:
+    def test_points_in_same_cell_get_identical_pages(self, engine, make_request):
+        a = engine.serve_page(make_request("School", gps=LatLon(41.4300, -81.6700), nonce=3))
+        b = engine.serve_page(
+            make_request("School", gps=LatLon(41.4301, -81.6701), nonce=3)
+        )
+        assert links(a) == links(b)
+
+    def test_snapping_off_differentiates_same_cell_points(self, world, corpus, make_request):
+        from repro.engine import DatacenterCluster, SearchEngine
+        from repro.engine.calibration import EngineCalibration
+        from repro.engine.request import SearchRequest
+        from repro.net.geoip import GeoIPDatabase
+        from repro.net.ip import IPv4Address
+
+        engine = SearchEngine(
+            world,
+            DatacenterCluster(),
+            GeoIPDatabase(),
+            corpus=corpus,
+            calibration=EngineCalibration(snap_to_grid=False),
+            seed=1,
+        )
+
+        def request(gps):
+            return SearchRequest(
+                query_text="School",
+                client_ip=IPv4Address.parse("192.0.2.10"),
+                frontend_ip=engine.cluster[0].frontend_ip,
+                timestamp_minutes=10.0,
+                gps=gps,
+                nonce=3,
+            )
+
+        a = engine.serve_page(request(LatLon(41.4300, -81.6700)))
+        b = engine.serve_page(request(LatLon(41.4390, -81.6790)))
+        assert links(a) != links(b)
+
+
+class TestNoiseSources:
+    def test_different_nonces_can_differ(self, engine, make_request):
+        # Treatment/control noise: same everything, different nonce.
+        diffs = 0
+        for i in range(12):
+            a = engine.serve_page(make_request("School", gps=CLEVELAND, nonce=1000 + i))
+            b = engine.serve_page(make_request("School", gps=CLEVELAND, nonce=2000 + i))
+            if links(a) != links(b):
+                diffs += 1
+        assert diffs > 0
+
+    def test_same_nonce_is_deterministic(self, engine, make_request):
+        a = engine.serve_page(make_request("School", gps=CLEVELAND, nonce=42))
+        b = engine.serve_page(make_request("School", gps=CLEVELAND, nonce=42))
+        assert links(a) == links(b)
+
+    def test_politician_pages_stable_under_noise(self, engine, make_request):
+        identical = 0
+        for i in range(10):
+            a = engine.serve_page(
+                make_request("Barack Obama", gps=CLEVELAND, nonce=1000 + i)
+            )
+            b = engine.serve_page(
+                make_request("Barack Obama", gps=CLEVELAND, nonce=2000 + i)
+            )
+            identical += links(a) == links(b)
+        assert identical >= 7  # politicians are near-deterministic
+
+    def test_datacenter_skew_changes_results(self, engine, make_request):
+        same, diff = 0, 0
+        for term in ("School", "Coffee", "Restaurant", "Bank", "Park"):
+            a = engine.serve_page(make_request(term, gps=CLEVELAND, nonce=9, frontend_index=0))
+            b = engine.serve_page(make_request(term, gps=CLEVELAND, nonce=9, frontend_index=1))
+            if links(a) == links(b):
+                same += 1
+            else:
+                diff += 1
+        assert diff > 0  # unpinned DNS would add noise
+
+
+class TestSessionPersonalization:
+    def test_recent_search_biases_results(self, engine, make_request):
+        # Search "Starbucks", then "Coffee" 5 minutes later with the same
+        # cookie: the engine boosts starbucks.example.com into the page.
+        engine.serve_page(make_request("Starbucks", gps=CLEVELAND, t=100.0, cookie="c1"))
+        contaminated = engine.serve_page(
+            make_request("Coffee", gps=CLEVELAND, t=105.0, nonce=5, cookie="c1")
+        )
+        fresh = engine.serve_page(
+            make_request("Coffee", gps=CLEVELAND, t=105.0, nonce=5, cookie="other")
+        )
+        assert links(contaminated) != links(fresh)
+        assert any("starbucks" in url for url in links(contaminated))
+
+    def test_eleven_minute_wait_removes_carryover(self, engine, make_request):
+        engine.serve_page(make_request("Starbucks", gps=CLEVELAND, t=100.0, cookie="c2"))
+        later = engine.serve_page(
+            make_request("Coffee", gps=CLEVELAND, t=111.5, nonce=5, cookie="c2")
+        )
+        fresh = engine.serve_page(
+            make_request("Coffee", gps=CLEVELAND, t=111.5, nonce=5, cookie="fresh")
+        )
+        assert links(later) == links(fresh)
+
+    def test_session_remembers_location_without_gps(self, engine, make_request):
+        # First query carries GPS; second (same cookie, no GPS) must be
+        # personalised for the remembered location, not the default.
+        engine.serve_page(make_request("School", gps=CLEVELAND, t=50.0, cookie="c3"))
+        remembered = engine.serve_page(
+            make_request("School", t=55.0, nonce=8, cookie="c3")
+        )
+        assert remembered.reported_location == CLEVELAND
+
+
+class TestRateLimiting:
+    def test_hammering_one_ip_gets_captcha(self, engine, make_request):
+        responses = [
+            engine.handle(make_request("School", gps=CLEVELAND, nonce=i, t=10.0 + i * 0.001))
+            for i in range(30)
+        ]
+        assert any(r.status is ResponseStatus.RATE_LIMITED for r in responses)
+        assert responses[0].status is ResponseStatus.OK
+
+    def test_spreading_over_ips_avoids_captcha(self, engine, make_request):
+        for i in range(30):
+            ip = f"192.0.2.{10 + i % 30}"
+            response = engine.handle(
+                make_request("School", gps=CLEVELAND, nonce=i, t=10.0 + i * 0.001, ip=ip)
+            )
+            assert response.status is ResponseStatus.OK

@@ -1,0 +1,245 @@
+"""Unit tests of the ranking layer's score composition and the renderer."""
+
+import pytest
+
+from repro.engine.calibration import EngineCalibration
+from repro.engine.ranking import Ranker, RankingContext
+from repro.engine.render import render_page
+from repro.engine.serp import CardType
+from repro.geo.coords import LatLon
+from repro.queries.corpus import build_corpus
+from repro.web.world import WebWorld
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+AUSTIN = LatLon(30.2672, -97.7431)
+
+
+@pytest.fixture(scope="module")
+def ranker_world():
+    return WebWorld(808)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    corpus = build_corpus()
+    return {
+        "generic": corpus.get("School"),
+        "brand": corpus.get("Starbucks"),
+        "controversial": corpus.get("Gay Marriage"),
+        "politician": corpus.get("Barack Obama"),
+        "common": corpus.get("Bill Johnson"),
+    }
+
+
+def _ctx(location, *, day=0, dc="dc00", bucket=0, nonce=1):
+    return RankingContext(
+        location=location, day=day, datacenter=dc, bucket=bucket, nonce=nonce
+    )
+
+
+def _ranker(world, **overrides):
+    return Ranker(world, EngineCalibration().with_overrides(**overrides), seed=808)
+
+
+class TestStaticScoring:
+    def test_poi_scores_decay_with_distance(self, ranker_world, queries):
+        ranker = _ranker(ranker_world)
+        snapped = ranker._snap_grid.snap(CLEVELAND)
+        state = ranker._nearest_state(snapped)
+        metro = ranker_world.metro_grid.cell_of(snapped)
+        pool = ranker._static_pool(queries["generic"], snapped, state, metro)
+        pois = [
+            (doc, score)
+            for doc, score in pool
+            if doc.kind.value == "local-business"
+        ]
+        assert pois
+        for doc, score in pois:
+            # The static score is base minus the distance penalty.
+            assert score <= doc.base_score
+
+    def test_pool_is_memoised(self, ranker_world, queries):
+        ranker = _ranker(ranker_world)
+        snapped = ranker._snap_grid.snap(CLEVELAND)
+        state = ranker._nearest_state(snapped)
+        metro = ranker_world.metro_grid.cell_of(snapped)
+        a = ranker._static_pool(queries["generic"], snapped, state, metro)
+        b = ranker._static_pool(queries["generic"], snapped, state, metro)
+        assert a is b
+
+    def test_ambiguity_docs_decay_slowly(self, ranker_world, queries):
+        ranker = _ranker(ranker_world)
+        query = queries["common"]
+        snapped = ranker._snap_grid.snap(CLEVELAND)
+        state = ranker._nearest_state(snapped)
+        metro = ranker_world.metro_grid.cell_of(snapped)
+        pool = ranker._static_pool(query, snapped, state, metro)
+        entities = [
+            (doc, score)
+            for doc, score in pool
+            if doc.anchor is not None and doc.kind.value == "organic"
+        ]
+        assert entities
+        for doc, score in entities:
+            distance = __import__("repro.geo.coords", fromlist=["haversine_miles"]).haversine_miles(
+                snapped, doc.anchor
+            )
+            expected = doc.base_score - 0.0035 * distance
+            assert score == pytest.approx(expected)
+
+    def test_index_bias_shifts_static_scores(self, ranker_world, queries):
+        plain = _ranker(ranker_world)
+        biased = _ranker(ranker_world, index_bias=1.0)
+        snapped = plain._snap_grid.snap(CLEVELAND)
+        state = plain._nearest_state(snapped)
+        metro = ranker_world.metro_grid.cell_of(snapped)
+        pool_a = dict(
+            (doc.identity, score)
+            for doc, score in plain._static_pool(queries["controversial"], snapped, state, metro)
+        )
+        pool_b = dict(
+            (doc.identity, score)
+            for doc, score in biased._static_pool(queries["controversial"], snapped, state, metro)
+        )
+        diffs = [abs(pool_a[url] - pool_b[url]) for url in pool_a]
+        assert max(diffs) > 0.1
+
+    def test_location_keying_changes_national_doc_scores(self, ranker_world, queries):
+        ranker = _ranker(ranker_world)
+        query = queries["generic"]
+        snapped_a = ranker._snap_grid.snap(CLEVELAND)
+        snapped_b = ranker._snap_grid.snap(AUSTIN)
+        pool_a = {
+            doc.identity: score
+            for doc, score in ranker._static_pool(
+                query, snapped_a, ranker._nearest_state(snapped_a),
+                ranker_world.metro_grid.cell_of(snapped_a),
+            )
+            if doc.scope.value == "national"
+        }
+        pool_b = {
+            doc.identity: score
+            for doc, score in ranker._static_pool(
+                query, snapped_b, ranker._nearest_state(snapped_b),
+                ranker_world.metro_grid.cell_of(snapped_b),
+            )
+            if doc.scope.value == "national"
+        }
+        shared = set(pool_a) & set(pool_b)
+        assert shared
+        assert any(abs(pool_a[url] - pool_b[url]) > 0.05 for url in shared)
+
+
+class TestDynamicScoring:
+    def test_bucket_changes_jitter(self, ranker_world, queries):
+        ranker = _ranker(ranker_world)
+        page_a = ranker.build_page(queries["generic"], _ctx(CLEVELAND, bucket=1, nonce=1))
+        pages_differ = False
+        for bucket in range(2, 30):
+            page_b = ranker.build_page(
+                queries["generic"], _ctx(CLEVELAND, bucket=bucket, nonce=1)
+            )
+            if page_a.links() != page_b.links():
+                pages_differ = True
+                break
+        assert pages_differ
+
+    def test_datacenter_changes_scores(self, ranker_world, queries):
+        ranker = _ranker(ranker_world)
+        differs = False
+        for nonce in range(5):
+            a = ranker.build_page(queries["generic"], _ctx(CLEVELAND, dc="dc00", nonce=nonce))
+            b = ranker.build_page(queries["generic"], _ctx(CLEVELAND, dc="dc01", nonce=nonce))
+            if a.links() != b.links():
+                differs = True
+        assert differs
+
+    def test_zero_noise_calibration_is_deterministic(self, ranker_world, queries):
+        ranker = _ranker(
+            ranker_world,
+            ab_jitter_local=0.0,
+            ab_jitter_national=0.0,
+            datacenter_skew=0.0,
+            maps_prob_generic=1.0,
+        )
+        pages = {
+            tuple(
+                ranker.build_page(
+                    queries["generic"], _ctx(CLEVELAND, bucket=b, nonce=b, dc=f"dc0{b % 3}")
+                ).links()
+            )
+            for b in range(6)
+        }
+        assert len(pages) == 1
+
+
+class TestCardAssembly:
+    def test_maps_insert_rank(self, ranker_world, queries):
+        ranker = _ranker(ranker_world, maps_prob_generic=1.0, maps_insert_rank=1)
+        page = ranker.build_page(queries["generic"], _ctx(CLEVELAND))
+        assert page.cards[1].card_type is CardType.MAPS
+
+    def test_maps_card_size(self, ranker_world, queries):
+        ranker = _ranker(ranker_world, maps_prob_generic=1.0, maps_card_size=5)
+        page = ranker.build_page(queries["generic"], _ctx(CLEVELAND))
+        maps_card = next(c for c in page.cards if c.card_type is CardType.MAPS)
+        assert len(maps_card.documents) == 5
+
+    def test_organic_slots_respected(self, ranker_world, queries):
+        ranker = _ranker(ranker_world, organic_slots=9, maps_prob_generic=0.0)
+        page = ranker.build_page(queries["generic"], _ctx(CLEVELAND))
+        assert page.card_count(CardType.ORGANIC) == 9
+
+    def test_news_threshold_zero_gives_all_controversial_news(self, ranker_world, queries):
+        ranker = _ranker(ranker_world, news_threshold_controversial=0.0)
+        page = ranker.build_page(queries["controversial"], _ctx(CLEVELAND))
+        assert page.card_count(CardType.NEWS) == 1
+
+    def test_news_threshold_one_gives_none(self, ranker_world, queries):
+        ranker = _ranker(ranker_world, news_threshold_controversial=1.0)
+        page = ranker.build_page(queries["controversial"], _ctx(CLEVELAND))
+        assert page.card_count(CardType.NEWS) == 0
+
+    def test_organic_results_sorted_by_total_score(self, ranker_world, queries):
+        # With zero dynamic noise, organic order must equal static-score
+        # order.
+        ranker = _ranker(
+            ranker_world,
+            ab_jitter_local=0.0,
+            ab_jitter_national=0.0,
+            datacenter_skew=0.0,
+            maps_prob_generic=0.0,
+        )
+        query = queries["generic"]
+        ctx = _ctx(CLEVELAND)
+        page = ranker.build_page(query, ctx)
+        snapped = ranker._snap_grid.snap(CLEVELAND)
+        pool = ranker._static_pool(
+            query, snapped, ranker._nearest_state(snapped),
+            ranker_world.metro_grid.cell_of(snapped),
+        )
+        scores = {doc.identity: score for doc, score in pool}
+        organic_urls = [
+            str(card.documents[0].url)
+            for card in page.cards
+            if card.card_type is CardType.ORGANIC
+        ]
+        organic_scores = [scores[url] for url in organic_urls]
+        assert organic_scores == sorted(organic_scores, reverse=True)
+
+
+class TestRenderer:
+    def test_rank_attributes_sequential(self, ranker_world, queries):
+        ranker = _ranker(ranker_world, maps_prob_generic=1.0)
+        page = ranker.build_page(queries["generic"], _ctx(CLEVELAND))
+        html = render_page(page)
+        for index in range(1, len(page.cards) + 1):
+            assert f'data-rank="{index}"' in html
+
+    def test_titles_escaped(self, ranker_world):
+        corpus = build_corpus()
+        query = corpus.get("Wendy's")
+        ranker = _ranker(ranker_world)
+        html = render_page(ranker.build_page(query, _ctx(CLEVELAND)))
+        assert "Wendy&#x27;s" in html or "Wendy's" in html
+        assert "<script" not in html

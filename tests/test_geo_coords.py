@@ -1,0 +1,134 @@
+"""Tests for coordinates and great-circle geometry."""
+
+import math
+
+import pytest
+
+from repro.geo.coords import (
+    KM_PER_MILE,
+    LatLon,
+    centroid,
+    destination,
+    haversine_km,
+    haversine_miles,
+)
+
+
+class TestLatLon:
+    def test_valid_construction(self):
+        p = LatLon(41.5, -81.7)
+        assert p.lat == 41.5
+        assert p.lon == -81.7
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValueError):
+            LatLon(90.1, 0.0)
+        with pytest.raises(ValueError):
+            LatLon(-90.1, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValueError):
+            LatLon(0.0, 180.1)
+        with pytest.raises(ValueError):
+            LatLon(0.0, -180.1)
+
+    def test_poles_and_antimeridian_are_valid(self):
+        LatLon(90.0, 0.0)
+        LatLon(-90.0, 0.0)
+        LatLon(0.0, 180.0)
+        LatLon(0.0, -180.0)
+
+    def test_hashable_and_equal(self):
+        assert LatLon(1.0, 2.0) == LatLon(1.0, 2.0)
+        assert len({LatLon(1.0, 2.0), LatLon(1.0, 2.0)}) == 1
+
+    def test_distance_methods_agree_with_functions(self):
+        a, b = LatLon(41.5, -81.7), LatLon(39.96, -83.0)
+        assert a.distance_km(b) == haversine_km(a, b)
+        assert a.distance_miles(b) == haversine_miles(a, b)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = LatLon(40.0, -80.0)
+        assert haversine_km(p, p) == 0.0
+
+    def test_symmetry(self):
+        a, b = LatLon(42.36, -71.06), LatLon(41.88, -87.63)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_known_distance_cleveland_columbus(self):
+        cleveland = LatLon(41.4993, -81.6944)
+        columbus = LatLon(39.9612, -82.9988)
+        # Real-world distance is about 203 km.
+        assert haversine_km(cleveland, columbus) == pytest.approx(203, rel=0.03)
+
+    def test_one_degree_latitude_is_about_111_km(self):
+        a, b = LatLon(40.0, -80.0), LatLon(41.0, -80.0)
+        assert haversine_km(a, b) == pytest.approx(111.2, rel=0.01)
+
+    def test_miles_conversion(self):
+        a, b = LatLon(40.0, -80.0), LatLon(41.0, -80.0)
+        assert haversine_miles(a, b) == pytest.approx(
+            haversine_km(a, b) / KM_PER_MILE
+        )
+
+    def test_antipodal_is_half_circumference(self):
+        a, b = LatLon(0.0, 0.0), LatLon(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(math.pi * 6371.0088, rel=1e-6)
+
+
+class TestDestination:
+    def test_zero_distance_is_identity(self):
+        p = LatLon(41.0, -81.0)
+        q = destination(p, 45.0, 0.0)
+        assert q.lat == pytest.approx(p.lat)
+        assert q.lon == pytest.approx(p.lon)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            destination(LatLon(0, 0), 0.0, -1.0)
+
+    def test_round_trip_distance(self):
+        origin = LatLon(41.43, -81.67)
+        for bearing in (0.0, 90.0, 180.0, 270.0, 37.0):
+            target = destination(origin, bearing, 10.0)
+            assert haversine_km(origin, target) == pytest.approx(10.0, rel=1e-6)
+
+    def test_north_increases_latitude(self):
+        origin = LatLon(41.0, -81.0)
+        assert destination(origin, 0.0, 5.0).lat > origin.lat
+
+    def test_east_increases_longitude(self):
+        origin = LatLon(41.0, -81.0)
+        assert destination(origin, 90.0, 5.0).lon > origin.lon
+
+    def test_longitude_normalised(self):
+        origin = LatLon(0.0, 179.9)
+        target = destination(origin, 90.0, 100.0)
+        assert -180.0 <= target.lon <= 180.0
+
+
+class TestCentroid:
+    def test_single_point(self):
+        p = LatLon(40.0, -80.0)
+        c = centroid([p])
+        assert c.lat == pytest.approx(p.lat)
+        assert c.lon == pytest.approx(p.lon)
+
+    def test_symmetric_pair(self):
+        c = centroid([LatLon(40.0, -80.0), LatLon(42.0, -80.0)])
+        assert c.lat == pytest.approx(41.0, abs=0.01)
+        assert c.lon == pytest.approx(-80.0, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_antipodal_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([LatLon(0.0, 0.0), LatLon(0.0, 180.0)])
+
+    def test_antimeridian_handled(self):
+        c = centroid([LatLon(0.0, 179.0), LatLon(0.0, -179.0)])
+        assert abs(c.lon) == pytest.approx(180.0, abs=0.01)

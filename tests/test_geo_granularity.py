@@ -1,0 +1,160 @@
+"""Tests for granularities, study-location selection, demographics."""
+
+import pytest
+
+from repro.geo.demographics import (
+    DEMOGRAPHIC_FEATURES,
+    DemographicProfile,
+    demographic_profile,
+)
+from repro.geo.granularity import Granularity, select_study_locations
+from repro.geo.regions import RegionKind
+from repro.geo.usa import us_state
+
+
+class TestGranularity:
+    def test_order_small_to_large(self):
+        assert Granularity.order() == [
+            Granularity.COUNTY,
+            Granularity.STATE,
+            Granularity.NATIONAL,
+        ]
+
+    def test_labels_match_paper_axes(self):
+        assert Granularity.COUNTY.label == "County (Cuyahoga)"
+        assert Granularity.STATE.label == "State (Ohio)"
+        assert Granularity.NATIONAL.label == "National (USA)"
+
+
+class TestSelectStudyLocations:
+    def test_paper_counts(self):
+        locations = select_study_locations(42)
+        assert len(locations.locations(Granularity.NATIONAL)) == 22
+        assert len(locations.locations(Granularity.STATE)) == 22
+        assert len(locations.locations(Granularity.COUNTY)) == 15
+        assert locations.total() == 59  # the abstract's "59 GPS coordinates"
+
+    def test_ohio_always_in_national_set(self):
+        locations = select_study_locations(42)
+        names = {r.name for r in locations.locations(Granularity.NATIONAL)}
+        assert "Ohio" in names
+
+    def test_cuyahoga_always_in_state_set(self):
+        locations = select_study_locations(42)
+        names = {r.name for r in locations.locations(Granularity.STATE)}
+        assert "Cuyahoga" in names
+
+    def test_deterministic_per_seed(self):
+        a = select_study_locations(42)
+        b = select_study_locations(42)
+        for granularity in Granularity.order():
+            assert [r.name for r in a.locations(granularity)] == [
+                r.name for r in b.locations(granularity)
+            ]
+
+    def test_different_seeds_differ(self):
+        a = select_study_locations(42)
+        b = select_study_locations(43)
+        assert {r.name for r in a.locations(Granularity.NATIONAL)} != {
+            r.name for r in b.locations(Granularity.NATIONAL)
+        }
+
+    def test_kinds_match_granularity(self):
+        locations = select_study_locations(42)
+        assert all(
+            r.kind is RegionKind.STATE
+            for r in locations.locations(Granularity.NATIONAL)
+        )
+        assert all(
+            r.kind is RegionKind.COUNTY for r in locations.locations(Granularity.STATE)
+        )
+        assert all(
+            r.kind is RegionKind.DISTRICT
+            for r in locations.locations(Granularity.COUNTY)
+        )
+
+    def test_distance_scales_match_paper(self):
+        locations = select_study_locations(42)
+        county = locations.mean_pairwise_distance_miles(Granularity.COUNTY)
+        state = locations.mean_pairwise_distance_miles(Granularity.STATE)
+        national = locations.mean_pairwise_distance_miles(Granularity.NATIONAL)
+        assert county < 15
+        assert 50 < state < 200
+        assert national > 500
+        assert county < state < national
+
+    def test_oversampling_rejected(self):
+        with pytest.raises(ValueError):
+            select_study_locations(42, state_count=60)
+
+    def test_all_locations_ordered_small_scale_first(self):
+        locations = select_study_locations(42)
+        kinds = [r.kind for r in locations.all_locations()]
+        first_county = kinds.index(RegionKind.DISTRICT)
+        first_national = kinds.index(RegionKind.STATE)
+        assert first_county < first_national
+
+
+class TestDemographics:
+    def test_twenty_five_features(self):
+        assert len(DEMOGRAPHIC_FEATURES) == 25
+
+    def test_profile_has_every_feature(self):
+        profile = demographic_profile(us_state("Ohio"))
+        for feature in DEMOGRAPHIC_FEATURES:
+            assert isinstance(profile[feature], float)
+
+    def test_profile_deterministic(self):
+        a = demographic_profile(us_state("Ohio"))
+        b = demographic_profile(us_state("Ohio"))
+        assert a.vector() == b.vector()
+
+    def test_profiles_differ_between_regions(self):
+        assert demographic_profile(us_state("Ohio")).vector() != demographic_profile(
+            us_state("Texas")
+        ).vector()
+
+    def test_ethnic_shares_sum_to_one(self):
+        profile = demographic_profile(us_state("Ohio"))
+        total = (
+            profile["white_share"]
+            + profile["black_share"]
+            + profile["hispanic_share"]
+            + profile["asian_share"]
+            + profile["other_ethnicity_share"]
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_rates_are_probabilities(self):
+        profile = demographic_profile(us_state("Texas"))
+        for feature in (
+            "poverty_rate",
+            "unemployment_rate",
+            "high_school_attainment",
+            "bachelors_attainment",
+            "english_fluency",
+            "homeownership_rate",
+            "internet_access_rate",
+        ):
+            assert 0.0 <= profile[feature] <= 1.0, feature
+
+    def test_poverty_anticorrelates_with_income(self):
+        # Across many regions the constraint built into the generator
+        # should be visible as a negative correlation.
+        from repro.geo.usa import us_state_regions
+        from repro.stats.correlation import pearson
+
+        profiles = [demographic_profile(r) for r in us_state_regions()]
+        incomes = [p["median_income"] for p in profiles]
+        poverty = [p["poverty_rate"] for p in profiles]
+        assert pearson(incomes, poverty) < -0.3
+
+    def test_missing_feature_rejected(self):
+        with pytest.raises(ValueError):
+            DemographicProfile(region_name="x", features={"population": 1.0})
+
+    def test_vector_order_is_canonical(self):
+        profile = demographic_profile(us_state("Iowa"))
+        vector = profile.vector()
+        assert vector[0] == profile["population"]
+        assert len(vector) == 25

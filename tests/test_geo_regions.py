@@ -1,0 +1,146 @@
+"""Tests for regions, the USA/Ohio/Cuyahoga location tables, and
+reverse geolocation."""
+
+import itertools
+import statistics
+
+import pytest
+
+from repro.geo.coords import LatLon
+from repro.geo.cuyahoga import CUYAHOGA_CENTER, cuyahoga_voting_districts
+from repro.geo.locate import nearest_state
+from repro.geo.ohio import OHIO_COUNTIES, ohio_county, ohio_county_regions
+from repro.geo.regions import Region, RegionKind
+from repro.geo.usa import US_STATES, us_state, us_state_regions
+
+
+class TestRegion:
+    def test_qualified_name_includes_parent(self):
+        region = Region("Cuyahoga", RegionKind.COUNTY, LatLon(41.4, -81.7), parent="Ohio")
+        assert region.qualified_name == "county:Ohio/Cuyahoga"
+
+    def test_qualified_name_without_parent(self):
+        region = Region("USA", RegionKind.NATION, LatLon(39.8, -98.6))
+        assert region.qualified_name == "nation:USA"
+
+    def test_distance_between_regions(self):
+        ohio = us_state("Ohio")
+        texas = us_state("Texas")
+        assert ohio.distance_miles(texas) > 900
+
+
+class TestUSStates:
+    def test_fifty_states(self):
+        assert len(US_STATES) == 50
+        assert len(us_state_regions()) == 50
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(KeyError):
+            us_state("Narnia")
+
+    def test_state_region_fields(self):
+        ohio = us_state("Ohio")
+        assert ohio.kind is RegionKind.STATE
+        assert ohio.parent == "USA"
+        assert ohio.fips == "39"
+
+    def test_centroids_inside_plausible_us_bounds(self):
+        for name, center in US_STATES.items():
+            assert 18.0 < center.lat < 72.0, name
+            assert -180.0 < center.lon < -66.0, name
+
+    def test_regions_sorted_alphabetically(self):
+        names = [r.name for r in us_state_regions()]
+        assert names == sorted(names)
+
+
+class TestOhioCounties:
+    def test_eighty_eight_counties(self):
+        assert len(OHIO_COUNTIES) == 88
+        assert len(set(OHIO_COUNTIES)) == 88
+        assert len(ohio_county_regions()) == 88
+
+    def test_cuyahoga_present_with_real_centroid(self):
+        cuyahoga = ohio_county("Cuyahoga")
+        assert cuyahoga.center.lat == pytest.approx(41.43, abs=0.1)
+        assert cuyahoga.parent == "Ohio"
+
+    def test_unknown_county_rejected(self):
+        with pytest.raises(KeyError):
+            ohio_county("Kings")
+
+    def test_deterministic_synthesised_centroids(self):
+        assert ohio_county("Noble").center == ohio_county("Noble").center
+
+    def test_mean_pairwise_distance_about_100_miles(self):
+        # Paper: the sampled counties are on average 100 miles apart.
+        regions = ohio_county_regions()
+        distances = [
+            a.distance_miles(b) for a, b in itertools.combinations(regions, 2)
+        ]
+        assert 60 < statistics.fmean(distances) < 150
+
+    def test_counties_resolve_to_ohio(self):
+        misattributed = [
+            r.name for r in ohio_county_regions() if nearest_state(r.center) != "Ohio"
+        ]
+        # The nearest-anchor reverse geocoder may miss a border county or
+        # two, but the overwhelming majority must resolve correctly.
+        assert len(misattributed) <= 2
+
+
+class TestCuyahogaDistricts:
+    def test_default_count(self):
+        assert len(cuyahoga_voting_districts()) == 60
+
+    def test_custom_count(self):
+        assert len(cuyahoga_voting_districts(15)) == 15
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            cuyahoga_voting_districts(0)
+
+    def test_districts_near_cuyahoga(self):
+        for district in cuyahoga_voting_districts(30):
+            assert district.center.distance_miles(CUYAHOGA_CENTER) < 15
+
+    def test_neighbouring_districts_about_one_mile_apart(self):
+        # Paper: voting districts are on average 1 mile apart; we check
+        # nearest-neighbour spacing is on that order.
+        districts = cuyahoga_voting_districts(30)
+        spacings = []
+        for d in districts:
+            spacings.append(
+                min(
+                    d.center.distance_miles(other.center)
+                    for other in districts
+                    if other is not d
+                )
+            )
+        assert 0.4 < statistics.fmean(spacings) < 2.0
+
+    def test_deterministic(self):
+        a = cuyahoga_voting_districts(20)
+        b = cuyahoga_voting_districts(20)
+        assert [d.center for d in a] == [d.center for d in b]
+
+    def test_unique_names(self):
+        names = [d.name for d in cuyahoga_voting_districts(40)]
+        assert len(set(names)) == len(names)
+
+
+class TestNearestState:
+    def test_state_centroids_resolve_to_themselves(self):
+        for name, center in US_STATES.items():
+            assert nearest_state(center) == name
+
+    def test_cleveland_is_ohio(self):
+        assert nearest_state(LatLon(41.4993, -81.6944)) == "Ohio"
+
+    def test_cincinnati_is_ohio_despite_border(self):
+        # Cincinnati is closer to Indiana's centroid than Ohio's; the
+        # city-anchor gazetteer must still resolve it to Ohio.
+        assert nearest_state(LatLon(39.1031, -84.5120)) == "Ohio"
+
+    def test_manhattan_is_new_york(self):
+        assert nearest_state(LatLon(40.7128, -74.0060)) == "New York"

@@ -1,0 +1,150 @@
+"""Tests for the Germany country pack and locator generalisation."""
+
+import pytest
+
+from repro.core.experiment import StudyConfig
+from repro.core.personalization import PersonalizationAnalysis
+from repro.core.runner import Study
+from repro.geo.coords import LatLon
+from repro.geo.germany import (
+    GERMAN_LAENDER,
+    GERMANY_LOCATOR,
+    bavarian_kreis_regions,
+    berlin_bezirk_regions,
+    german_land_regions,
+    germany_study_locations,
+)
+from repro.geo.granularity import Granularity
+from repro.geo.locate import US_LOCATOR, RegionLocator
+from repro.queries.corpus import build_corpus
+from repro.queries.model import QueryCategory
+
+
+class TestRegionLocator:
+    def test_us_locator_regions(self):
+        assert len(US_LOCATOR.regions()) == 50
+
+    def test_germany_locator_regions(self):
+        assert len(GERMANY_LOCATOR.regions()) == 16
+
+    def test_empty_anchor_set_rejected(self):
+        with pytest.raises(ValueError):
+            RegionLocator("empty", [])
+
+    def test_lookup_cached_and_stable(self):
+        point = LatLon(48.13, 11.58)
+        assert GERMANY_LOCATOR.nearest_region(point) == GERMANY_LOCATOR.nearest_region(
+            point
+        )
+
+
+class TestGermanGeography:
+    def test_sixteen_laender(self):
+        assert len(GERMAN_LAENDER) == 16
+        assert len(german_land_regions()) == 16
+
+    def test_centroids_inside_germany(self):
+        for name, center in GERMAN_LAENDER.items():
+            assert 47.0 < center.lat < 55.5, name
+            assert 5.5 < center.lon < 15.5, name
+
+    def test_munich_resolves_to_bavaria(self):
+        assert GERMANY_LOCATOR.nearest_region(LatLon(48.1351, 11.5820)) == "Bayern"
+
+    def test_cologne_resolves_to_nrw(self):
+        assert (
+            GERMANY_LOCATOR.nearest_region(LatLon(50.9375, 6.9603))
+            == "Nordrhein-Westfalen"
+        )
+
+    def test_bavarian_kreise_inside_bavaria(self):
+        for region in bavarian_kreis_regions(30):
+            assert GERMANY_LOCATOR.nearest_region(region.center) == "Bayern"
+
+    def test_berlin_bezirke_pool(self):
+        bezirke = berlin_bezirk_regions()
+        assert len(bezirke) == 24  # 12 Bezirke + 12 jittered sub-centres
+        names = [b.name for b in bezirke]
+        assert "Mitte" in names
+        assert len(set(names)) == len(names)
+
+    def test_bezirke_near_berlin(self):
+        berlin = GERMAN_LAENDER["Berlin"]
+        for bezirk in berlin_bezirk_regions():
+            assert bezirk.center.distance_miles(berlin) < 20
+
+    def test_study_locations_counts(self):
+        locations = germany_study_locations(1, land_count=8, kreis_count=9, bezirk_count=6)
+        assert len(locations.locations(Granularity.NATIONAL)) == 8
+        assert len(locations.locations(Granularity.STATE)) == 9
+        assert len(locations.locations(Granularity.COUNTY)) == 6
+
+    def test_berlin_always_in_national_set(self):
+        locations = germany_study_locations(7)
+        names = {r.name for r in locations.locations(Granularity.NATIONAL)}
+        assert "Berlin" in names
+
+    def test_distance_gradient(self):
+        locations = germany_study_locations(1)
+        county = locations.mean_pairwise_distance_miles(Granularity.COUNTY)
+        state = locations.mean_pairwise_distance_miles(Granularity.STATE)
+        national = locations.mean_pairwise_distance_miles(Granularity.NATIONAL)
+        assert county < state < national
+
+    def test_deterministic(self):
+        a = germany_study_locations(5)
+        b = germany_study_locations(5)
+        assert [r.name for r in a.all_locations()] == [
+            r.name for r in b.all_locations()
+        ]
+
+
+class TestGermanyStudy:
+    @pytest.fixture(scope="class")
+    def german_dataset(self):
+        corpus = build_corpus()
+        local = corpus.by_category(QueryCategory.LOCAL)
+        queries = (
+            [q for q in local if not q.is_brand][:5]
+            + [q for q in local if q.is_brand][:2]
+            + corpus.by_category(QueryCategory.CONTROVERSIAL)[:3]
+        )
+        config = StudyConfig.small(
+            queries, seed=555, days=1, locations_per_granularity=4
+        ).with_overrides(
+            study_locations=germany_study_locations(
+                555, land_count=6, kreis_count=6, bezirk_count=6
+            ),
+            locator=GERMANY_LOCATOR,
+        )
+        study = Study(config)
+        dataset = study.run()
+        assert not study.failures
+        return dataset
+
+    def test_complete_collection(self, german_dataset):
+        assert len(german_dataset) == 10 * 18 * 2
+
+    def test_state_content_scoped_to_laender(self, german_dataset):
+        # Generic local pages collected in Bavaria carry Bavarian
+        # state-government content.
+        found = False
+        for record in german_dataset.filter(category="local", granularity="state"):
+            for url in record.urls:
+                if "bayern.example.gov" in url:
+                    found = True
+        assert found
+
+    def test_distance_gradient_reproduces(self, german_dataset):
+        analysis = PersonalizationAnalysis(german_dataset)
+        county = analysis.cell("local", "county").edit.mean
+        state = analysis.cell("local", "state").edit.mean
+        national = analysis.cell("local", "national").edit.mean
+        assert county < state < national
+
+    def test_local_dominates_other_categories(self, german_dataset):
+        analysis = PersonalizationAnalysis(german_dataset)
+        assert (
+            analysis.cell("local", "national").edit.mean
+            > analysis.cell("controversial", "national").edit.mean + 2
+        )

@@ -1,0 +1,120 @@
+"""Tests for Mann–Whitney U and bootstrap confidence intervals."""
+
+import pytest
+
+from repro.seeding import derive_rng
+from repro.stats.hypothesis_tests import bootstrap_ci, mann_whitney_u
+
+
+class TestMannWhitney:
+    def test_clearly_shifted_samples_significant(self):
+        rng = derive_rng(1, "mw")
+        a = [rng.gauss(10.0, 1.0) for _ in range(60)]
+        b = [rng.gauss(5.0, 1.0) for _ in range(60)]
+        result = mann_whitney_u(a, b)
+        assert result.significant
+        assert result.p_value < 1e-6
+
+    def test_same_distribution_not_significant(self):
+        rng = derive_rng(2, "mw")
+        a = [rng.gauss(5.0, 1.0) for _ in range(80)]
+        b = [rng.gauss(5.0, 1.0) for _ in range(80)]
+        assert mann_whitney_u(a, b).p_value > 0.01
+
+    def test_identical_constant_samples(self):
+        result = mann_whitney_u([3.0] * 10, [3.0] * 10)
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_symmetry_of_pvalue(self):
+        a = [1.0, 2.0, 3.0, 4.0, 10.0]
+        b = [2.0, 3.0, 5.0, 6.0, 7.0]
+        assert mann_whitney_u(a, b).p_value == pytest.approx(
+            mann_whitney_u(b, a).p_value
+        )
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_handles_heavy_ties(self):
+        # Edit distances are small integers: lots of ties.
+        a = [0.0, 0.0, 1.0, 1.0, 2.0] * 20
+        b = [0.0, 1.0, 1.0, 2.0, 2.0] * 20
+        result = mann_whitney_u(a, b)
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_counts_recorded(self):
+        result = mann_whitney_u([1.0, 2.0], [3.0, 4.0, 5.0])
+        assert result.n_a == 2
+        assert result.n_b == 3
+
+    def test_effect_size_direction(self):
+        assert mann_whitney_u([10, 11, 12], [1, 2, 3]).effect_size == 1.0
+        assert mann_whitney_u([1, 2, 3], [10, 11, 12]).effect_size == -1.0
+
+    def test_effect_size_zero_for_identical(self):
+        assert mann_whitney_u([5.0] * 8, [5.0] * 8).effect_size == 0.0
+
+    def test_effect_size_bounded(self):
+        from repro.seeding import derive_rng
+
+        rng = derive_rng(6, "es")
+        a = [rng.gauss(0, 1) for _ in range(30)]
+        b = [rng.gauss(0.5, 1) for _ in range(30)]
+        assert -1.0 <= mann_whitney_u(a, b).effect_size <= 1.0
+
+
+class TestBootstrapCI:
+    def test_interval_contains_sample_mean(self):
+        rng = derive_rng(3, "boot")
+        values = [rng.gauss(7.0, 2.0) for _ in range(100)]
+        ci = bootstrap_ci(values, seed=1)
+        assert ci.low <= ci.mean <= ci.high
+
+    def test_deterministic_per_seed(self):
+        values = [1.0, 5.0, 2.0, 8.0, 3.0]
+        a = bootstrap_ci(values, seed=9)
+        b = bootstrap_ci(values, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_different_seed_changes_interval(self):
+        values = [1.0, 5.0, 2.0, 8.0, 3.0, 7.0, 4.0]
+        a = bootstrap_ci(values, seed=1, resamples=500)
+        b = bootstrap_ci(values, seed=2, resamples=500)
+        assert (a.low, a.high) != (b.low, b.high)
+
+    def test_narrower_at_lower_confidence(self):
+        rng = derive_rng(4, "boot")
+        values = [rng.gauss(0.0, 1.0) for _ in range(50)]
+        wide = bootstrap_ci(values, confidence=0.99, seed=1)
+        narrow = bootstrap_ci(values, confidence=0.80, seed=1)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_constant_sample_collapses(self):
+        ci = bootstrap_ci([4.0] * 20, seed=1)
+        assert ci.low == ci.high == 4.0
+
+    def test_contains_helper(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0], seed=1)
+        assert ci.contains(ci.mean)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], seed=1)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0)
+
+    def test_coverage_sanity(self):
+        # ~95% of CIs from repeated draws of a known distribution should
+        # contain the true mean; check loosely over 40 trials.
+        covered = 0
+        trials = 40
+        for trial in range(trials):
+            rng = derive_rng(5, "coverage", trial)
+            values = [rng.gauss(3.0, 1.0) for _ in range(40)]
+            if bootstrap_ci(values, seed=trial, resamples=400).contains(3.0):
+                covered += 1
+        assert covered >= trials * 0.8

@@ -1,0 +1,155 @@
+"""Integration tests of the methodology itself.
+
+Each test answers "why does the paper's design include this control?" by
+running the pipeline with the control removed and showing the artefact
+it guards against.
+"""
+
+import pytest
+
+from repro.core.experiment import StudyConfig
+from repro.core.noise import NoiseAnalysis
+from repro.core.runner import Study
+from repro.queries.corpus import build_corpus
+
+SEED = 24601
+
+
+def _queries():
+    corpus = build_corpus()
+    return [
+        corpus.get("School"),
+        corpus.get("Coffee"),
+        corpus.get("Hospital"),
+        corpus.get("Starbucks"),
+        corpus.get("Gay Marriage"),
+        corpus.get("Barack Obama"),
+    ]
+
+
+def _config(**overrides):
+    config = StudyConfig.small(
+        _queries(), seed=SEED, days=1, locations_per_granularity=5
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+class TestDatacenterPinning:
+    def test_unpinned_dns_increases_noise(self):
+        pinned = NoiseAnalysis(Study(_config()).run())
+        unpinned = NoiseAnalysis(Study(_config(pin_datacenter=False)).run())
+        assert (
+            unpinned.cell("local", "county").edit.mean
+            > pinned.cell("local", "county").edit.mean
+        )
+
+
+class TestPairedControls:
+    def test_without_noise_floor_local_noise_masquerades_as_personalization(self):
+        # The control pair is what lets the paper separate noise from
+        # personalization: at county level a naive reading of raw
+        # pairwise differences would overstate personalization by the
+        # noise amount.
+        from repro.core.personalization import PersonalizationAnalysis
+
+        dataset = Study(_config()).run()
+        analysis = PersonalizationAnalysis(dataset)
+        raw = analysis.cell("local", "county").edit.mean
+        net = analysis.net_edit("local", "county")
+        noise = analysis.noise.noise_floor_edit("local", "county")
+        assert noise > 1.0
+        assert net == pytest.approx(raw - noise, abs=1e-9)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_dataset_bit_for_bit(self):
+        a = Study(_config()).run()
+        b = Study(_config()).run()
+        assert len(a) == len(b)
+        for record in a:
+            twin = b.get(
+                record.query,
+                record.granularity,
+                record.location_name,
+                record.day,
+                record.copy_index,
+            )
+            assert twin is not None
+            assert twin.urls == record.urls
+            assert twin.type_codes == record.type_codes
+
+    def test_different_seed_changes_results(self):
+        a = Study(_config()).run()
+        b = Study(
+            StudyConfig.small(_queries(), seed=SEED + 1, days=1, locations_per_granularity=5)
+        ).run()
+        assert any(
+            record.urls
+            != b.get(
+                record.query,
+                record.granularity,
+                record.location_name,
+                record.day,
+                record.copy_index,
+            ).urls
+            for record in a
+            if b.get(
+                record.query,
+                record.granularity,
+                record.location_name,
+                record.day,
+                record.copy_index,
+            )
+            is not None
+        )
+
+
+class TestSnappingAblation:
+    def test_disabling_snapping_removes_county_clusters(self):
+        from repro.core.consistency import ConsistencyAnalysis
+
+        snapped_ds = Study(_config()).run()
+        unsnapped_config = _config().with_overrides(
+            calibration=_config().calibration.with_overrides(snap_to_grid=False)
+        )
+        unsnapped_ds = Study(unsnapped_config).run()
+
+        snapped_groups = ConsistencyAnalysis(snapped_ds).cluster_groups(
+            "county", margin=1.0
+        )
+        unsnapped_groups = ConsistencyAnalysis(unsnapped_ds).cluster_groups(
+            "county", margin=1.0
+        )
+        # With snapping, districts sharing a snap cell receive
+        # near-identical results (clusters at the noise floor); without
+        # it, every distinct coordinate differs.
+        assert sum(map(len, snapped_groups)) >= sum(map(len, unsnapped_groups))
+
+    def test_maps_gate_ablation_collapses_maps_noise(self):
+        from repro.core.parser import ResultType
+
+        deterministic_maps = _config().with_overrides(
+            calibration=_config().calibration.with_overrides(maps_prob_generic=1.0)
+        )
+        noise = NoiseAnalysis(Study(deterministic_maps).run())
+        share = noise.cell("local", "county").type_share(ResultType.MAPS)
+        baseline_share = NoiseAnalysis(Study(_config()).run()).cell(
+            "local", "county"
+        ).type_share(ResultType.MAPS)
+        # With the gate always open, Maps presence cannot flicker between
+        # treatment and control; only content jitter remains.
+        assert share < baseline_share
+
+    def test_zero_jitter_makes_pages_deterministic(self):
+        quiet = _config().with_overrides(
+            calibration=_config().calibration.with_overrides(
+                ab_jitter_local=0.0,
+                ab_jitter_national=0.0,
+                maps_prob_generic=1.0,
+                maps_prob_brand=0.0,
+            )
+        )
+        noise = NoiseAnalysis(Study(quiet).run())
+        for category in ("local", "controversial", "politician"):
+            assert noise.cell(category, "county").edit.mean == 0.0
+            assert noise.cell(category, "county").jaccard.mean == 1.0

@@ -1,0 +1,81 @@
+"""Tests for knowledge-panel cards."""
+
+import pytest
+
+from repro.core.parser import ResultType, parse_serp_html
+from repro.engine.serp import CardType
+from repro.geo.coords import LatLon
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+
+
+class TestKnowledgeCards:
+    def test_politician_gets_panel(self, engine, make_request):
+        page = engine.serve_page(make_request("Barack Obama", gps=CLEVELAND))
+        assert page.card_count(CardType.KNOWLEDGE) == 1
+        assert page.cards[0].card_type is CardType.KNOWLEDGE
+
+    def test_common_name_gets_no_panel(self, engine, make_request):
+        # The engine cannot disambiguate "Bill Johnson" — no panel, the
+        # same ambiguity driving common-name personalization.
+        page = engine.serve_page(make_request("Bill Johnson", gps=CLEVELAND))
+        assert page.card_count(CardType.KNOWLEDGE) == 0
+
+    def test_brand_gets_panel(self, engine, make_request):
+        page = engine.serve_page(make_request("Starbucks", gps=CLEVELAND))
+        assert page.card_count(CardType.KNOWLEDGE) == 1
+        panel = page.cards[0]
+        assert "starbucks" in str(panel.documents[0].url)
+
+    def test_generic_local_gets_no_panel(self, engine, make_request):
+        page = engine.serve_page(make_request("School", gps=CLEVELAND))
+        assert page.card_count(CardType.KNOWLEDGE) == 0
+
+    def test_controversial_gets_no_panel(self, engine, make_request):
+        page = engine.serve_page(make_request("Gay Marriage", gps=CLEVELAND))
+        assert page.card_count(CardType.KNOWLEDGE) == 0
+
+    def test_panel_only_on_first_page(self, engine, make_request):
+        import dataclasses
+
+        request = dataclasses.replace(
+            make_request("Barack Obama", gps=CLEVELAND), page=1
+        )
+        page = engine.serve_page(request)
+        assert page.card_count(CardType.KNOWLEDGE) == 0
+
+    def test_parser_treats_panel_as_normal_first_link(self, engine, make_request):
+        # The paper's parser has no panel special-case: the panel's link
+        # is extracted like any normal card's first link.
+        html = engine.handle(make_request("Barack Obama", gps=CLEVELAND)).html
+        assert "card-knowledge" in html
+        parsed = parse_serp_html(html)
+        assert parsed.results[0].result_type is ResultType.NORMAL
+        assert "barack-obama" in parsed.results[0].url
+
+    def test_panel_is_location_independent(self, engine, make_request):
+        a = engine.serve_page(make_request("Barack Obama", gps=CLEVELAND, nonce=4))
+        b = engine.serve_page(
+            make_request("Barack Obama", gps=LatLon(30.27, -97.74), nonce=4)
+        )
+        assert a.cards[0].documents[0].url == b.cards[0].documents[0].url
+
+    def test_page_lengths_still_in_paper_range(self, engine, make_request):
+        for term, nonce in (("Barack Obama", 1), ("Starbucks", 2)):
+            page = engine.serve_page(make_request(term, gps=CLEVELAND, nonce=nonce))
+            assert 12 <= len(page.links()) <= 22
+
+    def test_knowledge_card_must_hold_one_document(self):
+        from repro.engine.serp import SerpCard
+        from repro.web.documents import DocKind, Document, GeoScope
+        from repro.web.urls import Url
+
+        doc = Document(
+            url=Url(host="a.example.com"),
+            title="t",
+            kind=DocKind.ORGANIC,
+            scope=GeoScope.NATIONAL,
+            base_score=1.0,
+        )
+        with pytest.raises(ValueError):
+            SerpCard(CardType.KNOWLEDGE, [doc, doc])

@@ -1,0 +1,204 @@
+"""Tests for the network substrate: IPs, fleets, GeoIP, DNS."""
+
+import pytest
+
+from repro.geo.coords import LatLon
+from repro.net.dns import DNSRecord, DNSResolver, ResolutionError
+from repro.net.geoip import GeoIPDatabase
+from repro.net.ip import IPv4Address, IPv4Subnet
+from repro.net.machines import Machine, MachineFleet, MachineKind
+
+
+class TestIPv4Address:
+    def test_parse_and_str_round_trip(self):
+        assert str(IPv4Address.parse("192.0.2.17")) == "192.0.2.17"
+
+    def test_octets(self):
+        assert IPv4Address.parse("10.1.2.3").octets == (10, 1, 2, 3)
+
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+    def test_addition(self):
+        assert str(IPv4Address.parse("10.0.0.1") + 5) == "10.0.0.6"
+
+    def test_malformed_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "a.b.c.d", "256.1.1.1", "01.2.3.4", ""):
+            with pytest.raises(ValueError):
+                IPv4Address.parse(bad)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Address(2**32)
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+
+
+class TestIPv4Subnet:
+    def test_parse(self):
+        net = IPv4Subnet.parse("192.0.2.0/24")
+        assert net.prefix_len == 24
+        assert net.size == 256
+
+    def test_contains(self):
+        net = IPv4Subnet.parse("192.0.2.0/24")
+        assert IPv4Address.parse("192.0.2.200") in net
+        assert IPv4Address.parse("192.0.3.1") not in net
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Subnet.parse("192.0.2.1/24")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Subnet.parse("192.0.2.0/33")
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        net = IPv4Subnet.parse("192.0.2.0/24")
+        hosts = list(net.hosts())
+        assert len(hosts) == 254
+        assert str(hosts[0]) == "192.0.2.1"
+        assert str(hosts[-1]) == "192.0.2.254"
+
+    def test_slash_31_and_32(self):
+        assert len(list(IPv4Subnet.parse("192.0.2.0/31").hosts())) == 2
+        assert len(list(IPv4Subnet.parse("192.0.2.1/32").hosts())) == 1
+
+    def test_malformed_cidr_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Subnet.parse("192.0.2.0")
+
+
+class TestMachineFleet:
+    def test_crawl_fleet_default_is_44_in_one_slash24(self):
+        fleet = MachineFleet.crawl_fleet()
+        assert len(fleet) == 44
+        net = IPv4Subnet.parse("192.0.2.0/24")
+        assert all(m.ip in net for m in fleet)
+
+    def test_crawl_machines_share_location(self):
+        fleet = MachineFleet.crawl_fleet()
+        assert len({m.location for m in fleet}) == 1
+
+    def test_crawl_fleet_unique_ips(self):
+        fleet = MachineFleet.crawl_fleet()
+        assert len({m.ip for m in fleet}) == 44
+
+    def test_too_many_machines_rejected(self):
+        with pytest.raises(ValueError):
+            MachineFleet.crawl_fleet(count=300)
+
+    def test_planetlab_fleet_spread_across_states(self):
+        fleet = MachineFleet.planetlab_fleet(seed=1, count=50)
+        assert len(fleet) == 50
+        assert len({m.location for m in fleet}) == 50
+        assert all(m.kind is MachineKind.PLANETLAB for m in fleet)
+
+    def test_planetlab_fleet_distinct_slash16s(self):
+        fleet = MachineFleet.planetlab_fleet(seed=1, count=50)
+        prefixes = {(m.ip.octets[0], m.ip.octets[1]) for m in fleet}
+        assert len(prefixes) == 50
+
+    def test_planetlab_deterministic(self):
+        a = MachineFleet.planetlab_fleet(seed=1, count=10)
+        b = MachineFleet.planetlab_fleet(seed=1, count=10)
+        assert [m.ip for m in a] == [m.ip for m in b]
+
+    def test_duplicate_ips_rejected(self):
+        m = Machine("x", IPv4Address.parse("10.0.0.1"), LatLon(0, 0), MachineKind.CRAWLER)
+        with pytest.raises(ValueError):
+            MachineFleet(name="dup", machines=[m, m])
+
+
+class TestGeoIP:
+    def test_host_lookup(self):
+        db = GeoIPDatabase()
+        ip = IPv4Address.parse("10.0.0.1")
+        db.add_host(ip, LatLon(40.0, -80.0))
+        assert db.lookup(ip) == LatLon(40.0, -80.0)
+
+    def test_subnet_lookup(self):
+        db = GeoIPDatabase()
+        db.add_subnet(IPv4Subnet.parse("10.0.0.0/8"), LatLon(40.0, -80.0))
+        assert db.lookup(IPv4Address.parse("10.99.1.2")) == LatLon(40.0, -80.0)
+
+    def test_longest_prefix_wins(self):
+        db = GeoIPDatabase()
+        db.add_subnet(IPv4Subnet.parse("10.0.0.0/8"), LatLon(40.0, -80.0))
+        db.add_subnet(IPv4Subnet.parse("10.1.0.0/16"), LatLon(30.0, -90.0))
+        assert db.lookup(IPv4Address.parse("10.1.2.3")) == LatLon(30.0, -90.0)
+
+    def test_host_beats_subnet(self):
+        db = GeoIPDatabase()
+        ip = IPv4Address.parse("10.1.2.3")
+        db.add_subnet(IPv4Subnet.parse("10.0.0.0/8"), LatLon(40.0, -80.0))
+        db.add_host(ip, LatLon(20.0, -100.0))
+        assert db.lookup(ip) == LatLon(20.0, -100.0)
+
+    def test_unknown_is_none(self):
+        assert GeoIPDatabase().lookup(IPv4Address.parse("8.8.8.8")) is None
+
+    def test_register_fleet(self):
+        db = GeoIPDatabase()
+        fleet = MachineFleet.planetlab_fleet(seed=2, count=5)
+        db.register_fleet(fleet)
+        for machine in fleet:
+            assert db.lookup(machine.ip) == machine.location
+
+
+class TestDNS:
+    def _resolver(self):
+        resolver = DNSResolver()
+        addresses = [IPv4Address.parse(f"198.51.100.{i}") for i in range(1, 5)]
+        resolver.add_record(DNSRecord(name="search.example.com", addresses=addresses))
+        return resolver, addresses
+
+    def test_record_requires_addresses(self):
+        with pytest.raises(ValueError):
+            DNSRecord(name="x.example.com", addresses=[])
+
+    def test_resolution_rotates_with_query_id(self):
+        resolver, _ = self._resolver()
+        results = {
+            resolver.resolve("search.example.com", query_id=i) for i in range(50)
+        }
+        assert len(results) > 1
+
+    def test_resolution_deterministic_per_query_id(self):
+        resolver, _ = self._resolver()
+        assert resolver.resolve("search.example.com", query_id=7) == resolver.resolve(
+            "search.example.com", query_id=7
+        )
+
+    def test_pinning_fixes_resolution(self):
+        resolver, addresses = self._resolver()
+        resolver.pin("search.example.com", addresses[2])
+        results = {
+            resolver.resolve("search.example.com", query_id=i) for i in range(20)
+        }
+        assert results == {addresses[2]}
+
+    def test_unpin_restores_rotation(self):
+        resolver, addresses = self._resolver()
+        resolver.pin("search.example.com", addresses[0])
+        resolver.unpin("search.example.com")
+        results = {
+            resolver.resolve("search.example.com", query_id=i) for i in range(50)
+        }
+        assert len(results) > 1
+
+    def test_pin_to_foreign_address_rejected(self):
+        resolver, _ = self._resolver()
+        with pytest.raises(ValueError):
+            resolver.pin("search.example.com", IPv4Address.parse("10.0.0.1"))
+
+    def test_unknown_name_raises(self):
+        resolver, _ = self._resolver()
+        with pytest.raises(ResolutionError):
+            resolver.resolve("nonexistent.example.com")
+
+    def test_case_insensitive(self):
+        resolver, _ = self._resolver()
+        assert resolver.resolve("SEARCH.Example.COM", query_id=1) == resolver.resolve(
+            "search.example.com", query_id=1
+        )

@@ -1,0 +1,211 @@
+"""Tests for pagination, dataset diffing, the audit facade, and corpus
+serialisation."""
+
+import pytest
+
+from repro.core.audit import audit_queries
+from repro.core.diff import diff_datasets
+from repro.core.pagination import run_pagination_experiment
+from repro.core.parser import parse_serp_html
+from repro.geo.coords import LatLon
+from repro.queries.corpus import QueryCorpus, build_corpus
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+
+
+class TestPagination:
+    def test_page_two_has_different_results(self, engine, make_request):
+        first = engine.serve_page(make_request("School", gps=CLEVELAND, nonce=3))
+        import dataclasses
+
+        request = dataclasses.replace(
+            make_request("School", gps=CLEVELAND, nonce=3), page=1
+        )
+        second = engine.serve_page(request)
+        assert second.page == 1
+        from repro.engine.serp import CardType
+
+        organic_first = {
+            str(c.documents[0].url)
+            for c in first.cards
+            if c.card_type is CardType.ORGANIC
+        }
+        organic_second = {
+            str(c.documents[0].url)
+            for c in second.cards
+            if c.card_type is CardType.ORGANIC
+        }
+        # Page 2 continues the ranking: organic windows are disjoint.
+        assert organic_second
+        assert not organic_first & organic_second
+
+    def test_meta_cards_only_on_first_page(self, engine, make_request):
+        import dataclasses
+
+        from repro.engine.serp import CardType
+
+        for nonce in range(10):
+            request = dataclasses.replace(
+                make_request("School", gps=CLEVELAND, nonce=nonce), page=1
+            )
+            page = engine.serve_page(request)
+            assert page.card_count(CardType.MAPS) == 0
+            assert page.card_count(CardType.NEWS) == 0
+
+    def test_page_number_round_trips_through_html(self, engine, make_request):
+        import dataclasses
+
+        from repro.engine.render import render_page
+
+        request = dataclasses.replace(
+            make_request("School", gps=CLEVELAND, nonce=2), page=1
+        )
+        page = engine.serve_page(request)
+        parsed = parse_serp_html(render_page(page))
+        assert parsed.page == 1
+
+    def test_negative_page_rejected(self, make_request):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(make_request("School"), page=-1)
+
+    def test_experiment_deeper_pages_more_local(self):
+        result = run_pagination_experiment(99, pages=(0, 1), location_count=4)
+        assert len(result.cells) == 2
+        first, second = result.cells
+        assert second.jaccard.mean < first.jaccard.mean
+
+    def test_experiment_render(self):
+        result = run_pagination_experiment(99, pages=(0,), location_count=3)
+        assert "page" in result.render()
+
+    def test_experiment_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            run_pagination_experiment(1, pages=())
+        with pytest.raises(ValueError):
+            run_pagination_experiment(1, location_count=1)
+        with pytest.raises(ValueError):
+            run_pagination_experiment(1, queries=[])
+
+
+class TestDatasetDiff:
+    def test_self_diff_is_identical(self, small_dataset):
+        diff = diff_datasets(small_dataset, small_dataset)
+        assert diff.identical_fraction == 1.0
+        assert diff.only_in_a == 0
+        assert diff.only_in_b == 0
+        assert diff.edit().mean == 0.0
+
+    def test_partial_overlap_counted(self, small_dataset):
+        subset = small_dataset.filter(day=0)
+        diff = diff_datasets(small_dataset, subset)
+        assert diff.shared == len(subset)
+        assert diff.only_in_a == len(small_dataset) - len(subset)
+        assert diff.only_in_b == 0
+
+    def test_engine_change_shows_in_diff(self):
+        from repro.core.crossengine import BINGO_CALIBRATION
+        from repro.core.experiment import StudyConfig
+        from repro.core.runner import Study
+
+        corpus = build_corpus()
+        queries = [corpus.get("School"), corpus.get("Gay Marriage")]
+        config = StudyConfig.small(queries, seed=22, days=1, locations_per_granularity=3)
+        before = Study(config).run()
+        after = Study(
+            config.with_overrides(calibration=BINGO_CALIBRATION)
+        ).run()
+        diff = diff_datasets(before, after)
+        assert diff.identical_fraction < 1.0
+        assert diff.edit().mean > 0
+        # Render includes the most-changed queries.
+        assert "most changed queries" in diff.render()
+
+    def test_by_category_aggregation(self, small_dataset):
+        diff = diff_datasets(small_dataset, small_dataset)
+        by_category = diff.by_category()
+        assert set(by_category) == set(small_dataset.categories())
+
+    def test_probe_metrics_bounded(self):
+        from repro.core.experiment import StudyConfig
+        from repro.core.runner import Study
+
+        corpus = build_corpus()
+        config = StudyConfig.small(
+            [corpus.get("Coffee")], seed=5, days=1, locations_per_granularity=3
+        )
+        a = Study(config).run()
+        b = Study(config.with_overrides(seed=6)).run()
+        # Different seeds → different locations; diff may share nothing.
+        diff = diff_datasets(a, b)
+        for probe in diff.probes:
+            assert 0.0 <= probe.jaccard <= 1.0
+            assert 0.0 <= probe.rbo <= 1.0
+
+
+class TestAuditFacade:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return audit_queries(
+            ["Coffee", "Starbucks", "Gun Control", "Barack Obama"],
+            seed=12,
+            days=1,
+            locations_per_granularity=4,
+        )
+
+    def test_all_terms_audited(self, report):
+        assert len(report.terms) == 4
+
+    def test_local_terms_flagged(self, report):
+        personalized = {t.query.text for t in report.personalized_terms()}
+        assert "Coffee" in personalized
+
+    def test_national_politician_not_flagged(self, report):
+        unpersonalized = {t.query.text for t in report.unpersonalized_terms()}
+        assert "Barack Obama" in unpersonalized
+
+    def test_net_values_nonnegative(self, report):
+        for term in report.terms:
+            for value in term.net_by_granularity.values():
+                assert value >= 0.0
+
+    def test_render_contains_verdicts(self, report):
+        text = report.render()
+        assert "PERSONALIZED" in text
+        assert "no effect" in text
+
+    def test_accepts_query_objects(self):
+        corpus = build_corpus()
+        report = audit_queries(
+            [corpus.get("KFC")], seed=3, days=1, locations_per_granularity=3
+        )
+        assert report.terms[0].query.is_brand
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            audit_queries([])
+
+
+class TestCorpusSerialisation:
+    def test_round_trip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        corpus.save(path)
+        loaded = QueryCorpus.load(path)
+        assert len(loaded) == len(corpus)
+        assert [q.text for q in loaded] == [q.text for q in corpus]
+        assert loaded.get("Bill Johnson").is_common_name
+        assert loaded.get("Starbucks").is_brand
+
+    def test_malformed_entry_reported(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"text": "x"}]', encoding="utf-8")
+        with pytest.raises(ValueError) as excinfo:
+            QueryCorpus.load(path)
+        assert "entry 0" in str(excinfo.value)
+
+    def test_non_array_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"text": "x"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            QueryCorpus.load(path)

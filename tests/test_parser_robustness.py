@@ -1,0 +1,145 @@
+"""Robustness tests: the parser against malformed and adversarial HTML.
+
+A crawler's parser sees whatever the network hands it — truncated
+pages, error pages, junk.  It must either parse or raise
+:class:`SerpParseError`; it must never crash with an unrelated
+exception or silently return garbage.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import SerpParseError, parse_serp_html
+from repro.engine.render import render_page
+from repro.engine.serp import CardType, SerpCard, SerpPage
+from repro.geo.coords import LatLon
+from repro.web.documents import DocKind, Document, GeoScope
+from repro.web.urls import Url
+
+
+def _page_with_titles(titles):
+    cards = [
+        SerpCard(
+            CardType.ORGANIC,
+            [
+                Document(
+                    url=Url(host=f"site{i}.example.com"),
+                    title=title,
+                    kind=DocKind.ORGANIC,
+                    scope=GeoScope.NATIONAL,
+                    base_score=5.0,
+                )
+            ],
+        )
+        for i, title in enumerate(titles)
+    ]
+    return SerpPage(
+        query_text="q",
+        cards=cards,
+        reported_location=LatLon(41.0, -81.0),
+        datacenter="dc00",
+        day=0,
+    )
+
+
+class TestMalformedInput:
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            "",
+            "plain text, no markup",
+            "<html><body></body></html>",
+            "<div id='rso'",  # truncated mid-tag
+            "<!DOCTYPE html><html>" + "<div>" * 2000,
+            "\x00\x01\x02 binary-ish",
+            "<rso></rso>",  # id as tag, not attribute
+        ],
+    )
+    def test_junk_raises_parse_error(self, junk):
+        with pytest.raises(SerpParseError):
+            parse_serp_html(junk)
+
+    def test_truncated_serp_parses_partially(self, engine, make_request):
+        from repro.geo.coords import LatLon
+
+        html = engine.handle(
+            make_request("School", gps=LatLon(41.43, -81.67))
+        ).html
+        truncated = html[: len(html) // 2]
+        # Either a partial parse (container opened) or a clean error.
+        try:
+            parsed = parse_serp_html(truncated)
+        except SerpParseError:
+            return
+        assert parsed.results is not None
+
+    def test_nested_junk_inside_cards_ignored(self):
+        html = (
+            "<html><body><div id='rso'>"
+            "<div class='card card-organic'>"
+            "<b><i>decoration</i></b>"
+            "<a class='result-link' href='https://a.example.com/'>t</a>"
+            "<table><tr><td>junk</td></tr></table>"
+            "</div></div></body></html>"
+        )
+        parsed = parse_serp_html(html)
+        assert parsed.urls() == ["https://a.example.com/"]
+
+    def test_link_outside_any_card_ignored(self):
+        html = (
+            "<html><body><div id='rso'>"
+            "<a class='result-link' href='https://stray.example.com/'>stray</a>"
+            "<div class='card card-organic'>"
+            "<a class='result-link' href='https://a.example.com/'>t</a>"
+            "</div></div></body></html>"
+        )
+        parsed = parse_serp_html(html)
+        assert parsed.urls() == ["https://a.example.com/"]
+
+    def test_second_link_in_organic_card_ignored(self):
+        # The paper's rule: first link of each normal card.
+        html = (
+            "<html><body><div id='rso'>"
+            "<div class='card card-organic'>"
+            "<a class='result-link' href='https://first.example.com/'>1</a>"
+            "<a class='result-link' href='https://second.example.com/'>2</a>"
+            "</div></div></body></html>"
+        )
+        parsed = parse_serp_html(html)
+        assert parsed.urls() == ["https://first.example.com/"]
+
+
+class TestAdversarialTitles:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.text(min_size=1, max_size=40).filter(str.strip),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_arbitrary_titles_round_trip(self, titles):
+        page = _page_with_titles(titles)
+        parsed = parse_serp_html(render_page(page))
+        assert parsed.urls() == page.links()
+
+    def test_html_injection_in_title_does_not_forge_results(self):
+        evil = '<a class="result-link" href="https://evil.example.com/">x</a>'
+        page = _page_with_titles([evil])
+        parsed = parse_serp_html(render_page(page))
+        # The injected markup must arrive escaped, not as a result.
+        assert parsed.urls() == ["https://site0.example.com/"]
+
+    def test_injection_in_query_does_not_break_page(self):
+        page = SerpPage(
+            query_text='"><script>alert(1)</script>',
+            cards=_page_with_titles(["t"]).cards,
+            reported_location=LatLon(0, 0),
+            datacenter="dc00",
+            day=0,
+        )
+        html = render_page(page)
+        assert "<script>" not in html
+        parsed = parse_serp_html(html)
+        assert len(parsed.urls()) == 1

@@ -1,0 +1,129 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.core.plotting import BarChart, LineChart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = BarChart(title="demo", width=20)
+        chart.add("alpha", 10.0)
+        chart.add("beta", 5.0)
+        text = chart.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in text and "beta" in text
+
+    def test_longest_bar_fills_width(self):
+        chart = BarChart(title="t", width=20)
+        chart.add("big", 10.0)
+        chart.add("small", 1.0)
+        big_line = next(l for l in chart.render().splitlines() if "big" in l)
+        assert big_line.count("█") == 20
+
+    def test_bars_scale_proportionally(self):
+        chart = BarChart(title="t", width=40)
+        chart.add("full", 10.0)
+        chart.add("half", 5.0)
+        lines = chart.render().splitlines()
+        full = next(l for l in lines if "full" in l).count("█")
+        half = next(l for l in lines if "half" in l).count("█")
+        assert abs(full - 2 * half) <= 2
+
+    def test_reference_mark_drawn(self):
+        chart = BarChart(title="t", width=30)
+        chart.add("row", 10.0, mark=5.0)
+        row = next(l for l in chart.render().splitlines() if "row" in l)
+        assert "|" in row
+
+    def test_zero_values_render(self):
+        chart = BarChart(title="t", width=10)
+        chart.add("zero", 0.0)
+        chart.add("one", 1.0)
+        assert "zero" in chart.render()
+
+    def test_negative_rejected(self):
+        chart = BarChart(title="t")
+        with pytest.raises(ValueError):
+            chart.add("bad", -1.0)
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            BarChart(title="t").render()
+
+    def test_value_labels_present(self):
+        chart = BarChart(title="t", width=10)
+        chart.add("x", 3.25)
+        assert "3.25" in chart.render()
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = LineChart(title="demo", width=20, height=6)
+        chart.add_series("a", [1.0, 2.0, 3.0])
+        text = chart.render()
+        assert text.splitlines()[0] == "demo"
+        assert "o a" in text  # legend
+
+    def test_multiple_series_distinct_markers(self):
+        chart = LineChart(title="t", width=20, height=6)
+        chart.add_series("a", [1.0, 2.0])
+        chart.add_series("b", [2.0, 1.0])
+        text = chart.render()
+        assert "o" in text and "x" in text
+
+    def test_mismatched_lengths_rejected(self):
+        chart = LineChart(title="t")
+        chart.add_series("a", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            chart.add_series("b", [1.0])
+
+    def test_empty_series_rejected(self):
+        chart = LineChart(title="t")
+        with pytest.raises(ValueError):
+            chart.add_series("a", [])
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart(title="t").render()
+
+    def test_constant_series_renders(self):
+        chart = LineChart(title="t", width=10, height=4)
+        chart.add_series("flat", [2.0, 2.0, 2.0])
+        assert "flat" in chart.render()
+
+    def test_axis_labels_show_range(self):
+        chart = LineChart(title="t", width=10, height=5)
+        chart.add_series("a", [1.0, 9.0])
+        text = chart.render()
+        assert "9" in text and "1" in text
+
+    def test_fixed_width_rows(self):
+        chart = LineChart(title="t", width=24, height=5)
+        chart.add_series("a", [0.0, 3.0, 1.0, 4.0])
+        rows = [l for l in chart.render().splitlines() if "|" in l]
+        widths = {len(r) for r in rows}
+        assert len(widths) == 1
+
+
+class TestReportCharts:
+    def test_fig2_chart_from_dataset(self, small_dataset):
+        from repro.core.report import StudyReport
+
+        text = StudyReport(small_dataset).render_fig2_chart()
+        assert "Figure 2" in text
+        assert "█" in text
+
+    def test_fig5_chart_has_noise_marks(self, small_dataset):
+        from repro.core.report import StudyReport
+
+        text = StudyReport(small_dataset).render_fig5_chart()
+        assert "Figure 5" in text
+        assert "|" in text
+
+    def test_fig8_chart_renders_lines(self, small_dataset):
+        from repro.core.report import StudyReport
+
+        text = StudyReport(small_dataset).render_fig8_chart("county")
+        assert "noise floor" in text

@@ -1,0 +1,105 @@
+"""Property-based tests for the extension modules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plotting import BarChart, LineChart
+from repro.core.rank_metrics import kendall_tau, rank_biased_overlap, top_k_overlap
+from repro.stats.hypothesis_tests import bootstrap_ci, mann_whitney_u
+
+items = st.text(alphabet="abcdef", min_size=1, max_size=3)
+rankings = st.lists(items, max_size=10, unique=True)
+samples = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=40
+)
+
+
+class TestRankMetricProperties:
+    @given(rankings)
+    def test_rbo_self_is_one(self, ranking):
+        assert rank_biased_overlap(ranking, ranking) == 1.0
+
+    @given(rankings, rankings)
+    def test_rbo_bounded_and_symmetric(self, a, b):
+        value = rank_biased_overlap(a, b)
+        assert 0.0 <= value <= 1.0
+        assert abs(value - rank_biased_overlap(b, a)) < 1e-9
+
+    @given(rankings)
+    def test_kendall_self_is_one(self, ranking):
+        assert kendall_tau(ranking, ranking) == 1.0
+
+    @given(rankings, rankings)
+    def test_kendall_bounded_and_symmetric(self, a, b):
+        value = kendall_tau(a, b)
+        assert -1.0 <= value <= 1.0
+        assert abs(value - kendall_tau(b, a)) < 1e-12
+
+    @given(rankings)
+    def test_kendall_reversal_negates(self, ranking):
+        if len(ranking) >= 2:
+            assert kendall_tau(ranking, list(reversed(ranking))) == -1.0
+
+    @given(rankings, rankings, st.integers(min_value=1, max_value=5))
+    def test_top_k_bounded(self, a, b, k):
+        assert 0.0 <= top_k_overlap(a, b, k=k) <= 1.0
+
+
+class TestStatsProperties:
+    @settings(max_examples=50)
+    @given(samples, samples)
+    def test_mann_whitney_pvalue_in_unit_interval(self, a, b):
+        result = mann_whitney_u(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+    @settings(max_examples=50)
+    @given(samples, samples)
+    def test_mann_whitney_symmetric_pvalue(self, a, b):
+        assert abs(
+            mann_whitney_u(a, b).p_value - mann_whitney_u(b, a).p_value
+        ) < 1e-9
+
+    @settings(max_examples=30)
+    @given(samples, st.integers(min_value=0, max_value=100))
+    def test_bootstrap_interval_ordered_and_anchored(self, values, seed):
+        ci = bootstrap_ci(values, seed=seed, resamples=200)
+        assert ci.low <= ci.high
+        assert min(values) - 1e-9 <= ci.low
+        assert ci.high <= max(values) + 1e-9
+
+
+class TestPlottingProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="abc", min_size=1, max_size=6),
+                st.floats(min_value=0, max_value=1000, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_bar_chart_always_renders(self, rows):
+        chart = BarChart(title="t", width=20)
+        for index, (label, value) in enumerate(rows):
+            chart.add(f"{label}{index}", value)
+        text = chart.render()
+        assert text.startswith("t")
+        assert len(text.splitlines()) == len(rows) + 2
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_line_chart_always_renders(self, values):
+        chart = LineChart(title="t", width=20, height=6)
+        chart.add_series("s", values)
+        text = chart.render()
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 6
+        assert len({len(r) for r in rows}) == 1

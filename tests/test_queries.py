@@ -1,0 +1,164 @@
+"""Tests for the query corpus (paper §2.1)."""
+
+import pytest
+
+from repro.queries.controversial import (
+    CONTROVERSIAL_TERMS,
+    TABLE1_TERMS,
+    controversial_queries,
+)
+from repro.queries.corpus import QueryCorpus, build_corpus
+from repro.queries.local import (
+    LOCAL_BRAND_TERMS,
+    LOCAL_GENERIC_TERMS,
+    LOCAL_TERMS,
+    local_queries,
+)
+from repro.queries.model import PoliticianScope, Query, QueryCategory
+from repro.queries.politicians import politician_queries
+
+
+class TestQueryModel:
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            Query(text="   ", category=QueryCategory.LOCAL)
+
+    def test_politician_requires_scope(self):
+        with pytest.raises(ValueError):
+            Query(text="Jane Doe", category=QueryCategory.POLITICIAN)
+
+    def test_non_politician_must_not_set_scope(self):
+        with pytest.raises(ValueError):
+            Query(
+                text="Coffee",
+                category=QueryCategory.LOCAL,
+                politician_scope=PoliticianScope.STATE,
+            )
+
+    def test_brand_flag_only_for_local(self):
+        with pytest.raises(ValueError):
+            Query(text="Gay Marriage", category=QueryCategory.CONTROVERSIAL, is_brand=True)
+
+    def test_key_is_case_insensitive(self):
+        a = Query(text="Coffee", category=QueryCategory.LOCAL)
+        b = Query(text="coffee", category=QueryCategory.LOCAL)
+        assert a.key == b.key
+
+    def test_category_labels(self):
+        assert QueryCategory.LOCAL.label == "Local"
+        assert QueryCategory.POLITICIAN.label == "Politicians"
+
+
+class TestLocalQueries:
+    def test_thirty_three_terms(self):
+        assert len(LOCAL_TERMS) == 33
+        assert len(local_queries()) == 33
+
+    def test_brand_and_generic_partition(self):
+        assert set(LOCAL_BRAND_TERMS).isdisjoint(LOCAL_GENERIC_TERMS)
+        assert len(LOCAL_BRAND_TERMS) + len(LOCAL_GENERIC_TERMS) == 33
+
+    def test_paper_terms_present(self):
+        for term in ("Starbucks", "KFC", "School", "Airport", "Polling Place"):
+            assert term in LOCAL_TERMS
+
+    def test_brand_annotation(self):
+        by_text = {q.text: q for q in local_queries()}
+        assert by_text["Starbucks"].is_brand
+        assert not by_text["Hospital"].is_brand
+
+
+class TestControversialQueries:
+    def test_eighty_seven_terms(self):
+        assert len(CONTROVERSIAL_TERMS) == 87
+        assert len(controversial_queries()) == 87
+
+    def test_table1_terms_all_present(self):
+        assert len(TABLE1_TERMS) == 18
+        for term in TABLE1_TERMS:
+            assert term in CONTROVERSIAL_TERMS
+
+    def test_highlighted_terms_present(self):
+        # §3.2 names these as the most personalized controversial terms.
+        for term in ("Health", "Republican Party", "Politics"):
+            assert term in CONTROVERSIAL_TERMS
+
+    def test_no_duplicates(self):
+        lowered = [t.lower() for t in CONTROVERSIAL_TERMS]
+        assert len(set(lowered)) == len(lowered)
+
+
+class TestPoliticianQueries:
+    def test_one_hundred_twenty(self):
+        assert len(politician_queries()) == 120
+
+    def test_scope_composition_matches_paper(self):
+        queries = politician_queries()
+        by_scope = {}
+        for q in queries:
+            by_scope.setdefault(q.politician_scope, []).append(q)
+        assert len(by_scope[PoliticianScope.COUNTY]) == 11
+        assert len(by_scope[PoliticianScope.STATE]) == 53
+        assert len(by_scope[PoliticianScope.FEDERAL_OHIO]) == 18
+        assert len(by_scope[PoliticianScope.FEDERAL_OTHER]) == 36
+        assert len(by_scope[PoliticianScope.NATIONAL]) == 2
+
+    def test_biden_and_obama_present(self):
+        texts = {q.text for q in politician_queries()}
+        assert "Joe Biden" in texts
+        assert "Barack Obama" in texts
+
+    def test_papers_ambiguous_names_flagged(self):
+        by_text = {q.text: q for q in politician_queries()}
+        assert by_text["Bill Johnson"].is_common_name
+        assert by_text["Tim Ryan"].is_common_name
+        assert by_text["Bill Johnson"].home_state == "Ohio"
+
+    def test_unique_names(self):
+        texts = [q.text for q in politician_queries()]
+        assert len(set(texts)) == len(texts)
+
+    def test_deterministic_roster(self):
+        assert [q.text for q in politician_queries()] == [
+            q.text for q in politician_queries()
+        ]
+
+    def test_ohio_scopes_have_ohio_home_state(self):
+        for q in politician_queries():
+            if q.politician_scope in (
+                PoliticianScope.COUNTY,
+                PoliticianScope.STATE,
+                PoliticianScope.FEDERAL_OHIO,
+            ):
+                assert q.home_state == "Ohio"
+
+    def test_national_figures_have_no_home_state(self):
+        for q in politician_queries():
+            if q.politician_scope is PoliticianScope.NATIONAL:
+                assert q.home_state is None
+
+
+class TestCorpus:
+    def test_full_corpus_is_240(self, corpus):
+        assert len(corpus) == 240
+
+    def test_category_counts_match_paper(self, corpus):
+        counts = corpus.counts()
+        assert counts[QueryCategory.LOCAL] == 33
+        assert counts[QueryCategory.CONTROVERSIAL] == 87
+        assert counts[QueryCategory.POLITICIAN] == 120
+
+    def test_lookup_case_insensitive(self, corpus):
+        assert corpus.get("starbucks") is not None
+        assert corpus.get("STARBUCKS").is_brand
+
+    def test_lookup_missing_returns_none(self, corpus):
+        assert corpus.get("quantum gravity") is None
+
+    def test_duplicates_rejected(self):
+        q = Query(text="Coffee", category=QueryCategory.LOCAL)
+        with pytest.raises(ValueError):
+            QueryCorpus(queries=[q, q])
+
+    def test_iteration_matches_length(self, corpus):
+        assert len(list(corpus)) == len(corpus)

@@ -1,0 +1,105 @@
+"""Tests for the additional rank metrics (Kendall tau, RBO, top-k)."""
+
+import pytest
+
+from repro.core.rank_metrics import kendall_tau, rank_biased_overlap, top_k_overlap
+
+
+class TestKendallTau:
+    def test_identical_order(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_reversed_order(self):
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_single_swap(self):
+        # 3 pairs, one discordant: tau = (2 - 1) / 3.
+        assert kendall_tau(["a", "b", "c"], ["a", "c", "b"]) == pytest.approx(1 / 3)
+
+    def test_non_conjoint_lists_use_shared_items(self):
+        assert kendall_tau(["a", "b", "x"], ["a", "b", "y"]) == 1.0
+
+    def test_fewer_than_two_shared_items(self):
+        assert kendall_tau(["a"], ["b"]) == 1.0
+        assert kendall_tau([], []) == 1.0
+
+    def test_symmetry(self):
+        a = ["a", "b", "c", "d"]
+        b = ["b", "d", "a", "c"]
+        assert kendall_tau(a, b) == kendall_tau(b, a)
+
+    def test_bounded(self):
+        a = ["a", "b", "c", "d", "e"]
+        b = ["e", "a", "d", "b", "c"]
+        assert -1.0 <= kendall_tau(a, b) <= 1.0
+
+
+class TestRankBiasedOverlap:
+    def test_identical(self):
+        assert rank_biased_overlap(["a", "b", "c"], ["a", "b", "c"]) == pytest.approx(
+            1.0
+        )
+
+    def test_disjoint(self):
+        assert rank_biased_overlap(["a", "b"], ["x", "y"]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_both_empty(self):
+        assert rank_biased_overlap([], []) == 1.0
+
+    def test_one_empty(self):
+        assert rank_biased_overlap(["a"], []) == 0.0
+
+    def test_top_weighted(self):
+        # Disagreement at the top hurts more than at the bottom.
+        base = ["a", "b", "c", "d", "e"]
+        swapped_top = ["b", "a", "c", "d", "e"]
+        swapped_bottom = ["a", "b", "c", "e", "d"]
+        assert rank_biased_overlap(base, swapped_bottom) > rank_biased_overlap(
+            base, swapped_top
+        )
+
+    def test_symmetry(self):
+        a = ["a", "b", "c", "d"]
+        b = ["b", "a", "e", "c"]
+        assert rank_biased_overlap(a, b) == pytest.approx(rank_biased_overlap(b, a))
+
+    def test_bounded(self):
+        a = ["a", "b", "c", "d"]
+        b = ["c", "d", "e", "f"]
+        assert 0.0 <= rank_biased_overlap(a, b) <= 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            rank_biased_overlap(["a"], ["a"], p=1.0)
+        with pytest.raises(ValueError):
+            rank_biased_overlap(["a"], ["a"], p=0.0)
+
+    def test_p_controls_depth_weight(self):
+        # Lower p concentrates weight at the very top.
+        a = ["a", "b", "c", "d", "e", "f"]
+        b = ["a", "x", "y", "z", "w", "v"]
+        assert rank_biased_overlap(a, b, p=0.5) > rank_biased_overlap(a, b, p=0.95)
+
+    def test_different_lengths(self):
+        value = rank_biased_overlap(["a", "b", "c"], ["a", "b"])
+        assert 0.0 < value <= 1.0
+
+
+class TestTopKOverlap:
+    def test_identical_top(self):
+        assert top_k_overlap(["a", "b", "c", "x"], ["a", "c", "b", "y"], k=3) == 1.0
+
+    def test_disjoint_top(self):
+        assert top_k_overlap(["a", "b"], ["x", "y"], k=2) == 0.0
+
+    def test_partial(self):
+        assert top_k_overlap(["a", "b", "c"], ["a", "x", "y"], k=3) == pytest.approx(
+            1 / 3
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_overlap(["a"], ["a"], k=0)
+
+    def test_empty_lists(self):
+        assert top_k_overlap([], [], k=3) == 1.0

@@ -1,0 +1,86 @@
+"""Tests for multi-seed replication."""
+
+import pytest
+
+from repro.core.replication import ReplicationResult, SeedOutcome, replicate
+
+
+@pytest.fixture(scope="module")
+def result():
+    return replicate([11, 22, 33], locations_per_granularity=5)
+
+
+class TestReplicate:
+    def test_one_outcome_per_seed(self, result):
+        assert result.seeds == 3
+        assert [o.seed for o in result.outcomes] == [11, 22, 33]
+
+    def test_findings_replicate_across_worlds(self, result):
+        # The paper's two structural findings must be properties of the
+        # system, not of one seed.
+        assert result.gradient_fraction() == 1.0
+        assert result.jump_fraction() >= 2 / 3
+
+    def test_local_always_clears_noise(self, result):
+        for outcome in result.outcomes:
+            assert outcome.local_net["national"] > 2.0
+
+    def test_non_local_always_near_noise(self, result):
+        for outcome in result.outcomes:
+            assert outcome.politician_net_national < 2.0
+
+    def test_aggregates_have_spread(self, result):
+        # Different worlds genuinely differ.
+        assert result.local_net("national").std > 0.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "3 independent worlds" in text
+        assert "distance gradient" in text
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate([1, 1])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate([])
+
+    def test_template_config_respected(self):
+        from repro.core.experiment import StudyConfig
+        from repro.queries.corpus import build_corpus
+
+        corpus = build_corpus()
+        template = StudyConfig.small(
+            [corpus.get("Coffee"), corpus.get("Gay Marriage"),
+             corpus.get("Barack Obama")],
+            days=1,
+            locations_per_granularity=3,
+        )
+        result = replicate([7, 8], base_config=template)
+        assert result.seeds == 2
+
+
+class TestSeedOutcomeProperties:
+    def test_gradient_predicate(self):
+        outcome = SeedOutcome(
+            seed=1,
+            local_noise=2.0,
+            local_edit={"county": 5.0, "state": 9.0, "national": 11.0},
+            local_net={"county": 3.0, "state": 7.0, "national": 9.0},
+            controversial_net_national=1.0,
+            politician_net_national=0.5,
+        )
+        assert outcome.gradient_holds
+        assert outcome.county_state_jump_is_largest
+
+    def test_gradient_violation_detected(self):
+        outcome = SeedOutcome(
+            seed=1,
+            local_noise=2.0,
+            local_edit={"county": 9.0, "state": 5.0, "national": 11.0},
+            local_net={"county": 7.0, "state": 3.0, "national": 9.0},
+            controversial_net_national=1.0,
+            politician_net_national=0.5,
+        )
+        assert not outcome.gradient_holds

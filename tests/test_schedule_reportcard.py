@@ -1,0 +1,102 @@
+"""Tests for the schedule-feasibility simulator and the markdown report."""
+
+import pytest
+
+from repro.core.experiment import StudyConfig
+from repro.core.reportcard import generate_markdown
+from repro.core.schedule import simulate_crawl_schedule
+
+
+class TestScheduleSimulator:
+    def test_paper_design_is_feasible(self):
+        report = simulate_crawl_schedule(StudyConfig())
+        assert report.feasible
+        assert report.treatments == 118  # 59 locations x 2 copies
+        assert report.machines == 44
+        assert report.total_requests == 141600
+
+    def test_single_machine_is_infeasible(self):
+        report = simulate_crawl_schedule(StudyConfig().with_overrides(machine_count=1))
+        assert not report.feasible
+        assert any("smears" in v for v in report.violations)
+
+    def test_round_span_scales_inversely_with_machines(self):
+        many = simulate_crawl_schedule(StudyConfig())
+        few = simulate_crawl_schedule(StudyConfig().with_overrides(machine_count=11))
+        assert few.round_span_seconds > many.round_span_seconds
+
+    def test_rate_limit_violation_detected(self):
+        config = StudyConfig().with_overrides(
+            machine_count=2,
+            calibration=StudyConfig().calibration.with_overrides(
+                ratelimit_max_per_minute=3
+            ),
+        )
+        report = simulate_crawl_schedule(config)
+        assert any("per-IP rate" in v for v in report.violations)
+
+    def test_slow_requests_blow_the_round(self):
+        report = simulate_crawl_schedule(
+            StudyConfig(), request_duration_seconds=300.0
+        )
+        assert not report.feasible
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_crawl_schedule(StudyConfig(), request_duration_seconds=0)
+
+    def test_custom_locations_counted(self):
+        from repro.geo.germany import germany_study_locations
+
+        locations = germany_study_locations(1, land_count=5, kreis_count=5, bezirk_count=5)
+        config = StudyConfig().with_overrides(study_locations=locations)
+        report = simulate_crawl_schedule(config)
+        assert report.treatments == 30
+
+    def test_render_mentions_feasibility(self):
+        text = simulate_crawl_schedule(StudyConfig()).render()
+        assert "feasible: yes" in text
+
+    def test_crawl_days_accounts_for_blocks(self):
+        # 240 queries at 120/block over 5 days each = 10 crawl days.
+        assert simulate_crawl_schedule(StudyConfig()).crawl_days == 10
+
+
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def markdown(self, small_dataset):
+        return generate_markdown(small_dataset)
+
+    def test_contains_all_sections(self, markdown):
+        for heading in (
+            "# Location-personalization audit",
+            "## Headline",
+            "## Noise",
+            "## Personalization",
+            "## Result-type attribution",
+            "## Most and least personalized terms",
+            "## Consistency over days",
+            "## Extensions",
+        ):
+            assert heading in markdown
+
+    def test_tables_are_markdown(self, markdown):
+        assert "| granularity | category |" in markdown
+        assert "|---|" in markdown
+
+    def test_every_category_in_headline(self, markdown, small_dataset):
+        for category in small_dataset.categories():
+            assert category in markdown
+
+    def test_extensions_optional(self, small_dataset):
+        without = generate_markdown(small_dataset, include_extensions=False)
+        assert "## Extensions" not in without
+
+    def test_custom_title(self, small_dataset):
+        text = generate_markdown(small_dataset, title="My Audit")
+        assert text.startswith("# My Audit")
+
+    def test_single_day_dataset_skips_consistency(self, small_dataset):
+        single = small_dataset.filter(day=0)
+        text = generate_markdown(single)
+        assert "## Consistency over days" not in text

@@ -1,0 +1,98 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.stats.correlation import pearson, permutation_pvalue, spearman
+from repro.stats.summaries import MeanStd, summarize
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == 2.5
+        assert stats.std == pytest.approx(math.sqrt(1.25))
+        assert stats.count == 4
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.mean == 7.0
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_accepts_generators(self):
+        assert summarize(float(x) for x in range(5)).count == 5
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_constant(self):
+        assert pearson([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+
+    def test_invariance_to_affine_transform(self):
+        x = [1.0, 4.0, 2.0, 8.0, 5.0]
+        y = [2.0, 3.0, 1.0, 9.0, 4.0]
+        assert pearson(x, y) == pytest.approx(
+            pearson([10 * v + 3 for v in x], y)
+        )
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [1.0, 8.0, 27.0, 64.0]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        rho = spearman([1.0, 2.0, 2.0, 3.0], [1.0, 2.0, 3.0, 4.0])
+        assert -1.0 <= rho <= 1.0
+
+    def test_reversed_is_minus_one(self):
+        assert spearman([1, 2, 3, 4], [9, 7, 5, 1]) == pytest.approx(-1.0)
+
+
+class TestPermutationPvalue:
+    def test_strong_correlation_is_significant(self):
+        x = list(range(30))
+        y = [2.0 * v + 1.0 for v in x]
+        assert permutation_pvalue(x, y, iterations=200, seed=1) < 0.05
+
+    def test_random_noise_is_not_significant(self):
+        from repro.seeding import derive_rng
+
+        rng = derive_rng(7, "noise")
+        x = [rng.random() for _ in range(40)]
+        y = [rng.random() for _ in range(40)]
+        assert permutation_pvalue(x, y, iterations=200, seed=2) > 0.05
+
+    def test_deterministic(self):
+        x = [1.0, 3.0, 2.0, 5.0, 4.0]
+        y = [2.0, 1.0, 4.0, 3.0, 5.0]
+        a = permutation_pvalue(x, y, iterations=100, seed=3)
+        b = permutation_pvalue(x, y, iterations=100, seed=3)
+        assert a == b
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            permutation_pvalue([1, 2], [1, 2], iterations=0)
+
+    def test_pvalue_in_unit_interval(self):
+        p = permutation_pvalue([1, 2, 3, 4], [4, 2, 3, 1], iterations=99, seed=4)
+        assert 0.0 < p <= 1.0

@@ -1,0 +1,108 @@
+"""Tests for the GPS-vs-IP validation and the demographics analysis."""
+
+import pytest
+
+from repro.core.demographics_analysis import DemographicsAnalysis, FeatureCorrelation
+from repro.core.validation import run_gps_validation
+from repro.geo.demographics import DEMOGRAPHIC_FEATURES
+from repro.queries.controversial import controversial_queries
+
+
+@pytest.fixture(scope="module")
+def gps_result():
+    return run_gps_validation(321, queries=controversial_queries()[:4], machine_count=12)
+
+
+@pytest.fixture(scope="module")
+def ip_result():
+    # Control: no GPS fix, so the engine falls back to IP geolocation.
+    return run_gps_validation(
+        321, queries=controversial_queries()[:4], machine_count=12, gps=None
+    )
+
+
+class TestGpsValidation:
+    def test_high_agreement_with_shared_gps(self, gps_result):
+        # Paper §2.2: "94% of the search results ... are identical".
+        assert gps_result.result_agreement.mean > 0.90
+
+    def test_jaccard_near_one_with_shared_gps(self, gps_result):
+        assert gps_result.pairwise_jaccard.mean > 0.95
+
+    def test_most_pages_identical(self, gps_result):
+        assert gps_result.identical_page_fraction > 0.5
+
+    def test_ip_fallback_diverges(self, gps_result, ip_result):
+        # Without GPS, machines in different states see different pages:
+        # the engine must be personalizing on GPS, not IP.
+        assert ip_result.result_agreement.mean < gps_result.result_agreement.mean - 0.05
+
+    def test_counts_propagated(self, gps_result):
+        assert gps_result.machine_count == 12
+        assert gps_result.query_count == 4
+        assert len(gps_result.per_query_agreement) == 4
+
+    def test_deterministic(self):
+        a = run_gps_validation(99, queries=controversial_queries()[:2], machine_count=5)
+        b = run_gps_validation(99, queries=controversial_queries()[:2], machine_count=5)
+        assert a.result_agreement == b.result_agreement
+
+    def test_too_few_machines_rejected(self):
+        with pytest.raises(ValueError):
+            run_gps_validation(1, machine_count=1)
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(ValueError):
+            run_gps_validation(1, queries=[])
+
+
+class TestDemographicsAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self, small_dataset, small_study):
+        return DemographicsAnalysis(
+            small_dataset, small_study.regions_by_name(), seed=5
+        )
+
+    def test_pair_count(self, analysis, small_config):
+        n = small_config.district_count
+        assert len(analysis.location_pairs()) == n * (n - 1) // 2
+
+    def test_similarity_values_are_jaccards(self, analysis):
+        for value in analysis.pairwise_similarity():
+            assert 0.0 <= value <= 1.0
+
+    def test_feature_correlation_fields(self, analysis):
+        correlation = analysis.feature_correlation("median_income", iterations=100)
+        assert isinstance(correlation, FeatureCorrelation)
+        assert -1.0 <= correlation.pearson_r <= 1.0
+        assert -1.0 <= correlation.spearman_rho <= 1.0
+        assert 0.0 < correlation.p_value <= 1.0
+
+    def test_all_features_covered(self, analysis):
+        correlations = analysis.all_feature_correlations(iterations=50)
+        assert [c.feature for c in correlations] == DEMOGRAPHIC_FEATURES
+
+    def test_no_strong_demographic_correlations(self, analysis):
+        # The engine never reads demographics, so — as in the paper —
+        # no feature should significantly explain result similarity.
+        # (With only ~10 location pairs in the test fixture, raw rho is
+        # noisy; the permutation p-value is the meaningful statistic.)
+        correlations = analysis.all_feature_correlations(iterations=200)
+        assert all(c.p_value > 0.01 for c in correlations)
+        mean_abs_rho = sum(abs(c.spearman_rho) for c in correlations) / len(correlations)
+        assert mean_abs_rho < 0.5
+
+    def test_few_features_clear_significance(self, analysis):
+        # With 25 features at alpha=0.05 a couple of spurious hits are
+        # expected by chance; the paper's null is "no explanatory
+        # feature", not "all p-values above 0.05".
+        significant = analysis.significant_features(alpha=0.01, iterations=200)
+        assert len(significant) <= 4
+
+    def test_distance_correlation_computed(self, analysis):
+        correlation = analysis.distance_correlation(iterations=100)
+        assert correlation.feature == "physical_distance_miles"
+
+    def test_missing_region_rejected(self, small_dataset):
+        with pytest.raises(KeyError):
+            DemographicsAnalysis(small_dataset, {}).location_pairs()

@@ -1,0 +1,216 @@
+"""Tests for the news pool, entity presence, and the WebWorld facade."""
+
+import pytest
+
+from repro.geo.coords import LatLon
+from repro.queries.corpus import build_corpus
+from repro.queries.model import Query, QueryCategory
+from repro.web.documents import DocKind, Document, GeoScope
+from repro.web.entities import (
+    ambiguous_entities,
+    city_docs,
+    state_docs,
+    universal_docs,
+)
+from repro.web.news import ARTICLE_LIFETIME_DAYS, NewsPool, state_outlet
+from repro.web.urls import Url
+from repro.web.world import WebWorld
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+
+
+@pytest.fixture(scope="module")
+def news():
+    return NewsPool(seed=555)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    corpus = build_corpus()
+    return {
+        "generic": corpus.get("School"),
+        "brand": corpus.get("Starbucks"),
+        "controversial": corpus.get("Gay Marriage"),
+        "broad": corpus.get("Health"),
+        "obama": corpus.get("Barack Obama"),
+        "common": corpus.get("Bill Johnson"),
+    }
+
+
+class TestDocument:
+    def test_point_scope_requires_anchor(self):
+        with pytest.raises(ValueError):
+            Document(
+                url=Url(host="x.example.com"),
+                title="t",
+                kind=DocKind.LOCAL_BUSINESS,
+                scope=GeoScope.POINT,
+                base_score=1.0,
+            )
+
+    def test_state_scope_requires_state(self):
+        with pytest.raises(ValueError):
+            Document(
+                url=Url(host="x.example.com"),
+                title="t",
+                kind=DocKind.ORGANIC,
+                scope=GeoScope.STATE,
+                base_score=1.0,
+            )
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(ValueError):
+            Document(
+                url=Url(host="x.example.com"),
+                title="t",
+                kind=DocKind.ORGANIC,
+                scope=GeoScope.NATIONAL,
+                base_score=-1.0,
+            )
+
+
+class TestNewsPool:
+    def test_articles_deterministic(self, news):
+        a = news.articles_for("Gay Marriage", 10)
+        b = news.articles_for("Gay Marriage", 10)
+        assert [str(x.document.url) for x in a] == [str(x.document.url) for x in b]
+
+    def test_adjacent_days_share_articles(self, news):
+        today = {str(a.document.url) for a in news.articles_for("Gun Control", 10)}
+        tomorrow = {str(a.document.url) for a in news.articles_for("Gun Control", 11)}
+        if today and tomorrow:
+            assert today & tomorrow, "adjacent days should share pool entries"
+
+    def test_articles_age_out(self, news):
+        day = 20
+        old = {str(a.document.url) for a in news.articles_for("Fracking", day)}
+        later = {
+            str(a.document.url)
+            for a in news.articles_for("Fracking", day + ARTICLE_LIFETIME_DAYS + 1)
+        }
+        assert not (old & later)
+
+    def test_fresher_articles_score_higher(self, news):
+        articles = news.articles_for("Gun Control", 15)
+        nationals = [a for a in articles if a.document.scope is GeoScope.NATIONAL]
+        by_age = sorted(nationals, key=lambda a: a.published_day, reverse=True)
+        if len(by_age) >= 2:
+            assert by_age[0].document.base_score >= by_age[-1].document.base_score
+
+    def test_state_article_scoped(self, news):
+        found = False
+        for day in range(30):
+            for article in news.articles_for("Gun Control", day, state="Ohio"):
+                if article.document.scope is GeoScope.STATE:
+                    assert article.document.state == "Ohio"
+                    assert article.outlet == state_outlet("Ohio")
+                    found = True
+        assert found, "expected at least one state-scoped article in 30 days"
+
+    def test_news_card_gate_deterministic(self, news):
+        assert news.has_news_card("Gay Marriage", 3, affinity_threshold=0.45) == \
+            news.has_news_card("Gay Marriage", 3, affinity_threshold=0.45)
+
+    def test_lower_threshold_means_more_cards(self, news):
+        topics = [f"topic {i}" for i in range(50)]
+        low = sum(news.has_news_card(t, 0, affinity_threshold=0.2) for t in topics)
+        high = sum(news.has_news_card(t, 0, affinity_threshold=0.8) for t in topics)
+        assert low > high
+
+
+class TestEntities:
+    def test_universal_slate_sizes(self, queries):
+        assert len(universal_docs(queries["generic"])) >= 10
+        assert len(universal_docs(queries["brand"])) >= 10
+        assert len(universal_docs(queries["controversial"])) == 12
+        assert len(universal_docs(queries["obama"])) == 12
+
+    def test_universal_docs_all_national(self, queries):
+        for doc in universal_docs(queries["generic"]):
+            assert doc.scope is GeoScope.NATIONAL
+
+    def test_universal_scores_strictly_decreasing(self, queries):
+        for key in ("generic", "brand", "controversial", "obama"):
+            scores = [d.base_score for d in universal_docs(queries[key])]
+            assert scores == sorted(scores, reverse=True)
+            assert len(set(scores)) == len(scores)
+
+    def test_brand_slate_led_by_official_site(self, queries):
+        top = universal_docs(queries["brand"])[0]
+        assert "starbucks" in top.url.host
+
+    def test_state_docs_for_generic_local(self, queries):
+        docs = state_docs(queries["generic"], "Ohio")
+        assert len(docs) == 1
+        assert docs[0].state == "Ohio"
+
+    def test_no_state_docs_for_brands(self, queries):
+        assert state_docs(queries["brand"], "Ohio") == []
+
+    def test_broad_controversial_has_stronger_state_presence(self, queries):
+        broad = state_docs(queries["broad"], "Ohio")[0]
+        normal = state_docs(queries["controversial"], "Ohio")[0]
+        assert broad.base_score > normal.base_score
+
+    def test_politician_state_docs_only_at_home(self, queries):
+        common = queries["common"]  # Bill Johnson, home state Ohio
+        assert state_docs(common, "Ohio")
+        assert state_docs(common, "Texas") == []
+
+    def test_national_politician_has_no_state_docs(self, queries):
+        assert state_docs(queries["obama"], "Ohio") == []
+
+    def test_city_docs_only_for_generic_local(self, queries):
+        from repro.web.grid import GridCell
+
+        cell = GridCell(100, 200)
+        assert city_docs(queries["generic"], cell)
+        assert city_docs(queries["brand"], cell) == []
+        assert city_docs(queries["controversial"], cell) == []
+
+    def test_ambiguous_entities_only_for_common_names(self, queries):
+        assert ambiguous_entities(queries["common"], world_seed=9)
+        assert ambiguous_entities(queries["obama"], world_seed=9) == []
+
+    def test_ambiguous_entities_are_anchored(self, queries):
+        for entity in ambiguous_entities(queries["common"], world_seed=9):
+            assert entity.document.anchor is not None
+            assert entity.document.scope is GeoScope.POINT
+
+
+class TestWebWorld:
+    def test_poi_candidates_for_local_only(self, queries):
+        world = WebWorld(777)
+        assert world.poi_candidates(
+            queries["controversial"], CLEVELAND, radius_miles=4.0
+        ) == []
+        assert world.poi_candidates(queries["generic"], CLEVELAND, radius_miles=4.0)
+
+    def test_brand_outlets_live_under_brand_domain(self, queries):
+        world = WebWorld(777)
+        outlets = world.poi_candidates(queries["brand"], CLEVELAND, radius_miles=6.0)
+        assert outlets
+        assert all(doc.url.host == "starbucks.example.com" for doc in outlets)
+
+    def test_maps_places_distinct_from_organic_urls(self, queries):
+        world = WebWorld(777)
+        places = world.maps_places(queries["generic"], CLEVELAND, count=3)
+        assert places
+        assert all(doc.url.host == "maps.example.com" for doc in places)
+        assert all(doc.kind is DocKind.MAP_PLACE for doc in places)
+
+    def test_maps_places_empty_for_non_local(self, queries):
+        world = WebWorld(777)
+        assert world.maps_places(queries["obama"], CLEVELAND, count=3) == []
+
+    def test_news_articles_truncated(self, queries):
+        world = WebWorld(777)
+        docs = world.news_articles(queries["controversial"], day=5, state="Ohio", count=2)
+        assert len(docs) <= 2
+
+    def test_same_seed_same_world(self, queries):
+        a = WebWorld(31)
+        b = WebWorld(31)
+        pa = a.poi_candidates(queries["generic"], CLEVELAND, radius_miles=3.0)
+        pb = b.poi_candidates(queries["generic"], CLEVELAND, radius_miles=3.0)
+        assert [str(d.url) for d in pa] == [str(d.url) for d in pb]

@@ -1,0 +1,137 @@
+"""Tests for the POI database and naming."""
+
+import pytest
+
+from repro.geo.coords import LatLon
+from repro.web.grid import GeoGrid, GridCell
+from repro.web.naming import business_name, city_name
+from repro.web.pois import (
+    CATEGORY_SPECS,
+    CategorySpec,
+    PoiDatabase,
+    category_for_term,
+)
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+
+
+@pytest.fixture(scope="module")
+def poi_db():
+    grid = GeoGrid(1.0)
+    metro = GeoGrid(8.0)
+    return PoiDatabase(seed=1234, grid=grid, metro_grid=metro)
+
+
+class TestNaming:
+    def test_city_name_deterministic(self):
+        assert city_name(GridCell(3, 4)) == city_name(GridCell(3, 4))
+
+    def test_city_names_vary(self):
+        names = {city_name(GridCell(i, 0)) for i in range(30)}
+        assert len(names) > 5
+
+    def test_business_name_deterministic(self):
+        assert business_name("coffee", "Maplewood", 0) == business_name(
+            "coffee", "Maplewood", 0
+        )
+
+    def test_business_name_contains_category_noun(self):
+        name = business_name("coffee", "Maplewood", 1)
+        assert "Coffee" in name
+
+
+class TestCategorySpecs:
+    def test_every_generic_local_term_has_spec(self):
+        from repro.queries.local import LOCAL_GENERIC_TERMS
+        from repro.web.urls import slugify
+
+        for term in LOCAL_GENERIC_TERMS:
+            assert slugify(term) in CATEGORY_SPECS, term
+
+    def test_brand_spec_is_sparse_with_no_own_site(self):
+        spec = category_for_term("Starbucks", is_brand=True)
+        assert spec.own_site_rate == 0.0
+        assert spec.density_per_sq_mile < CATEGORY_SPECS["school"].density_per_sq_mile
+
+    def test_unknown_generic_term_gets_default(self):
+        spec = category_for_term("Bowling Alley", is_brand=False)
+        assert spec.density_per_sq_mile > 0
+
+    def test_generic_density_exceeds_brand_density(self):
+        # The density gap is what makes generic terms noisier (paper §3.1).
+        generic = category_for_term("restaurant", is_brand=False)
+        brand = category_for_term("kfc", is_brand=True)
+        assert generic.density_per_sq_mile > brand.density_per_sq_mile
+
+
+class TestPoiDatabase:
+    def test_cell_generation_deterministic(self, poi_db):
+        spec = CATEGORY_SPECS["school"]
+        cell = poi_db.grid.cell_of(CLEVELAND)
+        a = poi_db.pois_in_cell(spec, cell)
+        b = poi_db.pois_in_cell(spec, cell)
+        assert [p.poi_id for p in a] == [p.poi_id for p in b]
+
+    def test_pois_positioned_inside_their_cell(self, poi_db):
+        spec = CATEGORY_SPECS["school"]
+        cell = poi_db.grid.cell_of(CLEVELAND)
+        for poi in poi_db.pois_in_cell(spec, cell):
+            assert poi_db.grid.cell_of(poi.location) == cell
+
+    def test_density_drives_counts(self, poi_db):
+        dense = CATEGORY_SPECS["restaurant"]
+        sparse = CATEGORY_SPECS["airport"]
+        dense_count = len(poi_db.pois_near(dense, CLEVELAND, 4.0))
+        sparse_count = len(poi_db.pois_near(sparse, CLEVELAND, 4.0))
+        assert dense_count > sparse_count
+
+    def test_pois_near_respects_radius(self, poi_db):
+        spec = CATEGORY_SPECS["school"]
+        for poi in poi_db.pois_near(spec, CLEVELAND, 2.0):
+            assert poi_db.grid.distance_miles(CLEVELAND, poi.location) <= 2.0
+
+    def test_pois_near_sorted_by_distance(self, poi_db):
+        spec = CATEGORY_SPECS["school"]
+        pois = poi_db.pois_near(spec, CLEVELAND, 4.0)
+        distances = [poi_db.grid.distance_miles(CLEVELAND, p.location) for p in pois]
+        assert distances == sorted(distances)
+
+    def test_limit_truncates(self, poi_db):
+        spec = CATEGORY_SPECS["school"]
+        assert len(poi_db.pois_near(spec, CLEVELAND, 4.0, limit=3)) == 3
+
+    def test_seed_changes_layout(self):
+        grid = GeoGrid(1.0)
+        metro = GeoGrid(8.0)
+        a = PoiDatabase(1, grid, metro).pois_near(
+            CATEGORY_SPECS["school"], CLEVELAND, 2.0
+        )
+        b = PoiDatabase(2, grid, metro).pois_near(
+            CATEGORY_SPECS["school"], CLEVELAND, 2.0
+        )
+        assert [p.poi_id for p in a] != [p.poi_id for p in b] or [
+            p.location for p in a
+        ] != [p.location for p in b]
+
+    def test_poi_ids_unique_in_radius(self, poi_db):
+        spec = CATEGORY_SPECS["coffee"]
+        pois = poi_db.pois_near(spec, CLEVELAND, 4.0)
+        ids = [p.poi_id for p in pois]
+        assert len(set(ids)) == len(ids)
+
+    def test_quality_near_spec_mean(self, poi_db):
+        spec = CATEGORY_SPECS["school"]
+        pois = poi_db.pois_near(spec, CLEVELAND, 6.0)
+        assert pois, "expected schools near Cleveland"
+        mean = sum(p.quality for p in pois) / len(pois)
+        assert abs(mean - spec.quality_mean) < 0.5
+
+    def test_own_site_rate_zero_yields_directory_urls(self, poi_db):
+        spec = CategorySpec(
+            name="polling-place-test",
+            density_per_sq_mile=0.5,
+            own_site_rate=0.0,
+        )
+        pois = poi_db.pois_near(spec, CLEVELAND, 3.0)
+        assert pois
+        assert all(p.url.host == "citydirectory.example.com" for p in pois)
