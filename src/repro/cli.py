@@ -6,6 +6,7 @@ Examples::
     repro-study report --dataset study.jsonl.gz --figure 5
     repro-study validate --machines 50
     repro-study demographics --dataset study.jsonl.gz
+    repro-study serve-bench --routing geo-affinity --cache-size 4096
 """
 
 from __future__ import annotations
@@ -108,6 +109,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     schedule.add_argument("--machines", type=int, default=44)
     schedule.add_argument("--request-seconds", type=float, default=6.0)
+
+    from repro.serve.routing import ROUTING_POLICIES
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="load-test the serving gateway: throughput, cache, admission",
+    )
+    serve.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    serve.add_argument("--requests", type=int, default=2000)
+    serve.add_argument("--clients", type=int, default=200)
+    serve.add_argument(
+        "--routing", choices=sorted(ROUTING_POLICIES), default="round-robin"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, help="SERP-cache entries (0 disables)"
+    )
+    serve.add_argument("--queue-capacity", type=int, default=32)
+    serve.add_argument(
+        "--rate", type=float, default=40.0, help="mean arrivals per virtual minute"
+    )
+    serve.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        help="hedge to a second replica beyond this projected queue wait (virtual minutes)",
+    )
+    serve.add_argument(
+        "--pin-frontend",
+        action="store_true",
+        help="give every client the same DNS answer (the paper's pinning)",
+    )
     return parser
 
 
@@ -314,6 +346,56 @@ def _cmd_reportcard(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.engine.datacenters import DatacenterCluster
+    from repro.net.geoip import GeoIPDatabase
+    from repro.queries.corpus import build_corpus
+    from repro.seeding import derive_seed
+    from repro.serve import (
+        ClientPopulation,
+        Gateway,
+        LoadGenerator,
+        build_replicas,
+        run_load,
+    )
+    from repro.web.world import WebWorld
+
+    corpus = build_corpus()
+    world = WebWorld(derive_seed(args.seed, "world"))
+    cluster = DatacenterCluster()
+    geoip = GeoIPDatabase()
+    population = ClientPopulation.generate(
+        args.seed, args.clients, cluster, pin_frontend=args.pin_frontend
+    )
+    population.register(geoip)
+    replicas = build_replicas(
+        world,
+        cluster,
+        geoip,
+        corpus=corpus,
+        seed=derive_seed(args.seed, "engine"),
+        queue_capacity=args.queue_capacity,
+    )
+    gateway = Gateway(
+        replicas,
+        geoip,
+        policy=args.routing,
+        cache_size=args.cache_size,
+        hedge_after_minutes=args.hedge_after,
+    )
+    loadgen = LoadGenerator(
+        list(corpus), population, args.seed, rate_per_minute=args.rate
+    )
+    print(
+        f"serve-bench: {args.requests} requests, {args.clients} clients, "
+        f"{len(replicas)} replicas, routing={args.routing}, "
+        f"cache={args.cache_size}",
+        file=sys.stderr,
+    )
+    print(run_load(gateway, loadgen, args.requests).render())
+    return 0
+
+
 def _cmd_schedule(args) -> int:
     from repro.core.schedule import simulate_crawl_schedule
 
@@ -343,6 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "reportcard": _cmd_reportcard,
         "schedule": _cmd_schedule,
+        "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)
 

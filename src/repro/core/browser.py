@@ -83,6 +83,11 @@ class Network:
     request reaches is decided here by the resolver — pinned or
     rotating — exactly the degree of freedom the paper controls with a
     static DNS mapping.
+
+    ``engine`` is anything exposing the engine's serving surface
+    (``.dialect`` and ``.handle()``): a bare
+    :class:`~repro.engine.frontend.SearchEngine`, or a
+    :class:`~repro.serve.gateway.Gateway` fronting a replica fleet.
     """
 
     def __init__(self, resolver: DNSResolver, engine: SearchEngine):

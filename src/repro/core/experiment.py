@@ -98,6 +98,26 @@ class StudyConfig:
     """Explicit :class:`~repro.geo.locate.RegionLocator` override
     matching ``study_locations``; ``None`` means the US locator."""
 
+    route_via_gateway: bool = False
+    """Send the crawl through the :class:`~repro.serve.gateway.Gateway`
+    (one engine replica per datacenter, routing, admission control)
+    instead of calling the engine in-process.  Byte-parity with the
+    direct path is guaranteed for every routing policy while the SERP
+    cache stays disabled — the parity test pins this down."""
+
+    gateway_routing: str = "round-robin"
+    """Routing policy name when ``route_via_gateway`` is set (see
+    :data:`repro.serve.routing.ROUTING_POLICIES`)."""
+
+    gateway_cache_size: int = 0
+    """Gateway SERP-cache capacity.  The default 0 keeps research
+    fidelity (no caching, no request canonicalisation).  A positive
+    size only affects cookie-less traffic — study browsers always
+    present a cookie, so every crawl request bypasses the cache and
+    parity survives regardless — but canonicalisation suppresses the
+    per-request noise the paper measures on any cacheable traffic, so
+    keep it 0 when reproducing figures."""
+
     def __post_init__(self) -> None:
         if self.days <= 0:
             raise ValueError("days must be positive")
@@ -115,6 +135,15 @@ class StudyConfig:
                 f"{self.queries_per_day_block} queries at "
                 f"{self.wait_between_queries_minutes}-minute spacing do not "
                 f"fit in a day (max {max_block})"
+            )
+        if self.gateway_cache_size < 0:
+            raise ValueError("gateway_cache_size must be non-negative")
+        from repro.serve.routing import ROUTING_POLICIES
+
+        if self.gateway_routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown gateway_routing {self.gateway_routing!r}; "
+                f"known: {sorted(ROUTING_POLICIES)}"
             )
 
     def with_overrides(self, **kwargs) -> "StudyConfig":

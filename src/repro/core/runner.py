@@ -12,6 +12,11 @@ one browser pair per location — then executes the paper's schedule:
   session window;
 * cookies are cleared after every query.
 
+The crawl can optionally flow through the serving gateway
+(``route_via_gateway``): one engine replica per datacenter behind
+routing and admission control, byte-identical to the direct path as
+long as the SERP cache stays disabled.
+
 The result is a :class:`SerpDataset` the analysis modules consume.
 """
 
@@ -34,6 +39,7 @@ from repro.net.machines import MachineFleet
 from repro.queries.corpus import QueryCorpus
 from repro.queries.model import Query
 from repro.seeding import derive_seed
+from repro.serve.gateway import Gateway, build_replicas
 from repro.web.world import WebWorld
 
 __all__ = ["Study", "CrawlFailure"]
@@ -100,16 +106,40 @@ class Study:
         self.geoip.register_fleet(self.fleet)
 
         corpus = QueryCorpus(queries=list(self.config.queries))
+        engine_seed = derive_seed(seed, "engine", self.config.dialect.name)
         self.engine = SearchEngine(
             self.world,
             self.cluster,
             self.geoip,
             corpus=corpus,
             calibration=self.config.calibration,
-            seed=derive_seed(seed, "engine", self.config.dialect.name),
+            seed=engine_seed,
             dialect=self.config.dialect,
         )
-        self.network = Network(self.resolver, self.engine)
+        self.gateway: Optional[Gateway] = None
+        if self.config.route_via_gateway:
+            # Queues must absorb one full lock-step round (every
+            # treatment fires at the same virtual minute), or the
+            # gateway would shed requests the direct path serves.
+            round_burst = self.locations.total() * self.config.copies_per_location
+            replicas = build_replicas(
+                self.world,
+                self.cluster,
+                self.geoip,
+                corpus=corpus,
+                calibration=self.config.calibration,
+                seed=engine_seed,
+                dialect=self.config.dialect,
+                queue_capacity=max(32, round_burst),
+            )
+            self.gateway = Gateway(
+                replicas,
+                self.geoip,
+                policy=self.config.gateway_routing,
+                cache_size=self.config.gateway_cache_size,
+                cell_miles=self.config.calibration.snap_cell_miles,
+            )
+        self.network = Network(self.resolver, self.gateway or self.engine)
         self.treatments = self._build_treatments()
         self.failures: List[CrawlFailure] = []
         self.stats = CrawlStats()

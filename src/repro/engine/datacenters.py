@@ -13,14 +13,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.geo.coords import LatLon
 from repro.net.dns import DNSRecord, DNSResolver
 from repro.net.ip import IPv4Address
 
-__all__ = ["SEARCH_HOSTNAME", "Datacenter", "DatacenterCluster"]
+__all__ = ["SEARCH_HOSTNAME", "Datacenter", "DatacenterCluster", "DATACENTER_SITES"]
 
 #: The search frontend's DNS name (the paper statically mapped
 #: google.com's equivalent).
 SEARCH_HOSTNAME = "search.example.com"
+
+#: Physical sites datacenters are placed at, in cluster order (the
+#: metros of real US search datacenters).  The serving gateway's
+#: geo-affinity routing keys on these; the ranking layer never does —
+#: only the datacenter *name* feeds the index-skew identity.
+DATACENTER_SITES = [
+    ("Council Bluffs, IA", LatLon(41.2619, -95.8608)),
+    ("The Dalles, OR", LatLon(45.5946, -121.1787)),
+    ("Berkeley County, SC", LatLon(33.1960, -80.0131)),
+    ("Mayes County, OK", LatLon(36.2412, -95.3293)),
+    ("Lenoir, NC", LatLon(35.9140, -81.5390)),
+    ("Douglas County, GA", LatLon(33.7515, -84.7477)),
+]
 
 
 @dataclass(frozen=True)
@@ -29,6 +43,8 @@ class Datacenter:
 
     name: str
     frontend_ip: IPv4Address
+    location: LatLon = LatLon(39.8283, -98.5795)  # mid-US when unplaced
+    site: str = "unknown"
 
 
 class DatacenterCluster:
@@ -45,7 +61,12 @@ class DatacenterCluster:
         self.hostname = hostname
         base = IPv4Address.parse(base_ip)
         self._datacenters: List[Datacenter] = [
-            Datacenter(name=f"dc{i:02d}", frontend_ip=base + (i + 1))
+            Datacenter(
+                name=f"dc{i:02d}",
+                frontend_ip=base + (i + 1),
+                site=DATACENTER_SITES[i % len(DATACENTER_SITES)][0],
+                location=DATACENTER_SITES[i % len(DATACENTER_SITES)][1],
+            )
             for i in range(count)
         ]
         self._by_ip: Dict[IPv4Address, Datacenter] = {

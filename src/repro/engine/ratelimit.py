@@ -19,11 +19,20 @@ __all__ = ["RateLimiter"]
 
 @dataclass
 class RateLimiter:
-    """A rolling-window request counter per client IP."""
+    """A rolling-window request counter per client IP.
+
+    Memory is bounded: an IP's window only holds timestamps inside the
+    rolling window, and IPs whose windows have fully expired are swept
+    out every ``sweep_every`` admissions — without the sweep, serving
+    traffic from millions of distinct client IPs (the gateway load
+    generator) would retain an empty deque per IP forever.
+    """
 
     max_per_minute: int = 20
     window_minutes: float = 1.0
+    sweep_every: int = 4096
     _history: Dict[IPv4Address, Deque[float]] = field(default_factory=dict)
+    _ops_until_sweep: int = field(default=0, repr=False)
 
     def allow(self, ip: IPv4Address, timestamp_minutes: float) -> bool:
         """Record a request and report whether it is admitted.
@@ -33,6 +42,10 @@ class RateLimiter:
         request still counts toward the window (hammering a blocked IP
         keeps it blocked).
         """
+        self._ops_until_sweep -= 1
+        if self._ops_until_sweep <= 0:
+            self._ops_until_sweep = self.sweep_every
+            self.sweep(timestamp_minutes)
         window = self._history.setdefault(ip, deque())
         cutoff = timestamp_minutes - self.window_minutes
         while window and window[0] <= cutoff:
@@ -48,3 +61,20 @@ class RateLimiter:
             return 0
         cutoff = timestamp_minutes - self.window_minutes
         return sum(1 for t in window if t > cutoff)
+
+    def sweep(self, timestamp_minutes: float) -> int:
+        """Drop IPs whose windows are empty after pruning; returns how many."""
+        cutoff = timestamp_minutes - self.window_minutes
+        idle = []
+        for ip, window in self._history.items():
+            while window and window[0] <= cutoff:
+                window.popleft()
+            if not window:
+                idle.append(ip)
+        for ip in idle:
+            del self._history[ip]
+        return len(idle)
+
+    def tracked_ips(self) -> int:
+        """Number of client IPs currently holding window state."""
+        return len(self._history)

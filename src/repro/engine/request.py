@@ -23,6 +23,8 @@ class ResponseStatus(enum.Enum):
 
     OK = 200
     RATE_LIMITED = 429
+    OVERLOADED = 503
+    """Shed by the serving gateway: every replica queue was full."""
 
 
 @dataclass(frozen=True)

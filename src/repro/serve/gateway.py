@@ -1,0 +1,341 @@
+"""The serving gateway: replica routing, SERP cache, admission control.
+
+Topology
+--------
+One :class:`Replica` per datacenter in the cluster, each wrapping its
+own :class:`~repro.engine.frontend.SearchEngine` built over the *same*
+synthetic web and engine seed — replicas are interchangeable compute,
+exactly like frontends over a shared index.  The page a replica serves
+is fully determined by the request (the per-datacenter index skew keys
+on the DNS-resolved ``frontend_ip`` the request carries, not on which
+replica executes it), so the choice of replica is purely a capacity
+decision and every routing policy yields byte-identical datasets — the
+property the parity test pins down.
+
+Request path
+------------
+1. resolve a location (GPS fix → GeoIP → continental default) for
+   routing and cache keying;
+2. consult the SERP cache (when enabled): hits are served at the edge,
+   misses *canonicalise* the request (GPS snapped to the cell centre,
+   nonce derived from the cache key) so the computed bytes are
+   deterministic per key — see :mod:`repro.serve.cache`;
+3. admission control: dispatch to the first replica in routing
+   preference order with queue room, spilling down the order under
+   backpressure and shedding (``OVERLOADED``) when every queue is full;
+   optionally hedge to a second replica when the projected queue wait
+   crosses a threshold;
+4. retry with escalating virtual-time backoff when a replica answers
+   ``RATE_LIMITED``.
+
+The gateway is duck-type compatible with
+:class:`~repro.engine.frontend.SearchEngine` where the crawl plumbing
+needs it (``.dialect`` and ``.handle()``), so
+:class:`repro.core.browser.Network` can front either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Union
+
+from repro.engine.calibration import EngineCalibration
+from repro.engine.datacenters import Datacenter, DatacenterCluster
+from repro.engine.dialect import EngineDialect
+from repro.engine.frontend import DEFAULT_LOCATION, SearchEngine
+from repro.engine.request import ResponseStatus, SearchRequest, SearchResponse
+from repro.geo.coords import LatLon
+from repro.net.geoip import GeoIPDatabase
+from repro.queries.corpus import QueryCorpus
+from repro.seeding import stable_hash
+from repro.serve.admission import DEFAULT_SERVICE_MINUTES, ReplicaQueue
+from repro.serve.cache import SerpCache
+from repro.serve.routing import RoutingPolicy, make_policy
+from repro.serve.stats import GatewayStats
+from repro.web.world import WebWorld
+
+__all__ = ["Replica", "GatewayResult", "Gateway", "build_replicas"]
+
+
+@dataclass
+class Replica:
+    """One serving unit: a datacenter, its engine, and its queue."""
+
+    datacenter: Datacenter
+    engine: SearchEngine
+    queue: ReplicaQueue
+
+    @property
+    def name(self) -> str:
+        return self.datacenter.name
+
+
+def build_replicas(
+    world: WebWorld,
+    cluster: DatacenterCluster,
+    geoip: GeoIPDatabase,
+    *,
+    corpus: Optional[QueryCorpus] = None,
+    calibration: Optional[EngineCalibration] = None,
+    seed: int = 0,
+    dialect: Optional[EngineDialect] = None,
+    queue_capacity: int = 32,
+    service_minutes: float = DEFAULT_SERVICE_MINUTES,
+) -> List[Replica]:
+    """One replica per datacenter, all over the same world and seed.
+
+    Every replica's engine is constructed identically, so any of them
+    serves any request with the same bytes; what replicas do *not*
+    share is serving state (queues, per-replica rate limiters, session
+    stores) — the operational surface the gateway manages.
+    """
+    return [
+        Replica(
+            datacenter=datacenter,
+            engine=SearchEngine(
+                world,
+                cluster,
+                geoip,
+                corpus=corpus,
+                calibration=calibration,
+                seed=seed,
+                dialect=dialect,
+            ),
+            queue=ReplicaQueue(capacity=queue_capacity, service_minutes=service_minutes),
+        )
+        for datacenter in cluster
+    ]
+
+
+@dataclass(frozen=True)
+class GatewayResult:
+    """One request's outcome with its serving telemetry."""
+
+    response: SearchResponse
+    served_by: str
+    """Replica name, or ``"cache"`` / ``"shed"``."""
+    cache_hit: bool
+    wait_minutes: float
+    latency_minutes: float
+    attempts: int
+    hedged: bool
+
+
+_OVERLOAD_HTML = (
+    "<!DOCTYPE html>\n<html><body>"
+    '<div id="overload"><h1>Server busy</h1>'
+    "<p>Please retry your search shortly.</p></div>"
+    "</body></html>\n"
+)
+
+
+class Gateway:
+    """Routes, caches, and admission-controls search traffic.
+
+    Args:
+        replicas: The serving fleet (see :func:`build_replicas`).
+        geoip: Database used to resolve GPS-less requests for routing
+            and cache keying.
+        policy: A :class:`~repro.serve.routing.RoutingPolicy` instance
+            or registered policy name.
+        cache_size: SERP-cache capacity; ``0`` disables caching *and*
+            request canonicalisation — the byte-parity mode the study
+            crawl uses.
+        cell_miles: Cache-key snap cell (use the engine's
+            ``snap_cell_miles``).
+        max_retries: Re-dispatches after a ``RATE_LIMITED`` response.
+        retry_backoff_minutes: Virtual backoff before the first retry;
+            doubles per attempt.
+        hedge_after_minutes: Projected queue wait beyond which a
+            duplicate request is dispatched to the next-preferred
+            replica (``None`` disables hedging).
+    """
+
+    def __init__(
+        self,
+        replicas: List[Replica],
+        geoip: GeoIPDatabase,
+        *,
+        policy: Union[str, RoutingPolicy] = "round-robin",
+        cache_size: int = 0,
+        cell_miles: float = 1.7,
+        max_retries: int = 2,
+        retry_backoff_minutes: float = 1.5,
+        hedge_after_minutes: Optional[float] = None,
+        stats: Optional[GatewayStats] = None,
+    ):
+        if not replicas:
+            raise ValueError("a gateway needs at least one replica")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.replicas = list(replicas)
+        self.geoip = geoip
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.stats = stats if stats is not None else GatewayStats()
+        self.cache = SerpCache(cache_size, cell_miles=cell_miles, stats=self.stats)
+        self.max_retries = max_retries
+        self.retry_backoff_minutes = retry_backoff_minutes
+        self.hedge_after_minutes = hedge_after_minutes
+        self.cluster = replicas[0].engine.cluster
+
+    # -- SearchEngine-compatible surface --------------------------------------
+
+    @property
+    def dialect(self) -> EngineDialect:
+        return self.replicas[0].engine.dialect
+
+    def handle(self, request: SearchRequest) -> SearchResponse:
+        """Serve one request (the :class:`Network`-facing entry point)."""
+        return self.submit(request).response
+
+    # -- full gateway surface ----------------------------------------------------
+
+    def submit(self, request: SearchRequest) -> GatewayResult:
+        """Serve one request, returning response plus serving telemetry."""
+        self.stats.requests += 1
+        location = self._resolve_location(request)
+        now = request.timestamp_minutes
+
+        dispatch_request = request
+        key = None
+        if self.cache.capacity > 0:
+            if request.cookie_id is not None:
+                # Session state personalises the page; never cache it.
+                self.stats.cache_bypasses += 1
+            else:
+                key = self.cache.key_for(
+                    self.dialect.name,
+                    request.query_text,
+                    location,
+                    request.day,
+                    page=request.page,
+                    datacenter=self.cluster.by_ip(request.frontend_ip).name,
+                )
+                cached = self.cache.get(key, now)
+                if cached is not None:
+                    self.stats.queue_wait.record(0.0)
+                    self.stats.total.record(0.0)
+                    return GatewayResult(
+                        response=cached,
+                        served_by="cache",
+                        cache_hit=True,
+                        wait_minutes=0.0,
+                        latency_minutes=0.0,
+                        attempts=0,
+                        hedged=False,
+                    )
+                dispatch_request = replace(
+                    request,
+                    gps=self.cache.canonical_location(key),
+                    nonce=stable_hash("serve-canonical-nonce", *key),
+                )
+
+        result = self._dispatch(dispatch_request, location)
+        if key is not None and result.response.ok:
+            self.cache.put(key, result.response, now)
+        return result
+
+    # -- internals -----------------------------------------------------------------
+
+    def _resolve_location(self, request: SearchRequest) -> LatLon:
+        """GPS fix → GeoIP → continental default.
+
+        Routing-grade resolution only: the engine re-resolves with full
+        session semantics when it builds the page.
+        """
+        if request.gps is not None:
+            return request.gps
+        by_ip = self.geoip.lookup(request.client_ip)
+        if by_ip is not None:
+            return by_ip
+        return DEFAULT_LOCATION
+
+    def _dispatch(self, request: SearchRequest, location: LatLon) -> GatewayResult:
+        """Admission control + routing + RATE_LIMITED retries."""
+        arrival = request.timestamp_minutes
+        attempt_request = request
+        backoff = self.retry_backoff_minutes
+        response: Optional[SearchResponse] = None
+        served_by = "shed"
+        wait = latency = 0.0
+        hedged_any = False
+        attempts = 0
+
+        for attempt in range(self.max_retries + 1):
+            attempts = attempt + 1
+            now = attempt_request.timestamp_minutes
+            preference = self.policy.rank(self.replicas, attempt_request, location, now)
+            chosen = slot = None
+            for index, replica in enumerate(preference):
+                admitted = replica.queue.try_admit(now)
+                if admitted is not None:
+                    chosen, slot = replica, admitted
+                    break
+            if chosen is None:
+                self.stats.rejected += 1
+                return GatewayResult(
+                    response=SearchResponse(
+                        status=ResponseStatus.OVERLOADED, html=_OVERLOAD_HTML
+                    ),
+                    served_by="shed",
+                    cache_hit=False,
+                    wait_minutes=0.0,
+                    latency_minutes=0.0,
+                    attempts=attempts,
+                    hedged=hedged_any,
+                )
+
+            hedged = self._maybe_hedge(preference, index, slot, now)
+            if hedged is not None:
+                hedged_any = True
+                hedged_replica, hedged_slot = hedged
+                if hedged_slot.completion_minutes < slot.completion_minutes:
+                    chosen, slot = hedged_replica, hedged_slot
+
+            self.stats.record_dispatch(chosen.name, chosen.queue.depth(now))
+            # The replica computes the page deterministically; a hedged
+            # duplicate occupies capacity but the bytes are modelled once.
+            response = chosen.engine.handle(attempt_request)
+            served_by = chosen.name
+            wait = slot.wait_minutes
+            latency = slot.completion_minutes - arrival
+
+            if response.status is not ResponseStatus.RATE_LIMITED:
+                break
+            self.stats.rate_limited += 1
+            if attempt < self.max_retries:
+                self.stats.retries += 1
+                attempt_request = replace(
+                    attempt_request, timestamp_minutes=now + backoff
+                )
+                backoff *= 2
+
+        assert response is not None
+        self.stats.queue_wait.record(wait)
+        self.stats.service.record(slot.completion_minutes - slot.start_minutes)
+        self.stats.total.record(latency)
+        return GatewayResult(
+            response=response,
+            served_by=served_by,
+            cache_hit=False,
+            wait_minutes=wait,
+            latency_minutes=latency,
+            attempts=attempts,
+            hedged=hedged_any,
+        )
+
+    def _maybe_hedge(self, preference, chosen_index, slot, now):
+        """Dispatch a duplicate to the next replica when the wait is long.
+
+        Returns the ``(replica, slot)`` of the hedge, or ``None``.
+        """
+        if self.hedge_after_minutes is None:
+            return None
+        if slot.wait_minutes <= self.hedge_after_minutes:
+            return None
+        for replica in preference[chosen_index + 1 :]:
+            hedged_slot = replica.queue.try_admit(now)
+            if hedged_slot is not None:
+                self.stats.hedges += 1
+                return replica, hedged_slot
+        return None

@@ -1,0 +1,241 @@
+"""Seeded load generation: synthetic users querying the gateway.
+
+A :class:`ClientPopulation` models mobile searchers scattered across
+the US: each client gets a CGNAT-range IP registered in the GeoIP
+database, a home location jittered around a state centroid, a stable
+DNS answer (which datacenter frontend its requests reach), and a flag
+for whether its browser grants the Geolocation API.  A
+:class:`LoadGenerator` then draws a Poisson request stream over the
+query corpus with Zipf-distributed popularity — the skew that makes a
+SERP cache earn its keep — entirely from derived seeds, so two runs
+with one seed produce byte-identical request streams.
+
+:func:`run_load` is the measurement driver shared by the
+``serve-bench`` CLI command and ``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.engine.datacenters import DatacenterCluster
+from repro.engine.request import ResponseStatus, SearchRequest
+from repro.geo.coords import LatLon
+from repro.geo.usa import US_STATES
+from repro.net.geoip import GeoIPDatabase
+from repro.net.ip import IPv4Address
+from repro.queries.model import Query
+from repro.seeding import derive_rng, stable_hash
+from repro.serve.gateway import Gateway
+from repro.serve.stats import GatewayStats
+
+__all__ = ["SyntheticClient", "ClientPopulation", "LoadGenerator", "LoadReport", "run_load"]
+
+#: Client IPs are carved out of 100.64.0.0/10 — the carrier-grade NAT
+#: range real mobile traffic arrives from.
+_CLIENT_IP_BASE = IPv4Address((100 << 24) | (64 << 16))
+
+
+@dataclass(frozen=True)
+class SyntheticClient:
+    """One simulated searcher."""
+
+    ip: IPv4Address
+    home: LatLon
+    uses_gps: bool
+    frontend_ip: IPv4Address
+    """The datacenter IP this client's cached DNS answer points at."""
+
+
+class ClientPopulation:
+    """A deterministic population of synthetic clients."""
+
+    def __init__(self, clients: Sequence[SyntheticClient]):
+        if not clients:
+            raise ValueError("population needs at least one client")
+        self.clients: List[SyntheticClient] = list(clients)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        count: int,
+        cluster: DatacenterCluster,
+        *,
+        gps_fraction: float = 0.8,
+        pin_frontend: bool = False,
+    ) -> "ClientPopulation":
+        """Sample ``count`` clients spread over US state centroids.
+
+        Args:
+            gps_fraction: Share of clients whose browser grants the
+                Geolocation API; the rest are located by GeoIP.
+            pin_frontend: Give every client the first datacenter's
+                frontend IP (one DNS answer — the paper's pinning),
+                instead of a stable per-client answer.
+        """
+        rng = derive_rng(seed, "serve-clients", count)
+        states = sorted(US_STATES)
+        clients: List[SyntheticClient] = []
+        for i in range(count):
+            centroid = US_STATES[rng.choice(states)]
+            home = LatLon(
+                max(-90.0, min(90.0, centroid.lat + rng.uniform(-0.7, 0.7))),
+                max(-180.0, min(180.0, centroid.lon + rng.uniform(-0.7, 0.7))),
+            )
+            frontend = (
+                cluster[0] if pin_frontend else cluster[rng.randrange(len(cluster))]
+            )
+            clients.append(
+                SyntheticClient(
+                    ip=_CLIENT_IP_BASE + (i + 1),
+                    home=home,
+                    uses_gps=rng.random() < gps_fraction,
+                    frontend_ip=frontend.frontend_ip,
+                )
+            )
+        return cls(clients)
+
+    def register(self, geoip: GeoIPDatabase) -> None:
+        """Give every client IP a GeoIP entry at its home location."""
+        for client in self.clients:
+            geoip.add_host(client.ip, client.home)
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __iter__(self):
+        return iter(self.clients)
+
+    def __getitem__(self, index: int) -> SyntheticClient:
+        return self.clients[index]
+
+
+class LoadGenerator:
+    """A seeded Poisson request stream over a query corpus.
+
+    Query popularity is Zipf over a seed-shuffled ranking of the
+    corpus (exponent ``zipf_exponent``), client activity likewise —
+    skew on both axes, as in real search logs.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        population: ClientPopulation,
+        seed: int,
+        *,
+        rate_per_minute: float = 30.0,
+        zipf_exponent: float = 1.0,
+        gps_jitter_degrees: float = 0.004,
+        start_minutes: float = 0.0,
+    ):
+        if not queries:
+            raise ValueError("load generator needs a non-empty corpus")
+        if rate_per_minute <= 0:
+            raise ValueError("rate must be positive")
+        self.queries = list(queries)
+        self.population = population
+        self.seed = seed
+        self.rate_per_minute = rate_per_minute
+        self.gps_jitter_degrees = gps_jitter_degrees
+        self.start_minutes = start_minutes
+
+        rank_rng = derive_rng(seed, "serve-popularity")
+        query_order = list(range(len(self.queries)))
+        rank_rng.shuffle(query_order)
+        self._query_cdf = _zipf_cdf(len(self.queries), zipf_exponent)
+        self._query_by_rank = query_order
+        client_order = list(range(len(population)))
+        rank_rng.shuffle(client_order)
+        self._client_cdf = _zipf_cdf(len(population), zipf_exponent)
+        self._client_by_rank = client_order
+
+    def requests(self, count: int) -> Iterator[SearchRequest]:
+        """Yield ``count`` requests with non-decreasing virtual times."""
+        rng = derive_rng(self.seed, "serve-arrivals")
+        now = self.start_minutes
+        for i in range(count):
+            query = self.queries[_pick(self._query_by_rank, self._query_cdf, rng)]
+            client = self.population[_pick(self._client_by_rank, self._client_cdf, rng)]
+            gps: Optional[LatLon] = None
+            if client.uses_gps:
+                gps = LatLon(
+                    max(-90.0, min(90.0, client.home.lat
+                                   + rng.uniform(-self.gps_jitter_degrees,
+                                                 self.gps_jitter_degrees))),
+                    max(-180.0, min(180.0, client.home.lon
+                                    + rng.uniform(-self.gps_jitter_degrees,
+                                                  self.gps_jitter_degrees))),
+                )
+            yield SearchRequest(
+                query_text=query.text,
+                client_ip=client.ip,
+                frontend_ip=client.frontend_ip,
+                timestamp_minutes=now,
+                gps=gps,
+                cookie_id=None,
+                nonce=stable_hash("serve-loadgen-nonce", self.seed, i),
+            )
+            now += rng.expovariate(self.rate_per_minute)
+
+
+def _zipf_cdf(n: int, exponent: float) -> List[float]:
+    """Cumulative Zipf weights for ranks ``0..n-1``."""
+    total = 0.0
+    cdf: List[float] = []
+    for rank in range(n):
+        total += 1.0 / (rank + 1) ** exponent
+        cdf.append(total)
+    return cdf
+
+
+def _pick(by_rank: List[int], cdf: List[float], rng) -> int:
+    rank = bisect.bisect_left(cdf, rng.random() * cdf[-1])
+    return by_rank[min(rank, len(by_rank) - 1)]
+
+
+@dataclass
+class LoadReport:
+    """What one measured load run produced."""
+
+    requests: int
+    wall_seconds: float
+    ok: int = 0
+    rate_limited: int = 0
+    overloaded: int = 0
+    stats: GatewayStats = field(default_factory=GatewayStats)
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"load run: {self.requests} requests in {self.wall_seconds:.2f}s wall "
+            f"-> {self.requests_per_second:,.0f} req/s",
+            f"  responses         ok={self.ok} rate-limited={self.rate_limited} "
+            f"overloaded={self.overloaded}",
+            self.stats.render(),
+        ]
+        return "\n".join(lines)
+
+
+def run_load(gateway: Gateway, loadgen: LoadGenerator, count: int) -> LoadReport:
+    """Drive ``count`` generated requests through ``gateway``, timed."""
+    report = LoadReport(requests=count, wall_seconds=0.0, stats=gateway.stats)
+    started = time.perf_counter()
+    for request in loadgen.requests(count):
+        result = gateway.submit(request)
+        status = result.response.status
+        if status is ResponseStatus.OK:
+            report.ok += 1
+        elif status is ResponseStatus.RATE_LIMITED:
+            report.rate_limited += 1
+        else:
+            report.overloaded += 1
+    report.wall_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,115 @@
+"""Replica-selection policies for the serving gateway.
+
+A policy orders the replica set by preference for one request; the
+gateway dispatches to the first replica with queue room and spills down
+the order under backpressure (the tail of the order also feeds request
+hedging).  Three policies ship:
+
+* **round-robin** — rotate through replicas regardless of state;
+* **least-outstanding** — prefer the replica with the fewest in-flight
+  requests (the classic load-balancer default);
+* **geo-affinity** — prefer the replica whose datacenter is physically
+  nearest the request's resolved location (serve Oregonians from The
+  Dalles), falling back eastward down the distance order.
+
+Policies only decide *where the computation runs*.  The ranking
+identity a page depends on (the per-datacenter index skew) is keyed on
+the DNS-resolved frontend IP the request carries — the paper's §2.2
+control — so routing never changes served bytes; the parity test in
+``tests/test_serve_gateway.py`` holds this line.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+
+from repro.geo.coords import LatLon, haversine_miles
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.request import SearchRequest
+    from repro.serve.gateway import Replica
+
+__all__ = [
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "GeoAffinityPolicy",
+    "ROUTING_POLICIES",
+    "make_policy",
+]
+
+
+class RoutingPolicy:
+    """Base class: order replicas by preference for one request."""
+
+    name = "abstract"
+
+    def rank(
+        self,
+        replicas: Sequence["Replica"],
+        request: "SearchRequest",
+        location: LatLon,
+        now_minutes: float,
+    ) -> List["Replica"]:
+        """Replicas in dispatch-preference order (best first)."""
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Rotate the starting replica one step per request."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def rank(self, replicas, request, location, now_minutes):
+        start = self._next % len(replicas)
+        self._next += 1
+        return list(replicas[start:]) + list(replicas[:start])
+
+
+class LeastOutstandingPolicy(RoutingPolicy):
+    """Prefer the replica with the fewest in-flight requests."""
+
+    name = "least-outstanding"
+
+    def rank(self, replicas, request, location, now_minutes):
+        return sorted(
+            replicas,
+            key=lambda replica: (replica.queue.depth(now_minutes), replica.name),
+        )
+
+
+class GeoAffinityPolicy(RoutingPolicy):
+    """Prefer the replica whose datacenter is nearest the user."""
+
+    name = "geo-affinity"
+
+    def rank(self, replicas, request, location, now_minutes):
+        return sorted(
+            replicas,
+            key=lambda replica: (
+                haversine_miles(location, replica.datacenter.location),
+                replica.name,
+            ),
+        )
+
+
+#: Policy name → zero-argument factory (policies hold per-instance state).
+ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastOutstandingPolicy.name: LeastOutstandingPolicy,
+    GeoAffinityPolicy.name: GeoAffinityPolicy,
+}
+
+
+def make_policy(name: str) -> RoutingPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        return ROUTING_POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; "
+            f"known: {sorted(ROUTING_POLICIES)}"
+        ) from None

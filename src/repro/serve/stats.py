@@ -1,0 +1,120 @@
+"""Serving metrics: what the gateway counts and reports.
+
+Everything is measured in *virtual* time (study minutes) except
+throughput, which the load driver measures against the wall clock.  The
+counters mirror what a production serving stack exports: cache
+hit/miss/eviction, admission and shedding, retries, hedges, queue
+depth, and per-stage latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["LatencyAccumulator", "GatewayStats"]
+
+
+@dataclass
+class LatencyAccumulator:
+    """Streaming mean/max over a virtual-latency series (minutes)."""
+
+    count: int = 0
+    total_minutes: float = 0.0
+    max_minutes: float = 0.0
+
+    def record(self, minutes: float) -> None:
+        self.count += 1
+        self.total_minutes += minutes
+        if minutes > self.max_minutes:
+            self.max_minutes = minutes
+
+    @property
+    def mean_minutes(self) -> float:
+        return self.total_minutes / self.count if self.count else 0.0
+
+
+@dataclass
+class GatewayStats:
+    """Counters for one gateway instance.
+
+    Cache counters are incremented by the :class:`~repro.serve.cache.
+    SerpCache` the gateway owns; everything else by the gateway itself.
+    """
+
+    requests: int = 0
+
+    # -- SERP cache ---------------------------------------------------------
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bypasses: int = 0
+    """Requests not eligible for caching (they carried session state)."""
+    cache_evictions: int = 0
+    """Entries dropped for capacity (LRU order)."""
+    cache_expirations: int = 0
+    """Entries dropped because their virtual day rolled over."""
+
+    # -- admission control ----------------------------------------------------
+    admitted: int = 0
+    rejected: int = 0
+    """Requests shed because every replica queue was full."""
+    retries: int = 0
+    """Re-dispatches after a RATE_LIMITED response, with backoff."""
+    hedges: int = 0
+    """Requests dispatched to a second replica to cut tail latency."""
+    rate_limited: int = 0
+    """RATE_LIMITED responses seen from replicas (before retries)."""
+    max_queue_depth: int = 0
+
+    # -- routing ---------------------------------------------------------------
+    replica_requests: Dict[str, int] = field(default_factory=dict)
+
+    # -- virtual latency --------------------------------------------------------
+    queue_wait: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    service: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    total: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+
+    def record_dispatch(self, replica_name: str, depth: int) -> None:
+        """Book-keep one request dispatched to a replica."""
+        self.admitted += 1
+        self.replica_requests[replica_name] = (
+            self.replica_requests.get(replica_name, 0) + 1
+        )
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over cache-eligible lookups."""
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def render(self) -> str:
+        """A human-readable metrics report."""
+        lines = [
+            "gateway stats",
+            f"  requests          {self.requests}",
+            f"  cache             hits={self.cache_hits} misses={self.cache_misses} "
+            f"bypasses={self.cache_bypasses} hit-rate={self.hit_rate:.1%}",
+            f"  cache churn       evictions={self.cache_evictions} "
+            f"expirations={self.cache_expirations}",
+            f"  admission         admitted={self.admitted} rejected={self.rejected} "
+            f"max-depth={self.max_queue_depth}",
+            f"  resilience        retries={self.retries} hedges={self.hedges} "
+            f"rate-limited={self.rate_limited}",
+            "  virtual latency   "
+            f"wait {self.queue_wait.mean_minutes * 60:.2f}s avg / "
+            f"{self.queue_wait.max_minutes * 60:.2f}s max, "
+            f"service {self.service.mean_minutes * 60:.2f}s avg, "
+            f"total {self.total.mean_minutes * 60:.2f}s avg",
+        ]
+        if self.replica_requests:
+            share = ", ".join(
+                f"{name}={count}" for name, count in sorted(self.replica_requests.items())
+            )
+            lines.append(f"  per-replica       {share}")
+        return "\n".join(lines)

@@ -117,6 +117,20 @@ class TestCommands:
         ) == 0
         assert "## Headline" in out_file.read_text()
 
+    def test_serve_bench_command(self, capsys):
+        assert main(
+            ["serve-bench", "--requests", "120", "--clients", "25", "--seed", "9",
+             "--routing", "geo-affinity", "--cache-size", "256"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "hit-rate" in out
+        assert "per-replica" in out
+
+    def test_serve_bench_rejects_bad_routing(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--routing", "coin-flip"])
+
     def test_schedule_command(self, capsys):
         assert main(["schedule", "--machines", "44"]) == 0
         out = capsys.readouterr().out

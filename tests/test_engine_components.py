@@ -188,6 +188,24 @@ class TestRateLimiter:
         assert limiter.outstanding(ip, 0.2) == 2
         assert limiter.outstanding(ip, 5.0) == 0
 
+    def test_idle_ips_are_swept(self):
+        # Many distinct client IPs (a gateway load test) must not
+        # accumulate an empty window per IP forever.
+        limiter = RateLimiter(max_per_minute=5, sweep_every=100)
+        for i in range(5000):
+            limiter.allow(IPv4Address(i + 1), float(i))
+        assert limiter.tracked_ips() < 200
+
+    def test_sweep_keeps_live_windows(self):
+        limiter = RateLimiter(max_per_minute=5)
+        busy = IPv4Address.parse("10.0.0.1")
+        idle = IPv4Address.parse("10.0.0.2")
+        limiter.allow(idle, 0.0)
+        limiter.allow(busy, 10.0)
+        assert limiter.sweep(10.5) == 1
+        assert limiter.tracked_ips() == 1
+        assert not all(limiter.allow(busy, 10.6) for _ in range(5))
+
 
 class TestQueryClassifier:
     def test_known_corpus_terms_resolve_exactly(self, corpus):

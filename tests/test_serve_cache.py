@@ -1,0 +1,239 @@
+"""SERP-cache correctness: TTL on day rollover, LRU order, cell sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.request import ResponseStatus, SearchRequest, SearchResponse
+from repro.geo.coords import LatLon
+from repro.net.ip import IPv4Address
+from repro.serve.cache import MINUTES_PER_DAY, SerpCache
+
+CLEVELAND = LatLon(41.4993, -81.6944)
+
+
+def _response(tag: str) -> SearchResponse:
+    return SearchResponse(status=ResponseStatus.OK, html=f"<html>{tag}</html>")
+
+
+class TestCacheKeys:
+    def test_same_cell_shares_a_key(self):
+        cache = SerpCache(16, cell_miles=1.7)
+        # Two fixes ~100 ft apart land in one 1.7-mile snap cell.
+        a = cache.key_for("google-like", "school", CLEVELAND, day=0)
+        b = cache.key_for(
+            "google-like",
+            "school",
+            LatLon(CLEVELAND.lat + 0.0003, CLEVELAND.lon + 0.0003),
+            day=0,
+        )
+        assert a == b
+
+    def test_different_cells_do_not_share(self):
+        cache = SerpCache(16, cell_miles=1.7)
+        a = cache.key_for("google-like", "school", CLEVELAND, day=0)
+        far = LatLon(CLEVELAND.lat + 0.1, CLEVELAND.lon)  # ~7 miles north
+        b = cache.key_for("google-like", "school", far, day=0)
+        assert a != b
+
+    def test_key_dimensions(self):
+        cache = SerpCache(16)
+        base = cache.key_for("google-like", "school", CLEVELAND, day=0)
+        assert cache.key_for("bingo", "school", CLEVELAND, day=0) != base
+        assert cache.key_for("google-like", "library", CLEVELAND, day=0) != base
+        assert cache.key_for("google-like", "school", CLEVELAND, day=1) != base
+        assert cache.key_for("google-like", "school", CLEVELAND, day=0, page=1) != base
+        assert (
+            cache.key_for("google-like", "school", CLEVELAND, day=0, datacenter="dc01")
+            != base
+        )
+
+    def test_slug_normalises_case_and_whitespace(self):
+        cache = SerpCache(16)
+        assert cache.key_for("g", "Gay  Marriage", CLEVELAND, day=0) == cache.key_for(
+            "g", "gay marriage ", CLEVELAND, day=0
+        )
+
+    def test_canonical_location_is_cell_center(self):
+        cache = SerpCache(16, cell_miles=1.7)
+        key = cache.key_for("g", "school", CLEVELAND, day=0)
+        center = cache.canonical_location(key)
+        assert cache.grid.cell_of(center) == cache.grid.cell_of(CLEVELAND)
+        # Any fix in the cell canonicalises to the same point.
+        nearby = LatLon(CLEVELAND.lat + 0.0003, CLEVELAND.lon)
+        assert cache.canonical_location(
+            cache.key_for("g", "school", nearby, day=0)
+        ) == center
+
+
+class TestTTL:
+    def test_hit_within_day(self):
+        cache = SerpCache(16)
+        key = cache.key_for("g", "school", CLEVELAND, day=0)
+        cache.put(key, _response("day0"), now_minutes=100.0)
+        hit = cache.get(key, now_minutes=MINUTES_PER_DAY - 1.0)
+        assert hit is not None and "day0" in hit.html
+
+    def test_expires_on_day_rollover(self):
+        cache = SerpCache(16)
+        key = cache.key_for("g", "school", CLEVELAND, day=0)
+        cache.put(key, _response("day0"), now_minutes=100.0)
+        assert cache.get(key, now_minutes=float(MINUTES_PER_DAY)) is None
+        assert cache.stats.cache_expirations == 1
+        assert len(cache) == 0
+
+    def test_stale_put_is_dropped(self):
+        cache = SerpCache(16)
+        key = cache.key_for("g", "school", CLEVELAND, day=0)
+        # A day-0 page computed after day 0 ended must not be stored.
+        cache.put(key, _response("late"), now_minutes=float(MINUTES_PER_DAY) + 5.0)
+        assert len(cache) == 0
+
+    def test_insert_sweeps_expired_entries(self):
+        cache = SerpCache(16)
+        old = cache.key_for("g", "school", CLEVELAND, day=0)
+        cache.put(old, _response("old"), now_minutes=10.0)
+        new = cache.key_for("g", "school", CLEVELAND, day=1)
+        cache.put(new, _response("new"), now_minutes=float(MINUTES_PER_DAY) + 10.0)
+        assert old not in cache
+        assert new in cache
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = SerpCache(2)
+        a = cache.key_for("g", "a", CLEVELAND, day=0)
+        b = cache.key_for("g", "b", CLEVELAND, day=0)
+        c = cache.key_for("g", "c", CLEVELAND, day=0)
+        cache.put(a, _response("a"), 0.0)
+        cache.put(b, _response("b"), 0.0)
+        assert cache.get(a, 1.0) is not None  # refresh a; b is now LRU
+        cache.put(c, _response("c"), 2.0)
+        assert b not in cache
+        assert a in cache and c in cache
+        assert cache.stats.cache_evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = SerpCache(2)
+        a = cache.key_for("g", "a", CLEVELAND, day=0)
+        b = cache.key_for("g", "b", CLEVELAND, day=0)
+        cache.put(a, _response("a"), 0.0)
+        cache.put(b, _response("b"), 0.0)
+        cache.put(a, _response("a2"), 1.0)  # re-insert: a newest again
+        c = cache.key_for("g", "c", CLEVELAND, day=0)
+        cache.put(c, _response("c"), 2.0)
+        assert b not in cache and a in cache
+
+    def test_capacity_zero_disables(self):
+        cache = SerpCache(0)
+        key = cache.key_for("g", "a", CLEVELAND, day=0)
+        cache.put(key, _response("a"), 0.0)
+        assert len(cache) == 0
+        assert cache.get(key, 0.0) is None
+        assert cache.stats.cache_hits == 0
+        assert cache.stats.cache_misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SerpCache(-1)
+
+
+class TestStatsCounters:
+    def test_hit_miss_accounting(self):
+        cache = SerpCache(4)
+        key = cache.key_for("g", "a", CLEVELAND, day=0)
+        assert cache.get(key, 0.0) is None
+        cache.put(key, _response("a"), 0.0)
+        assert cache.get(key, 1.0) is not None
+        assert cache.stats.cache_misses == 1
+        assert cache.stats.cache_hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestGatewayCacheBehaviour:
+    """Cache semantics through the full gateway path."""
+
+    @pytest.fixture(scope="class")
+    def serving(self):
+        from repro.engine.datacenters import DatacenterCluster
+        from repro.net.geoip import GeoIPDatabase
+        from repro.queries.corpus import build_corpus
+        from repro.serve.gateway import Gateway, build_replicas
+        from repro.web.world import WebWorld
+
+        world = WebWorld(11)
+        cluster = DatacenterCluster()
+        geoip = GeoIPDatabase()
+        corpus = build_corpus()
+        replicas = build_replicas(world, cluster, geoip, corpus=corpus, seed=11)
+        return cluster, replicas, geoip
+
+    def _gateway(self, serving, cache_size):
+        from repro.serve.gateway import Gateway
+
+        cluster, replicas, geoip = serving
+        return Gateway(replicas, geoip, cache_size=cache_size)
+
+    def _request(self, serving, gps, minute, nonce):
+        cluster, _, _ = serving
+        return SearchRequest(
+            query_text="School",
+            client_ip=IPv4Address.parse("100.64.0.1"),
+            frontend_ip=cluster[0].frontend_ip,
+            timestamp_minutes=minute,
+            gps=gps,
+            nonce=nonce,
+        )
+
+    def test_same_cell_requests_share_entry_and_bytes(self, serving):
+        gateway = self._gateway(serving, cache_size=64)
+        near = LatLon(CLEVELAND.lat + 0.0003, CLEVELAND.lon)
+        first = gateway.submit(self._request(serving, CLEVELAND, 0.0, nonce=1))
+        second = gateway.submit(self._request(serving, near, 1.0, nonce=2))
+        assert not first.cache_hit and second.cache_hit
+        assert second.served_by == "cache"
+        # Bit-identical despite different nonces and raw coordinates:
+        # the gateway canonicalised both to the cell's identity.
+        assert first.response.html == second.response.html
+
+    def test_different_cells_miss(self, serving):
+        gateway = self._gateway(serving, cache_size=64)
+        far = LatLon(CLEVELAND.lat + 0.1, CLEVELAND.lon)
+        gateway.submit(self._request(serving, CLEVELAND, 0.0, nonce=1))
+        result = gateway.submit(self._request(serving, far, 1.0, nonce=2))
+        assert not result.cache_hit
+        assert gateway.stats.cache_misses == 2
+
+    def test_day_rollover_expires_through_gateway(self, serving):
+        gateway = self._gateway(serving, cache_size=64)
+        gateway.submit(self._request(serving, CLEVELAND, 10.0, nonce=1))
+        rolled = gateway.submit(
+            self._request(serving, CLEVELAND, float(MINUTES_PER_DAY) + 10.0, nonce=2)
+        )
+        assert not rolled.cache_hit
+        assert gateway.stats.cache_expirations >= 1
+
+    def test_cookied_requests_bypass(self, serving):
+        gateway = self._gateway(serving, cache_size=64)
+        cluster, _, _ = serving
+        request = SearchRequest(
+            query_text="School",
+            client_ip=IPv4Address.parse("100.64.0.1"),
+            frontend_ip=cluster[0].frontend_ip,
+            timestamp_minutes=0.0,
+            gps=CLEVELAND,
+            cookie_id="user#1",
+            nonce=1,
+        )
+        result = gateway.submit(request)
+        assert not result.cache_hit
+        assert gateway.stats.cache_bypasses == 1
+        assert gateway.stats.cache_lookups == 0
+
+    def test_cache_mode_is_deterministic(self, serving):
+        gold = self._gateway(serving, cache_size=64)
+        cold = self._gateway(serving, cache_size=64)
+        request = self._request(serving, CLEVELAND, 0.0, nonce=7)
+        assert (
+            gold.submit(request).response.html == cold.submit(request).response.html
+        )
