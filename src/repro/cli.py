@@ -2,11 +2,12 @@
 
 Examples::
 
-    repro-study run --scale small --out study.jsonl.gz
+    repro-study run --scale small --out study.jsonl.gz --workers 4
     repro-study report --dataset study.jsonl.gz --figure 5
     repro-study validate --machines 50
     repro-study demographics --dataset study.jsonl.gz
     repro-study serve-bench --routing geo-affinity --cache-size 4096
+    repro-study crawl-bench --workers 1,2,4,8 --out BENCH_crawl.json
 """
 
 from __future__ import annotations
@@ -43,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--days", type=int, default=None, help="override day count")
     run.add_argument("--out", required=True, help="output dataset path (.jsonl[.gz])")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="crawl worker processes (byte-identical to workers=1)",
+    )
 
     report = sub.add_parser("report", help="print figure tables from a dataset")
     report.add_argument("--dataset", required=True)
@@ -140,6 +147,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="give every client the same DNS answer (the paper's pinning)",
     )
+
+    crawl_bench = sub.add_parser(
+        "crawl-bench",
+        help="sweep crawl worker counts, prove byte parity, write BENCH_crawl.json",
+    )
+    crawl_bench.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    crawl_bench.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated worker counts (default: 1,2,4,8)",
+    )
+    crawl_bench.add_argument(
+        "--scale", choices=["standard", "smoke"], default="standard"
+    )
+    crawl_bench.add_argument(
+        "--gateway", action="store_true", help="route the crawl via the gateway"
+    )
+    crawl_bench.add_argument("--out", default="BENCH_crawl.json")
+    crawl_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: smoke scale, workers 1,2, parity enforced",
+    )
+    crawl_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print a cProfile top-20 cumulative table of the sequential run",
+    )
     return parser
 
 
@@ -171,10 +206,11 @@ def _cmd_run(args) -> int:
     study = Study(config)
     print(
         f"running {args.scale} study: {len(config.queries)} queries, "
-        f"{study.locations.total()} locations, {config.days} days ...",
+        f"{study.locations.total()} locations, {config.days} days, "
+        f"{args.workers} worker(s) ...",
         file=sys.stderr,
     )
-    dataset = study.run()
+    dataset = study.run(workers=args.workers)
     dataset.save(args.out)
     print(
         f"collected {len(dataset)} pages ({len(study.failures)} failures) -> {args.out}",
@@ -396,6 +432,53 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_crawl_bench(args) -> int:
+    from repro.parallel.bench import (
+        DEFAULT_WORKER_COUNTS,
+        SMOKE_WORKER_COUNTS,
+        profile_sequential,
+        run_crawl_bench,
+    )
+
+    if args.smoke:
+        scale, counts = "smoke", SMOKE_WORKER_COUNTS
+    else:
+        scale = args.scale
+        counts = (
+            tuple(int(part) for part in args.workers.split(",") if part)
+            if args.workers
+            else DEFAULT_WORKER_COUNTS
+        )
+    print(
+        f"crawl-bench: scale={scale}, workers={list(counts)}, "
+        f"gateway={args.gateway} ...",
+        file=sys.stderr,
+    )
+    report = run_crawl_bench(
+        worker_counts=counts,
+        scale=scale,
+        seed=args.seed,
+        route_via_gateway=args.gateway,
+        out=args.out,
+    )
+    print(report.render())
+    print(f"wrote {args.out}", file=sys.stderr)
+    if args.profile:
+        print()
+        print(
+            profile_sequential(
+                scale=scale, seed=args.seed, route_via_gateway=args.gateway
+            )
+        )
+    if not report.parity_ok:
+        print(
+            "PARITY FAILURE: parallel dataset differs from sequential",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_schedule(args) -> int:
     from repro.core.schedule import simulate_crawl_schedule
 
@@ -426,6 +509,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reportcard": _cmd_reportcard,
         "schedule": _cmd_schedule,
         "serve-bench": _cmd_serve_bench,
+        "crawl-bench": _cmd_crawl_bench,
     }
     return handlers[args.command](args)
 

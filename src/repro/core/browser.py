@@ -17,8 +17,7 @@ contract:
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.engine.frontend import SearchEngine
@@ -88,12 +87,19 @@ class Network:
     (``.dialect`` and ``.handle()``): a bare
     :class:`~repro.engine.frontend.SearchEngine`, or a
     :class:`~repro.serve.gateway.Gateway` fronting a replica fleet.
+
+    Unpinned DNS rotation is keyed on the request **nonce** — already a
+    deterministic function of (browser, request ordinal) — rather than
+    a shared lookup counter, so which frontend a browser's n-th query
+    reaches never depends on how requests from *other* browsers
+    interleave.  That independence is what lets the parallel crawl
+    executor shard treatments across processes with byte-identical
+    results in every DNS mode.
     """
 
     def __init__(self, resolver: DNSResolver, engine: SearchEngine):
         self.resolver = resolver
         self.engine = engine
-        self._query_counter = itertools.count()
 
     def submit(
         self,
@@ -109,7 +115,7 @@ class Network:
     ) -> SearchResponse:
         """Resolve the engine's search hostname and deliver one request."""
         frontend_ip = self.resolver.resolve(
-            self.engine.dialect.hostname, query_id=next(self._query_counter)
+            self.engine.dialect.hostname, query_id=nonce
         )
         request = SearchRequest(
             query_text=query_text,

@@ -23,7 +23,7 @@ The result is a :class:`SerpDataset` the analysis modules consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.browser import MobileBrowser, Network
 from repro.core.datastore import SerpDataset, SerpRecord
@@ -42,7 +42,7 @@ from repro.seeding import derive_seed
 from repro.serve.gateway import Gateway, build_replicas
 from repro.web.world import WebWorld
 
-__all__ = ["Study", "CrawlFailure"]
+__all__ = ["Study", "CrawlFailure", "CrawlStats", "ScheduledRound"]
 
 MINUTES_PER_DAY = 24 * 60
 
@@ -60,12 +60,38 @@ class CrawlFailure:
 
 @dataclass
 class CrawlStats:
-    """Counters for one study run."""
+    """Counters for one study run.
+
+    Every field is a plain sum, so stats from sharded workers merge
+    associatively (:meth:`merge`) into exactly the sequential counters.
+    """
 
     requests: int = 0
     retries: int = 0
     captchas: int = 0
     pages: int = 0
+
+    def merge(self, other: "CrawlStats") -> None:
+        """Fold another run's (or shard's) counters into this one."""
+        self.requests += other.requests
+        self.retries += other.retries
+        self.captchas += other.captchas
+        self.pages += other.pages
+
+
+@dataclass(frozen=True)
+class ScheduledRound:
+    """One lock-step round of the study schedule.
+
+    ``ordinal`` is the round's global position (0-based, schedule
+    order) — the canonical sort key the parallel executor merges shard
+    results by.
+    """
+
+    ordinal: int
+    query: Query
+    day_offset: int
+    timestamp: float
 
 
 @dataclass
@@ -143,6 +169,7 @@ class Study:
         self.treatments = self._build_treatments()
         self.failures: List[CrawlFailure] = []
         self.stats = CrawlStats()
+        self._sink = None
 
     # -- construction ----------------------------------------------------------
 
@@ -174,7 +201,7 @@ class Study:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self, *, sink=None) -> SerpDataset:
+    def run(self, *, sink=None, workers: int = 1) -> SerpDataset:
         """Execute the full schedule and return the collected dataset.
 
         Args:
@@ -182,11 +209,38 @@ class Study:
                 as it is collected (e.g.
                 :meth:`~repro.core.datastore.IncrementalWriter.write`),
                 so long crawls persist as they go.
+            workers: Number of crawl worker processes.  ``1`` runs the
+                schedule in-process; ``N > 1`` shards each lock-step
+                round across processes via :mod:`repro.parallel` and
+                merges the results back in canonical order — the
+                dataset, stats, and failures are byte-identical to the
+                sequential run (the parity tests pin this down).
+                Requires a freshly constructed :class:`Study`.
         """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers > 1:
+            from repro.parallel import run_parallel
+
+            return run_parallel(self, workers=workers, sink=sink)
         dataset = SerpDataset()
         self._sink = sink
-        blocks = self._query_blocks()
-        for block_index, block in enumerate(blocks):
+        for scheduled in self.iter_rounds():
+            self._run_round(
+                dataset, scheduled.query, scheduled.day_offset, scheduled.timestamp
+            )
+        self._sink = None
+        return dataset
+
+    def iter_rounds(self) -> Iterator[ScheduledRound]:
+        """The study schedule as a flat, ordered stream of rounds.
+
+        Every executor — sequential or any shard of a parallel run —
+        walks this exact stream, so "round ``ordinal``" means the same
+        (query, day, virtual minute) everywhere.
+        """
+        ordinal = 0
+        for block_index, block in enumerate(self._query_blocks()):
             first_day = block_index * self.config.days
             for day_offset in range(self.config.days):
                 absolute_day = first_day + day_offset
@@ -195,9 +249,12 @@ class Study:
                         absolute_day * MINUTES_PER_DAY
                         + round_index * self.config.wait_between_queries_minutes
                     )
-                    self._run_round(dataset, query, day_offset, timestamp)
-        self._sink = None
-        return dataset
+                    yield ScheduledRound(ordinal, query, day_offset, timestamp)
+                    ordinal += 1
+
+    def round_count(self) -> int:
+        """Total rounds in the schedule (each round = one query, all treatments)."""
+        return self.config.days * len(self.config.queries)
 
     def _query_blocks(self) -> List[List[Query]]:
         block_size = self.config.queries_per_day_block
@@ -213,33 +270,70 @@ class Study:
     ) -> None:
         """One lock-step round: every treatment runs ``query`` at once."""
         for treatment in self.treatments:
-            crawl = self._search_with_retries(treatment, query.text, timestamp)
-            if self.config.clear_cookies:
-                treatment.browser.clear_cookies()
-            if crawl is None:
-                self.failures.append(
-                    CrawlFailure(
-                        query=query.text,
-                        location_name=treatment.region.qualified_name,
-                        day=day_offset,
-                        copy_index=treatment.copy_index,
-                        reason="rate-limited",
-                    )
-                )
+            outcome = self._crawl_treatment(treatment, query, day_offset, timestamp)
+            if isinstance(outcome, CrawlFailure):
+                self.failures.append(outcome)
                 continue
-            parsed = parse_serp_html(crawl.html)
-            self.stats.pages += 1
-            record = SerpRecord.from_parsed(
-                parsed,
-                category=query.category.value,
-                granularity=treatment.granularity.value,
+            dataset.add(outcome)
+            if self._sink is not None:
+                self._sink(outcome)
+
+    def run_shard(self, treatment_indices: List[int], *, on_round) -> None:
+        """Crawl only the given treatments through the full schedule.
+
+        The building block of the parallel executor: the study walks
+        :meth:`iter_rounds` exactly like a sequential run but issues
+        queries only for its shard of the treatment list, calling
+        ``on_round(ordinal, outcomes)`` after each round with the list
+        of ``(treatment_index, SerpRecord | CrawlFailure)`` in ascending
+        treatment order.  ``self.stats`` accumulates this shard's
+        counters.
+        """
+        shard = [(index, self.treatments[index]) for index in treatment_indices]
+        for scheduled in self.iter_rounds():
+            outcomes = [
+                (
+                    index,
+                    self._crawl_treatment(
+                        treatment,
+                        scheduled.query,
+                        scheduled.day_offset,
+                        scheduled.timestamp,
+                    ),
+                )
+                for index, treatment in shard
+            ]
+            on_round(scheduled.ordinal, outcomes)
+
+    def _crawl_treatment(
+        self,
+        treatment: _Treatment,
+        query: Query,
+        day_offset: int,
+        timestamp: float,
+    ) -> Union[SerpRecord, CrawlFailure]:
+        """One treatment's turn in a round: crawl, parse, or fail."""
+        crawl = self._search_with_retries(treatment, query.text, timestamp)
+        if self.config.clear_cookies:
+            treatment.browser.clear_cookies()
+        if crawl is None:
+            return CrawlFailure(
+                query=query.text,
                 location_name=treatment.region.qualified_name,
                 day=day_offset,
                 copy_index=treatment.copy_index,
+                reason="rate-limited",
             )
-            dataset.add(record)
-            if getattr(self, "_sink", None) is not None:
-                self._sink(record)
+        parsed = parse_serp_html(crawl.html)
+        self.stats.pages += 1
+        return SerpRecord.from_parsed(
+            parsed,
+            category=query.category.value,
+            granularity=treatment.granularity.value,
+            location_name=treatment.region.qualified_name,
+            day=day_offset,
+            copy_index=treatment.copy_index,
+        )
 
     def _search_with_retries(self, treatment: _Treatment, query_text: str, timestamp: float):
         """Issue one query, retrying after CAPTCHAs with backoff.

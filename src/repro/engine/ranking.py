@@ -73,6 +73,13 @@ class Ranker:
         self._state_cache: dict = {}
         self._maps_cache: dict = {}
         self._news_cache: dict = {}
+        # Per-request score terms are hash draws over small key spaces
+        # ((bucket, url) and (datacenter, url)); memoising the unit
+        # draws keeps the inner scoring loop off SHA-256 entirely after
+        # warm-up.  Amplitudes are applied outside the memo so
+        # calibration stays live.
+        self._jitter_units: dict = {}
+        self._skew_units: dict = {}
 
     # -- public -------------------------------------------------------------
 
@@ -226,8 +233,18 @@ class Ranker:
             if doc.scope in (GeoScope.POINT, GeoScope.CITY)
             else cal.ab_jitter_national
         )
-        score = jitter_amp * _centered("ab-jitter", self.seed, ctx.bucket, url)
-        score += cal.datacenter_skew * _centered("dc-skew", self.seed, ctx.datacenter, url)
+        jitter_key = (ctx.bucket, url)
+        jitter_unit = self._jitter_units.get(jitter_key)
+        if jitter_unit is None:
+            jitter_unit = _centered("ab-jitter", self.seed, ctx.bucket, url)
+            self._jitter_units[jitter_key] = jitter_unit
+        score = jitter_amp * jitter_unit
+        skew_key = (ctx.datacenter, url)
+        skew_unit = self._skew_units.get(skew_key)
+        if skew_unit is None:
+            skew_unit = _centered("dc-skew", self.seed, ctx.datacenter, url)
+            self._skew_units[skew_key] = skew_unit
+        score += cal.datacenter_skew * skew_unit
         if ctx.session_slugs and any(slug in url for slug in ctx.session_slugs):
             score += cal.session_boost
         return score

@@ -78,3 +78,37 @@ class RateLimiter:
     def tracked_ips(self) -> int:
         """Number of client IPs currently holding window state."""
         return len(self._history)
+
+    # -- state management --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget every window, returning to the just-constructed state.
+
+        Lets benchmarks re-serve the same virtual instant repeatedly,
+        and lets a worker replica start from a known-clean limiter
+        instead of papering over shared state with timestamp offsets.
+        """
+        self._history.clear()
+        self._ops_until_sweep = 0
+
+    def clone_state(self) -> "RateLimiter":
+        """An independent limiter whose state snapshots this one's.
+
+        Windows are deep-copied: admitting traffic on the clone never
+        touches the original, yet both make identical decisions from
+        the snapshot point on — how worker replicas inherit limiter
+        state without sharing mutable structures across processes.
+        """
+        clone = RateLimiter(
+            max_per_minute=self.max_per_minute,
+            window_minutes=self.window_minutes,
+            sweep_every=self.sweep_every,
+        )
+        clone._history = {ip: deque(window) for ip, window in self._history.items()}
+        clone._ops_until_sweep = self._ops_until_sweep
+        return clone
+
+    def restore(self, snapshot: "RateLimiter") -> None:
+        """Adopt ``snapshot``'s window state (inverse of :meth:`clone_state`)."""
+        self._history = {ip: deque(window) for ip, window in snapshot._history.items()}
+        self._ops_until_sweep = snapshot._ops_until_sweep

@@ -1,0 +1,34 @@
+"""Parallel crawl execution: shard the lock-step study across processes.
+
+Public surface:
+
+* :func:`run_parallel` — execute a :class:`~repro.core.runner.Study`
+  sharded over N worker processes, byte-identical to the sequential
+  run (reachable as ``Study.run(workers=N)``);
+* :func:`plan_shards` / :class:`ShardPlan` — the machine-granular
+  treatment partition the parity argument rests on;
+* :func:`run_crawl_bench` — the worker-count sweep behind
+  ``repro-study crawl-bench`` and ``BENCH_crawl.json``.
+"""
+
+from repro.parallel.executor import ShardPlan, plan_shards, run_parallel
+from repro.parallel.bench import (
+    BenchCell,
+    BenchReport,
+    bench_config,
+    dataset_digest,
+    profile_sequential,
+    run_crawl_bench,
+)
+
+__all__ = [
+    "ShardPlan",
+    "plan_shards",
+    "run_parallel",
+    "BenchCell",
+    "BenchReport",
+    "bench_config",
+    "dataset_digest",
+    "profile_sequential",
+    "run_crawl_bench",
+]

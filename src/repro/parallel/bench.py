@@ -1,0 +1,301 @@
+"""Crawl benchmark: sweep worker counts, prove parity, record history.
+
+``run_crawl_bench`` runs the same study config once per worker count,
+measures wall-clock crawl time, verifies every parallel dataset is
+byte-identical to the sequential baseline (SHA-256 over the canonical
+JSONL serialisation), and writes a machine-readable ``BENCH_crawl.json``
+— the first entry in the repo's perf trajectory.  The ``--profile``
+path wraps the sequential run in :mod:`cProfile` so future perf PRs
+can cite the hot path they attack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.datastore import SerpDataset
+from repro.core.experiment import DEFAULT_STUDY_SEED, StudyConfig
+from repro.core.runner import Study
+
+__all__ = [
+    "BenchCell",
+    "BenchReport",
+    "bench_config",
+    "run_crawl_bench",
+    "profile_sequential",
+    "DEFAULT_WORKER_COUNTS",
+]
+
+DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: Worker counts used by ``--smoke`` (CI: fast, still exercises the merge).
+SMOKE_WORKER_COUNTS: Tuple[int, ...] = (1, 2)
+
+
+def dataset_digest(dataset: SerpDataset) -> str:
+    """SHA-256 over the dataset's canonical JSONL bytes.
+
+    Exactly what :meth:`SerpDataset.save` writes, so digest equality
+    *is* byte-identity of the persisted artefact.
+    """
+    hasher = hashlib.sha256()
+    for record in dataset:
+        hasher.update(json.dumps(record.to_dict()).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def bench_config(
+    scale: str = "standard",
+    *,
+    seed: int = DEFAULT_STUDY_SEED,
+    route_via_gateway: bool = False,
+) -> StudyConfig:
+    """The benchmark study configs.
+
+    ``standard`` keeps the full methodology at a size where a worker
+    sweep finishes in minutes; ``smoke`` is the CI tier — seconds per
+    cell, still covering every merge path.
+    """
+    from repro.queries.corpus import build_corpus
+    from repro.queries.model import QueryCategory
+
+    corpus = build_corpus()
+    if scale == "standard":
+        queries = (
+            corpus.by_category(QueryCategory.LOCAL)[:20]
+            + corpus.by_category(QueryCategory.CONTROVERSIAL)[:5]
+            + corpus.by_category(QueryCategory.POLITICIAN)[:5]
+        )
+        config = StudyConfig.small(
+            queries, seed=seed, days=2, locations_per_granularity=8
+        )
+    elif scale == "smoke":
+        queries = (
+            corpus.by_category(QueryCategory.LOCAL)[:3]
+            + corpus.by_category(QueryCategory.CONTROVERSIAL)[:1]
+        )
+        config = StudyConfig.small(
+            queries, seed=seed, days=1, locations_per_granularity=3
+        )
+    else:
+        raise ValueError(f"unknown bench scale {scale!r} (standard, smoke)")
+    return config.with_overrides(route_via_gateway=route_via_gateway)
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One worker count's measurement."""
+
+    workers: int
+    wall_seconds: float
+    pages: int
+    requests: int
+    failures: int
+    requests_per_second: float
+    speedup_vs_workers_1: float
+    dataset_sha256: str
+    byte_identical_to_sequential: bool
+
+
+@dataclass
+class BenchReport:
+    """The full sweep, serialisable to ``BENCH_crawl.json``."""
+
+    benchmark: str
+    scale: str
+    seed: int
+    route_via_gateway: bool
+    queries: int
+    locations: int
+    treatments: int
+    rounds: int
+    cpus: int
+    start_method: str
+    cells: List[BenchCell] = field(default_factory=list)
+
+    @property
+    def parity_ok(self) -> bool:
+        return all(cell.byte_identical_to_sequential for cell in self.cells)
+
+    def to_dict(self) -> dict:
+        raw = asdict(self)
+        raw["parity_ok"] = self.parity_ok
+        return raw
+
+    def write(self, path) -> Path:
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        return target
+
+    def render(self) -> str:
+        lines = [
+            f"crawl bench [{self.scale}]: {self.queries} queries x "
+            f"{self.rounds // max(1, self.queries)} days, "
+            f"{self.treatments} treatments, {self.rounds} rounds, "
+            f"{self.cpus} cpu(s), start_method={self.start_method}, "
+            f"gateway={'on' if self.route_via_gateway else 'off'}",
+            f"{'workers':>7} {'wall s':>8} {'pages':>7} {'req/s':>8} "
+            f"{'speedup':>8} {'parity':>7}",
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.workers:>7} {cell.wall_seconds:>8.2f} {cell.pages:>7} "
+                f"{cell.requests_per_second:>8.1f} "
+                f"{cell.speedup_vs_workers_1:>7.2f}x "
+                f"{'ok' if cell.byte_identical_to_sequential else 'FAIL':>7}"
+            )
+        return "\n".join(lines)
+
+
+def run_crawl_bench(
+    *,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    scale: str = "standard",
+    seed: int = DEFAULT_STUDY_SEED,
+    route_via_gateway: bool = False,
+    out: Optional[os.PathLike] = None,
+    start_method: Optional[str] = None,
+) -> BenchReport:
+    """Sweep worker counts over one config; verify parity against workers=1.
+
+    The workers=1 cell runs the plain sequential path and its dataset
+    digest is the parity baseline; every other cell runs through the
+    parallel executor.  When ``out`` is given the report is also
+    written there as JSON.
+    """
+    from repro.parallel.executor import _preferred_start_method, run_parallel
+
+    if not worker_counts or worker_counts[0] != 1:
+        worker_counts = (1,) + tuple(w for w in worker_counts if w != 1)
+    config = bench_config(scale, seed=seed, route_via_gateway=route_via_gateway)
+    probe = Study(config)
+    report = BenchReport(
+        benchmark="crawl",
+        scale=scale,
+        seed=seed,
+        route_via_gateway=route_via_gateway,
+        queries=len(config.queries),
+        locations=probe.locations.total(),
+        treatments=len(probe.treatments),
+        rounds=probe.round_count(),
+        cpus=os.cpu_count() or 1,
+        start_method=start_method or _preferred_start_method(),
+    )
+
+    baseline_digest: Optional[str] = None
+    baseline_wall: Optional[float] = None
+    for workers in worker_counts:
+        study = Study(config)
+        started = time.perf_counter()
+        if workers == 1:
+            dataset = study.run()
+        else:
+            dataset = run_parallel(
+                study, workers=workers, start_method=start_method
+            )
+        wall = time.perf_counter() - started
+        digest = dataset_digest(dataset)
+        if baseline_digest is None:
+            baseline_digest = digest
+            baseline_wall = wall
+        report.cells.append(
+            BenchCell(
+                workers=workers,
+                wall_seconds=round(wall, 4),
+                pages=len(dataset),
+                requests=study.stats.requests,
+                failures=len(study.failures),
+                requests_per_second=round(study.stats.requests / wall, 2),
+                speedup_vs_workers_1=round(baseline_wall / wall, 3),
+                dataset_sha256=digest,
+                byte_identical_to_sequential=digest == baseline_digest,
+            )
+        )
+    if out is not None:
+        report.write(out)
+    return report
+
+
+def profile_sequential(
+    *,
+    scale: str = "standard",
+    seed: int = DEFAULT_STUDY_SEED,
+    route_via_gateway: bool = False,
+    top: int = 20,
+) -> str:
+    """cProfile the sequential crawl; return the top-N cumulative table."""
+    import cProfile
+    import pstats
+
+    config = bench_config(scale, seed=seed, route_via_gateway=route_via_gateway)
+    study = Study(config)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    study.run()
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python benchmarks/bench_crawl.py ...``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        default=",".join(str(w) for w in DEFAULT_WORKER_COUNTS),
+        help="comma-separated worker counts to sweep",
+    )
+    parser.add_argument("--scale", choices=["standard", "smoke"], default="standard")
+    parser.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    parser.add_argument("--gateway", action="store_true", help="crawl via the gateway")
+    parser.add_argument("--out", default="BENCH_crawl.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: smoke scale, workers 1,2, parity enforced",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print a cProfile top-20 cumulative table of the sequential run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale, counts = "smoke", SMOKE_WORKER_COUNTS
+    else:
+        scale = args.scale
+        counts = tuple(int(part) for part in args.workers.split(",") if part)
+    report = run_crawl_bench(
+        worker_counts=counts,
+        scale=scale,
+        seed=args.seed,
+        route_via_gateway=args.gateway,
+        out=args.out,
+    )
+    print(report.render())
+    print(f"wrote {args.out}")
+    if args.profile:
+        print()
+        print(profile_sequential(scale=scale, seed=args.seed,
+                                 route_via_gateway=args.gateway))
+    if not report.parity_ok:
+        print("PARITY FAILURE: parallel dataset differs from sequential",
+              file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,242 @@
+"""Process-parallel crawl execution with byte-identical parity.
+
+The paper's crawl ran on 44 machines precisely because lock-step
+rounds are embarrassingly parallel: within a round, every treatment
+issues the same query independently.  This executor exploits the same
+structure on one host.
+
+Design
+------
+* **Sharding is machine-granular.**  Treatments are grouped by the
+  crawl machine their browser is bound to (``index % machine_count`` —
+  the fleet assignment in :meth:`Study._build_treatments`), and
+  machines are dealt round-robin to workers.  The per-IP rate limiter
+  is the only cross-treatment coupling in the engine, and its
+  decisions depend only on the per-IP request sequence — keeping every
+  browser of a machine in one worker preserves that sequence exactly,
+  so admission (and therefore CAPTCHAs, retries, and failures) is
+  identical to the sequential run.
+* **Workers are replicas, not clones.**  Each worker process rebuilds
+  its whole apparatus — world, engine, datacenters, gateway — from the
+  same :class:`StudyConfig`.  That is cheap because everything derives
+  from one integer seed, and it guarantees a worker's engine state is
+  exactly what the sequential engine's state would be restricted to
+  the worker's shard of traffic.
+* **Everything else is request-determined.**  Nonces derive from
+  (browser id, per-browser ordinal); DNS rotation keys on the nonce;
+  per-datacenter index skew keys on the DNS-resolved frontend IP;
+  sessions key on per-browser cookies.  None of it depends on how
+  requests from different treatments interleave.
+* **The merge is a canonical-order sort.**  Workers stream one message
+  per completed round; the parent flushes rounds in schedule order,
+  each round's outcomes sorted by treatment index — the exact order
+  the sequential loop produces.  :class:`CrawlStats` counters are sums
+  and merge associatively.
+
+The result: ``SerpDataset``, ``CrawlStats``, and the failure list are
+byte-identical to ``Study.run()`` on a single core, for any worker
+count, with or without the serving gateway in the path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.datastore import SerpDataset, SerpRecord
+from repro.core.runner import Study
+
+__all__ = ["ShardPlan", "plan_shards", "run_parallel"]
+
+#: Per-worker message-queue slack before backpressure kicks in.
+_QUEUE_DEPTH_PER_WORKER = 8
+
+#: Seconds between liveness checks while waiting on worker messages.
+_POLL_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Treatment → worker assignment for one study."""
+
+    workers: int
+    """Effective worker count (clamped to the number of machine groups)."""
+
+    assignments: Tuple[Tuple[int, ...], ...]
+    """Per worker, the treatment indices it crawls (ascending)."""
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for shard in self.assignments:
+            for index in shard:
+                if index in seen:
+                    raise ValueError(f"treatment {index} assigned twice")
+                seen.add(index)
+
+
+def plan_shards(
+    treatment_count: int, machine_count: int, workers: int
+) -> ShardPlan:
+    """Partition treatments so no crawl machine spans two workers.
+
+    Treatments sharing a machine share a client IP; the engine's
+    rolling per-IP rate limiter must see that IP's requests as one
+    ordered sequence for parity, so the machine group is the atomic
+    unit of sharding.  Workers the plan cannot feed (more workers than
+    occupied machines) are dropped rather than spawned idle.
+    """
+    if treatment_count < 1:
+        raise ValueError("need at least one treatment")
+    if machine_count < 1:
+        raise ValueError("need at least one machine")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    occupied_machines = min(machine_count, treatment_count)
+    effective = min(workers, occupied_machines)
+    shards: List[List[int]] = [[] for _ in range(effective)]
+    for index in range(treatment_count):
+        machine = index % machine_count
+        shards[machine % effective].append(index)
+    return ShardPlan(
+        workers=effective,
+        assignments=tuple(tuple(shard) for shard in shards),
+    )
+
+
+def _preferred_start_method() -> str:
+    """``fork`` where the platform offers it (cheap, inherits nothing
+    mutable that matters — workers rebuild from the config), else the
+    platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _worker_main(worker_id: int, config, indices, result_queue) -> None:
+    """Worker entry point: rebuild the study, crawl the shard, stream rounds."""
+    try:
+        study = Study(config)
+
+        def emit(ordinal: int, outcomes) -> None:
+            result_queue.put(("round", worker_id, ordinal, outcomes))
+
+        study.run_shard(list(indices), on_round=emit)
+        result_queue.put(("done", worker_id, study.stats))
+    except BaseException:  # propagate everything, including KeyboardInterrupt
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+def run_parallel(
+    study: Study,
+    *,
+    workers: int,
+    sink=None,
+    start_method: Optional[str] = None,
+) -> SerpDataset:
+    """Run ``study``'s full schedule sharded across worker processes.
+
+    The parent merges worker results back in canonical (round,
+    treatment) order, feeds ``sink`` record-by-record in that order,
+    and leaves ``study.stats`` / ``study.failures`` holding the merged
+    counters — exactly the observable state a sequential
+    :meth:`Study.run` leaves behind.
+
+    Args:
+        study: A freshly constructed study (its browsers must not have
+            issued any requests — per-browser nonce streams restart in
+            each worker).
+        workers: Requested worker count; the effective count is
+            clamped to the number of occupied crawl machines.
+        sink: Optional per-record callable, as in :meth:`Study.run`.
+        start_method: ``multiprocessing`` start method override
+            (default: ``fork`` when available).
+
+    Returns:
+        The merged :class:`SerpDataset`.
+    """
+    if study.stats.requests or study.failures:
+        raise ValueError(
+            "parallel run requires a freshly constructed Study "
+            "(this one has already crawled)"
+        )
+    plan = plan_shards(
+        len(study.treatments), len(study.fleet), workers
+    )
+    context = multiprocessing.get_context(start_method or _preferred_start_method())
+    result_queue = context.Queue(maxsize=plan.workers * _QUEUE_DEPTH_PER_WORKER)
+    processes = [
+        context.Process(
+            target=_worker_main,
+            args=(worker_id, study.config, plan.assignments[worker_id], result_queue),
+            name=f"crawl-worker-{worker_id}",
+            daemon=True,
+        )
+        for worker_id in range(plan.workers)
+    ]
+    for process in processes:
+        process.start()
+
+    dataset = SerpDataset()
+    try:
+        _merge(study, plan, processes, result_queue, dataset, sink)
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join()
+    return dataset
+
+
+def _merge(study, plan, processes, result_queue, dataset, sink) -> None:
+    """Drain worker messages, flushing rounds in canonical order."""
+    total_rounds = study.round_count()
+    pending: dict = {}  # ordinal -> list of per-worker outcome lists
+    arrivals: dict = {}  # ordinal -> how many workers have reported
+    next_ordinal = 0
+    done = 0
+
+    def flush_ready() -> None:
+        nonlocal next_ordinal
+        while arrivals.get(next_ordinal, 0) == plan.workers:
+            outcomes = sorted(pending.pop(next_ordinal), key=lambda pair: pair[0])
+            del arrivals[next_ordinal]
+            for _, outcome in outcomes:
+                if isinstance(outcome, SerpRecord):
+                    dataset.add(outcome)
+                    if sink is not None:
+                        sink(outcome)
+                else:
+                    study.failures.append(outcome)
+            next_ordinal += 1
+
+    while done < plan.workers:
+        try:
+            message = result_queue.get(timeout=_POLL_SECONDS)
+        except queue_module.Empty:
+            for process in processes:
+                if process.exitcode not in (None, 0):
+                    raise RuntimeError(
+                        f"{process.name} died with exit code {process.exitcode}"
+                    )
+            continue
+        kind = message[0]
+        if kind == "round":
+            _, _, ordinal, outcomes = message
+            pending.setdefault(ordinal, []).extend(outcomes)
+            arrivals[ordinal] = arrivals.get(ordinal, 0) + 1
+            flush_ready()
+        elif kind == "done":
+            study.stats.merge(message[2])
+            done += 1
+        else:  # "error"
+            raise RuntimeError(
+                f"crawl worker {message[1]} failed:\n{message[2]}"
+            )
+    flush_ready()
+    if next_ordinal != total_rounds:
+        raise RuntimeError(
+            f"merge incomplete: flushed {next_ordinal} of {total_rounds} rounds"
+        )

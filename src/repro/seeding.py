@@ -14,17 +14,44 @@ consequences follow:
 
 Python's built-in ``hash()`` is salted per process and must never be used
 for this purpose; everything here goes through :func:`hashlib.sha256`.
+
+Hot path
+--------
+The ranker calls :func:`stable_hash` / :func:`stable_unit` per
+(document, request) term — the innermost loop of a crawl.  Two LRU
+caches keep that loop off the SHA-256 treadmill without changing a
+single digest:
+
+* a **result cache** keyed on the raw part tuple (``typed=True`` keeps
+  ``1`` / ``True`` / ``1.0`` distinct, matching the canonical type
+  tagging), so a repeated call is one C-level lookup with no encoding
+  or hashing at all, and
+* a **prefix-state cache** holding the hasher state for every proper
+  prefix, so even a call whose last component is unique (a per-request
+  nonce) only encodes and hashes that final component — the shared
+  prefix is a cache hit plus a ``.copy()``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+from functools import lru_cache
 from typing import Union
 
-__all__ = ["derive_seed", "derive_rng", "stable_hash", "stable_unit"]
+__all__ = [
+    "derive_seed",
+    "derive_rng",
+    "stable_hash",
+    "stable_unit",
+    "digest_cache_info",
+    "clear_digest_cache",
+]
 
 _SeedPart = Union[str, int, float, bool]
+
+_SEED_TAG = b"repro-seed-v1"
+_HASH_TAG = b"repro-hash-v1"
 
 
 def _encode_part(part: _SeedPart) -> bytes:
@@ -45,6 +72,47 @@ def _encode_part(part: _SeedPart) -> bytes:
     raise TypeError(f"unsupported seed path component: {part!r}")
 
 
+@lru_cache(maxsize=1 << 15, typed=True)
+def _prefix_state(tag: bytes, *parts: _SeedPart):
+    """Hasher state for ``tag`` plus each encoded part behind ``\\x00``.
+
+    Cached objects are shared — callers must ``.copy()`` before
+    updating, never mutate the returned hasher.
+    """
+    if not parts:
+        return hashlib.sha256(tag)
+    hasher = _prefix_state(tag, *parts[:-1]).copy()
+    hasher.update(b"\x00")
+    hasher.update(_encode_part(parts[-1]))
+    return hasher
+
+
+@lru_cache(maxsize=1 << 17, typed=True)
+def _digest64(tag: bytes, *parts: _SeedPart) -> int:
+    """First 8 digest bytes as an int; states cached per proper prefix."""
+    if parts:
+        hasher = _prefix_state(tag, *parts[:-1]).copy()
+        hasher.update(b"\x00")
+        hasher.update(_encode_part(parts[-1]))
+    else:
+        hasher = hashlib.sha256(tag)
+    return int.from_bytes(hasher.digest()[:8], "big")
+
+
+def digest_cache_info() -> dict:
+    """Hit/miss counters of the two digest caches (for benchmarks)."""
+    return {
+        "digest": _digest64.cache_info()._asdict(),
+        "prefix": _prefix_state.cache_info()._asdict(),
+    }
+
+
+def clear_digest_cache() -> None:
+    """Drop both caches (cold-start measurements; results unchanged)."""
+    _digest64.cache_clear()
+    _prefix_state.cache_clear()
+
+
 def derive_seed(master: int, *path: _SeedPart) -> int:
     """Derive a 64-bit child seed from ``master`` and a label path.
 
@@ -53,13 +121,7 @@ def derive_seed(master: int, *path: _SeedPart) -> int:
     >>> derive_seed(7, "web") != derive_seed(8, "web")
     True
     """
-    hasher = hashlib.sha256()
-    hasher.update(b"repro-seed-v1")
-    hasher.update(_encode_part(master))
-    for part in path:
-        hasher.update(b"\x00")
-        hasher.update(_encode_part(part))
-    return int.from_bytes(hasher.digest()[:8], "big")
+    return _digest64(_SEED_TAG + _encode_part(master), *path)
 
 
 def derive_rng(master: int, *path: _SeedPart) -> random.Random:
@@ -73,12 +135,7 @@ def stable_hash(*parts: _SeedPart) -> int:
     Used where a *value*, not a stream, is needed — e.g. mapping a URL to
     a shard, or tie-breaking two documents with equal scores.
     """
-    hasher = hashlib.sha256()
-    hasher.update(b"repro-hash-v1")
-    for part in parts:
-        hasher.update(b"\x00")
-        hasher.update(_encode_part(part))
-    return int.from_bytes(hasher.digest()[:8], "big")
+    return _digest64(_HASH_TAG, *parts)
 
 
 def stable_unit(*parts: _SeedPart) -> float:

@@ -131,6 +131,34 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-bench", "--routing", "coin-flip"])
 
+    def test_run_with_workers_matches_sequential(self, tmp_path):
+        sequential = tmp_path / "seq.jsonl"
+        parallel = tmp_path / "par.jsonl"
+        assert main(["run", "--scale", "small", "--days", "1",
+                     "--out", str(sequential)]) == 0
+        assert main(["run", "--scale", "small", "--days", "1",
+                     "--out", str(parallel), "--workers", "2"]) == 0
+        assert sequential.read_bytes() == parallel.read_bytes()
+
+    def test_crawl_bench_smoke(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_crawl.json"
+        assert main(["crawl-bench", "--smoke", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "workers" in printed
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["parity_ok"] is True
+        assert [cell["workers"] for cell in report["cells"]] == [1, 2]
+        assert all(cell["requests_per_second"] > 0 for cell in report["cells"])
+
+    def test_crawl_bench_profile_prints_hot_path(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_crawl.json"
+        assert main(["crawl-bench", "--smoke", "--profile",
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "cumulative" in printed  # the cProfile table header
+
     def test_schedule_command(self, capsys):
         assert main(["schedule", "--machines", "44"]) == 0
         out = capsys.readouterr().out

@@ -206,6 +206,45 @@ class TestRateLimiter:
         assert limiter.tracked_ips() == 1
         assert not all(limiter.allow(busy, 10.6) for _ in range(5))
 
+    def test_reset_restores_pristine_state(self):
+        limiter = RateLimiter(max_per_minute=1)
+        ip = IPv4Address.parse("10.0.0.1")
+        limiter.allow(ip, 0.0)
+        assert not limiter.allow(ip, 0.1)
+        limiter.reset()
+        assert limiter.tracked_ips() == 0
+        assert limiter.allow(ip, 0.2)
+
+    def test_clone_makes_identical_decisions(self):
+        limiter = RateLimiter(max_per_minute=3)
+        ip = IPv4Address.parse("10.0.0.1")
+        for i in range(2):
+            limiter.allow(ip, i * 0.01)
+        clone = limiter.clone_state()
+        # Same snapshot, same verdicts from here on.
+        assert [limiter.allow(ip, 0.1 + i * 0.01) for i in range(3)] == [
+            clone.allow(ip, 0.1 + i * 0.01) for i in range(3)
+        ]
+
+    def test_clone_is_independent(self):
+        limiter = RateLimiter(max_per_minute=2)
+        ip = IPv4Address.parse("10.0.0.1")
+        limiter.allow(ip, 0.0)
+        clone = limiter.clone_state()
+        clone.allow(ip, 0.1)
+        clone.allow(ip, 0.2)
+        # The clone's traffic never consumed the original's budget.
+        assert limiter.allow(ip, 0.3)
+
+    def test_restore_rewinds_to_snapshot(self):
+        limiter = RateLimiter(max_per_minute=1)
+        ip = IPv4Address.parse("10.0.0.1")
+        pristine = limiter.clone_state()
+        limiter.allow(ip, 0.0)
+        assert not limiter.allow(ip, 0.1)
+        limiter.restore(pristine)
+        assert limiter.allow(ip, 0.2)
+
 
 class TestQueryClassifier:
     def test_known_corpus_terms_resolve_exactly(self, corpus):

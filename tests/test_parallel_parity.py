@@ -1,0 +1,140 @@
+"""Tests for the parallel crawl executor (repro.parallel).
+
+The contract under test: sharding the lock-step study across worker
+processes is *invisible* in the output — the merged dataset serialises
+to the same bytes as the sequential run, stats counters are equal, and
+the failure list is equal, for every worker count and routing mode.
+"""
+
+import json
+
+import pytest
+
+from repro.core.experiment import StudyConfig
+from repro.core.runner import CrawlStats, Study
+from repro.engine.calibration import EngineCalibration
+from repro.parallel import dataset_digest, plan_shards, run_parallel
+from repro.queries.corpus import build_corpus
+
+
+def _queries():
+    corpus = build_corpus()
+    return [corpus.get("Starbucks"), corpus.get("School"), corpus.get("Gay Marriage")]
+
+
+def _config(**overrides):
+    # machine_count=5 < treatment count so browsers share crawl
+    # machines (and therefore client IPs) — the coupling the
+    # machine-granular shard plan exists to preserve.
+    config = StudyConfig.small(
+        _queries(), days=1, locations_per_granularity=2
+    ).with_overrides(machine_count=5)
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _serialized(dataset) -> str:
+    return "".join(json.dumps(record.to_dict()) + "\n" for record in dataset)
+
+
+class TestShardPlan:
+    def test_covers_every_treatment_exactly_once(self):
+        plan = plan_shards(treatment_count=12, machine_count=5, workers=3)
+        flat = sorted(index for shard in plan.assignments for index in shard)
+        assert flat == list(range(12))
+
+    def test_machines_never_span_workers(self):
+        plan = plan_shards(treatment_count=23, machine_count=7, workers=4)
+        owner = {}
+        for worker, shard in enumerate(plan.assignments):
+            for index in shard:
+                machine = index % 7
+                assert owner.setdefault(machine, worker) == worker
+
+    def test_worker_count_clamped_to_occupied_machines(self):
+        plan = plan_shards(treatment_count=3, machine_count=2, workers=8)
+        assert plan.workers == 2
+        plan = plan_shards(treatment_count=1, machine_count=44, workers=8)
+        assert plan.workers == 1
+
+    def test_shards_ascending(self):
+        plan = plan_shards(treatment_count=30, machine_count=5, workers=2)
+        for shard in plan.assignments:
+            assert list(shard) == sorted(shard)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            plan_shards(treatment_count=0, machine_count=1, workers=1)
+        with pytest.raises(ValueError):
+            plan_shards(treatment_count=1, machine_count=1, workers=0)
+
+
+class TestByteParity:
+    @pytest.mark.parametrize("route_via_gateway", [False, True])
+    def test_parallel_dataset_is_byte_identical(self, route_via_gateway):
+        config = _config(route_via_gateway=route_via_gateway)
+        sequential = Study(config).run()
+        expected = _serialized(sequential)
+        for workers in (1, 2, 4):
+            parallel = run_parallel(Study(config), workers=workers)
+            assert _serialized(parallel) == expected, (
+                f"workers={workers} gateway={route_via_gateway}"
+            )
+
+    def test_run_workers_api_matches_sequential(self):
+        config = _config()
+        expected = dataset_digest(Study(config).run())
+        assert dataset_digest(Study(config).run(workers=2)) == expected
+
+    def test_parity_with_unpinned_dns(self):
+        config = _config(pin_datacenter=False)
+        expected = dataset_digest(Study(config).run())
+        assert dataset_digest(run_parallel(Study(config), workers=3)) == expected
+
+    def test_parity_under_rate_limiting(self):
+        # Two machines x six browsers each, three admits per window:
+        # every round produces CAPTCHAs and retries, and with retries
+        # exhausted some treatments fail — all of it must shard cleanly.
+        config = _config(
+            machine_count=2,
+            calibration=EngineCalibration(ratelimit_max_per_minute=3),
+        )
+        seq_study = Study(config)
+        expected = _serialized(seq_study.run())
+        assert seq_study.stats.captchas > 0
+        par_study = Study(config)
+        assert _serialized(run_parallel(par_study, workers=2)) == expected
+        assert par_study.failures == seq_study.failures
+
+    def test_requires_fresh_study(self):
+        config = _config()
+        study = Study(config)
+        study.run()
+        with pytest.raises(ValueError):
+            run_parallel(study, workers=2)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            Study(_config()).run(workers=0)
+
+
+class TestMergedState:
+    def test_stats_counters_equal_sequential(self):
+        config = _config()
+        seq_study = Study(config)
+        seq_study.run()
+        par_study = Study(config)
+        run_parallel(par_study, workers=3)
+        assert par_study.stats == seq_study.stats
+        assert par_study.stats.pages > 0
+
+    def test_stats_merge_is_associative_sum(self):
+        total = CrawlStats()
+        total.merge(CrawlStats(requests=3, retries=1, captchas=1, pages=2))
+        total.merge(CrawlStats(requests=5, retries=0, captchas=0, pages=5))
+        assert total == CrawlStats(requests=8, retries=1, captchas=1, pages=7)
+
+    def test_sink_receives_records_in_canonical_order(self):
+        config = _config()
+        streamed = []
+        dataset = run_parallel(Study(config), workers=2, sink=streamed.append)
+        assert streamed == list(dataset)
