@@ -39,6 +39,10 @@ def test_crawl_worker_sweep(render_sink):
     render_sink("bench_crawl", report.render())
     assert report.parity_ok, "parallel dataset differs from sequential baseline"
     assert all(cell.pages == report.cells[0].pages for cell in report.cells)
+    # Injection-off overhead of the always-wired fault layer (calm
+    # plan): must be recorded and byte-identical to the plain run.
+    assert report.fault_layer is not None
+    assert report.fault_layer["byte_identical_to_sequential"]
 
 
 def test_crawl_worker_sweep_via_gateway(render_sink):

@@ -8,6 +8,7 @@ Examples::
     repro-study demographics --dataset study.jsonl.gz
     repro-study serve-bench --routing geo-affinity --cache-size 4096
     repro-study crawl-bench --workers 1,2,4,8 --out BENCH_crawl.json
+    repro-study chaos --plan chaos --workers 2 --checkpoint crawl.ckpt
 """
 
 from __future__ import annotations
@@ -49,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="crawl worker processes (byte-identical to workers=1)",
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        help="round-journal path: a killed run resumes from it "
+        "byte-identically (same seed/scale/workers required)",
     )
 
     report = sub.add_parser("report", help="print figure tables from a dataset")
@@ -148,6 +155,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="give every client the same DNS answer (the paper's pinning)",
     )
 
+    from repro.faults.plan import NAMED_PLANS
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the study under a named fault plan and audit recovery",
+    )
+    chaos.add_argument(
+        "--plan",
+        choices=sorted(NAMED_PLANS),
+        default="chaos",
+        help="named fault plan (see repro.faults.plan.NAMED_PLANS)",
+    )
+    chaos.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault schedule (independent of the study seed)",
+    )
+    chaos.add_argument(
+        "--scale", choices=["small", "medium", "full"], default="small"
+    )
+    chaos.add_argument("--days", type=int, default=None, help="override day count")
+    chaos.add_argument("--workers", type=int, default=1)
+    chaos.add_argument(
+        "--checkpoint", default=None, help="round-journal path (resumable)"
+    )
+    chaos.add_argument("--out", default=None, help="optional dataset output path")
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: tiny corpus, 1 day, seconds of wall clock",
+    )
+
     crawl_bench = sub.add_parser(
         "crawl-bench",
         help="sweep crawl worker counts, prove byte parity, write BENCH_crawl.json",
@@ -210,7 +251,7 @@ def _cmd_run(args) -> int:
         f"{args.workers} worker(s) ...",
         file=sys.stderr,
     )
-    dataset = study.run(workers=args.workers)
+    dataset = study.run(workers=args.workers, checkpoint=args.checkpoint)
     dataset.save(args.out)
     print(
         f"collected {len(dataset)} pages ({len(study.failures)} failures) -> {args.out}",
@@ -432,6 +473,88 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.core.comparisons import per_location_coverage
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan.named(args.plan, seed=args.fault_seed)
+    if args.smoke:
+        from repro.queries.corpus import build_corpus
+
+        config = StudyConfig.small(
+            list(build_corpus())[:4],
+            seed=args.seed,
+            days=1,
+            locations_per_granularity=2,
+        )
+    else:
+        config = _config_for_scale(args.scale, args.seed, args.days)
+    config = config.with_overrides(fault_plan=plan)
+    study = Study(config)
+    print(
+        f"chaos run: plan={args.plan} (fault seed {args.fault_seed}, "
+        f"~{plan.request_fault_rate:.1%} of requests faulted), "
+        f"{len(config.queries)} queries, {study.locations.total()} locations, "
+        f"{config.days} day(s), {args.workers} worker(s) ...",
+        file=sys.stderr,
+    )
+    dataset = study.run(workers=args.workers, checkpoint=args.checkpoint)
+    if args.out:
+        dataset.save(args.out)
+        print(f"dataset -> {args.out}", file=sys.stderr)
+
+    stats, fault_stats = study.stats, study.fault_stats
+    print(f"collected {len(dataset)} pages, {len(study.failures)} queries lost")
+    print(
+        f"requests={stats.requests} retries={stats.retries} "
+        f"crashes={stats.crashes} (restarts absorbed) "
+        f"breaker-fastfails={stats.breaker_fastfails}"
+    )
+    print("\nfault ledger (injected = recovered + lost):")
+    kinds = sorted(
+        set(fault_stats.injected) | set(fault_stats.absorbed) | set(fault_stats.terminal)
+    )
+    for kind in kinds:
+        print(
+            f"  {kind:18s} injected={fault_stats.injected.get(kind, 0):<6d} "
+            f"recovered={fault_stats.absorbed.get(kind, 0):<6d} "
+            f"lost={fault_stats.terminal.get(kind, 0):<6d}"
+        )
+    unaccounted = fault_stats.unaccounted()
+
+    print("\nretry histogram (attempts per delivered query):")
+    for attempts in sorted(fault_stats.retry_histogram):
+        count = fault_stats.retry_histogram[attempts]
+        print(f"  {attempts} attempt(s): {count}")
+
+    transitions = study.breakers.transitions() if study.breakers else []
+    print(f"\nbreaker transitions: {len(transitions)}")
+    for transition in transitions[-10:]:
+        print(
+            f"  t={transition.minutes:9.2f}  {transition.key:18s} "
+            f"{transition.old.value} -> {transition.new.value}"
+        )
+
+    coverage = per_location_coverage(dataset, study.failures)
+    incomplete = sorted(
+        (slot for slot in coverage.values() if slot.lost),
+        key=lambda slot: slot.coverage,
+    )
+    print(f"\nlocation coverage: {len(coverage) - len(incomplete)}/{len(coverage)} complete")
+    for slot in incomplete[:10]:
+        worst = max(slot.lost_by_kind, key=slot.lost_by_kind.get)
+        print(
+            f"  {slot.location_name:28s} {slot.coverage:7.1%} "
+            f"({slot.lost} lost, mostly {worst})"
+        )
+
+    if unaccounted:
+        print(f"\nACCOUNTING FAILURE: unaccounted faults {unaccounted}", file=sys.stderr)
+        return 1
+    print("\nall injected faults accounted for")
+    return 0
+
+
 def _cmd_crawl_bench(args) -> int:
     from repro.parallel.bench import (
         DEFAULT_WORKER_COUNTS,
@@ -509,6 +632,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reportcard": _cmd_reportcard,
         "schedule": _cmd_schedule,
         "serve-bench": _cmd_serve_bench,
+        "chaos": _cmd_chaos,
         "crawl-bench": _cmd_crawl_bench,
     }
     return handlers[args.command](args)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.engine.frontend import SearchEngine
-from repro.engine.request import SearchRequest, SearchResponse
+from repro.engine.request import ResponseStatus, SearchRequest, SearchResponse
 from repro.geo.coords import LatLon
 from repro.net.dns import DNSResolver
 from repro.net.machines import Machine
@@ -139,6 +139,9 @@ class CrawlResult:
     html: str
     ok: bool
     timestamp_minutes: float
+    status: ResponseStatus = ResponseStatus.OK
+    """The HTTP-level outcome (``ok`` is ``status is OK``, kept for
+    compatibility with older call sites)."""
 
 
 class MobileBrowser:
@@ -167,6 +170,7 @@ class MobileBrowser:
         self._cookie_generation = 0
         self._cookie_id: Optional[str] = self._new_cookie_id()
         self._request_counter = 0
+        self.restarts = 0
 
     # -- cookie jar ----------------------------------------------------------
 
@@ -186,6 +190,40 @@ class MobileBrowser:
 
     def _new_cookie_id(self) -> str:
         return f"{self.browser_id}#g{self._cookie_generation}"
+
+    # -- crash recovery ------------------------------------------------------
+
+    def restart(self) -> None:
+        """Relaunch after a crash: fresh process, fresh cookie jar.
+
+        The geolocation override survives (the crawl script re-injects
+        it on launch) and the request counter does *not* reset — nonces
+        are per-browser ordinals over the browser's lifetime, which
+        keeps every post-restart request's identity independent of how
+        many crashes preceded it.
+        """
+        self.restarts += 1
+        self._cookie_generation += 1
+        self._cookie_id = self._new_cookie_id()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def capture_state(self) -> list:
+        """JSON-able snapshot of the browser's mutable identity."""
+        return [
+            self._request_counter,
+            self._cookie_generation,
+            self._cookie_id,
+            self.restarts,
+        ]
+
+    def restore_state(self, state: list) -> None:
+        """Inverse of :meth:`capture_state`."""
+        counter, generation, cookie_id, restarts = state
+        self._request_counter = counter
+        self._cookie_generation = generation
+        self._cookie_id = cookie_id
+        self.restarts = restarts
 
     # -- searching ------------------------------------------------------------
 
@@ -217,4 +255,5 @@ class MobileBrowser:
             html=response.html,
             ok=response.ok,
             timestamp_minutes=timestamp_minutes,
+            status=response.status,
         )

@@ -10,19 +10,34 @@ Two comparison families, following paper §3:
 
 Both yield :class:`PageComparison` values carrying the full metrics and
 the per-result-type filtered metrics used by the attribution figures.
+
+Both iterators silently *skip* pairs whose other half is missing —
+a real crawl loses pages to CAPTCHAs, crashes, and timeouts, and the
+analyses must degrade gracefully.  :func:`per_location_coverage` makes
+the loss visible instead of silent: it folds the dataset and the
+crawl's failure log into a per-location ledger (collected / lost /
+loss-by-kind) so a reader can judge whether a location's metrics rest
+on enough pages.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.core.datastore import SerpDataset, SerpRecord
 from repro.core.metrics import edit_distance, jaccard_index
 from repro.core.parser import ResultType
 
-__all__ = ["PageComparison", "compare_records", "iter_noise_pairs", "iter_treatment_pairs"]
+__all__ = [
+    "PageComparison",
+    "LocationCoverage",
+    "compare_records",
+    "iter_noise_pairs",
+    "iter_treatment_pairs",
+    "per_location_coverage",
+]
 
 
 @dataclass(frozen=True)
@@ -121,3 +136,57 @@ def iter_treatment_pairs(
         records.sort(key=lambda r: r.location_name)
         for a, b in itertools.combinations(records, 2):
             yield compare_records(a, b)
+
+
+@dataclass
+class LocationCoverage:
+    """How completely one location was crawled."""
+
+    location_name: str
+    collected: int = 0
+    """Pages that made it into the dataset."""
+    lost: int = 0
+    """Queries recorded in the failure log instead."""
+    lost_by_kind: Dict[str, int] = field(default_factory=dict)
+    """Loss broken down by :class:`~repro.faults.plan.FailureKind` value."""
+
+    @property
+    def expected(self) -> int:
+        """Queries the schedule issued for this location."""
+        return self.collected + self.lost
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of expected pages actually collected (1.0 if none
+        were expected)."""
+        if self.expected == 0:
+            return 1.0
+        return self.collected / self.expected
+
+
+def per_location_coverage(
+    dataset: SerpDataset, failures: Iterable = ()
+) -> Dict[str, LocationCoverage]:
+    """Per-location crawl completeness, keyed by qualified location name.
+
+    ``failures`` is the study's :class:`~repro.core.runner.CrawlFailure`
+    log (anything with ``location_name`` and ``kind`` attributes works).
+    Together with the dataset it reconstructs exactly what the schedule
+    asked for, so ``collected + lost`` needs no external round count —
+    and the function works on any filtered subset as well.
+    """
+    coverage: Dict[str, LocationCoverage] = {}
+
+    def entry(location_name: str) -> LocationCoverage:
+        if location_name not in coverage:
+            coverage[location_name] = LocationCoverage(location_name)
+        return coverage[location_name]
+
+    for record in dataset:
+        entry(record.location_name).collected += 1
+    for failure in failures:
+        slot = entry(failure.location_name)
+        slot.lost += 1
+        kind = getattr(failure, "kind", "unknown")
+        slot.lost_by_kind[kind] = slot.lost_by_kind.get(kind, 0) + 1
+    return coverage

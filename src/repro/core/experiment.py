@@ -69,9 +69,34 @@ class StudyConfig:
     queries that fail every retry are recorded as failures."""
 
     retry_backoff_minutes: float = 1.5
-    """Backoff before the first retry; doubles per attempt.  Kept well
-    under the lock-step round spacing so retried queries still land
-    inside their round."""
+    """Backoff before the first retry (the base of the shared
+    :class:`~repro.faults.retry.RetryPolicy`).  Kept well under the
+    lock-step round spacing so retried queries still land inside their
+    round."""
+
+    retry_cap_minutes: float = 8.0
+    """Ceiling on per-attempt backoff.  The seed's doubling was
+    unbounded; the cap keeps deep retry budgets from pushing attempts
+    arbitrarily far past their round.  The default leaves the first
+    three doublings of the default base untouched."""
+
+    retry_jitter: float = 0.0
+    """Relative jitter amplitude on retry delays, drawn
+    deterministically per (browser, round, attempt).  ``0`` reproduces
+    the seed's exact schedule."""
+
+    fault_plan: Optional[object] = None
+    """Optional :class:`~repro.faults.plan.FaultPlan`: inject a seeded,
+    reproducible schedule of crashes, DNS failures, timeouts, 5xx,
+    truncated SERPs, and rate-limit storms into the crawl.  ``None``
+    (the default) wires the plain :class:`~repro.core.browser.Network`
+    — byte-identical to the seed with zero overhead."""
+
+    circuit_breakers: Optional[bool] = None
+    """Per-IP circuit breakers on the crawl side: after repeated
+    failures from one machine, further requests fail fast
+    (``breaker-open``) until a cooldown passes.  ``None`` enables them
+    exactly when a ``fault_plan`` is set."""
 
     clear_cookies: bool = True
     """Clear cookies after every query (paper §2.2, "Browser State")."""
@@ -138,6 +163,10 @@ class StudyConfig:
             )
         if self.gateway_cache_size < 0:
             raise ValueError("gateway_cache_size must be non-negative")
+        if self.retry_cap_minutes < self.retry_backoff_minutes:
+            raise ValueError("retry_cap_minutes must be >= retry_backoff_minutes")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
         from repro.serve.routing import ROUTING_POLICIES
 
         if self.gateway_routing not in ROUTING_POLICIES:

@@ -78,6 +78,23 @@ class ParsedSerp:
         """Whether the page is a rate-limit interstitial (no results)."""
         return not self.results and self.query == ""
 
+    @property
+    def is_complete(self) -> bool:
+        """Whether the page carries everything a study record needs.
+
+        A truncated transfer can still parse — the results div opened
+        and some cards arrived — but the footer metadata (detected
+        location, datacenter, day) never did.  Such a page must be
+        recorded as a structured failure, not silently stored with
+        missing fields.
+        """
+        return (
+            not self.is_captcha
+            and self.day is not None
+            and self.datacenter is not None
+            and self.reported_location is not None
+        )
+
 
 class _SerpHTMLParser(HTMLParser):
     """Streaming extraction of cards, links, and footer metadata."""

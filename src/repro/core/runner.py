@@ -17,45 +17,100 @@ The crawl can optionally flow through the serving gateway
 routing and admission control, byte-identical to the direct path as
 long as the SERP cache stays disabled.
 
+The runner is hardened against the failure modes the paper's PhantomJS
+fleet actually hit (and a :class:`~repro.faults.plan.FaultPlan` can
+inject deterministically): browser crashes restart the browser, DNS
+failures / timeouts / 5xx / truncated pages surface as structured
+:class:`CrawlFailure` records with a :class:`~repro.faults.plan.
+FailureKind` taxonomy, retries follow a shared capped-backoff
+:class:`~repro.faults.retry.RetryPolicy`, repeated failures from one
+machine trip a per-IP circuit breaker, and ``run(checkpoint=path)``
+journals each round so a killed crawl resumes byte-identically.
+
 The result is a :class:`SerpDataset` the analysis modules consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.browser import MobileBrowser, Network
 from repro.core.datastore import SerpDataset, SerpRecord
 from repro.core.experiment import StudyConfig
-from repro.core.parser import parse_serp_html
+from repro.core.parser import SerpParseError, parse_serp_html
 from repro.engine.datacenters import DatacenterCluster
 from repro.engine.frontend import SearchEngine
+from repro.engine.request import ResponseStatus
+from repro.faults.breaker import BreakerBoard
+from repro.faults.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWriter,
+    load_checkpoint,
+)
+from repro.faults.injector import (
+    BrowserCrash,
+    FaultStats,
+    FaultyNetwork,
+    RequestTimeout,
+)
+from repro.faults.plan import FailureKind, FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.geo.granularity import Granularity, StudyLocations, select_study_locations
 from repro.geo.regions import Region
-from repro.net.dns import DNSResolver
+from repro.net.dns import DNSResolver, ResolutionError
 from repro.net.geoip import GeoIPDatabase
 from repro.net.machines import MachineFleet
 from repro.queries.corpus import QueryCorpus
 from repro.queries.model import Query
-from repro.seeding import derive_seed
+from repro.seeding import derive_seed, stable_hash
 from repro.serve.gateway import Gateway, build_replicas
 from repro.web.world import WebWorld
 
-__all__ = ["Study", "CrawlFailure", "CrawlStats", "ScheduledRound"]
+__all__ = [
+    "Study",
+    "CrawlFailure",
+    "CrawlStats",
+    "ScheduledRound",
+    "serialize_outcome",
+    "deserialize_outcome",
+]
 
 MINUTES_PER_DAY = 24 * 60
+
+#: Failure kinds that count against a machine's circuit breaker: the
+#: endpoint (or the path to it) misbehaved.  A browser crash is the
+#: client's own fault and a fast-fail issued no request at all, so
+#: neither feeds the breaker.
+_BREAKER_TRIP_KINDS = frozenset(
+    {
+        FailureKind.DNS_FAILURE,
+        FailureKind.TIMEOUT,
+        FailureKind.SERVER_ERROR,
+        FailureKind.RATE_LIMITED,
+        FailureKind.RATE_LIMIT_STORM,
+        FailureKind.OVERLOADED,
+        FailureKind.MALFORMED_SERP,
+    }
+)
 
 
 @dataclass(frozen=True)
 class CrawlFailure:
-    """One query that did not return a result page (e.g. a CAPTCHA)."""
+    """One query that did not produce a usable result page.
+
+    ``kind`` is the machine-readable taxonomy entry (a
+    :class:`~repro.faults.plan.FailureKind` value); ``reason`` remains
+    the human-readable field older tooling prints.
+    """
 
     query: str
     location_name: str
     day: int
     copy_index: int
     reason: str
+    kind: str = FailureKind.RATE_LIMITED.value
 
 
 @dataclass
@@ -70,13 +125,24 @@ class CrawlStats:
     retries: int = 0
     captchas: int = 0
     pages: int = 0
+    crashes: int = 0
+    """Browser crashes absorbed by restart-and-retry."""
+    dns_failures: int = 0
+    timeouts: int = 0
+    server_errors: int = 0
+    malformed: int = 0
+    """Pages that came back 200 but were not complete SERPs."""
+    overloads: int = 0
+    """Requests shed by the serving gateway (every queue full)."""
+    breaker_fastfails: int = 0
+    """Attempts suppressed because the machine's breaker was open."""
 
     def merge(self, other: "CrawlStats") -> None:
         """Fold another run's (or shard's) counters into this one."""
-        self.requests += other.requests
-        self.retries += other.retries
-        self.captchas += other.captchas
-        self.pages += other.pages
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
 
 
 @dataclass(frozen=True)
@@ -85,7 +151,7 @@ class ScheduledRound:
 
     ``ordinal`` is the round's global position (0-based, schedule
     order) — the canonical sort key the parallel executor merges shard
-    results by.
+    results by, and the granularity of crawl checkpoints.
     """
 
     ordinal: int
@@ -102,6 +168,20 @@ class _Treatment:
     region: Region
     copy_index: int
     browser: MobileBrowser
+
+
+def serialize_outcome(outcome: Union[SerpRecord, CrawlFailure]) -> dict:
+    """One round outcome as a checkpoint-journal dict."""
+    if isinstance(outcome, CrawlFailure):
+        return {"f": asdict(outcome)}
+    return {"r": outcome.to_dict()}
+
+
+def deserialize_outcome(payload: dict) -> Union[SerpRecord, CrawlFailure]:
+    """Inverse of :func:`serialize_outcome` (exact round-trip)."""
+    if "f" in payload:
+        return CrawlFailure(**payload["f"])
+    return SerpRecord.from_dict(payload["r"])
 
 
 class Study:
@@ -165,7 +245,33 @@ class Study:
                 cache_size=self.config.gateway_cache_size,
                 cell_miles=self.config.calibration.snap_cell_miles,
             )
-        self.network = Network(self.resolver, self.gateway or self.engine)
+
+        self.fault_plan: Optional[FaultPlan] = self.config.fault_plan
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise TypeError("config.fault_plan must be a FaultPlan or None")
+        self.fault_stats = FaultStats()
+        serving_surface = self.gateway or self.engine
+        if self.fault_plan is not None:
+            self.network: Network = FaultyNetwork(
+                self.resolver, serving_surface, self.fault_plan, stats=self.fault_stats
+            )
+        else:
+            self.network = Network(self.resolver, serving_surface)
+
+        breakers_enabled = self.config.circuit_breakers
+        if breakers_enabled is None:
+            breakers_enabled = self.fault_plan is not None
+        self.breakers: Optional[BreakerBoard] = (
+            BreakerBoard() if breakers_enabled else None
+        )
+        self.retry_policy = RetryPolicy(
+            base_minutes=self.config.retry_backoff_minutes,
+            cap_minutes=max(
+                self.config.retry_cap_minutes, self.config.retry_backoff_minutes
+            ),
+            jitter=self.config.retry_jitter,
+        )
+
         self.treatments = self._build_treatments()
         self.failures: List[CrawlFailure] = []
         self.stats = CrawlStats()
@@ -201,7 +307,9 @@ class Study:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self, *, sink=None, workers: int = 1) -> SerpDataset:
+    def run(
+        self, *, sink=None, workers: int = 1, checkpoint: Optional[str] = None
+    ) -> SerpDataset:
         """Execute the full schedule and return the collected dataset.
 
         Args:
@@ -216,20 +324,82 @@ class Study:
                 dataset, stats, and failures are byte-identical to the
                 sequential run (the parity tests pin this down).
                 Requires a freshly constructed :class:`Study`.
+            checkpoint: Optional journal path.  Every completed round
+                is appended durably (outcomes + full engine/browser
+                state) before being released; if the file already holds
+                a compatible journal, the study resumes after its last
+                durable round and the final dataset, stats, and failure
+                log are byte-identical to an uninterrupted run.  The
+                worker count must match the journal's.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if workers > 1:
             from repro.parallel import run_parallel
 
-            return run_parallel(self, workers=workers, sink=sink)
+            return run_parallel(
+                self, workers=workers, sink=sink, checkpoint=checkpoint
+            )
         dataset = SerpDataset()
         self._sink = sink
-        for scheduled in self.iter_rounds():
-            self._run_round(
-                dataset, scheduled.query, scheduled.day_offset, scheduled.timestamp
+        try:
+            if checkpoint is not None:
+                return self._run_checkpointed(dataset, checkpoint)
+            for scheduled in self.iter_rounds():
+                self._run_round(
+                    dataset, scheduled.query, scheduled.day_offset, scheduled.timestamp
+                )
+        finally:
+            self._sink = None
+        return dataset
+
+    def _run_checkpointed(self, dataset: SerpDataset, path: str) -> SerpDataset:
+        """Sequential run with a durable round journal (see :meth:`run`)."""
+        fingerprint = self.checkpoint_fingerprint()
+        resume = load_checkpoint(path, expected_fingerprint=fingerprint, workers=1)
+        if resume is not None:
+            for outcomes in resume.rounds:
+                self._commit_outcomes(
+                    dataset, [deserialize_outcome(payload) for payload in outcomes]
+                )
+            if resume.next_ordinal > 0:
+                self.restore_state(resume.worker_states[0])
+            writer = CheckpointWriter.append_to(path)
+            start = resume.next_ordinal
+        else:
+            writer = CheckpointWriter.create(
+                path,
+                {
+                    "version": CHECKPOINT_VERSION,
+                    "workers": 1,
+                    "fingerprint": fingerprint,
+                },
             )
-        self._sink = None
+            start = 0
+        try:
+            for scheduled in self.iter_rounds():
+                if scheduled.ordinal < start:
+                    continue
+                outcomes = [
+                    self._crawl_treatment(
+                        treatment,
+                        scheduled.query,
+                        scheduled.day_offset,
+                        scheduled.timestamp,
+                    )
+                    for treatment in self.treatments
+                ]
+                # Durable-then-release: the journal line hits disk
+                # before the outcomes reach the dataset or sink, so a
+                # kill at any instant loses no acknowledged record.
+                writer.append_round(
+                    scheduled.ordinal,
+                    [serialize_outcome(outcome) for outcome in outcomes],
+                    {0: self.capture_state(scheduled.timestamp)},
+                )
+                self._commit_outcomes(dataset, outcomes)
+        finally:
+            writer.close()
         return dataset
 
     def iter_rounds(self) -> Iterator[ScheduledRound]:
@@ -269,8 +439,19 @@ class Study:
         timestamp: float,
     ) -> None:
         """One lock-step round: every treatment runs ``query`` at once."""
-        for treatment in self.treatments:
-            outcome = self._crawl_treatment(treatment, query, day_offset, timestamp)
+        outcomes = [
+            self._crawl_treatment(treatment, query, day_offset, timestamp)
+            for treatment in self.treatments
+        ]
+        self._commit_outcomes(dataset, outcomes)
+
+    def _commit_outcomes(
+        self,
+        dataset: SerpDataset,
+        outcomes: List[Union[SerpRecord, CrawlFailure]],
+    ) -> None:
+        """Release one round's outcomes to the failure log, dataset, sink."""
+        for outcome in outcomes:
             if isinstance(outcome, CrawlFailure):
                 self.failures.append(outcome)
                 continue
@@ -278,19 +459,32 @@ class Study:
             if self._sink is not None:
                 self._sink(outcome)
 
-    def run_shard(self, treatment_indices: List[int], *, on_round) -> None:
+    def run_shard(
+        self,
+        treatment_indices: List[int],
+        *,
+        on_round,
+        start_ordinal: int = 0,
+        capture_state: bool = False,
+    ) -> None:
         """Crawl only the given treatments through the full schedule.
 
         The building block of the parallel executor: the study walks
         :meth:`iter_rounds` exactly like a sequential run but issues
         queries only for its shard of the treatment list, calling
-        ``on_round(ordinal, outcomes)`` after each round with the list
-        of ``(treatment_index, SerpRecord | CrawlFailure)`` in ascending
-        treatment order.  ``self.stats`` accumulates this shard's
-        counters.
+        ``on_round(ordinal, outcomes, state)`` after each round with the
+        list of ``(treatment_index, SerpRecord | CrawlFailure)`` in
+        ascending treatment order.  ``state`` is this shard's
+        :meth:`capture_state` snapshot when ``capture_state`` is set
+        (checkpointed runs), else ``None``.  Rounds before
+        ``start_ordinal`` are skipped — the resume path, which assumes
+        :meth:`restore_state` was fed the matching snapshot.
+        ``self.stats`` accumulates this shard's counters.
         """
         shard = [(index, self.treatments[index]) for index in treatment_indices]
         for scheduled in self.iter_rounds():
+            if scheduled.ordinal < start_ordinal:
+                continue
             outcomes = [
                 (
                     index,
@@ -303,7 +497,8 @@ class Study:
                 )
                 for index, treatment in shard
             ]
-            on_round(scheduled.ordinal, outcomes)
+            state = self.capture_state(scheduled.timestamp) if capture_state else None
+            on_round(scheduled.ordinal, outcomes, state)
 
     def _crawl_treatment(
         self,
@@ -313,18 +508,20 @@ class Study:
         timestamp: float,
     ) -> Union[SerpRecord, CrawlFailure]:
         """One treatment's turn in a round: crawl, parse, or fail."""
-        crawl = self._search_with_retries(treatment, query.text, timestamp)
+        parsed, failure_kind = self._crawl_with_retries(
+            treatment, query.text, timestamp
+        )
         if self.config.clear_cookies:
             treatment.browser.clear_cookies()
-        if crawl is None:
+        if parsed is None:
             return CrawlFailure(
                 query=query.text,
                 location_name=treatment.region.qualified_name,
                 day=day_offset,
                 copy_index=treatment.copy_index,
-                reason="rate-limited",
+                reason=failure_kind.value,
+                kind=failure_kind.value,
             )
-        parsed = parse_serp_html(crawl.html)
         self.stats.pages += 1
         return SerpRecord.from_parsed(
             parsed,
@@ -335,25 +532,184 @@ class Study:
             copy_index=treatment.copy_index,
         )
 
-    def _search_with_retries(self, treatment: _Treatment, query_text: str, timestamp: float):
-        """Issue one query, retrying after CAPTCHAs with backoff.
+    def _crawl_with_retries(
+        self, treatment: _Treatment, query_text: str, timestamp: float
+    ) -> Tuple[Optional[object], Optional[FailureKind]]:
+        """Issue one query with retries; classify every failed attempt.
 
-        Returns the successful crawl result, or ``None`` after
-        exhausting retries.
+        Returns ``(parsed_page, None)`` on success or ``(None,
+        terminal_kind)`` after exhausting the retry budget.  Backoff
+        follows the shared :class:`RetryPolicy` (capped, deterministic
+        jitter keyed per browser+round).  When breakers are enabled, an
+        open breaker suppresses the attempt entirely (``breaker-open``,
+        no request issued).  Every failed attempt is booked in
+        ``fault_stats`` as absorbed (a later attempt succeeded) or
+        terminal — the ledger the chaos accounting invariant audits.
         """
-        backoff = self.config.retry_backoff_minutes
+        browser = treatment.browser
+        breaker_key = str(browser.machine.ip)
         attempt_time = timestamp
+        pending: List[FailureKind] = []
+        issued = 0
         for attempt in range(self.config.max_retries + 1):
-            self.stats.requests += 1
-            if attempt > 0:
-                self.stats.retries += 1
-            crawl = treatment.browser.search(query_text, attempt_time)
-            if crawl.ok:
-                return crawl
+            if self.breakers is not None and not self.breakers.allow(
+                breaker_key, attempt_time
+            ):
+                self.stats.breaker_fastfails += 1
+                pending.append(FailureKind.BREAKER_OPEN)
+            else:
+                issued += 1
+                self.stats.requests += 1
+                if issued > 1:
+                    self.stats.retries += 1
+                parsed, kind = self._attempt(treatment, query_text, attempt_time)
+                if parsed is not None:
+                    if self.breakers is not None:
+                        self.breakers.record_success(breaker_key, attempt_time)
+                    for absorbed in pending:
+                        self.fault_stats.record_absorbed(absorbed)
+                    self.fault_stats.record_attempts(issued)
+                    return parsed, None
+                pending.append(kind)
+                if self.breakers is not None and kind in _BREAKER_TRIP_KINDS:
+                    self.breakers.record_failure(breaker_key, attempt_time)
+            if attempt < self.config.max_retries:
+                attempt_time += self.retry_policy.delay_minutes(
+                    attempt, browser.browser_id, timestamp
+                )
+        for absorbed in pending[:-1]:
+            self.fault_stats.record_absorbed(absorbed)
+        terminal = pending[-1]
+        self.fault_stats.record_terminal(terminal)
+        self.fault_stats.record_attempts(issued)
+        return None, terminal
+
+    def _attempt(
+        self, treatment: _Treatment, query_text: str, attempt_time: float
+    ) -> Tuple[Optional[object], Optional[FailureKind]]:
+        """One request attempt: ``(parsed, None)`` or ``(None, kind)``."""
+        browser = treatment.browser
+        try:
+            crawl = browser.search(query_text, attempt_time)
+        except BrowserCrash:
+            self.stats.crashes += 1
+            browser.restart()
+            return None, FailureKind.BROWSER_CRASH
+        except RequestTimeout:
+            self.stats.timeouts += 1
+            return None, FailureKind.TIMEOUT
+        except ResolutionError:
+            self.stats.dns_failures += 1
+            return None, FailureKind.DNS_FAILURE
+        if crawl.status is ResponseStatus.RATE_LIMITED:
             self.stats.captchas += 1
-            attempt_time += backoff
-            backoff *= 2
-        return None
+            # The injector short-circuits *before* the engine during a
+            # storm window, so recomputing its exact condition cleanly
+            # separates storm CAPTCHAs from organic rate limiting.
+            if self.fault_plan is not None and self.fault_plan.in_storm(attempt_time):
+                return None, FailureKind.RATE_LIMIT_STORM
+            return None, FailureKind.RATE_LIMITED
+        if crawl.status is ResponseStatus.OVERLOADED:
+            self.stats.overloads += 1
+            return None, FailureKind.OVERLOADED
+        if crawl.status is ResponseStatus.SERVER_ERROR:
+            self.stats.server_errors += 1
+            return None, FailureKind.SERVER_ERROR
+        try:
+            parsed = parse_serp_html(crawl.html)
+        except SerpParseError:
+            self.stats.malformed += 1
+            return None, FailureKind.MALFORMED_SERP
+        if not parsed.is_complete:
+            self.stats.malformed += 1
+            return None, FailureKind.MALFORMED_SERP
+        return parsed, None
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint_fingerprint(self) -> dict:
+        """A JSON dict identifying everything that shapes run output.
+
+        Two studies with equal fingerprints produce byte-identical
+        schedules and records; a resume against a journal with a
+        different fingerprint is refused rather than silently mixing
+        datasets.
+        """
+        config = self.config
+        queries_digest = stable_hash(
+            "queries",
+            *[f"{query.text}|{query.category.value}" for query in config.queries],
+        )
+        locations_digest = stable_hash(
+            "locations",
+            *[region.qualified_name for region in self.locations.all_locations()],
+        )
+        calibration_digest = stable_hash(
+            "calibration", json.dumps(asdict(config.calibration), sort_keys=True)
+        )
+        plan = self.fault_plan
+        return {
+            "seed": config.seed,
+            "queries": queries_digest,
+            "locations": locations_digest,
+            "calibration": calibration_digest,
+            "days": config.days,
+            "copies": config.copies_per_location,
+            "machines": config.machine_count,
+            "wait": config.wait_between_queries_minutes,
+            "block": config.queries_per_day_block,
+            "pin": config.pin_datacenter,
+            "retries": [
+                config.max_retries,
+                config.retry_backoff_minutes,
+                config.retry_cap_minutes,
+                config.retry_jitter,
+            ],
+            "cookies": config.clear_cookies,
+            "dialect": config.dialect.name,
+            "gateway": [
+                config.route_via_gateway,
+                config.gateway_routing,
+                config.gateway_cache_size,
+            ],
+            "plan": asdict(plan) if plan is not None else None,
+            "breakers": self.breakers is not None,
+        }
+
+    def capture_state(self, now_minutes: float) -> dict:
+        """JSON-able snapshot of every mutable layer of the crawl.
+
+        Everything not captured here (world, rankers, schedule, DNS
+        zone) is a pure function of the config and is rebuilt
+        identically by the constructor on resume.
+        """
+        state = {
+            "stats": asdict(self.stats),
+            "fault_stats": self.fault_stats.capture_state(),
+            "browsers": [
+                treatment.browser.capture_state() for treatment in self.treatments
+            ],
+        }
+        if self.gateway is not None:
+            state["serving"] = self.gateway.capture_state(now_minutes)
+        else:
+            state["serving"] = self.engine.capture_state(now_minutes)
+        if self.breakers is not None:
+            state["breakers"] = self.breakers.capture_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state` (on a fresh study)."""
+        self.stats = CrawlStats(**state["stats"])
+        self.fault_stats.restore_state(state["fault_stats"])
+        for treatment, snapshot in zip(self.treatments, state["browsers"]):
+            treatment.browser.restore_state(snapshot)
+        if self.gateway is not None:
+            self.gateway.restore_state(state["serving"])
+        else:
+            self.engine.restore_state(state["serving"])
+        if self.breakers is not None and "breakers" in state:
+            self.breakers.restore_state(state["breakers"])
 
     # -- conveniences --------------------------------------------------------------
 

@@ -91,6 +91,26 @@ class SearchEngine:
         """
         return self._build_page(request)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def capture_state(self, now_minutes: float) -> dict:
+        """JSON-able snapshot of all mutable serving state.
+
+        Everything else the engine holds (ranker, classifier, world) is
+        a pure function of the seed and is rebuilt identically on
+        resume; only sessions and rate-limiter windows evolve with
+        traffic.
+        """
+        return {
+            "sessions": self.sessions.capture_state(now_minutes),
+            "ratelimiter": self.ratelimiter.capture_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`."""
+        self.sessions.restore_state(state["sessions"])
+        self.ratelimiter.restore_state(state["ratelimiter"])
+
     # -- internals ----------------------------------------------------------
 
     def _build_page(self, request: SearchRequest) -> SerpPage:

@@ -112,3 +112,28 @@ class RateLimiter:
         """Adopt ``snapshot``'s window state (inverse of :meth:`clone_state`)."""
         self._history = {ip: deque(window) for ip, window in snapshot._history.items()}
         self._ops_until_sweep = snapshot._ops_until_sweep
+
+    def capture_state(self) -> dict:
+        """JSON-able snapshot (for crawl checkpoints).
+
+        Windows are captured **verbatim** — no pruning.  Admission
+        compares the *raw* deque length against the budget before
+        pruning happens on the access path, and retry overshoot makes
+        timestamps within a window non-monotonic (two browsers sharing
+        a machine append out of order), so any capture-time pruning
+        could change a future admission decision.
+        """
+        return {
+            "history": {
+                str(ip.value): list(window) for ip, window in self._history.items()
+            },
+            "ops_until_sweep": self._ops_until_sweep,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`."""
+        self._history = {
+            IPv4Address(int(value)): deque(window)
+            for value, window in state["history"].items()
+        }
+        self._ops_until_sweep = state["ops_until_sweep"]

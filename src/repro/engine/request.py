@@ -23,6 +23,9 @@ class ResponseStatus(enum.Enum):
 
     OK = 200
     RATE_LIMITED = 429
+    SERVER_ERROR = 500
+    """Transient frontend failure (only ever produced by fault
+    injection; the request never reached ranking or session state)."""
     OVERLOADED = 503
     """Shed by the serving gateway: every replica queue was full."""
 

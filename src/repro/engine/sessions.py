@@ -89,3 +89,47 @@ class SessionStore:
 
     def __len__(self) -> int:
         return len(self._sessions)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def capture_state(self, now_minutes: float) -> dict:
+        """JSON-able snapshot of every session still able to affect output.
+
+        Sessions whose every timestamp lies more than ``3 * window``
+        before ``now_minutes`` are dropped: no request at or after
+        ``now_minutes`` can read a remembered location or a recent slug
+        from them, and the next ``record`` on that cookie overwrites
+        location and last-seen while pruning the stale slugs — so the
+        dropped and kept variants are output-equivalent.  Entries that
+        survive are captured verbatim (timestamps may be
+        non-monotonic: retries overshoot into the next round).
+        """
+        horizon = 3 * self.window_minutes
+        sessions = {}
+        for cookie_id, entry in self._sessions.items():
+            freshest = max(
+                [entry.last_seen_minutes] + [t for t, _ in entry.recent]
+            )
+            if now_minutes - freshest > horizon:
+                continue
+            sessions[cookie_id] = [
+                [[t, slug] for t, slug in entry.recent],
+                (
+                    [entry.last_location.lat, entry.last_location.lon]
+                    if entry.last_location is not None
+                    else None
+                ),
+                entry.last_seen_minutes,
+            ]
+        return {"sessions": sessions}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`."""
+        self._sessions = {
+            cookie_id: _SessionEntry(
+                recent=[(t, slug) for t, slug in recent],
+                last_location=LatLon(*location) if location is not None else None,
+                last_seen_minutes=last_seen,
+            )
+            for cookie_id, (recent, location, last_seen) in state["sessions"].items()
+        }

@@ -1,0 +1,72 @@
+"""repro.faults — deterministic chaos for the crawl + serve stack.
+
+The paper's measurement infrastructure failed constantly (PhantomJS
+crashes, timeouts, rate limiting) and the analysis had to cope.  This
+package makes failure a *first-class, reproducible input*:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`: a seeded schedule of
+  browser crashes, DNS failures, timeouts, 5xx, truncated SERPs, and
+  rate-limit storms, plus the :class:`FailureKind` taxonomy;
+* :mod:`~repro.faults.injector` — :class:`FaultyNetwork`: a drop-in
+  ``Network`` that injects the plan, and :class:`FaultStats`, the
+  injected/absorbed/terminal ledger;
+* :mod:`~repro.faults.retry` — :class:`RetryPolicy`: the shared capped
+  exponential backoff with deterministic jitter;
+* :mod:`~repro.faults.breaker` — per-endpoint circuit breakers over
+  virtual time (:class:`BreakerBoard`);
+* :mod:`~repro.faults.checkpoint` — the round-granular crawl journal
+  behind ``Study.run(checkpoint=path)``.
+"""
+
+from repro.faults.breaker import (
+    BreakerBoard,
+    BreakerState,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.faults.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    ResumeState,
+    load_checkpoint,
+)
+from repro.faults.injector import (
+    BrowserCrash,
+    FaultStats,
+    FaultyNetwork,
+    InjectedDNSFailure,
+    InjectedFault,
+    RequestTimeout,
+)
+from repro.faults.plan import (
+    FAULT_TO_FAILURE,
+    FailureKind,
+    FaultKind,
+    FaultPlan,
+    NAMED_PLANS,
+)
+from repro.faults.retry import DEFAULT_RETRY_CAP_MINUTES, RetryPolicy
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerState",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "CheckpointError",
+    "CheckpointWriter",
+    "ResumeState",
+    "load_checkpoint",
+    "BrowserCrash",
+    "FaultStats",
+    "FaultyNetwork",
+    "InjectedDNSFailure",
+    "InjectedFault",
+    "RequestTimeout",
+    "FAULT_TO_FAILURE",
+    "FailureKind",
+    "FaultKind",
+    "FaultPlan",
+    "NAMED_PLANS",
+    "DEFAULT_RETRY_CAP_MINUTES",
+    "RetryPolicy",
+]

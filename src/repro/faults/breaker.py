@@ -1,0 +1,191 @@
+"""Circuit breakers over virtual time.
+
+A long-running crawl that keeps hammering an endpoint which has been
+failing for the last ten minutes wastes its request budget and digs the
+rate-limit hole deeper (exactly what got the paper's vantage points
+blocked).  The classic remedy is a per-endpoint circuit breaker:
+
+* **CLOSED** — traffic flows; consecutive failures are counted.
+* **OPEN** — after ``failure_threshold`` consecutive failures the
+  breaker trips: requests fail fast (no request is sent) until
+  ``cooldown_minutes`` of virtual time pass.
+* **HALF_OPEN** — after the cooldown, a limited number of probe
+  requests are let through.  A probe success closes the breaker; a
+  probe failure re-opens it for another cooldown.
+
+Everything is keyed on *virtual* minutes (the study clock), so breaker
+behaviour is deterministic and reproducible.  The crawl runner keys one
+breaker per client IP (per crawl machine) — per-IP state is exactly the
+granularity the machine-granular shard plan preserves, so breakers make
+identical decisions sequentially, sharded, and across checkpoint
+resume.  The serving gateway keys one breaker per replica
+(per datacenter).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["BreakerState", "CircuitBreaker", "BreakerBoard", "BreakerTransition"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change, for the chaos report."""
+
+    key: str
+    minutes: float
+    old: BreakerState
+    new: BreakerState
+
+
+@dataclass
+class CircuitBreaker:
+    """One endpoint's breaker (see module docstring for the machine)."""
+
+    failure_threshold: int = 4
+    cooldown_minutes: float = 3.0
+    half_open_probes: int = 1
+
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    opened_at_minutes: float = 0.0
+    probes_in_flight: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_minutes <= 0:
+            raise ValueError("cooldown_minutes must be positive")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+    def allow(self, now_minutes: float) -> bool:
+        """Whether a request may be sent now (may move OPEN → HALF_OPEN)."""
+        if self.state is BreakerState.OPEN:
+            if now_minutes - self.opened_at_minutes >= self.cooldown_minutes:
+                self._transition(BreakerState.HALF_OPEN, now_minutes)
+                self.probes_in_flight = 0
+            else:
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            if self.probes_in_flight >= self.half_open_probes:
+                return False
+            self.probes_in_flight += 1
+        return True
+
+    def record_success(self, now_minutes: float) -> None:
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED, now_minutes)
+        self.probes_in_flight = 0
+
+    def record_failure(self, now_minutes: float) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(BreakerState.OPEN, now_minutes)
+            self.opened_at_minutes = now_minutes
+            self.probes_in_flight = 0
+
+    # set by the owning board so transitions carry their key
+    _log: List[BreakerTransition] = field(default_factory=list, repr=False)
+    _key: str = ""
+
+    def _transition(self, new: BreakerState, now_minutes: float) -> None:
+        self._log.append(
+            BreakerTransition(key=self._key, minutes=now_minutes, old=self.state, new=new)
+        )
+        self.state = new
+
+
+@dataclass
+class BreakerBoard:
+    """A keyed family of breakers sharing configuration and a log."""
+
+    failure_threshold: int = 4
+    cooldown_minutes: float = 3.0
+    half_open_probes: int = 1
+    _breakers: Dict[Hashable, CircuitBreaker] = field(default_factory=dict)
+    _transitions: List[BreakerTransition] = field(default_factory=list)
+
+    def _get(self, key: Hashable) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown_minutes=self.cooldown_minutes,
+                half_open_probes=self.half_open_probes,
+            )
+            breaker._log = self._transitions
+            breaker._key = str(key)
+            self._breakers[key] = breaker
+        return breaker
+
+    def allow(self, key: Hashable, now_minutes: float) -> bool:
+        return self._get(key).allow(now_minutes)
+
+    def record_success(self, key: Hashable, now_minutes: float) -> None:
+        self._get(key).record_success(now_minutes)
+
+    def record_failure(self, key: Hashable, now_minutes: float) -> None:
+        self._get(key).record_failure(now_minutes)
+
+    def state_of(self, key: Hashable) -> BreakerState:
+        breaker = self._breakers.get(key)
+        return breaker.state if breaker is not None else BreakerState.CLOSED
+
+    def transitions(self) -> List[BreakerTransition]:
+        """All state changes, in virtual-time order of occurrence."""
+        return list(self._transitions)
+
+    def open_count(self) -> int:
+        return sum(
+            1 for b in self._breakers.values() if b.state is not BreakerState.CLOSED
+        )
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """JSON-able snapshot (keys stringified; crawl keys are IPs)."""
+        return {
+            "breakers": {
+                str(key): [
+                    b.state.value,
+                    b.consecutive_failures,
+                    b.opened_at_minutes,
+                    b.probes_in_flight,
+                ]
+                for key, b in self._breakers.items()
+            },
+            "transitions": [
+                [t.key, t.minutes, t.old.value, t.new.value] for t in self._transitions
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state` (string keys are kept)."""
+        self._breakers.clear()
+        self._transitions.clear()
+        self._transitions.extend(
+            BreakerTransition(
+                key=key, minutes=minutes, old=BreakerState(old), new=BreakerState(new)
+            )
+            for key, minutes, old, new in state["transitions"]
+        )
+        for key, (st, fails, opened, probes) in state["breakers"].items():
+            breaker = self._get(key)
+            breaker.state = BreakerState(st)
+            breaker.consecutive_failures = fails
+            breaker.opened_at_minutes = opened
+            breaker.probes_in_flight = probes

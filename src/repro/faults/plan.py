@@ -1,0 +1,234 @@
+"""Deterministic fault schedules.
+
+The paper's 30-day crawl ran 44 PhantomJS machines that crashed, hung,
+and got rate-limited; the authors treat failed loads as missing data
+(§3).  To prove our crawl and serve layers survive the same abuse, a
+:class:`FaultPlan` describes *which* failures to inject and *how
+often* — and, critically, does so **deterministically**: every
+injection decision is a pure function of the plan seed and the request
+**nonce** (already a deterministic function of browser identity and
+per-browser request ordinal, see :mod:`repro.core.browser`).  Keying
+on the nonce rather than a shared counter means the schedule of
+injected faults is independent of how requests from different
+treatments interleave — the same property that makes the parallel
+executor byte-identical, extended to chaos: a fault plan injects the
+*same* faults into the *same* requests whether the study runs
+sequentially, sharded over N workers, or killed and resumed.
+
+Two vocabularies live here:
+
+* :class:`FaultKind` — what the injector can do to a request;
+* :class:`FailureKind` — the crawl-failure taxonomy the runner records
+  (a superset: breakers opening and gateway sheds are failures nobody
+  injected).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from repro.seeding import stable_unit
+
+__all__ = ["FaultKind", "FailureKind", "FaultPlan", "NAMED_PLANS", "FAULT_TO_FAILURE"]
+
+
+class FaultKind(enum.Enum):
+    """One thing the injector can do to a request."""
+
+    BROWSER_CRASH = "browser-crash"
+    """The headless browser process dies mid-request (PhantomJS's
+    favourite trick); the runner restarts it and retries."""
+
+    DNS_FAILURE = "dns-failure"
+    """Resolution of the search hostname fails transiently."""
+
+    TIMEOUT = "timeout"
+    """The request never completes; the client gives up."""
+
+    SERVER_ERROR = "server-error"
+    """The frontend answers a transient 5xx without processing the
+    request (it never reaches ranking or session state)."""
+
+    TRUNCATED_SERP = "truncated-serp"
+    """The response body is cut off mid-page — the bytes arrive ``200
+    OK`` but the saved HTML is not a complete SERP."""
+
+    RATE_LIMIT_STORM = "rate-limit-storm"
+    """A window of virtual time during which *every* request gets the
+    CAPTCHA interstitial, modelling an engine-wide anti-bot event."""
+
+
+class FailureKind(enum.Enum):
+    """Taxonomy of crawl failures (``CrawlFailure.kind``)."""
+
+    RATE_LIMITED = "rate-limited"
+    """The engine's own per-IP limiter answered CAPTCHAs until retries
+    ran out (the only failure the seed runner knew)."""
+
+    RATE_LIMIT_STORM = "rate-limit-storm"
+    BROWSER_CRASH = "browser-crash"
+    DNS_FAILURE = "dns-failure"
+    TIMEOUT = "timeout"
+    SERVER_ERROR = "server-error"
+    MALFORMED_SERP = "malformed-serp"
+    """The page came back 200 but did not parse as a complete SERP."""
+
+    OVERLOADED = "overloaded"
+    """The serving gateway shed the request (every queue full)."""
+
+    BREAKER_OPEN = "breaker-open"
+    """The client-side circuit breaker was open; no request was sent."""
+
+
+#: Which failure each injected fault surfaces as.
+FAULT_TO_FAILURE: Dict[FaultKind, FailureKind] = {
+    FaultKind.BROWSER_CRASH: FailureKind.BROWSER_CRASH,
+    FaultKind.DNS_FAILURE: FailureKind.DNS_FAILURE,
+    FaultKind.TIMEOUT: FailureKind.TIMEOUT,
+    FaultKind.SERVER_ERROR: FailureKind.SERVER_ERROR,
+    FaultKind.TRUNCATED_SERP: FailureKind.MALFORMED_SERP,
+    FaultKind.RATE_LIMIT_STORM: FailureKind.RATE_LIMIT_STORM,
+}
+
+#: Evaluation order for per-request gates: at most one fault fires per
+#: attempt, the first whose gate passes.
+_GATE_ORDER: Tuple[Tuple[str, FaultKind], ...] = (
+    ("crash_rate", FaultKind.BROWSER_CRASH),
+    ("dns_failure_rate", FaultKind.DNS_FAILURE),
+    ("timeout_rate", FaultKind.TIMEOUT),
+    ("server_error_rate", FaultKind.SERVER_ERROR),
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible schedule of injected failures.
+
+    Per-request rates are probabilities gated on
+    ``stable_unit(seed, kind, nonce)`` — independent draws per fault
+    kind per request attempt.  Retried attempts carry fresh nonces, so
+    a fault is transient by construction: the retry re-rolls the dice.
+
+    Storms are *time*-keyed instead: every ``storm_period_minutes`` of
+    virtual time, a window of ``storm_minutes`` opens (phase derived
+    from the seed) during which every request is answered with the
+    CAPTCHA interstitial.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    dns_failure_rate: float = 0.0
+    timeout_rate: float = 0.0
+    server_error_rate: float = 0.0
+    truncation_rate: float = 0.0
+    storm_period_minutes: Optional[float] = None
+    storm_minutes: float = 2.0
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            if field.name.endswith("_rate"):
+                rate = getattr(self, field.name)
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(f"{field.name} must be in [0, 1], got {rate}")
+        if self.storm_period_minutes is not None:
+            if self.storm_period_minutes <= 0:
+                raise ValueError("storm_period_minutes must be positive")
+            if not 0 < self.storm_minutes < self.storm_period_minutes:
+                raise ValueError(
+                    "storm_minutes must be positive and shorter than the period"
+                )
+
+    # -- decisions ------------------------------------------------------------
+
+    def request_fault(self, nonce: int) -> Optional[FaultKind]:
+        """The pre-dispatch fault injected into this attempt, if any."""
+        for rate_name, kind in _GATE_ORDER:
+            rate = getattr(self, rate_name)
+            if rate > 0.0 and stable_unit("fault", self.seed, kind.value, nonce) < rate:
+                return kind
+        return None
+
+    def truncates(self, nonce: int) -> bool:
+        """Whether this attempt's response body gets cut off."""
+        return self.truncation_rate > 0.0 and (
+            stable_unit("fault", self.seed, FaultKind.TRUNCATED_SERP.value, nonce)
+            < self.truncation_rate
+        )
+
+    def truncation_fraction(self, nonce: int) -> float:
+        """How much of the response body survives, in ``[0.05, 0.85)``."""
+        return 0.05 + 0.8 * stable_unit(
+            "fault-cut", self.seed, FaultKind.TRUNCATED_SERP.value, nonce
+        )
+
+    def in_storm(self, timestamp_minutes: float) -> bool:
+        """Whether a rate-limit storm is active at this virtual instant."""
+        period = self.storm_period_minutes
+        if period is None:
+            return False
+        phase = stable_unit("storm-phase", self.seed) * period
+        return (timestamp_minutes + phase) % period < self.storm_minutes
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def request_fault_rate(self) -> float:
+        """Probability an attempt draws at least one per-request fault.
+
+        Gates are independent draws evaluated in order, so the combined
+        rate is ``1 - prod(1 - rate)`` over all per-request gates
+        (storms are time-keyed and excluded).
+        """
+        survive = 1.0
+        for rate_name, _ in _GATE_ORDER:
+            survive *= 1.0 - getattr(self, rate_name)
+        survive *= 1.0 - self.truncation_rate
+        return 1.0 - survive
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing (overhead-measurement mode)."""
+        return self.request_fault_rate == 0.0 and self.storm_period_minutes is None
+
+    @classmethod
+    def named(cls, name: str, *, seed: int = 0) -> "FaultPlan":
+        """Look up a registered plan, reseeded."""
+        try:
+            template = NAMED_PLANS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault plan {name!r}; known: {sorted(NAMED_PLANS)}"
+            ) from None
+        from dataclasses import replace
+
+        return replace(template, seed=seed)
+
+
+#: Registered plans, from benign to hostile.  ``chaos`` injects >10%
+#: request-level failures — the acceptance bar for resume parity.
+NAMED_PLANS: Dict[str, FaultPlan] = {
+    "calm": FaultPlan(),
+    "flaky-network": FaultPlan(
+        dns_failure_rate=0.04,
+        timeout_rate=0.04,
+        server_error_rate=0.02,
+        truncation_rate=0.02,
+    ),
+    "crashy-browser": FaultPlan(crash_rate=0.08, truncation_rate=0.03),
+    "storm": FaultPlan(
+        dns_failure_rate=0.01,
+        storm_period_minutes=120.0,
+        storm_minutes=3.0,
+    ),
+    "chaos": FaultPlan(
+        crash_rate=0.03,
+        dns_failure_rate=0.04,
+        timeout_rate=0.04,
+        server_error_rate=0.03,
+        truncation_rate=0.03,
+        storm_period_minutes=180.0,
+        storm_minutes=2.0,
+    ),
+}

@@ -33,7 +33,14 @@ class DNSRecord:
 
 
 class ResolutionError(KeyError):
-    """Raised when a name has no record."""
+    """Raised when a name cannot be resolved."""
+
+    def __str__(self) -> str:
+        # KeyError's __str__ repr-quotes the argument, which reads like
+        # a dict lookup leak when this surfaces in a failure record;
+        # report a resolver message instead.
+        name = self.args[0] if self.args else "<unknown>"
+        return f"could not resolve {name!r}"
 
 
 @dataclass

@@ -121,10 +121,19 @@ class BenchReport:
     cpus: int
     start_method: str
     cells: List[BenchCell] = field(default_factory=list)
+    fault_layer: Optional[dict] = None
+    """Injection-off overhead of the fault/breaker layer: one extra
+    sequential run under a zero-rate :class:`~repro.faults.plan.
+    FaultPlan` (``calm``), which wires the full hardened path —
+    FaultyNetwork, per-IP breakers, fault accounting — but injects
+    nothing.  Must stay byte-identical to the plain sequential run."""
 
     @property
     def parity_ok(self) -> bool:
-        return all(cell.byte_identical_to_sequential for cell in self.cells)
+        ok = all(cell.byte_identical_to_sequential for cell in self.cells)
+        if self.fault_layer is not None:
+            ok = ok and self.fault_layer["byte_identical_to_sequential"]
+        return ok
 
     def to_dict(self) -> dict:
         raw = asdict(self)
@@ -154,6 +163,14 @@ class BenchReport:
                 f"{cell.requests_per_second:>8.1f} "
                 f"{cell.speedup_vs_workers_1:>7.2f}x "
                 f"{'ok' if cell.byte_identical_to_sequential else 'FAIL':>7}"
+            )
+        if self.fault_layer is not None:
+            layer = self.fault_layer
+            lines.append(
+                f"fault layer (calm plan, injection off): "
+                f"{layer['wall_seconds']:.2f}s, "
+                f"{layer['overhead_pct_vs_sequential']:+.1f}% vs sequential, "
+                f"parity {'ok' if layer['byte_identical_to_sequential'] else 'FAIL'}"
             )
         return "\n".join(lines)
 
@@ -222,6 +239,25 @@ def run_crawl_bench(
                 byte_identical_to_sequential=digest == baseline_digest,
             )
         )
+
+    # Injection-off overhead: the hardened stack (FaultyNetwork with a
+    # zero-rate plan + per-IP breakers) must be byte-identical to the
+    # plain path, and its cost is recorded so perf history catches
+    # regressions in the always-on robustness plumbing.
+    from repro.faults.plan import FaultPlan
+
+    calm_study = Study(config.with_overrides(fault_plan=FaultPlan(seed=seed)))
+    started = time.perf_counter()
+    calm_dataset = calm_study.run()
+    calm_wall = time.perf_counter() - started
+    report.fault_layer = {
+        "wall_seconds": round(calm_wall, 4),
+        "overhead_pct_vs_sequential": round(
+            100.0 * (calm_wall - baseline_wall) / baseline_wall, 2
+        ),
+        "byte_identical_to_sequential": dataset_digest(calm_dataset)
+        == baseline_digest,
+    }
     if out is not None:
         report.write(out)
     return report

@@ -32,10 +32,19 @@ Design
   each round's outcomes sorted by treatment index — the exact order
   the sequential loop produces.  :class:`CrawlStats` counters are sums
   and merge associatively.
+* **Checkpoints are merge-time.**  Under ``checkpoint=path`` each
+  worker ships its :meth:`Study.capture_state` snapshot with every
+  round; the parent journals a round (outcomes + all worker states)
+  durably *before* releasing it to the dataset and sink.  On resume,
+  every worker restores its own shard snapshot and re-enters the
+  schedule at the first un-journalled round — a worker that had raced
+  ahead of the durable prefix simply re-crawls, byte-identically,
+  because its state was reset to the prefix boundary.
 
 The result: ``SerpDataset``, ``CrawlStats``, and the failure list are
 byte-identical to ``Study.run()`` on a single core, for any worker
-count, with or without the serving gateway in the path.
+count, with or without the serving gateway in the path, and with or
+without a kill-and-resume in between.
 """
 
 from __future__ import annotations
@@ -47,7 +56,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.datastore import SerpDataset, SerpRecord
-from repro.core.runner import Study
+from repro.core.runner import Study, deserialize_outcome, serialize_outcome
+from repro.faults.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWriter,
+    load_checkpoint,
+)
 
 __all__ = ["ShardPlan", "plan_shards", "run_parallel"]
 
@@ -114,16 +128,36 @@ def _preferred_start_method() -> str:
     return "fork" if "fork" in methods else methods[0]
 
 
-def _worker_main(worker_id: int, config, indices, result_queue) -> None:
-    """Worker entry point: rebuild the study, crawl the shard, stream rounds."""
+def _worker_main(
+    worker_id: int,
+    config,
+    indices,
+    result_queue,
+    start_ordinal: int = 0,
+    worker_state=None,
+    capture: bool = False,
+) -> None:
+    """Worker entry point: rebuild the study, crawl the shard, stream rounds.
+
+    On resume (``start_ordinal > 0``) the worker restores its own shard
+    snapshot before crawling, so its engine/browser/stats state is
+    exactly what it was at the durable checkpoint boundary.
+    """
     try:
         study = Study(config)
+        if worker_state is not None:
+            study.restore_state(worker_state)
 
-        def emit(ordinal: int, outcomes) -> None:
-            result_queue.put(("round", worker_id, ordinal, outcomes))
+        def emit(ordinal: int, outcomes, state) -> None:
+            result_queue.put(("round", worker_id, ordinal, outcomes, state))
 
-        study.run_shard(list(indices), on_round=emit)
-        result_queue.put(("done", worker_id, study.stats))
+        study.run_shard(
+            list(indices),
+            on_round=emit,
+            start_ordinal=start_ordinal,
+            capture_state=capture,
+        )
+        result_queue.put(("done", worker_id, study.stats, study.fault_stats))
     except BaseException:  # propagate everything, including KeyboardInterrupt
         result_queue.put(("error", worker_id, traceback.format_exc()))
 
@@ -134,6 +168,7 @@ def run_parallel(
     workers: int,
     sink=None,
     start_method: Optional[str] = None,
+    checkpoint: Optional[str] = None,
 ) -> SerpDataset:
     """Run ``study``'s full schedule sharded across worker processes.
 
@@ -152,6 +187,13 @@ def run_parallel(
         sink: Optional per-record callable, as in :meth:`Study.run`.
         start_method: ``multiprocessing`` start method override
             (default: ``fork`` when available).
+        checkpoint: Optional journal path, as in :meth:`Study.run`.
+            Rounds become durable only once *every* worker has reported
+            them; on resume all workers restart from the durable
+            boundary with their shard state restored.  The journal
+            records the effective worker count and refuses to resume
+            under a different one (per-worker snapshots only fit the
+            shard layout that produced them).
 
     Returns:
         The merged :class:`SerpDataset`.
@@ -164,12 +206,53 @@ def run_parallel(
     plan = plan_shards(
         len(study.treatments), len(study.fleet), workers
     )
+
+    writer = None
+    start_ordinal = 0
+    worker_states: dict = {}
+    dataset = SerpDataset()
+    if checkpoint is not None:
+        fingerprint = study.checkpoint_fingerprint()
+        resume = load_checkpoint(
+            checkpoint, expected_fingerprint=fingerprint, workers=plan.workers
+        )
+        if resume is not None:
+            for outcomes in resume.rounds:
+                for payload in outcomes:
+                    outcome = deserialize_outcome(payload)
+                    if isinstance(outcome, SerpRecord):
+                        dataset.add(outcome)
+                        if sink is not None:
+                            sink(outcome)
+                    else:
+                        study.failures.append(outcome)
+            start_ordinal = resume.next_ordinal
+            worker_states = resume.worker_states
+            writer = CheckpointWriter.append_to(checkpoint)
+        else:
+            writer = CheckpointWriter.create(
+                checkpoint,
+                {
+                    "version": CHECKPOINT_VERSION,
+                    "workers": plan.workers,
+                    "fingerprint": fingerprint,
+                },
+            )
+
     context = multiprocessing.get_context(start_method or _preferred_start_method())
     result_queue = context.Queue(maxsize=plan.workers * _QUEUE_DEPTH_PER_WORKER)
     processes = [
         context.Process(
             target=_worker_main,
-            args=(worker_id, study.config, plan.assignments[worker_id], result_queue),
+            args=(
+                worker_id,
+                study.config,
+                plan.assignments[worker_id],
+                result_queue,
+                start_ordinal,
+                worker_states.get(worker_id),
+                checkpoint is not None,
+            ),
             name=f"crawl-worker-{worker_id}",
             daemon=True,
         )
@@ -178,10 +261,20 @@ def run_parallel(
     for process in processes:
         process.start()
 
-    dataset = SerpDataset()
     try:
-        _merge(study, plan, processes, result_queue, dataset, sink)
+        _merge(
+            study,
+            plan,
+            processes,
+            result_queue,
+            dataset,
+            sink,
+            start_ordinal=start_ordinal,
+            writer=writer,
+        )
     finally:
+        if writer is not None:
+            writer.close()
         for process in processes:
             if process.is_alive():
                 process.terminate()
@@ -190,19 +283,44 @@ def run_parallel(
     return dataset
 
 
-def _merge(study, plan, processes, result_queue, dataset, sink) -> None:
-    """Drain worker messages, flushing rounds in canonical order."""
+def _merge(
+    study,
+    plan,
+    processes,
+    result_queue,
+    dataset,
+    sink,
+    *,
+    start_ordinal: int = 0,
+    writer=None,
+) -> None:
+    """Drain worker messages, flushing rounds in canonical order.
+
+    With a ``writer``, each round is journalled durably (outcomes in
+    canonical order plus every worker's state snapshot) *before* its
+    records reach the dataset and sink — the invariant that makes a
+    kill at any instant recoverable without losing acknowledged
+    records.
+    """
     total_rounds = study.round_count()
-    pending: dict = {}  # ordinal -> list of per-worker outcome lists
+    pending: dict = {}  # ordinal -> list of (treatment_index, outcome)
+    states: dict = {}  # ordinal -> {worker_id: state snapshot}
     arrivals: dict = {}  # ordinal -> how many workers have reported
-    next_ordinal = 0
+    next_ordinal = start_ordinal
     done = 0
 
     def flush_ready() -> None:
         nonlocal next_ordinal
         while arrivals.get(next_ordinal, 0) == plan.workers:
             outcomes = sorted(pending.pop(next_ordinal), key=lambda pair: pair[0])
+            round_states = states.pop(next_ordinal, None)
             del arrivals[next_ordinal]
+            if writer is not None:
+                writer.append_round(
+                    next_ordinal,
+                    [serialize_outcome(outcome) for _, outcome in outcomes],
+                    round_states or {},
+                )
             for _, outcome in outcomes:
                 if isinstance(outcome, SerpRecord):
                     dataset.add(outcome)
@@ -224,12 +342,15 @@ def _merge(study, plan, processes, result_queue, dataset, sink) -> None:
             continue
         kind = message[0]
         if kind == "round":
-            _, _, ordinal, outcomes = message
+            _, worker_id, ordinal, outcomes, state = message
             pending.setdefault(ordinal, []).extend(outcomes)
+            if state is not None:
+                states.setdefault(ordinal, {})[worker_id] = state
             arrivals[ordinal] = arrivals.get(ordinal, 0) + 1
             flush_ready()
         elif kind == "done":
             study.stats.merge(message[2])
+            study.fault_stats.merge(message[3])
             done += 1
         else:  # "error"
             raise RuntimeError(

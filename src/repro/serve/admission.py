@@ -87,3 +87,13 @@ class ReplicaQueue:
             start_minutes=start,
             completion_minutes=completion,
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """JSON-able snapshot of the in-flight completion times."""
+        return {"completions": list(self._completions)}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`."""
+        self._completions = deque(state["completions"])

@@ -44,6 +44,8 @@ from repro.engine.datacenters import Datacenter, DatacenterCluster
 from repro.engine.dialect import EngineDialect
 from repro.engine.frontend import DEFAULT_LOCATION, SearchEngine
 from repro.engine.request import ResponseStatus, SearchRequest, SearchResponse
+from repro.faults.breaker import BreakerBoard
+from repro.faults.retry import DEFAULT_RETRY_CAP_MINUTES, RetryPolicy
 from repro.geo.coords import LatLon
 from repro.net.geoip import GeoIPDatabase
 from repro.queries.corpus import QueryCorpus
@@ -144,11 +146,20 @@ class Gateway:
         cell_miles: Cache-key snap cell (use the engine's
             ``snap_cell_miles``).
         max_retries: Re-dispatches after a ``RATE_LIMITED`` response.
-        retry_backoff_minutes: Virtual backoff before the first retry;
-            doubles per attempt.
+        retry_backoff_minutes: Virtual backoff before the first retry
+            (the base of the shared :class:`RetryPolicy` — capped
+            exponential, no longer unbounded doubling).
+        retry_policy: Full override of the retry schedule; when given,
+            ``retry_backoff_minutes`` is ignored.
         hedge_after_minutes: Projected queue wait beyond which a
             duplicate request is dispatched to the next-preferred
             replica (``None`` disables hedging).
+        breakers: Optional per-replica (per-datacenter) circuit
+            breakers: replicas whose breaker is open are skipped in
+            preference order, and replica outcomes feed the breaker
+            state machine.  Off by default — breaker decisions depend
+            on the full traffic stream, so they are a serving-path
+            feature, not for parity-checked study crawls.
     """
 
     def __init__(
@@ -161,8 +172,10 @@ class Gateway:
         cell_miles: float = 1.7,
         max_retries: int = 2,
         retry_backoff_minutes: float = 1.5,
+        retry_policy: Optional[RetryPolicy] = None,
         hedge_after_minutes: Optional[float] = None,
         stats: Optional[GatewayStats] = None,
+        breakers: Optional[BreakerBoard] = None,
     ):
         if not replicas:
             raise ValueError("a gateway needs at least one replica")
@@ -174,8 +187,12 @@ class Gateway:
         self.stats = stats if stats is not None else GatewayStats()
         self.cache = SerpCache(cache_size, cell_miles=cell_miles, stats=self.stats)
         self.max_retries = max_retries
-        self.retry_backoff_minutes = retry_backoff_minutes
+        self.retry_policy = retry_policy or RetryPolicy(
+            base_minutes=retry_backoff_minutes,
+            cap_minutes=max(DEFAULT_RETRY_CAP_MINUTES, retry_backoff_minutes),
+        )
         self.hedge_after_minutes = hedge_after_minutes
+        self.breakers = breakers
         self.cluster = replicas[0].engine.cluster
 
     # -- SearchEngine-compatible surface --------------------------------------
@@ -254,7 +271,6 @@ class Gateway:
         """Admission control + routing + RATE_LIMITED retries."""
         arrival = request.timestamp_minutes
         attempt_request = request
-        backoff = self.retry_backoff_minutes
         response: Optional[SearchResponse] = None
         served_by = "shed"
         wait = latency = 0.0
@@ -265,6 +281,16 @@ class Gateway:
             attempts = attempt + 1
             now = attempt_request.timestamp_minutes
             preference = self.policy.rank(self.replicas, attempt_request, location, now)
+            if self.breakers is not None:
+                # Replicas with an open breaker are skipped outright;
+                # recovery happens inside allow(), which flips an open
+                # breaker to half-open after its cooldown and admits
+                # the probe requests that can close it again.
+                preference = [
+                    replica
+                    for replica in preference
+                    if self.breakers.allow(replica.name, now)
+                ]
             chosen = slot = None
             for index, replica in enumerate(preference):
                 admitted = replica.queue.try_admit(now)
@@ -301,14 +327,21 @@ class Gateway:
             latency = slot.completion_minutes - arrival
 
             if response.status is not ResponseStatus.RATE_LIMITED:
+                if self.breakers is not None:
+                    self.breakers.record_success(chosen.name, now)
                 break
+            if self.breakers is not None:
+                self.breakers.record_failure(chosen.name, now)
             self.stats.rate_limited += 1
             if attempt < self.max_retries:
                 self.stats.retries += 1
                 attempt_request = replace(
-                    attempt_request, timestamp_minutes=now + backoff
+                    attempt_request,
+                    timestamp_minutes=now
+                    + self.retry_policy.delay_minutes(
+                        attempt, "gateway", request.nonce
+                    ),
                 )
-                backoff *= 2
 
         assert response is not None
         self.stats.queue_wait.record(wait)
@@ -339,3 +372,43 @@ class Gateway:
                 self.stats.hedges += 1
                 return replica, hedged_slot
         return None
+
+    # -- checkpointing -------------------------------------------------------
+
+    def capture_state(self, now_minutes: float) -> dict:
+        """JSON-able snapshot of all mutable serving state.
+
+        Only parity mode (``cache_size=0``) is checkpointable: SERP
+        cache entries are whole HTML pages, and a cached crawl is not
+        byte-reproducible anyway.
+        """
+        if self.cache.capacity > 0:
+            raise ValueError(
+                "gateway state with an enabled SERP cache is not "
+                "checkpointable; run with cache_size=0"
+            )
+        state = {
+            "replicas": {
+                replica.name: {
+                    "engine": replica.engine.capture_state(now_minutes),
+                    "queue": replica.queue.capture_state(),
+                }
+                for replica in self.replicas
+            },
+            "policy": self.policy.capture_state(),
+            "stats": self.stats.capture_state(),
+        }
+        if self.breakers is not None:
+            state["breakers"] = self.breakers.capture_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`."""
+        for replica in self.replicas:
+            snapshot = state["replicas"][replica.name]
+            replica.engine.restore_state(snapshot["engine"])
+            replica.queue.restore_state(snapshot["queue"])
+        self.policy.restore_state(state["policy"])
+        self.stats.restore_state(state["stats"])
+        if self.breakers is not None and "breakers" in state:
+            self.breakers.restore_state(state["breakers"])

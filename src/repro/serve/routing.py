@@ -54,6 +54,13 @@ class RoutingPolicy:
         """Replicas in dispatch-preference order (best first)."""
         raise NotImplementedError
 
+    def capture_state(self) -> dict:
+        """JSON-able snapshot of per-instance state (most have none)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`."""
+
 
 class RoundRobinPolicy(RoutingPolicy):
     """Rotate the starting replica one step per request."""
@@ -67,6 +74,12 @@ class RoundRobinPolicy(RoutingPolicy):
         start = self._next % len(replicas)
         self._next += 1
         return list(replicas[start:]) + list(replicas[:start])
+
+    def capture_state(self) -> dict:
+        return {"next": self._next}
+
+    def restore_state(self, state: dict) -> None:
+        self._next = state["next"]
 
 
 class LeastOutstandingPolicy(RoutingPolicy):

@@ -9,7 +9,7 @@ depth, and per-stage latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict
 
 __all__ = ["LatencyAccumulator", "GatewayStats"]
@@ -92,6 +92,20 @@ class GatewayStats:
         """Cache hits over cache-eligible lookups."""
         lookups = self.cache_lookups
         return self.cache_hits / lookups if lookups else 0.0
+
+    def capture_state(self) -> dict:
+        """JSON-able snapshot (all fields are counters or plain dicts)."""
+        return asdict(self)
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`."""
+        for key, value in state.items():
+            if key in ("queue_wait", "service", "total"):
+                setattr(self, key, LatencyAccumulator(**value))
+            elif key == "replica_requests":
+                self.replica_requests = dict(value)
+            else:
+                setattr(self, key, value)
 
     def render(self) -> str:
         """A human-readable metrics report."""

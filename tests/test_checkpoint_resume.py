@@ -1,0 +1,243 @@
+"""Kill-and-resume parity for checkpointed crawls.
+
+The contract under test (the PR's acceptance bar): a study run with
+``checkpoint=path`` that is killed at *any* point — any round boundary,
+mid-round, sequential or sharded over workers — and then re-run with
+the same arguments produces a dataset, failure log, and stats that are
+byte-identical to an uninterrupted run, with zero lost records and
+every injected fault accounted for.
+
+The kill mechanism is a sink that raises after N records: records are
+released to the sink only after their round is durable in the journal,
+so raising there models dying at the worst possible moment for every
+value of N — deterministically, with no signal-delivery flakiness.
+"""
+
+import json
+
+import pytest
+
+from repro.core.experiment import StudyConfig
+from repro.core.runner import Study
+from repro.faults.checkpoint import CheckpointError
+from repro.faults.plan import FaultPlan
+from repro.queries.corpus import build_corpus
+
+#: >10% request-level fault rate, every fault kind enabled.
+CHAOS = FaultPlan.named("chaos")
+
+
+class Killed(Exception):
+    """Simulated process death."""
+
+
+def _queries():
+    corpus = build_corpus()
+    return [corpus.get("Starbucks"), corpus.get("School"), corpus.get("Gay Marriage")]
+
+
+def _config(**overrides):
+    config = StudyConfig.small(
+        _queries(), days=2, locations_per_granularity=2
+    ).with_overrides(machine_count=5, fault_plan=CHAOS, max_retries=2)
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _serialized(dataset) -> str:
+    return "".join(json.dumps(record.to_dict()) + "\n" for record in dataset)
+
+
+def _killing_sink(after: int):
+    """A sink that dies once it has seen ``after`` records."""
+    seen = []
+
+    def sink(record):
+        seen.append(record)
+        if len(seen) >= after:
+            raise Killed(f"killed after {after} records")
+
+    return sink, seen
+
+
+def _run_killed_then_resumed(config, path, kill_after: int, workers: int = 1):
+    """Kill a checkpointed run after N records, resume, return the study."""
+    sink, _ = _killing_sink(kill_after)
+    with pytest.raises(Killed):
+        Study(config).run(sink=sink, workers=workers, checkpoint=str(path))
+    resumed = Study(config)
+    replayed = []
+    dataset = resumed.run(
+        sink=replayed.append, workers=workers, checkpoint=str(path)
+    )
+    return resumed, dataset, replayed
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The uninterrupted run everything must be byte-identical to."""
+    study = Study(_config())
+    dataset = study.run()
+    return study, dataset
+
+
+class TestSequentialResume:
+    def test_uninterrupted_checkpointed_run_matches_plain(self, baseline, tmp_path):
+        base_study, base_dataset = baseline
+        study = Study(_config())
+        dataset = study.run(checkpoint=str(tmp_path / "crawl.ckpt"))
+        assert _serialized(dataset) == _serialized(base_dataset)
+        assert study.stats == base_study.stats
+        assert study.failures == base_study.failures
+        assert study.fault_stats == base_study.fault_stats
+
+    def test_kill_at_every_round_boundary(self, baseline, tmp_path):
+        base_study, base_dataset = baseline
+        expected = _serialized(base_dataset)
+        rounds = base_study.round_count()
+        treatments = len(base_study.treatments)
+        assert rounds == 6
+        # Kill exactly at each round boundary: the sink has seen all of
+        # rounds 0..k's records and dies before round k+1 begins.
+        boundaries = []
+        committed = 0
+        for scheduled in base_study.iter_rounds():
+            round_records = treatments - sum(
+                1
+                for f in base_study.failures
+                if f.query == scheduled.query.text and f.day == scheduled.day_offset
+            )
+            committed += round_records
+            boundaries.append(committed)
+        for kill_after in boundaries[:-1]:
+            if kill_after == 0:
+                continue
+            path = tmp_path / f"boundary-{kill_after}.ckpt"
+            resumed, dataset, replayed = _run_killed_then_resumed(
+                _config(), path, kill_after
+            )
+            assert _serialized(dataset) == expected, f"kill@{kill_after}"
+            assert resumed.stats == base_study.stats
+            assert resumed.failures == base_study.failures
+            assert resumed.fault_stats == base_study.fault_stats
+            assert resumed.fault_stats.unaccounted() == {}
+            # the resumed sink stream is the complete canonical stream
+            assert _serialized(dataset) == _serialized(replayed)
+
+    def test_kill_mid_round(self, baseline, tmp_path):
+        base_study, base_dataset = baseline
+        expected = _serialized(base_dataset)
+        # Odd kill points land mid-round (rounds hold ~12 records).
+        for kill_after in (1, 5, 17, len(base_dataset) - 1):
+            path = tmp_path / f"midround-{kill_after}.ckpt"
+            resumed, dataset, _ = _run_killed_then_resumed(
+                _config(), path, kill_after
+            )
+            assert _serialized(dataset) == expected, f"kill@{kill_after}"
+            assert resumed.failures == base_study.failures
+
+    def test_double_kill_then_resume(self, baseline, tmp_path):
+        """Dying twice at different points still converges."""
+        base_study, base_dataset = baseline
+        path = tmp_path / "double.ckpt"
+        sink, _ = _killing_sink(7)
+        with pytest.raises(Killed):
+            Study(_config()).run(sink=sink, checkpoint=str(path))
+        sink, _ = _killing_sink(9)
+        with pytest.raises(Killed):
+            Study(_config()).run(sink=sink, checkpoint=str(path))
+        dataset = Study(_config()).run(checkpoint=str(path))
+        assert _serialized(dataset) == _serialized(base_dataset)
+
+    def test_resume_tolerates_partial_tail(self, baseline, tmp_path):
+        base_study, base_dataset = baseline
+        path = tmp_path / "tail.ckpt"
+        sink, _ = _killing_sink(13)
+        with pytest.raises(Killed):
+            Study(_config()).run(sink=sink, checkpoint=str(path))
+        # simulate dying mid-write: a torn, newline-less JSON fragment
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "round", "ordinal": 99, "outco')
+        dataset = Study(_config()).run(checkpoint=str(path))
+        assert _serialized(dataset) == _serialized(base_dataset)
+
+    def test_completed_journal_replays_without_crawling(self, tmp_path):
+        path = tmp_path / "done.ckpt"
+        first = Study(_config())
+        expected = _serialized(first.run(checkpoint=str(path)))
+        replay = Study(_config())
+        dataset = replay.run(checkpoint=str(path))
+        assert _serialized(dataset) == expected
+        assert replay.stats == first.stats
+
+
+class TestParallelResume:
+    def test_kill_mid_shard_with_two_workers(self, baseline, tmp_path):
+        base_study, base_dataset = baseline
+        expected = _serialized(base_dataset)
+        for kill_after in (3, 11, 25):
+            path = tmp_path / f"par-{kill_after}.ckpt"
+            resumed, dataset, replayed = _run_killed_then_resumed(
+                _config(), path, kill_after, workers=2
+            )
+            assert _serialized(dataset) == expected, f"workers=2 kill@{kill_after}"
+            assert resumed.stats == base_study.stats
+            assert resumed.failures == base_study.failures
+            assert resumed.fault_stats == base_study.fault_stats
+            assert resumed.fault_stats.unaccounted() == {}
+            assert _serialized(dataset) == _serialized(replayed)
+
+    def test_uninterrupted_parallel_checkpoint_matches_sequential(
+        self, baseline, tmp_path
+    ):
+        _, base_dataset = baseline
+        study = Study(_config())
+        dataset = study.run(workers=2, checkpoint=str(tmp_path / "par.ckpt"))
+        assert _serialized(dataset) == _serialized(base_dataset)
+
+    def test_sequential_kill_parallel_resume_is_refused(self, tmp_path):
+        path = tmp_path / "cross.ckpt"
+        sink, _ = _killing_sink(5)
+        with pytest.raises(Killed):
+            Study(_config()).run(sink=sink, checkpoint=str(path))
+        with pytest.raises(CheckpointError, match="worker"):
+            Study(_config()).run(workers=2, checkpoint=str(path))
+
+
+class TestMismatchRejection:
+    def test_different_config_is_refused(self, tmp_path):
+        path = tmp_path / "mismatch.ckpt"
+        sink, _ = _killing_sink(5)
+        with pytest.raises(Killed):
+            Study(_config()).run(sink=sink, checkpoint=str(path))
+        other = _config(seed=_config().seed + 1)
+        with pytest.raises(CheckpointError, match="different study"):
+            Study(other).run(checkpoint=str(path))
+
+    def test_different_fault_plan_is_refused(self, tmp_path):
+        path = tmp_path / "plan.ckpt"
+        sink, _ = _killing_sink(5)
+        with pytest.raises(Killed):
+            Study(_config()).run(sink=sink, checkpoint=str(path))
+        other = _config(fault_plan=FaultPlan.named("flaky-network"))
+        with pytest.raises(CheckpointError):
+            Study(other).run(checkpoint=str(path))
+
+    def test_garbage_file_is_refused(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_text("this is not a checkpoint\n", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            Study(_config()).run(checkpoint=str(path))
+
+
+class TestNoFaultCheckpoint:
+    def test_checkpointing_works_without_a_fault_plan(self, tmp_path):
+        config = StudyConfig.small(
+            _queries(), days=1, locations_per_granularity=2
+        ).with_overrides(machine_count=5)
+        base = _serialized(Study(config).run())
+        path = tmp_path / "plain.ckpt"
+        sink, _ = _killing_sink(9)
+        with pytest.raises(Killed):
+            Study(config).run(sink=sink, checkpoint=str(path))
+        dataset = Study(config).run(checkpoint=str(path))
+        assert _serialized(dataset) == base

@@ -138,3 +138,30 @@ class TestMergedState:
         streamed = []
         dataset = run_parallel(Study(config), workers=2, sink=streamed.append)
         assert streamed == list(dataset)
+
+
+class TestChaosParity:
+    """Byte parity must survive the fault layer: injected faults,
+    retries, and per-IP breakers are all keyed on worker-independent
+    state, so a chaos-plan run shards without drift."""
+
+    def test_chaos_plan_parity_across_workers(self):
+        from repro.faults.plan import FaultPlan
+
+        config = _config(fault_plan=FaultPlan.named("chaos"), max_retries=2)
+        seq_study = Study(config)
+        expected = _serialized(seq_study.run())
+        par_study = Study(config)
+        dataset = run_parallel(par_study, workers=2)
+        assert _serialized(dataset) == expected
+        assert par_study.stats == seq_study.stats
+        assert par_study.failures == seq_study.failures
+        assert par_study.fault_stats == seq_study.fault_stats
+        assert par_study.fault_stats.unaccounted() == {}
+
+    def test_chaos_plan_parity_three_workers(self):
+        from repro.faults.plan import FaultPlan
+
+        config = _config(fault_plan=FaultPlan.named("flaky-network"))
+        expected = _serialized(Study(config).run())
+        assert _serialized(run_parallel(Study(config), workers=3)) == expected

@@ -143,3 +143,75 @@ class TestAdversarialTitles:
         assert "<script>" not in html
         parsed = parse_serp_html(html)
         assert len(parsed.urls()) == 1
+
+
+class TestTruncatedSerp:
+    """Truncated pages — the wire cut mid-response — must never parse
+    as a quietly-shorter result list; they are either a parse error or
+    detectably incomplete, and the runner turns both into a structured
+    ``malformed-serp`` :class:`~repro.core.runner.CrawlFailure`."""
+
+    def test_cut_before_footer_is_detected(self):
+        html = render_page(_page_with_titles(["a", "b", "c"]))
+        cut = html[: html.index("<footer")]
+        try:
+            parsed = parse_serp_html(cut)
+        except SerpParseError:
+            return
+        assert not parsed.is_complete
+
+    def test_every_truncation_point_before_footer_is_detected(self):
+        html = render_page(_page_with_titles(["a", "b", "c", "d"]))
+        footer_at = html.index("<footer")
+        for offset in range(100, footer_at, max(1, footer_at // 40)):
+            cut = html[:offset]
+            try:
+                parsed = parse_serp_html(cut)
+            except SerpParseError:
+                continue
+            assert not parsed.is_complete, f"undetected truncation at {offset}"
+
+    def test_injected_truncation_becomes_structured_failure(self):
+        from repro.core.experiment import StudyConfig
+        from repro.core.runner import Study
+        from repro.faults.plan import FaultPlan
+        from repro.queries.corpus import build_corpus
+
+        corpus = build_corpus()
+        config = StudyConfig.small(
+            [corpus.get("Starbucks")], days=1, locations_per_granularity=1
+        ).with_overrides(
+            max_retries=0,
+            fault_plan=FaultPlan(seed=3, truncation_rate=1.0),
+            circuit_breakers=False,
+        )
+        study = Study(config)
+        dataset = study.run()
+        assert len(dataset) == 0
+        assert len(study.failures) == len(study.treatments)
+        assert {failure.kind for failure in study.failures} == {"malformed-serp"}
+        assert study.stats.malformed == len(study.failures)
+        assert study.fault_stats.unaccounted() == {}
+
+    def test_truncation_is_recovered_by_retries(self):
+        from repro.core.experiment import StudyConfig
+        from repro.core.runner import Study
+        from repro.faults.plan import FaultPlan
+        from repro.queries.corpus import build_corpus
+
+        corpus = build_corpus()
+        config = StudyConfig.small(
+            [corpus.get("Starbucks")], days=1, locations_per_granularity=1
+        ).with_overrides(
+            max_retries=3,
+            fault_plan=FaultPlan(seed=3, truncation_rate=0.3),
+            circuit_breakers=False,
+        )
+        study = Study(config)
+        dataset = study.run()
+        injected = study.fault_stats.injected.get("malformed-serp", 0)
+        assert injected > 0
+        recovered = study.fault_stats.absorbed.get("malformed-serp", 0)
+        lost = study.fault_stats.terminal.get("malformed-serp", 0)
+        assert injected == recovered + lost
+        assert len(dataset) + len(study.failures) == len(study.treatments)
