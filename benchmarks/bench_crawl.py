@@ -43,6 +43,13 @@ def test_crawl_worker_sweep(render_sink):
     # plan): must be recorded and byte-identical to the plain run.
     assert report.fault_layer is not None
     assert report.fault_layer["byte_identical_to_sequential"]
+    # Tracing-off overhead of the always-wired obs layer: recorded, and
+    # neither the disabled-tracer re-run nor the traced run may perturb
+    # the dataset.
+    assert report.obs_layer is not None
+    assert report.obs_layer["byte_identical_to_sequential"]
+    assert report.obs_layer["traced_byte_identical_to_sequential"]
+    assert report.obs_layer["trace_spans"] > 0
 
 
 def test_crawl_worker_sweep_via_gateway(render_sink):

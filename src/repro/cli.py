@@ -9,6 +9,9 @@ Examples::
     repro-study serve-bench --routing geo-affinity --cache-size 4096
     repro-study crawl-bench --workers 1,2,4,8 --out BENCH_crawl.json
     repro-study chaos --plan chaos --workers 2 --checkpoint crawl.ckpt
+    repro-study run --scale small --out s.jsonl.gz --trace s.trace.jsonl
+    repro-study trace s.trace.jsonl --check --chrome s.chrome.json
+    repro-study metrics s.metrics.json --format prom
 """
 
 from __future__ import annotations
@@ -35,6 +38,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from repro.faults.plan import NAMED_PLANS
+
     run = sub.add_parser("run", help="run the crawl and save the dataset")
     run.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
     run.add_argument(
@@ -56,6 +61,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="round-journal path: a killed run resumes from it "
         "byte-identically (same seed/scale/workers required)",
+    )
+    run.add_argument(
+        "--gateway",
+        action="store_true",
+        help="route the crawl via the serving gateway",
+    )
+    run.add_argument(
+        "--plan",
+        choices=sorted(NAMED_PLANS),
+        default=None,
+        help="inject a named fault plan during the crawl",
+    )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault schedule (with --plan)",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a deterministic JSONL trace "
+        "(byte-identical for any --workers; incompatible with --checkpoint)",
+    )
+    run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the unified metrics snapshot as JSON",
     )
 
     report = sub.add_parser("report", help="print figure tables from a dataset")
@@ -154,8 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="give every client the same DNS answer (the paper's pinning)",
     )
-
-    from repro.faults.plan import NAMED_PLANS
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace of the served requests",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -216,6 +255,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print a cProfile top-20 cumulative table of the sequential run",
     )
+
+    trace = sub.add_parser(
+        "trace", help="validate, profile, or export a deterministic trace"
+    )
+    trace.add_argument("path", help="trace file written by run --trace")
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help="structural validation; non-zero exit on problems",
+    )
+    trace.add_argument(
+        "--chrome",
+        default=None,
+        metavar="OUT",
+        help="export Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="top-N span names in the profile report",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="render a metrics snapshot written by run --metrics"
+    )
+    metrics.add_argument("path", help="metrics snapshot JSON")
+    metrics.add_argument(
+        "--format",
+        choices=["table", "prom"],
+        default="table",
+        help="table: aligned names; prom: Prometheus text exposition",
+    )
     return parser
 
 
@@ -244,6 +316,15 @@ def _config_for_scale(scale: str, seed: int, days: Optional[int]) -> StudyConfig
 
 def _cmd_run(args) -> int:
     config = _config_for_scale(args.scale, args.seed, args.days)
+    overrides = {}
+    if args.gateway:
+        overrides["route_via_gateway"] = True
+    if args.plan:
+        from repro.faults.plan import FaultPlan
+
+        overrides["fault_plan"] = FaultPlan.named(args.plan, seed=args.fault_seed)
+    if overrides:
+        config = config.with_overrides(**overrides)
     study = Study(config)
     print(
         f"running {args.scale} study: {len(config.queries)} queries, "
@@ -251,12 +332,30 @@ def _cmd_run(args) -> int:
         f"{args.workers} worker(s) ...",
         file=sys.stderr,
     )
-    dataset = study.run(workers=args.workers, checkpoint=args.checkpoint)
+    dataset = study.run(
+        workers=args.workers, checkpoint=args.checkpoint, trace=args.trace
+    )
     dataset.save(args.out)
     print(
         f"collected {len(dataset)} pages ({len(study.failures)} failures) -> {args.out}",
         file=sys.stderr,
     )
+    if study.stats.failures_by_kind:
+        breakdown = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(study.stats.failures_by_kind.items())
+        )
+        print(f"failures by kind: {breakdown}", file=sys.stderr)
+    if args.trace:
+        print(f"trace -> {args.trace}", file=sys.stderr)
+    if args.metrics:
+        import json
+
+        snapshot = study.metrics_registry().snapshot()
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics -> {args.metrics}", file=sys.stderr)
     return 0
 
 
@@ -463,6 +562,23 @@ def _cmd_serve_bench(args) -> int:
     loadgen = LoadGenerator(
         list(corpus), population, args.seed, rate_per_minute=args.rate
     )
+    builder = None
+    if args.trace:
+        from repro.obs.exporters import TraceBuilder
+        from repro.obs.trace import Tracer, trace_id_for
+
+        bench_meta = {
+            "bench": "serve",
+            "seed": args.seed,
+            "requests": args.requests,
+            "clients": args.clients,
+            "routing": args.routing,
+            "cache_size": args.cache_size,
+        }
+        trace_id = trace_id_for(bench_meta)
+        gateway.tracer = Tracer()
+        gateway.tracer.enable(trace_id)
+        builder = TraceBuilder(args.trace, trace_id=trace_id, meta=bench_meta)
     print(
         f"serve-bench: {args.requests} requests, {args.clients} clients, "
         f"{len(replicas)} replicas, routing={args.routing}, "
@@ -470,6 +586,11 @@ def _cmd_serve_bench(args) -> int:
         file=sys.stderr,
     )
     print(run_load(gateway, loadgen, args.requests).render())
+    if builder is not None:
+        builder.add_trees(gateway.tracer.drain())
+        builder.close()
+        gateway.tracer.disable()
+        print(f"trace -> {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -522,10 +643,14 @@ def _cmd_chaos(args) -> int:
         )
     unaccounted = fault_stats.unaccounted()
 
+    from repro.obs.metrics import Histogram
+
     print("\nretry histogram (attempts per delivered query):")
-    for attempts in sorted(fault_stats.retry_histogram):
-        count = fault_stats.retry_histogram[attempts]
-        print(f"  {attempts} attempt(s): {count}")
+    print(
+        Histogram.from_counts(fault_stats.retry_histogram).render(
+            indent="  ", unit="attempt(s)"
+        )
+    )
 
     transitions = study.breakers.transitions() if study.breakers else []
     print(f"\nbreaker transitions: {len(transitions)}")
@@ -614,6 +739,46 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.exporters import read_trace, validate_trace, write_chrome_trace
+    from repro.obs.profile import profile_trace
+
+    acted = False
+    if args.check:
+        problems = validate_trace(args.path)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        header, spans, summary = read_trace(args.path)
+        print(
+            f"{args.path}: ok (trace {header['trace_id']}, "
+            f"{summary['rounds']} round(s), {summary['spans']} spans)"
+        )
+        acted = True
+    if args.chrome:
+        write_chrome_trace(args.path, args.chrome)
+        print(f"chrome trace -> {args.chrome}", file=sys.stderr)
+        acted = True
+    if not acted:
+        print(profile_trace(args.path).render(top=args.top))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs.metrics import render_prometheus, render_table
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if args.format == "prom":
+        print(render_prometheus(snapshot))
+    else:
+        print(render_table(snapshot))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -634,6 +799,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "chaos": _cmd_chaos,
         "crawl-bench": _cmd_crawl_bench,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

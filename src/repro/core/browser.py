@@ -25,6 +25,7 @@ from repro.engine.request import ResponseStatus, SearchRequest, SearchResponse
 from repro.geo.coords import LatLon
 from repro.net.dns import DNSResolver
 from repro.net.machines import Machine
+from repro.obs.trace import NULL_TRACER
 from repro.seeding import stable_hash
 
 __all__ = ["Fingerprint", "GeolocationOverride", "Network", "MobileBrowser", "CrawlResult"]
@@ -100,6 +101,7 @@ class Network:
     def __init__(self, resolver: DNSResolver, engine: SearchEngine):
         self.resolver = resolver
         self.engine = engine
+        self.tracer = NULL_TRACER
 
     def submit(
         self,
@@ -117,6 +119,10 @@ class Network:
         frontend_ip = self.resolver.resolve(
             self.engine.dialect.hostname, query_id=nonce
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "net.dns", at=timestamp_minutes, ip=str(frontend_ip)
+            )
         request = SearchRequest(
             query_text=query_text,
             client_ip=machine.ip,

@@ -33,7 +33,7 @@ The result is a :class:`SerpDataset` the analysis modules consume.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.browser import MobileBrowser, Network
@@ -62,6 +62,8 @@ from repro.geo.regions import Region
 from repro.net.dns import DNSResolver, ResolutionError
 from repro.net.geoip import GeoIPDatabase
 from repro.net.machines import MachineFleet
+from repro.obs.metrics import MetricSet
+from repro.obs.trace import Tracer, trace_id_for
 from repro.queries.corpus import QueryCorpus
 from repro.queries.model import Query
 from repro.seeding import derive_seed, stable_hash
@@ -114,11 +116,13 @@ class CrawlFailure:
 
 
 @dataclass
-class CrawlStats:
+class CrawlStats(MetricSet):
     """Counters for one study run.
 
-    Every field is a plain sum, so stats from sharded workers merge
-    associatively (:meth:`merge`) into exactly the sequential counters.
+    Every field is a plain sum (``failures_by_kind`` sums per key), so
+    stats from sharded workers merge associatively into exactly the
+    sequential counters; snapshot/merge/restore come from
+    :class:`~repro.obs.metrics.MetricSet`.
     """
 
     requests: int = 0
@@ -136,13 +140,11 @@ class CrawlStats:
     """Requests shed by the serving gateway (every queue full)."""
     breaker_fastfails: int = 0
     """Attempts suppressed because the machine's breaker was open."""
+    failures_by_kind: Dict[str, int] = field(default_factory=dict)
+    """Terminal failures by :class:`FailureKind` value."""
 
-    def merge(self, other: "CrawlStats") -> None:
-        """Fold another run's (or shard's) counters into this one."""
-        for spec in fields(self):
-            setattr(
-                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
-            )
+    def record_failure_kind(self, kind: str) -> None:
+        self.failures_by_kind[kind] = self.failures_by_kind.get(kind, 0) + 1
 
 
 @dataclass(frozen=True)
@@ -258,6 +260,18 @@ class Study:
         else:
             self.network = Network(self.resolver, serving_surface)
 
+        # One tracer instance threads through the layers that record
+        # deterministic telemetry: the network (DNS answers, injected
+        # faults) and — in direct mode only — the engine.  The gateway
+        # and its replicas are deliberately left on NULL_TRACER: their
+        # live telemetry is shard-local, so the canonical gateway view
+        # of a crawl is reconstructed at merge time by
+        # :class:`~repro.obs.replay.GatewayReplay` instead.
+        self.tracer = Tracer()
+        self.network.tracer = self.tracer
+        if self.gateway is None:
+            self.engine.tracer = self.tracer
+
         breakers_enabled = self.config.circuit_breakers
         if breakers_enabled is None:
             breakers_enabled = self.fault_plan is not None
@@ -308,7 +322,12 @@ class Study:
     # -- execution ---------------------------------------------------------------
 
     def run(
-        self, *, sink=None, workers: int = 1, checkpoint: Optional[str] = None
+        self,
+        *,
+        sink=None,
+        workers: int = 1,
+        checkpoint: Optional[str] = None,
+        trace: Optional[str] = None,
     ) -> SerpDataset:
         """Execute the full schedule and return the collected dataset.
 
@@ -331,27 +350,63 @@ class Study:
                 durable round and the final dataset, stats, and failure
                 log are byte-identical to an uninterrupted run.  The
                 worker count must match the journal's.
+            trace: Optional path for a canonical JSONL trace (see
+                :mod:`repro.obs`).  The trace file is byte-identical
+                for any ``workers`` count.  Cannot be combined with
+                ``checkpoint`` — the journal does not carry spans, so a
+                resumed trace would silently miss its earlier rounds.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if trace is not None and checkpoint is not None:
+            raise ValueError(
+                "trace and checkpoint cannot be combined: the checkpoint "
+                "journal does not carry spans, so a resumed run could not "
+                "rebuild the rounds crawled before the kill"
+            )
         if workers > 1:
             from repro.parallel import run_parallel
 
             return run_parallel(
-                self, workers=workers, sink=sink, checkpoint=checkpoint
+                self, workers=workers, sink=sink, checkpoint=checkpoint, trace=trace
             )
         dataset = SerpDataset()
         self._sink = sink
+        builder = self._trace_builder(trace) if trace is not None else None
         try:
             if checkpoint is not None:
                 return self._run_checkpointed(dataset, checkpoint)
             for scheduled in self.iter_rounds():
-                self._run_round(
-                    dataset, scheduled.query, scheduled.day_offset, scheduled.timestamp
-                )
+                self._run_round(dataset, scheduled)
+                if builder is not None:
+                    builder.add_round(scheduled.ordinal, self.tracer.drain())
         finally:
+            if builder is not None:
+                builder.close()
+                self.tracer.disable()
             self._sink = None
         return dataset
+
+    def _trace_builder(self, path: str):
+        """Enable the tracer and open the canonical trace file at ``path``."""
+        from repro.obs.exporters import TraceBuilder
+        from repro.obs.replay import GatewayReplay
+
+        fingerprint = self.checkpoint_fingerprint()
+        trace_id = trace_id_for(fingerprint)
+        self.tracer.enable(trace_id)
+        return TraceBuilder(
+            path,
+            trace_id=trace_id,
+            meta=fingerprint,
+            replay=GatewayReplay.from_study(self),
+        )
+
+    def metrics_registry(self):
+        """This study's stats, bound into a :class:`MetricsRegistry`."""
+        from repro.obs.metrics import build_study_registry
+
+        return build_study_registry(self)
 
     def _run_checkpointed(self, dataset: SerpDataset, path: str) -> SerpDataset:
         """Sequential run with a durable round journal (see :meth:`run`)."""
@@ -381,13 +436,8 @@ class Study:
                 if scheduled.ordinal < start:
                     continue
                 outcomes = [
-                    self._crawl_treatment(
-                        treatment,
-                        scheduled.query,
-                        scheduled.day_offset,
-                        scheduled.timestamp,
-                    )
-                    for treatment in self.treatments
+                    self._crawl_treatment(index, treatment, scheduled)
+                    for index, treatment in enumerate(self.treatments)
                 ]
                 # Durable-then-release: the journal line hits disk
                 # before the outcomes reach the dataset or sink, so a
@@ -431,17 +481,12 @@ class Study:
         queries = list(self.config.queries)
         return [queries[i : i + block_size] for i in range(0, len(queries), block_size)]
 
-    def _run_round(
-        self,
-        dataset: SerpDataset,
-        query: Query,
-        day_offset: int,
-        timestamp: float,
-    ) -> None:
-        """One lock-step round: every treatment runs ``query`` at once."""
+    def _run_round(self, dataset: SerpDataset, scheduled: ScheduledRound) -> None:
+        """One lock-step round: every treatment runs the query at once."""
+        self.tracer.begin_round(scheduled.ordinal)
         outcomes = [
-            self._crawl_treatment(treatment, query, day_offset, timestamp)
-            for treatment in self.treatments
+            self._crawl_treatment(index, treatment, scheduled)
+            for index, treatment in enumerate(self.treatments)
         ]
         self._commit_outcomes(dataset, outcomes)
 
@@ -466,69 +511,87 @@ class Study:
         on_round,
         start_ordinal: int = 0,
         capture_state: bool = False,
+        trace: bool = False,
     ) -> None:
         """Crawl only the given treatments through the full schedule.
 
         The building block of the parallel executor: the study walks
         :meth:`iter_rounds` exactly like a sequential run but issues
         queries only for its shard of the treatment list, calling
-        ``on_round(ordinal, outcomes, state)`` after each round with the
-        list of ``(treatment_index, SerpRecord | CrawlFailure)`` in
-        ascending treatment order.  ``state`` is this shard's
-        :meth:`capture_state` snapshot when ``capture_state`` is set
-        (checkpointed runs), else ``None``.  Rounds before
-        ``start_ordinal`` are skipped — the resume path, which assumes
+        ``on_round(ordinal, outcomes, state, spans)`` after each round
+        with the list of ``(treatment_index, SerpRecord |
+        CrawlFailure)`` in ascending treatment order.  ``state`` is
+        this shard's :meth:`capture_state` snapshot when
+        ``capture_state`` is set (checkpointed runs), else ``None``.
+        ``spans`` is the round's drained span trees when ``trace`` is
+        set, else ``None`` — span ids key on (trace id, round,
+        treatment), so trees from different shards interleave into
+        exactly the sequential trace.  Rounds before ``start_ordinal``
+        are skipped — the resume path, which assumes
         :meth:`restore_state` was fed the matching snapshot.
         ``self.stats`` accumulates this shard's counters.
         """
+        if trace:
+            self.tracer.enable(trace_id_for(self.checkpoint_fingerprint()))
         shard = [(index, self.treatments[index]) for index in treatment_indices]
         for scheduled in self.iter_rounds():
             if scheduled.ordinal < start_ordinal:
                 continue
+            self.tracer.begin_round(scheduled.ordinal)
             outcomes = [
-                (
-                    index,
-                    self._crawl_treatment(
-                        treatment,
-                        scheduled.query,
-                        scheduled.day_offset,
-                        scheduled.timestamp,
-                    ),
-                )
+                (index, self._crawl_treatment(index, treatment, scheduled))
                 for index, treatment in shard
             ]
             state = self.capture_state(scheduled.timestamp) if capture_state else None
-            on_round(scheduled.ordinal, outcomes, state)
+            spans = self.tracer.drain() if trace else None
+            on_round(scheduled.ordinal, outcomes, state, spans)
 
     def _crawl_treatment(
         self,
+        index: int,
         treatment: _Treatment,
-        query: Query,
-        day_offset: int,
-        timestamp: float,
+        scheduled: ScheduledRound,
     ) -> Union[SerpRecord, CrawlFailure]:
         """One treatment's turn in a round: crawl, parse, or fail."""
+        query = scheduled.query
+        if self.tracer.enabled:
+            region = treatment.region
+            self.tracer.begin(
+                "crawl",
+                start=scheduled.timestamp,
+                treatment=index,
+                query=query.text,
+                location=region.qualified_name,
+                granularity=treatment.granularity.value,
+                copy=treatment.copy_index,
+                gps=[region.center.lat, region.center.lon],
+            )
         parsed, failure_kind = self._crawl_with_retries(
-            treatment, query.text, timestamp
+            treatment, query.text, scheduled.timestamp
         )
         if self.config.clear_cookies:
             treatment.browser.clear_cookies()
         if parsed is None:
+            self.stats.record_failure_kind(failure_kind.value)
+            if self.tracer.enabled:
+                self.tracer.end(outcome=failure_kind.value)
             return CrawlFailure(
                 query=query.text,
                 location_name=treatment.region.qualified_name,
-                day=day_offset,
+                day=scheduled.day_offset,
                 copy_index=treatment.copy_index,
                 reason=failure_kind.value,
                 kind=failure_kind.value,
             )
         self.stats.pages += 1
+        if self.tracer.enabled:
+            self.tracer.end(outcome="ok")
         return SerpRecord.from_parsed(
             parsed,
             category=query.category.value,
             granularity=treatment.granularity.value,
             location_name=treatment.region.qualified_name,
-            day=day_offset,
+            day=scheduled.day_offset,
             copy_index=treatment.copy_index,
         )
 
@@ -551,38 +614,82 @@ class Study:
         attempt_time = timestamp
         pending: List[FailureKind] = []
         issued = 0
+        tracing = self.tracer.enabled
         for attempt in range(self.config.max_retries + 1):
+            marker = self._breaker_marker()
             if self.breakers is not None and not self.breakers.allow(
                 breaker_key, attempt_time
             ):
                 self.stats.breaker_fastfails += 1
                 pending.append(FailureKind.BREAKER_OPEN)
+                if tracing:
+                    self._trace_breaker_transitions(marker, attempt_time)
+                    self.tracer.event(
+                        "breaker.fastfail", at=attempt_time, machine=breaker_key
+                    )
             else:
                 issued += 1
                 self.stats.requests += 1
                 if issued > 1:
                     self.stats.retries += 1
+                if tracing:
+                    self._trace_breaker_transitions(marker, attempt_time)
+                    self.tracer.begin("attempt", start=attempt_time, n=attempt)
                 parsed, kind = self._attempt(treatment, query_text, attempt_time)
                 if parsed is not None:
+                    if tracing:
+                        self.tracer.end(status="ok")
+                    marker = self._breaker_marker()
                     if self.breakers is not None:
                         self.breakers.record_success(breaker_key, attempt_time)
+                        if tracing:
+                            self._trace_breaker_transitions(marker, attempt_time)
                     for absorbed in pending:
                         self.fault_stats.record_absorbed(absorbed)
                     self.fault_stats.record_attempts(issued)
                     return parsed, None
+                if tracing:
+                    self.tracer.end(status=kind.value)
                 pending.append(kind)
+                marker = self._breaker_marker()
                 if self.breakers is not None and kind in _BREAKER_TRIP_KINDS:
                     self.breakers.record_failure(breaker_key, attempt_time)
+                    if tracing:
+                        self._trace_breaker_transitions(marker, attempt_time)
             if attempt < self.config.max_retries:
-                attempt_time += self.retry_policy.delay_minutes(
+                delay = self.retry_policy.delay_minutes(
                     attempt, browser.browser_id, timestamp
                 )
+                if tracing:
+                    self.tracer.event(
+                        "retry.backoff", at=attempt_time, minutes=delay
+                    )
+                attempt_time += delay
         for absorbed in pending[:-1]:
             self.fault_stats.record_absorbed(absorbed)
         terminal = pending[-1]
         self.fault_stats.record_terminal(terminal)
         self.fault_stats.record_attempts(issued)
         return None, terminal
+
+    def _breaker_marker(self) -> int:
+        """Transition-log position, for diffing after a breaker call."""
+        if self.breakers is None or not self.tracer.enabled:
+            return 0
+        return self.breakers.transition_count()
+
+    def _trace_breaker_transitions(self, marker: int, at: float) -> None:
+        """Emit span events for breaker transitions after ``marker``."""
+        if self.breakers is None:
+            return
+        for transition in self.breakers.transitions()[marker:]:
+            self.tracer.event(
+                "breaker.transition",
+                at=at,
+                machine=transition.key,
+                old=transition.old.value,
+                new=transition.new.value,
+            )
 
     def _attempt(
         self, treatment: _Treatment, query_text: str, attempt_time: float
@@ -684,7 +791,7 @@ class Study:
         identically by the constructor on resume.
         """
         state = {
-            "stats": asdict(self.stats),
+            "stats": self.stats.capture_state(),
             "fault_stats": self.fault_stats.capture_state(),
             "browsers": [
                 treatment.browser.capture_state() for treatment in self.treatments
@@ -700,7 +807,8 @@ class Study:
 
     def restore_state(self, state: dict) -> None:
         """Inverse of :meth:`capture_state` (on a fresh study)."""
-        self.stats = CrawlStats(**state["stats"])
+        self.stats = CrawlStats()
+        self.stats.restore_state(state["stats"])
         self.fault_stats.restore_state(state["fault_stats"])
         for treatment, snapshot in zip(self.treatments, state["browsers"]):
             treatment.browser.restore_state(snapshot)
@@ -725,5 +833,5 @@ class Study:
         """Run one query across all treatments (for examples/debugging)."""
         dataset = SerpDataset()
         timestamp = float(day * MINUTES_PER_DAY)
-        self._run_round(dataset, query, day, timestamp)
+        self._run_round(dataset, ScheduledRound(0, query, day, timestamp))
         return [(r.location_name, r.copy_index, r) for r in dataset]

@@ -21,6 +21,7 @@ from repro.engine.serp import SerpPage
 from repro.engine.sessions import SessionStore
 from repro.geo.coords import LatLon
 from repro.net.geoip import GeoIPDatabase
+from repro.obs.trace import NULL_TRACER
 from repro.queries.corpus import QueryCorpus
 from repro.seeding import stable_hash
 from repro.web.world import WebWorld
@@ -68,17 +69,27 @@ class SearchEngine:
         self.ratelimiter = RateLimiter(
             max_per_minute=self.calibration.ratelimit_max_per_minute
         )
+        self.tracer = NULL_TRACER
 
     # -- serving ------------------------------------------------------------
 
     def handle(self, request: SearchRequest) -> SearchResponse:
         """Serve one request, returning rendered HTML."""
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.begin("engine.handle", start=request.timestamp_minutes)
         if not self.ratelimiter.allow(request.client_ip, request.timestamp_minutes):
+            if tracing:
+                self.tracer.end(status="rate-limited")
             return SearchResponse(
                 status=ResponseStatus.RATE_LIMITED,
                 html=render_captcha(request.query_text, self.dialect),
             )
         page = self._build_page(request)
+        if tracing:
+            self.tracer.end(
+                status="ok", datacenter=self.cluster.by_ip(request.frontend_ip).name
+            )
         return SearchResponse(
             status=ResponseStatus.OK, html=render_page(page, self.dialect)
         )

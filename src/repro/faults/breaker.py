@@ -149,6 +149,10 @@ class BreakerBoard:
         """All state changes, in virtual-time order of occurrence."""
         return list(self._transitions)
 
+    def transition_count(self) -> int:
+        """Length of the transition log (cheap new-transition detection)."""
+        return len(self._transitions)
+
     def open_count(self) -> int:
         return sum(
             1 for b in self._breakers.values() if b.state is not BreakerState.CLOSED

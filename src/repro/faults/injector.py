@@ -45,6 +45,7 @@ from repro.faults.plan import FailureKind, FaultKind, FaultPlan
 from repro.geo.coords import LatLon
 from repro.net.dns import ResolutionError
 from repro.net.machines import Machine
+from repro.obs.metrics import MetricSet
 
 __all__ = [
     "InjectedFault",
@@ -83,14 +84,18 @@ _SERVER_ERROR_HTML = (
 
 
 @dataclass
-class FaultStats:
+class FaultStats(MetricSet):
     """The chaos ledger: what was injected and what became of it.
 
     All dict keys are :class:`FailureKind` *values* (plain strings) so
-    snapshots serialize straight to JSON.  Counters are plain sums and
-    merge associatively across shards, like
-    :class:`~repro.core.runner.CrawlStats`.
+    snapshots serialize straight to JSON — except ``retry_histogram``,
+    whose int keys round-trip via ``_INT_KEYED_FIELDS``.  Counters are
+    plain sums and merge associatively across shards, like
+    :class:`~repro.core.runner.CrawlStats`; snapshot/merge/restore come
+    from :class:`~repro.obs.metrics.MetricSet`.
     """
+
+    _INT_KEYED_FIELDS = ("retry_histogram",)
 
     injected: Dict[str, int] = field(default_factory=dict)
     absorbed: Dict[str, int] = field(default_factory=dict)
@@ -141,37 +146,6 @@ class FaultStats:
                 deltas[kind] = delta
         return deltas
 
-    def merge(self, other: "FaultStats") -> None:
-        """Fold another shard's ledger into this one."""
-        for kind, count in other.injected.items():
-            self.injected[kind] = self.injected.get(kind, 0) + count
-        for kind, count in other.absorbed.items():
-            self.absorbed[kind] = self.absorbed.get(kind, 0) + count
-        for kind, count in other.terminal.items():
-            self.terminal[kind] = self.terminal.get(kind, 0) + count
-        for attempts, count in other.retry_histogram.items():
-            self.retry_histogram[attempts] = (
-                self.retry_histogram.get(attempts, 0) + count
-            )
-
-    # -- checkpointing -------------------------------------------------------
-
-    def capture_state(self) -> dict:
-        return {
-            "injected": dict(self.injected),
-            "absorbed": dict(self.absorbed),
-            "terminal": dict(self.terminal),
-            "retry_histogram": {str(k): v for k, v in self.retry_histogram.items()},
-        }
-
-    def restore_state(self, state: dict) -> None:
-        self.injected = dict(state["injected"])
-        self.absorbed = dict(state["absorbed"])
-        self.terminal = dict(state["terminal"])
-        self.retry_histogram = {
-            int(k): v for k, v in state["retry_histogram"].items()
-        }
-
 
 class FaultyNetwork(Network):
     """A :class:`Network` that injects a :class:`FaultPlan`'s schedule.
@@ -202,23 +176,23 @@ class FaultyNetwork(Network):
             # Engine-wide anti-bot event: the CAPTCHA interstitial is
             # served from the edge, before the request reaches the
             # frontend (so no rate-limiter or session state advances).
-            self.fault_stats.record_injected(FailureKind.RATE_LIMIT_STORM)
+            self._record_injection(FailureKind.RATE_LIMIT_STORM, timestamp_minutes)
             return SearchResponse(
                 status=ResponseStatus.RATE_LIMITED,
                 html=render_captcha(query_text, self.engine.dialect),
             )
         kind = plan.request_fault(nonce)
         if kind is FaultKind.BROWSER_CRASH:
-            self.fault_stats.record_injected(FailureKind.BROWSER_CRASH)
+            self._record_injection(FailureKind.BROWSER_CRASH, timestamp_minutes)
             raise BrowserCrash(f"injected browser crash (nonce {nonce:#x})")
         if kind is FaultKind.DNS_FAILURE:
-            self.fault_stats.record_injected(FailureKind.DNS_FAILURE)
+            self._record_injection(FailureKind.DNS_FAILURE, timestamp_minutes)
             raise InjectedDNSFailure(self.engine.dialect.hostname)
         if kind is FaultKind.TIMEOUT:
-            self.fault_stats.record_injected(FailureKind.TIMEOUT)
+            self._record_injection(FailureKind.TIMEOUT, timestamp_minutes)
             raise RequestTimeout(f"injected timeout (nonce {nonce:#x})")
         if kind is FaultKind.SERVER_ERROR:
-            self.fault_stats.record_injected(FailureKind.SERVER_ERROR)
+            self._record_injection(FailureKind.SERVER_ERROR, timestamp_minutes)
             return SearchResponse(
                 status=ResponseStatus.SERVER_ERROR, html=_SERVER_ERROR_HTML
             )
@@ -233,12 +207,20 @@ class FaultyNetwork(Network):
             page=page,
         )
         if response.ok and plan.truncates(nonce):
-            self.fault_stats.record_injected(FailureKind.MALFORMED_SERP)
+            self._record_injection(FailureKind.MALFORMED_SERP, timestamp_minutes)
             return SearchResponse(
                 status=response.status,
                 html=self._truncate(response.html, nonce),
             )
         return response
+
+    def _record_injection(self, kind: FailureKind, timestamp_minutes: float) -> None:
+        """Book an injected fault and mark it on the current span."""
+        self.fault_stats.record_injected(kind)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault.injected", at=timestamp_minutes, kind=kind.value
+            )
 
     def _truncate(self, html: str, nonce: int) -> str:
         """Cut the page off somewhere before the footer.

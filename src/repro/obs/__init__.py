@@ -1,0 +1,29 @@
+"""repro.obs — deterministic observability over virtual time.
+
+Tracing (:mod:`repro.obs.trace`), unified metrics
+(:mod:`repro.obs.metrics`), exporters (:mod:`repro.obs.exporters`),
+merge-time gateway replay (:mod:`repro.obs.replay`), and the
+virtual-time profiler (:mod:`repro.obs.profile`).
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricSet,
+    MetricsRegistry,
+    build_study_registry,
+    render_prometheus,
+    render_table,
+)
+from repro.obs.trace import NULL_TRACER, Tracer, trace_id_for
+
+__all__ = [
+    "Histogram",
+    "MetricSet",
+    "MetricsRegistry",
+    "build_study_registry",
+    "render_prometheus",
+    "render_table",
+    "Tracer",
+    "NULL_TRACER",
+    "trace_id_for",
+]

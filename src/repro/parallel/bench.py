@@ -127,12 +127,26 @@ class BenchReport:
     FaultPlan` (``calm``), which wires the full hardened path —
     FaultyNetwork, per-IP breakers, fault accounting — but injects
     nothing.  Must stay byte-identical to the plain sequential run."""
+    obs_layer: Optional[dict] = None
+    """Tracing-off overhead of the observability layer: the tracer
+    hooks are permanently wired (``tracer.enabled`` guards in the
+    network / engine / retry path), so one extra sequential run with
+    the tracer disabled — the default — bounds their cost against the
+    baseline, and a second run with ``trace=`` records what switching
+    tracing on costs.  Both must stay byte-identical to the plain
+    sequential run."""
 
     @property
     def parity_ok(self) -> bool:
         ok = all(cell.byte_identical_to_sequential for cell in self.cells)
         if self.fault_layer is not None:
             ok = ok and self.fault_layer["byte_identical_to_sequential"]
+        if self.obs_layer is not None:
+            ok = (
+                ok
+                and self.obs_layer["byte_identical_to_sequential"]
+                and self.obs_layer["traced_byte_identical_to_sequential"]
+            )
         return ok
 
     def to_dict(self) -> dict:
@@ -171,6 +185,20 @@ class BenchReport:
                 f"{layer['wall_seconds']:.2f}s, "
                 f"{layer['overhead_pct_vs_sequential']:+.1f}% vs sequential, "
                 f"parity {'ok' if layer['byte_identical_to_sequential'] else 'FAIL'}"
+            )
+        if self.obs_layer is not None:
+            layer = self.obs_layer
+            lines.append(
+                f"obs layer (tracing off, the default): "
+                f"{layer['wall_seconds']:.2f}s, "
+                f"{layer['overhead_pct_vs_sequential']:+.1f}% vs sequential, "
+                f"parity {'ok' if layer['byte_identical_to_sequential'] else 'FAIL'}"
+            )
+            lines.append(
+                f"obs layer (tracing on): {layer['traced_wall_seconds']:.2f}s, "
+                f"{layer['traced_overhead_pct_vs_sequential']:+.1f}% vs sequential, "
+                f"{layer['trace_spans']} spans, parity "
+                f"{'ok' if layer['traced_byte_identical_to_sequential'] else 'FAIL'}"
             )
         return "\n".join(lines)
 
@@ -256,6 +284,45 @@ def run_crawl_bench(
             100.0 * (calm_wall - baseline_wall) / baseline_wall, 2
         ),
         "byte_identical_to_sequential": dataset_digest(calm_dataset)
+        == baseline_digest,
+    }
+
+    # Tracing-off overhead: the tracer hooks stay wired even when no
+    # trace is requested, so their disabled-path cost is bounded by an
+    # identical sequential re-run; a traced run records what turning
+    # tracing on costs and proves it never perturbs the dataset.
+    import tempfile
+
+    obs_study = Study(config)
+    started = time.perf_counter()
+    obs_dataset = obs_study.run()
+    obs_wall = time.perf_counter() - started
+
+    handle, trace_path = tempfile.mkstemp(suffix=".trace.jsonl")
+    os.close(handle)
+    try:
+        traced_study = Study(config)
+        started = time.perf_counter()
+        traced_dataset = traced_study.run(trace=trace_path)
+        traced_wall = time.perf_counter() - started
+        from repro.obs.exporters import read_trace
+
+        _, _, trace_summary = read_trace(trace_path)
+    finally:
+        os.unlink(trace_path)
+    report.obs_layer = {
+        "wall_seconds": round(obs_wall, 4),
+        "overhead_pct_vs_sequential": round(
+            100.0 * (obs_wall - baseline_wall) / baseline_wall, 2
+        ),
+        "byte_identical_to_sequential": dataset_digest(obs_dataset)
+        == baseline_digest,
+        "traced_wall_seconds": round(traced_wall, 4),
+        "traced_overhead_pct_vs_sequential": round(
+            100.0 * (traced_wall - baseline_wall) / baseline_wall, 2
+        ),
+        "trace_spans": trace_summary["spans"],
+        "traced_byte_identical_to_sequential": dataset_digest(traced_dataset)
         == baseline_digest,
     }
     if out is not None:

@@ -136,26 +136,32 @@ def _worker_main(
     start_ordinal: int = 0,
     worker_state=None,
     capture: bool = False,
+    trace: bool = False,
 ) -> None:
     """Worker entry point: rebuild the study, crawl the shard, stream rounds.
 
     On resume (``start_ordinal > 0``) the worker restores its own shard
     snapshot before crawling, so its engine/browser/stats state is
-    exactly what it was at the durable checkpoint boundary.
+    exactly what it was at the durable checkpoint boundary.  With
+    ``trace`` set, each round message carries the shard's span trees;
+    span identities derive from (trace id, round, treatment), so the
+    parent can interleave trees from all shards into the canonical
+    sequential trace.
     """
     try:
         study = Study(config)
         if worker_state is not None:
             study.restore_state(worker_state)
 
-        def emit(ordinal: int, outcomes, state) -> None:
-            result_queue.put(("round", worker_id, ordinal, outcomes, state))
+        def emit(ordinal: int, outcomes, state, spans) -> None:
+            result_queue.put(("round", worker_id, ordinal, outcomes, state, spans))
 
         study.run_shard(
             list(indices),
             on_round=emit,
             start_ordinal=start_ordinal,
             capture_state=capture,
+            trace=trace,
         )
         result_queue.put(("done", worker_id, study.stats, study.fault_stats))
     except BaseException:  # propagate everything, including KeyboardInterrupt
@@ -169,6 +175,7 @@ def run_parallel(
     sink=None,
     start_method: Optional[str] = None,
     checkpoint: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> SerpDataset:
     """Run ``study``'s full schedule sharded across worker processes.
 
@@ -194,6 +201,11 @@ def run_parallel(
             records the effective worker count and refuses to resume
             under a different one (per-worker snapshots only fit the
             shard layout that produced them).
+        trace: Optional canonical trace path, as in :meth:`Study.run`.
+            Workers ship per-round span trees; the parent merges them
+            through the same :class:`~repro.obs.exporters.TraceBuilder`
+            the sequential run uses, so the file is byte-identical for
+            any worker count.  Mutually exclusive with ``checkpoint``.
 
     Returns:
         The merged :class:`SerpDataset`.
@@ -202,6 +214,11 @@ def run_parallel(
         raise ValueError(
             "parallel run requires a freshly constructed Study "
             "(this one has already crawled)"
+        )
+    if trace is not None and checkpoint is not None:
+        raise ValueError(
+            "trace and checkpoint cannot be combined: the checkpoint "
+            "journal does not carry spans"
         )
     plan = plan_shards(
         len(study.treatments), len(study.fleet), workers
@@ -239,6 +256,7 @@ def run_parallel(
                 },
             )
 
+    builder = study._trace_builder(trace) if trace is not None else None
     context = multiprocessing.get_context(start_method or _preferred_start_method())
     result_queue = context.Queue(maxsize=plan.workers * _QUEUE_DEPTH_PER_WORKER)
     processes = [
@@ -252,6 +270,7 @@ def run_parallel(
                 start_ordinal,
                 worker_states.get(worker_id),
                 checkpoint is not None,
+                trace is not None,
             ),
             name=f"crawl-worker-{worker_id}",
             daemon=True,
@@ -271,10 +290,14 @@ def run_parallel(
             sink,
             start_ordinal=start_ordinal,
             writer=writer,
+            builder=builder,
         )
     finally:
         if writer is not None:
             writer.close()
+        if builder is not None:
+            builder.close()
+            study.tracer.disable()
         for process in processes:
             if process.is_alive():
                 process.terminate()
@@ -293,6 +316,7 @@ def _merge(
     *,
     start_ordinal: int = 0,
     writer=None,
+    builder=None,
 ) -> None:
     """Drain worker messages, flushing rounds in canonical order.
 
@@ -300,11 +324,15 @@ def _merge(
     canonical order plus every worker's state snapshot) *before* its
     records reach the dataset and sink — the invariant that makes a
     kill at any instant recoverable without losing acknowledged
-    records.
+    records.  With a ``builder``, each flushed round's span trees (from
+    all shards) are handed to the trace builder, which sorts them into
+    canonical treatment order and writes the round — the same code path
+    a sequential traced run takes.
     """
     total_rounds = study.round_count()
     pending: dict = {}  # ordinal -> list of (treatment_index, outcome)
     states: dict = {}  # ordinal -> {worker_id: state snapshot}
+    spans: dict = {}  # ordinal -> list of span trees from all shards
     arrivals: dict = {}  # ordinal -> how many workers have reported
     next_ordinal = start_ordinal
     done = 0
@@ -314,6 +342,7 @@ def _merge(
         while arrivals.get(next_ordinal, 0) == plan.workers:
             outcomes = sorted(pending.pop(next_ordinal), key=lambda pair: pair[0])
             round_states = states.pop(next_ordinal, None)
+            round_spans = spans.pop(next_ordinal, None)
             del arrivals[next_ordinal]
             if writer is not None:
                 writer.append_round(
@@ -321,6 +350,8 @@ def _merge(
                     [serialize_outcome(outcome) for _, outcome in outcomes],
                     round_states or {},
                 )
+            if builder is not None:
+                builder.add_round(next_ordinal, round_spans or [])
             for _, outcome in outcomes:
                 if isinstance(outcome, SerpRecord):
                     dataset.add(outcome)
@@ -342,10 +373,12 @@ def _merge(
             continue
         kind = message[0]
         if kind == "round":
-            _, worker_id, ordinal, outcomes, state = message
+            _, worker_id, ordinal, outcomes, state, round_spans = message
             pending.setdefault(ordinal, []).extend(outcomes)
             if state is not None:
                 states.setdefault(ordinal, {})[worker_id] = state
+            if round_spans is not None:
+                spans.setdefault(ordinal, []).extend(round_spans)
             arrivals[ordinal] = arrivals.get(ordinal, 0) + 1
             flush_ready()
         elif kind == "done":

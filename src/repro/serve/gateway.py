@@ -48,6 +48,7 @@ from repro.faults.breaker import BreakerBoard
 from repro.faults.retry import DEFAULT_RETRY_CAP_MINUTES, RetryPolicy
 from repro.geo.coords import LatLon
 from repro.net.geoip import GeoIPDatabase
+from repro.obs.trace import NULL_TRACER
 from repro.queries.corpus import QueryCorpus
 from repro.seeding import stable_hash
 from repro.serve.admission import DEFAULT_SERVICE_MINUTES, ReplicaQueue
@@ -194,6 +195,11 @@ class Gateway:
         self.hedge_after_minutes = hedge_after_minutes
         self.breakers = breakers
         self.cluster = replicas[0].engine.cluster
+        # Live serving traces only (the serve bench).  A parity-mode
+        # study crawl leaves this disabled: per-shard gateway telemetry
+        # is not canonical, so crawl traces reconstruct gateway spans
+        # at merge time via repro.obs.replay instead.
+        self.tracer = NULL_TRACER
 
     # -- SearchEngine-compatible surface --------------------------------------
 
@@ -212,6 +218,11 @@ class Gateway:
         self.stats.requests += 1
         location = self._resolve_location(request)
         now = request.timestamp_minutes
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.begin(
+                "gateway.request", start=now, query=request.query_text
+            )
 
         dispatch_request = request
         key = None
@@ -219,6 +230,8 @@ class Gateway:
             if request.cookie_id is not None:
                 # Session state personalises the page; never cache it.
                 self.stats.cache_bypasses += 1
+                if tracing:
+                    self.tracer.event("cache.bypass", at=now)
             else:
                 key = self.cache.key_for(
                     self.dialect.name,
@@ -232,6 +245,9 @@ class Gateway:
                 if cached is not None:
                     self.stats.queue_wait.record(0.0)
                     self.stats.total.record(0.0)
+                    if tracing:
+                        self.tracer.event("cache.hit", at=now)
+                        self.tracer.end(served_by="cache")
                     return GatewayResult(
                         response=cached,
                         served_by="cache",
@@ -241,6 +257,8 @@ class Gateway:
                         attempts=0,
                         hedged=False,
                     )
+                if tracing:
+                    self.tracer.event("cache.miss", at=now)
                 dispatch_request = replace(
                     request,
                     gps=self.cache.canonical_location(key),
@@ -250,6 +268,8 @@ class Gateway:
         result = self._dispatch(dispatch_request, location)
         if key is not None and result.response.ok:
             self.cache.put(key, result.response, now)
+        if tracing:
+            self.tracer.end(served_by=result.served_by, attempts=result.attempts)
         return result
 
     # -- internals -----------------------------------------------------------------
@@ -299,6 +319,8 @@ class Gateway:
                     break
             if chosen is None:
                 self.stats.rejected += 1
+                if self.tracer.enabled:
+                    self.tracer.event("gateway.shed", at=now)
                 return GatewayResult(
                     response=SearchResponse(
                         status=ResponseStatus.OVERLOADED, html=_OVERLOAD_HTML
@@ -319,6 +341,13 @@ class Gateway:
                     chosen, slot = hedged_replica, hedged_slot
 
             self.stats.record_dispatch(chosen.name, chosen.queue.depth(now))
+            if self.tracer.enabled:
+                self.tracer.begin("gateway.queue", start=now)
+                self.tracer.end(end=slot.start_minutes)
+                self.tracer.begin(
+                    "gateway.service", start=slot.start_minutes, replica=chosen.name
+                )
+                self.tracer.end(end=slot.completion_minutes)
             # The replica computes the page deterministically; a hedged
             # duplicate occupies capacity but the bytes are modelled once.
             response = chosen.engine.handle(attempt_request)
@@ -335,6 +364,8 @@ class Gateway:
             self.stats.rate_limited += 1
             if attempt < self.max_retries:
                 self.stats.retries += 1
+                if self.tracer.enabled:
+                    self.tracer.event("gateway.retry", at=now, replica=chosen.name)
                 attempt_request = replace(
                     attempt_request,
                     timestamp_minutes=now
@@ -370,6 +401,8 @@ class Gateway:
             hedged_slot = replica.queue.try_admit(now)
             if hedged_slot is not None:
                 self.stats.hedges += 1
+                if self.tracer.enabled:
+                    self.tracer.event("gateway.hedge", at=now, replica=replica.name)
                 return replica, hedged_slot
         return None
 

@@ -5,42 +5,39 @@ throughput, which the load driver measures against the wall clock.  The
 counters mirror what a production serving stack exports: cache
 hit/miss/eviction, admission and shedding, retries, hedges, queue
 depth, and per-stage latency.
+
+Latency series are :class:`~repro.obs.metrics.Histogram` instances —
+the shared fixed-bucket type every reporter uses — which keep the
+streaming ``count`` / ``mean_minutes`` / ``max_minutes`` the old
+``LatencyAccumulator`` exposed (that name survives as an alias).
+Snapshot/merge/restore come from :class:`~repro.obs.metrics.MetricSet`,
+so ``restore_state`` rejects unknown keys instead of blindly
+``setattr``-ing whatever a snapshot contains.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict
+
+from repro.obs.metrics import Histogram, MetricSet
 
 __all__ = ["LatencyAccumulator", "GatewayStats"]
 
-
-@dataclass
-class LatencyAccumulator:
-    """Streaming mean/max over a virtual-latency series (minutes)."""
-
-    count: int = 0
-    total_minutes: float = 0.0
-    max_minutes: float = 0.0
-
-    def record(self, minutes: float) -> None:
-        self.count += 1
-        self.total_minutes += minutes
-        if minutes > self.max_minutes:
-            self.max_minutes = minutes
-
-    @property
-    def mean_minutes(self) -> float:
-        return self.total_minutes / self.count if self.count else 0.0
+#: Backwards-compatible name: the accumulator grew buckets and became
+#: the shared histogram type.
+LatencyAccumulator = Histogram
 
 
 @dataclass
-class GatewayStats:
+class GatewayStats(MetricSet):
     """Counters for one gateway instance.
 
     Cache counters are incremented by the :class:`~repro.serve.cache.
     SerpCache` the gateway owns; everything else by the gateway itself.
     """
+
+    _MAX_FIELDS = ("max_queue_depth",)
 
     requests: int = 0
 
@@ -70,9 +67,9 @@ class GatewayStats:
     replica_requests: Dict[str, int] = field(default_factory=dict)
 
     # -- virtual latency --------------------------------------------------------
-    queue_wait: LatencyAccumulator = field(default_factory=LatencyAccumulator)
-    service: LatencyAccumulator = field(default_factory=LatencyAccumulator)
-    total: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    queue_wait: Histogram = field(default_factory=Histogram)
+    service: Histogram = field(default_factory=Histogram)
+    total: Histogram = field(default_factory=Histogram)
 
     def record_dispatch(self, replica_name: str, depth: int) -> None:
         """Book-keep one request dispatched to a replica."""
@@ -93,20 +90,6 @@ class GatewayStats:
         lookups = self.cache_lookups
         return self.cache_hits / lookups if lookups else 0.0
 
-    def capture_state(self) -> dict:
-        """JSON-able snapshot (all fields are counters or plain dicts)."""
-        return asdict(self)
-
-    def restore_state(self, state: dict) -> None:
-        """Inverse of :meth:`capture_state`."""
-        for key, value in state.items():
-            if key in ("queue_wait", "service", "total"):
-                setattr(self, key, LatencyAccumulator(**value))
-            elif key == "replica_requests":
-                self.replica_requests = dict(value)
-            else:
-                setattr(self, key, value)
-
     def render(self) -> str:
         """A human-readable metrics report."""
         lines = [
@@ -123,8 +106,10 @@ class GatewayStats:
             "  virtual latency   "
             f"wait {self.queue_wait.mean_minutes * 60:.2f}s avg / "
             f"{self.queue_wait.max_minutes * 60:.2f}s max, "
-            f"service {self.service.mean_minutes * 60:.2f}s avg, "
-            f"total {self.total.mean_minutes * 60:.2f}s avg",
+            f"service {self.service.mean_minutes * 60:.2f}s avg / "
+            f"{self.service.max_minutes * 60:.2f}s max, "
+            f"total {self.total.mean_minutes * 60:.2f}s avg / "
+            f"{self.total.max_minutes * 60:.2f}s max",
         ]
         if self.replica_requests:
             share = ", ".join(

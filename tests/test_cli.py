@@ -201,3 +201,83 @@ class TestChaosCommand:
         assert ckpt.exists()
         assert main(argv) == 0
         assert out.read_bytes() == first
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("obs")
+        out = root / "mini.jsonl"
+        trace = root / "mini.trace.jsonl"
+        metrics = root / "mini.metrics.json"
+        argv = [
+            "run", "--scale", "small", "--days", "1", "--workers", "2",
+            "--gateway", "--plan", "flaky-network", "--fault-seed", "7",
+            "--out", str(out), "--trace", str(trace), "--metrics", str(metrics),
+        ]
+        assert main(argv) == 0
+        return trace, metrics
+
+    def test_trace_check_passes(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["trace", str(trace), "--check"]) == 0
+        assert ": ok (" in capsys.readouterr().out
+
+    def test_trace_check_fails_on_garbage(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.trace.jsonl"
+        bogus.write_text('{"kind":"span","id":"x"}\n', encoding="utf-8")
+        assert main(["trace", str(bogus), "--check"]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_trace_profile_default(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["trace", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path attribution" in out
+        assert "top spans" in out
+
+    def test_trace_chrome_export(self, traced_run, tmp_path):
+        import json
+
+        trace, _ = traced_run
+        chrome = tmp_path / "mini.chrome.json"
+        assert main(["trace", str(trace), "--chrome", str(chrome)]) == 0
+        doc = json.loads(chrome.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+
+    def test_metrics_table_and_prom(self, traced_run, capsys):
+        _, metrics = traced_run
+        assert main(["metrics", str(metrics)]) == 0
+        table = capsys.readouterr().out
+        assert "crawl_pages_total" in table
+        assert "gateway_requests_total" in table
+        assert main(["metrics", str(metrics), "--format", "prom"]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_crawl_pages_total counter" in prom
+
+    def test_run_trace_rejects_checkpoint(self, tmp_path):
+        argv = [
+            "run", "--scale", "small", "--days", "1",
+            "--out", str(tmp_path / "x.jsonl"),
+            "--trace", str(tmp_path / "x.trace"),
+            "--checkpoint", str(tmp_path / "x.ckpt"),
+        ]
+        with pytest.raises(ValueError, match="checkpoint"):
+            main(argv)
+
+    def test_serve_bench_trace(self, tmp_path, capsys):
+        trace = tmp_path / "serve.trace.jsonl"
+        assert main(
+            ["serve-bench", "--requests", "200", "--clients", "40",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace), "--check"]) == 0
+        assert "0 round(s)" in capsys.readouterr().out
+
+    def test_chaos_retry_histogram_renders_bars(self, capsys):
+        assert main(["chaos", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "retry histogram (attempts per delivered query):" in out
+        assert "attempt(s):" in out
+        assert "#" in out

@@ -166,9 +166,9 @@ class TestStudyRun:
 
         original = study._run_round
 
-        def spy(dataset, query, day, timestamp):
-            seen.append((query.text, timestamp))
-            return original(dataset, query, day, timestamp)
+        def spy(dataset, scheduled):
+            seen.append((scheduled.query.text, scheduled.timestamp))
+            return original(dataset, scheduled)
 
         study._run_round = spy
         study.run()
@@ -183,9 +183,9 @@ class TestStudyRun:
         seen = []
         original = study._run_round
 
-        def spy(dataset, query, day, timestamp):
-            seen.append((day, timestamp))
-            return original(dataset, query, day, timestamp)
+        def spy(dataset, scheduled):
+            seen.append((scheduled.day_offset, scheduled.timestamp))
+            return original(dataset, scheduled)
 
         study._run_round = spy
         study.run()
