@@ -80,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the fault schedule (with --plan)",
     )
     run.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run workers under repro.supervise: heartbeat monitoring, "
+        "crash/hang recovery, shard reassignment (incompatible with "
+        "--checkpoint)",
+    )
+    run.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -227,6 +234,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="CI tier: tiny corpus, 1 day, seconds of wall clock",
     )
+    chaos.add_argument(
+        "--kill-workers",
+        action="store_true",
+        help="also crash/stall worker processes (adds worker-crash and "
+        "worker-stall faults to the plan and runs under repro.supervise; "
+        "prints the recovery ledger, fails if any result cell is lost "
+        "unaccounted)",
+    )
+    chaos.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.15,
+        help="per-request worker-crash probability with --kill-workers",
+    )
+    chaos.add_argument(
+        "--stall-rate",
+        type=float,
+        default=0.0,
+        help="per-request worker-stall probability with --kill-workers "
+        "(each stall costs a wall-clock detection timeout)",
+    )
+    chaos.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="write the supervision ledger as JSON (with --kill-workers)",
+    )
 
     crawl_bench = sub.add_parser(
         "crawl-bench",
@@ -333,9 +367,14 @@ def _cmd_run(args) -> int:
         file=sys.stderr,
     )
     dataset = study.run(
-        workers=args.workers, checkpoint=args.checkpoint, trace=args.trace
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        trace=args.trace,
+        supervise=args.supervise,
     )
     dataset.save(args.out)
+    if args.supervise and study.supervisor is not None:
+        print(study.supervisor.render(limit=10), file=sys.stderr)
     print(
         f"collected {len(dataset)} pages ({len(study.failures)} failures) -> {args.out}",
         file=sys.stderr,
@@ -599,6 +638,21 @@ def _cmd_chaos(args) -> int:
     from repro.faults.plan import FaultPlan
 
     plan = FaultPlan.named(args.plan, seed=args.fault_seed)
+    if args.kill_workers:
+        import dataclasses
+
+        if args.checkpoint:
+            print(
+                "--kill-workers keeps shard snapshots in memory and cannot "
+                "be combined with --checkpoint",
+                file=sys.stderr,
+            )
+            return 2
+        plan = dataclasses.replace(
+            plan,
+            worker_crash_rate=args.crash_rate,
+            worker_stall_rate=args.stall_rate,
+        )
     if args.smoke:
         from repro.queries.corpus import build_corpus
 
@@ -619,7 +673,23 @@ def _cmd_chaos(args) -> int:
         f"{config.days} day(s), {args.workers} worker(s) ...",
         file=sys.stderr,
     )
-    dataset = study.run(workers=args.workers, checkpoint=args.checkpoint)
+    if args.kill_workers:
+        from repro.supervise import SupervisorPolicy
+
+        # Tight stall policy: chaos runs are short, so missed-deadline
+        # detection must not sit behind the production 120 s watchdog.
+        policy = SupervisorPolicy(
+            stall_timeout_seconds=20.0,
+            stall_grace_seconds=1.0,
+            stall_rounds=1,
+        )
+        from repro.parallel import run_parallel
+
+        dataset = run_parallel(
+            study, workers=args.workers, supervise=True, policy=policy
+        )
+    else:
+        dataset = study.run(workers=args.workers, checkpoint=args.checkpoint)
     if args.out:
         dataset.save(args.out)
         print(f"dataset -> {args.out}", file=sys.stderr)
@@ -673,11 +743,48 @@ def _cmd_chaos(args) -> int:
             f"({slot.lost} lost, mostly {worst})"
         )
 
+    status = 0
     if unaccounted:
         print(f"\nACCOUNTING FAILURE: unaccounted faults {unaccounted}", file=sys.stderr)
-        return 1
-    print("\nall injected faults accounted for")
-    return 0
+        status = 1
+    else:
+        print("\nall injected faults accounted for")
+
+    if args.kill_workers:
+        report = study.supervisor
+        print()
+        print(report.render(limit=15))
+        expected = study.round_count() * len(study.treatments)
+        got = len(dataset) + len(study.failures)
+        if got != expected:
+            print(
+                f"\nACCOUNTING FAILURE: {got} result cells "
+                f"(collected + failed) != {expected} scheduled",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"every scheduled cell accounted for: {len(dataset)} collected "
+                f"+ {len(study.failures)} failed = {expected}"
+            )
+        if args.ledger:
+            import json
+
+            ledger = {
+                "plan": args.plan,
+                "workers": args.workers,
+                "expected_cells": expected,
+                "collected": len(dataset),
+                "failed": len(study.failures),
+                "accounted": got == expected,
+                "supervision": report.to_dict(),
+            }
+            with open(args.ledger, "w", encoding="utf-8") as handle:
+                json.dump(ledger, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"ledger -> {args.ledger}", file=sys.stderr)
+    return status
 
 
 def _cmd_crawl_bench(args) -> int:

@@ -289,6 +289,10 @@ class Study:
         self.treatments = self._build_treatments()
         self.failures: List[CrawlFailure] = []
         self.stats = CrawlStats()
+        # Set by repro.supervise when the run is supervised: the
+        # SupervisorReport (counters + recovery ledger).  Kept as a
+        # plain attribute so this module never imports the supervisor.
+        self.supervisor = None
         self._sink = None
 
     # -- construction ----------------------------------------------------------
@@ -328,6 +332,7 @@ class Study:
         workers: int = 1,
         checkpoint: Optional[str] = None,
         trace: Optional[str] = None,
+        supervise: bool = False,
     ) -> SerpDataset:
         """Execute the full schedule and return the collected dataset.
 
@@ -355,6 +360,15 @@ class Study:
                 for any ``workers`` count.  Cannot be combined with
                 ``checkpoint`` — the journal does not carry spans, so a
                 resumed trace would silently miss its earlier rounds.
+            supervise: Run under :mod:`repro.supervise`: worker
+                processes get heartbeat/exit-code monitoring, and a
+                crashed or hung worker's shard is re-executed from its
+                last snapshot (respawn or reassignment) with the merged
+                output still byte-identical.  Applies even at
+                ``workers=1`` (a single supervised worker still gets
+                crash recovery).  Cannot be combined with
+                ``checkpoint`` — supervision keeps shard snapshots in
+                memory instead of a journal.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -364,11 +378,16 @@ class Study:
                 "journal does not carry spans, so a resumed run could not "
                 "rebuild the rounds crawled before the kill"
             )
-        if workers > 1:
+        if workers > 1 or supervise:
             from repro.parallel import run_parallel
 
             return run_parallel(
-                self, workers=workers, sink=sink, checkpoint=checkpoint, trace=trace
+                self,
+                workers=workers,
+                sink=sink,
+                checkpoint=checkpoint,
+                trace=trace,
+                supervise=supervise,
             )
         dataset = SerpDataset()
         self._sink = sink
@@ -509,6 +528,7 @@ class Study:
         treatment_indices: List[int],
         *,
         on_round,
+        on_round_start=None,
         start_ordinal: int = 0,
         capture_state: bool = False,
         trace: bool = False,
@@ -530,6 +550,9 @@ class Study:
         are skipped — the resume path, which assumes
         :meth:`restore_state` was fed the matching snapshot.
         ``self.stats`` accumulates this shard's counters.
+        ``on_round_start(ordinal, timestamp_minutes)``, when given, is
+        called before each round is crawled — the supervisor's
+        virtual-time heartbeat hook.
         """
         if trace:
             self.tracer.enable(trace_id_for(self.checkpoint_fingerprint()))
@@ -537,6 +560,8 @@ class Study:
         for scheduled in self.iter_rounds():
             if scheduled.ordinal < start_ordinal:
                 continue
+            if on_round_start is not None:
+                on_round_start(scheduled.ordinal, scheduled.timestamp)
             self.tracer.begin_round(scheduled.ordinal)
             outcomes = [
                 (index, self._crawl_treatment(index, treatment, scheduled))

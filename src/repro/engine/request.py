@@ -81,6 +81,11 @@ class SearchResponse:
 
     status: ResponseStatus
     html: str
+    degraded: bool = False
+    """Served best-effort from a stale cache entry because every
+    replica for the datacenter was down (gateway degraded mode).  The
+    bytes are real SERP HTML, but possibly from an earlier virtual day
+    — consumers must treat the page as approximate, not current."""
 
     @property
     def ok(self) -> bool:

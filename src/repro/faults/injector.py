@@ -154,6 +154,16 @@ class FaultyNetwork(Network):
     overhead benchmark pins that down by digest.
     """
 
+    #: Supervised workers install their harness here (duck-typed: an
+    #: object with ``generation``, ``crash()``, and ``stall()``).  When
+    #: set and the plan carries worker-fault rates, the process-level
+    #: gates fire before any per-request fault — modelling the machine
+    #: dying, not the request failing.  Process deaths are accounted in
+    #: the supervision ledger (parent-side), never in ``fault_stats``:
+    #: the dying process cannot persist a counter, and its successor
+    #: restores state from before the fatal request.
+    worker_context = None
+
     def __init__(self, resolver, engine, plan: FaultPlan, *, stats: Optional[FaultStats] = None):
         super().__init__(resolver, engine)
         self.plan = plan
@@ -172,6 +182,13 @@ class FaultyNetwork(Network):
         page: int = 0,
     ) -> SearchResponse:
         plan = self.plan
+        context = self.worker_context
+        if context is not None and plan.has_worker_faults:
+            worker_kind = plan.worker_fault(nonce, context.generation)
+            if worker_kind is FaultKind.WORKER_CRASH:
+                context.crash()
+            elif worker_kind is FaultKind.WORKER_STALL:
+                context.stall()
         if plan.in_storm(timestamp_minutes):
             # Engine-wide anti-bot event: the CAPTCHA interstitial is
             # served from the edge, before the request reaches the

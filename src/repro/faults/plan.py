@@ -59,6 +59,17 @@ class FaultKind(enum.Enum):
     """A window of virtual time during which *every* request gets the
     CAPTCHA interstitial, modelling an engine-wide anti-bot event."""
 
+    WORKER_CRASH = "worker-crash"
+    """The whole crawl *worker process* dies (OOM-killed machine in the
+    paper's fleet).  Fires only under supervised execution — the
+    supervisor detects the death and re-executes the shard; see
+    :mod:`repro.supervise`."""
+
+    WORKER_STALL = "worker-stall"
+    """The crawl worker process hangs without dying (wedged browser,
+    stuck NFS mount).  Fires only under supervised execution — the
+    supervisor's liveness deadline catches it."""
+
 
 class FailureKind(enum.Enum):
     """Taxonomy of crawl failures (``CrawlFailure.kind``)."""
@@ -80,6 +91,11 @@ class FailureKind(enum.Enum):
 
     BREAKER_OPEN = "breaker-open"
     """The client-side circuit breaker was open; no request was sent."""
+
+    SHARD_QUARANTINED = "shard-quarantined"
+    """The supervisor gave up on a deterministically failing shard;
+    every remaining round × treatment cell is recorded as one of these
+    so the coverage hole stays visible (see :mod:`repro.supervise`)."""
 
 
 #: Which failure each injected fault surfaces as.
@@ -125,6 +141,12 @@ class FaultPlan:
     truncation_rate: float = 0.0
     storm_period_minutes: Optional[float] = None
     storm_minutes: float = 2.0
+    worker_crash_rate: float = 0.0
+    """Per-request probability the whole worker process dies before
+    dispatching (supervised runs only; inert otherwise)."""
+    worker_stall_rate: float = 0.0
+    """Per-request probability the worker process hangs before
+    dispatching (supervised runs only; inert otherwise)."""
 
     def __post_init__(self) -> None:
         for field in fields(self):
@@ -147,6 +169,29 @@ class FaultPlan:
         for rate_name, kind in _GATE_ORDER:
             rate = getattr(self, rate_name)
             if rate > 0.0 and stable_unit("fault", self.seed, kind.value, nonce) < rate:
+                return kind
+        return None
+
+    def worker_fault(
+        self, nonce: int, generation: int
+    ) -> Optional[FaultKind]:
+        """The process-level fault this attempt triggers, if any.
+
+        Keyed on the request nonce (interleaving-independent, like
+        every other gate) *and* the worker incarnation ``generation``:
+        a respawned worker re-rolls the dice on the request that killed
+        its predecessor, so plan-driven crashes are recoverable rather
+        than deterministic quarantine bait.  Only consulted inside
+        supervised workers.
+        """
+        for kind, rate in (
+            (FaultKind.WORKER_CRASH, self.worker_crash_rate),
+            (FaultKind.WORKER_STALL, self.worker_stall_rate),
+        ):
+            if rate > 0.0 and (
+                stable_unit("worker-fault", self.seed, kind.value, nonce, generation)
+                < rate
+            ):
                 return kind
         return None
 
@@ -188,9 +233,18 @@ class FaultPlan:
         return 1.0 - survive
 
     @property
+    def has_worker_faults(self) -> bool:
+        """True when the plan can kill or hang whole worker processes."""
+        return self.worker_crash_rate > 0.0 or self.worker_stall_rate > 0.0
+
+    @property
     def is_zero(self) -> bool:
         """True when the plan injects nothing (overhead-measurement mode)."""
-        return self.request_fault_rate == 0.0 and self.storm_period_minutes is None
+        return (
+            self.request_fault_rate == 0.0
+            and self.storm_period_minutes is None
+            and not self.has_worker_faults
+        )
 
     @classmethod
     def named(cls, name: str, *, seed: int = 0) -> "FaultPlan":
@@ -230,5 +284,11 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
         truncation_rate=0.03,
         storm_period_minutes=180.0,
         storm_minutes=2.0,
+    ),
+    "unstable-workers": FaultPlan(
+        dns_failure_rate=0.02,
+        timeout_rate=0.02,
+        worker_crash_rate=0.02,
+        worker_stall_rate=0.004,
     ),
 }

@@ -548,6 +548,7 @@ def build_study_registry(study) -> MetricsRegistry:
             "retries",
             "hedges",
             "rate_limited",
+            "degraded_served",
         ):
             registry.register_counter(f"gateway_{attr}_total", gstats, attr)
         registry.register_gauge(
@@ -570,4 +571,23 @@ def build_study_registry(study) -> MetricsRegistry:
         registry.register_histogram(
             "gateway_total_minutes", gstats, "total", help="virtual total latency",
         )
+    supervisor = getattr(study, "supervisor", None)
+    if supervisor is not None:
+        sstats = supervisor.stats
+        supervise_help = {
+            "heartbeats": "round-start liveness beats received",
+            "rounds_received": "round results accepted by the parent",
+            "crashes_detected": "worker exits noticed mid-shard",
+            "stalls_detected": "workers killed for missing their deadline",
+            "worker_errors": "structured exceptions reported by workers",
+            "respawns": "replacement worker processes started",
+            "reassignments": "shards handed to an already-live worker",
+            "workers_lost": "worker slots permanently retired",
+            "quarantined_shards": "shards given up on after repeated failures",
+            "quarantined_failures": "result cells synthesized as shard-quarantined",
+        }
+        for attr, help_text in supervise_help.items():
+            registry.register_counter(
+                f"supervisor_{attr}_total", sstats, attr, help=help_text
+            )
     return registry

@@ -11,7 +11,12 @@ Public surface:
   ``repro-study crawl-bench`` and ``BENCH_crawl.json``.
 """
 
-from repro.parallel.executor import ShardPlan, plan_shards, run_parallel
+from repro.parallel.executor import (
+    ShardPlan,
+    WorkerFailure,
+    plan_shards,
+    run_parallel,
+)
 from repro.parallel.bench import (
     BenchCell,
     BenchReport,
@@ -23,6 +28,7 @@ from repro.parallel.bench import (
 
 __all__ = [
     "ShardPlan",
+    "WorkerFailure",
     "plan_shards",
     "run_parallel",
     "BenchCell",

@@ -135,6 +135,14 @@ class BenchReport:
     baseline, and a second run with ``trace=`` records what switching
     tracing on costs.  Both must stay byte-identical to the plain
     sequential run."""
+    supervise_layer: Optional[dict] = None
+    """Supervision overhead: one clean run under ``supervise=True`` at
+    the sweep's largest worker count (heartbeats, snapshot capture, and
+    the parent-side watchdog all active, nothing failing), compared
+    against the same worker count unsupervised — plus a kill-and-
+    recover datapoint: the same run with a worker SIGKILLed at a round
+    boundary, measuring what one full recovery costs end-to-end.  Both
+    must stay byte-identical to the sequential baseline."""
 
     @property
     def parity_ok(self) -> bool:
@@ -146,6 +154,14 @@ class BenchReport:
                 ok
                 and self.obs_layer["byte_identical_to_sequential"]
                 and self.obs_layer["traced_byte_identical_to_sequential"]
+            )
+        if self.supervise_layer is not None:
+            ok = (
+                ok
+                and self.supervise_layer["byte_identical_to_sequential"]
+                and self.supervise_layer["kill_recover"][
+                    "byte_identical_to_sequential"
+                ]
             )
         return ok
 
@@ -199,6 +215,21 @@ class BenchReport:
                 f"{layer['traced_overhead_pct_vs_sequential']:+.1f}% vs sequential, "
                 f"{layer['trace_spans']} spans, parity "
                 f"{'ok' if layer['traced_byte_identical_to_sequential'] else 'FAIL'}"
+            )
+        if self.supervise_layer is not None:
+            layer = self.supervise_layer
+            lines.append(
+                f"supervise layer (workers={layer['workers']}, clean): "
+                f"{layer['wall_seconds']:.2f}s, "
+                f"{layer['overhead_pct_vs_unsupervised']:+.1f}% vs unsupervised, "
+                f"parity {'ok' if layer['byte_identical_to_sequential'] else 'FAIL'}"
+            )
+            kill = layer["kill_recover"]
+            lines.append(
+                f"supervise layer (one worker killed): "
+                f"{kill['wall_seconds']:.2f}s, {kill['recoveries']} recovery, "
+                f"parity "
+                f"{'ok' if kill['byte_identical_to_sequential'] else 'FAIL'}"
             )
         return "\n".join(lines)
 
@@ -324,6 +355,57 @@ def run_crawl_bench(
         "trace_spans": trace_summary["spans"],
         "traced_byte_identical_to_sequential": dataset_digest(traced_dataset)
         == baseline_digest,
+    }
+
+    # Supervision overhead: heartbeats + per-round snapshot capture +
+    # the parent watchdog, measured clean against the same worker count
+    # unsupervised, then once more with a worker murdered at a round
+    # boundary to price a full detect-respawn-reexecute cycle.
+    from repro.supervise import KillSpec
+
+    supervise_workers = max((w for w in worker_counts if w > 1), default=2)
+    unsupervised_wall = next(
+        (
+            cell.wall_seconds
+            for cell in report.cells
+            if cell.workers == supervise_workers
+        ),
+        baseline_wall,
+    )
+    sup_study = Study(config)
+    started = time.perf_counter()
+    sup_dataset = run_parallel(
+        sup_study,
+        workers=supervise_workers,
+        supervise=True,
+        start_method=start_method,
+    )
+    sup_wall = time.perf_counter() - started
+
+    kill_study = Study(config)
+    started = time.perf_counter()
+    kill_dataset = run_parallel(
+        kill_study,
+        workers=supervise_workers,
+        supervise=True,
+        start_method=start_method,
+        kill_specs=(KillSpec(shard=0, ordinal=1),),
+    )
+    kill_wall = time.perf_counter() - started
+    report.supervise_layer = {
+        "workers": supervise_workers,
+        "wall_seconds": round(sup_wall, 4),
+        "overhead_pct_vs_unsupervised": round(
+            100.0 * (sup_wall - unsupervised_wall) / unsupervised_wall, 2
+        ),
+        "byte_identical_to_sequential": dataset_digest(sup_dataset)
+        == baseline_digest,
+        "kill_recover": {
+            "wall_seconds": round(kill_wall, 4),
+            "recoveries": kill_study.supervisor.stats.recoveries,
+            "byte_identical_to_sequential": dataset_digest(kill_dataset)
+            == baseline_digest,
+        },
     }
     if out is not None:
         report.write(out)

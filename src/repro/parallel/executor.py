@@ -63,13 +63,35 @@ from repro.faults.checkpoint import (
     load_checkpoint,
 )
 
-__all__ = ["ShardPlan", "plan_shards", "run_parallel"]
+__all__ = ["ShardPlan", "WorkerFailure", "plan_shards", "run_parallel"]
 
 #: Per-worker message-queue slack before backpressure kicks in.
 _QUEUE_DEPTH_PER_WORKER = 8
 
 #: Seconds between liveness checks while waiting on worker messages.
 _POLL_SECONDS = 1.0
+
+
+class WorkerFailure(RuntimeError):
+    """A crawl worker process died before completing its shard.
+
+    Raised by the *unsupervised* parallel path (``Study.run(workers=N)``
+    without ``supervise=True``), where a dead worker is unrecoverable:
+    the run fails fast and structured — worker id, exit code, and the
+    shard's treatment indices — instead of blocking on a pipe that will
+    never produce.  Supervised runs recover instead of raising; see
+    :mod:`repro.supervise`.
+    """
+
+    def __init__(self, worker_id: int, exit_code: Optional[int], shard) -> None:
+        self.worker_id = worker_id
+        self.exit_code = exit_code
+        self.shard: Tuple[int, ...] = tuple(shard)
+        super().__init__(
+            f"crawl worker {worker_id} (treatments {list(self.shard)}) died "
+            f"with exit code {exit_code} before completing its shard; "
+            "run with supervise=True for automatic recovery"
+        )
 
 
 @dataclass(frozen=True)
@@ -176,6 +198,9 @@ def run_parallel(
     start_method: Optional[str] = None,
     checkpoint: Optional[str] = None,
     trace: Optional[str] = None,
+    supervise: bool = False,
+    policy=None,
+    kill_specs=(),
 ) -> SerpDataset:
     """Run ``study``'s full schedule sharded across worker processes.
 
@@ -206,10 +231,38 @@ def run_parallel(
             through the same :class:`~repro.obs.exporters.TraceBuilder`
             the sequential run uses, so the file is byte-identical for
             any worker count.  Mutually exclusive with ``checkpoint``.
+        supervise: Delegate to :func:`repro.supervise.run_supervised`:
+            workers are heartbeat-monitored, and crashed/hung workers'
+            shards are re-executed from their last snapshot instead of
+            failing the run.  Mutually exclusive with ``checkpoint``
+            (supervision keeps shard snapshots in memory).
+        policy: Optional :class:`~repro.supervise.SupervisorPolicy`
+            (supervised runs only).
+        kill_specs: Optional :class:`~repro.supervise.KillSpec` murder
+            points (supervised runs only — tests and the chaos CLI).
 
     Returns:
         The merged :class:`SerpDataset`.
     """
+    if supervise:
+        if checkpoint is not None:
+            raise ValueError(
+                "supervise and checkpoint cannot be combined: supervised "
+                "runs keep shard snapshots in memory, not in a journal"
+            )
+        from repro.supervise import run_supervised
+
+        return run_supervised(
+            study,
+            workers=workers,
+            sink=sink,
+            start_method=start_method,
+            trace=trace,
+            policy=policy,
+            kill_specs=kill_specs,
+        )
+    if policy is not None or kill_specs:
+        raise ValueError("policy/kill_specs require supervise=True")
     if study.stats.requests or study.failures:
         raise ValueError(
             "parallel run requires a freshly constructed Study "
@@ -335,7 +388,7 @@ def _merge(
     spans: dict = {}  # ordinal -> list of span trees from all shards
     arrivals: dict = {}  # ordinal -> how many workers have reported
     next_ordinal = start_ordinal
-    done = 0
+    done_workers: set = set()
 
     def flush_ready() -> None:
         nonlocal next_ordinal
@@ -361,16 +414,7 @@ def _merge(
                     study.failures.append(outcome)
             next_ordinal += 1
 
-    while done < plan.workers:
-        try:
-            message = result_queue.get(timeout=_POLL_SECONDS)
-        except queue_module.Empty:
-            for process in processes:
-                if process.exitcode not in (None, 0):
-                    raise RuntimeError(
-                        f"{process.name} died with exit code {process.exitcode}"
-                    )
-            continue
+    def handle(message) -> None:
         kind = message[0]
         if kind == "round":
             _, worker_id, ordinal, outcomes, state, round_spans = message
@@ -384,11 +428,35 @@ def _merge(
         elif kind == "done":
             study.stats.merge(message[2])
             study.fault_stats.merge(message[3])
-            done += 1
+            done_workers.add(message[1])
         else:  # "error"
             raise RuntimeError(
                 f"crawl worker {message[1]} failed:\n{message[2]}"
             )
+
+    while len(done_workers) < plan.workers:
+        try:
+            message = result_queue.get(timeout=_POLL_SECONDS)
+        except queue_module.Empty:
+            for worker_id, process in enumerate(processes):
+                if worker_id in done_workers or process.exitcode is None:
+                    continue
+                # The process is gone but may have raced its final
+                # messages onto the queue — drain before judging, so a
+                # worker that finished and exited cleanly is not
+                # misreported (and so the failure points at the true
+                # resume position).
+                try:
+                    while worker_id not in done_workers:
+                        handle(result_queue.get_nowait())
+                except queue_module.Empty:
+                    pass
+                if worker_id not in done_workers:
+                    raise WorkerFailure(
+                        worker_id, process.exitcode, plan.assignments[worker_id]
+                    )
+            continue
+        handle(message)
     flush_ready()
     if next_ordinal != total_rounds:
         raise RuntimeError(

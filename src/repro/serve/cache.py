@@ -29,6 +29,16 @@ day-keyed ranking inputs (news pools, day-gated cards) change at
 midnight, so a SERP must not outlive the virtual day it was computed
 in.  Expiry is lazy (checked on lookup) plus swept on insert, and LRU
 eviction bounds capacity.
+
+Stale store
+-----------
+Expired entries are *retired*, not discarded: the most recent page per
+day-less key (query × cell × page × datacenter) moves into a bounded
+stale store, which :meth:`SerpCache.get_stale` serves when the gateway
+has no live replica to ask — degraded mode.  The day is deliberately
+dropped from the stale key: a degraded lookup wants "the last good
+page for this query here", whatever day it was computed on, and the
+response is flagged ``degraded`` so nobody mistakes it for current.
 """
 
 from __future__ import annotations
@@ -77,6 +87,9 @@ class SerpCache:
         self._entries: "OrderedDict[CacheKey, Tuple[SearchResponse, float]]" = (
             OrderedDict()
         )
+        # Day-less key -> last expired response (LRU, bounded by
+        # ``capacity``): the degraded-mode inventory.
+        self._stale: "OrderedDict[Tuple, SearchResponse]" = OrderedDict()
 
     # -- keys -----------------------------------------------------------------
 
@@ -112,6 +125,7 @@ class SerpCache:
         if entry is not None:
             response, expires_at = entry
             if now_minutes >= expires_at:
+                self._retire(key, response)
                 del self._entries[key]
                 self.stats.cache_expirations += 1
             else:
@@ -143,8 +157,33 @@ class SerpCache:
             if now_minutes >= expires_at
         ]
         for key in stale:
+            self._retire(key, self._entries[key][0])
             del self._entries[key]
             self.stats.cache_expirations += 1
+
+    # -- stale store (degraded mode) -------------------------------------------
+
+    @staticmethod
+    def _stale_key(key: CacheKey) -> Tuple:
+        """``key`` minus its virtual day (index 4)."""
+        return (key[0], key[1], key[2], key[3], key[5], key[6])
+
+    def _retire(self, key: CacheKey, response: SearchResponse) -> None:
+        """Move an expired entry into the bounded stale store."""
+        stale_key = self._stale_key(key)
+        self._stale[stale_key] = response
+        self._stale.move_to_end(stale_key)
+        while len(self._stale) > self.capacity:
+            self._stale.popitem(last=False)
+
+    def get_stale(self, key: CacheKey) -> Optional[SearchResponse]:
+        """The last expired response matching ``key`` ignoring its day.
+
+        Degraded-mode lookup: live entries never appear here (serve
+        those via :meth:`get`), and ``None`` means this query/cell has
+        never been cached — degradation has nothing to offer.
+        """
+        return self._stale.get(self._stale_key(key))
 
     # -- introspection ---------------------------------------------------------
 
@@ -160,3 +199,4 @@ class SerpCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._stale.clear()

@@ -116,12 +116,15 @@ class GatewayResult:
 
     response: SearchResponse
     served_by: str
-    """Replica name, or ``"cache"`` / ``"shed"``."""
+    """Replica name, or ``"cache"`` / ``"stale-cache"`` / ``"shed"``."""
     cache_hit: bool
     wait_minutes: float
     latency_minutes: float
     attempts: int
     hedged: bool
+    degraded: bool = False
+    """Served from the stale cache because no replica could take the
+    request (the DEGRADED flag; also set on ``response.degraded``)."""
 
 
 _OVERLOAD_HTML = (
@@ -161,6 +164,13 @@ class Gateway:
             state machine.  Off by default — breaker decisions depend
             on the full traffic stream, so they are a serving-path
             feature, not for parity-checked study crawls.
+        serve_stale_when_down: Degraded mode — when admission finds no
+            replica at all (every queue full or every breaker open), a
+            cacheable request is answered from the *stale* SERP store
+            (last expired page for the same query/cell/datacenter,
+            ignoring the virtual day) with the ``DEGRADED`` flag set,
+            instead of shedding.  Requires an enabled cache to have any
+            inventory; session-carrying requests still shed.
     """
 
     def __init__(
@@ -177,6 +187,7 @@ class Gateway:
         hedge_after_minutes: Optional[float] = None,
         stats: Optional[GatewayStats] = None,
         breakers: Optional[BreakerBoard] = None,
+        serve_stale_when_down: bool = False,
     ):
         if not replicas:
             raise ValueError("a gateway needs at least one replica")
@@ -194,6 +205,7 @@ class Gateway:
         )
         self.hedge_after_minutes = hedge_after_minutes
         self.breakers = breakers
+        self.serve_stale_when_down = serve_stale_when_down
         self.cluster = replicas[0].engine.cluster
         # Live serving traces only (the serve bench).  A parity-mode
         # study crawl leaves this disabled: per-shard gateway telemetry
@@ -265,8 +277,8 @@ class Gateway:
                     nonce=stable_hash("serve-canonical-nonce", *key),
                 )
 
-        result = self._dispatch(dispatch_request, location)
-        if key is not None and result.response.ok:
+        result = self._dispatch(dispatch_request, location, key)
+        if key is not None and result.response.ok and not result.degraded:
             self.cache.put(key, result.response, now)
         if tracing:
             self.tracer.end(served_by=result.served_by, attempts=result.attempts)
@@ -287,7 +299,12 @@ class Gateway:
             return by_ip
         return DEFAULT_LOCATION
 
-    def _dispatch(self, request: SearchRequest, location: LatLon) -> GatewayResult:
+    def _dispatch(
+        self,
+        request: SearchRequest,
+        location: LatLon,
+        key=None,
+    ) -> GatewayResult:
         """Admission control + routing + RATE_LIMITED retries."""
         arrival = request.timestamp_minutes
         attempt_request = request
@@ -318,6 +335,27 @@ class Gateway:
                     chosen, slot = replica, admitted
                     break
             if chosen is None:
+                if self.serve_stale_when_down and key is not None:
+                    stale = self.cache.get_stale(key)
+                    if stale is not None:
+                        # Degraded mode: nothing can take the request
+                        # (queues full and/or breakers open), but we
+                        # hold a previously served page for this
+                        # query/cell — better a flagged-stale SERP than
+                        # an error page.
+                        self.stats.degraded_served += 1
+                        if self.tracer.enabled:
+                            self.tracer.event("gateway.degraded", at=now)
+                        return GatewayResult(
+                            response=replace(stale, degraded=True),
+                            served_by="stale-cache",
+                            cache_hit=False,
+                            wait_minutes=0.0,
+                            latency_minutes=0.0,
+                            attempts=attempts,
+                            hedged=hedged_any,
+                            degraded=True,
+                        )
                 self.stats.rejected += 1
                 if self.tracer.enabled:
                     self.tracer.event("gateway.shed", at=now)
@@ -405,6 +443,39 @@ class Gateway:
                     self.tracer.event("gateway.hedge", at=now, replica=replica.name)
                 return replica, hedged_slot
         return None
+
+    # -- health ---------------------------------------------------------------
+
+    def replica_health(self, now_minutes: float) -> dict:
+        """Per-replica health report, driven by the breaker board.
+
+        Breaker state maps onto operational health: CLOSED replicas are
+        ``healthy``, OPEN ones ``quarantined`` (skipped by routing until
+        their cooldown), HALF_OPEN ones in ``probation`` (admitting
+        probe traffic that can close the breaker).  Without breakers
+        every replica reports healthy — there is nothing tracking
+        failure.  Queue depth rides along as the load signal.
+        """
+        from repro.faults.breaker import BreakerState
+
+        health_by_state = {
+            BreakerState.CLOSED: "healthy",
+            BreakerState.OPEN: "quarantined",
+            BreakerState.HALF_OPEN: "probation",
+        }
+        report = {}
+        for replica in self.replicas:
+            state = (
+                self.breakers.state_of(replica.name)
+                if self.breakers is not None
+                else BreakerState.CLOSED
+            )
+            report[replica.name] = {
+                "health": health_by_state[state],
+                "breaker": state.value,
+                "queue_depth": replica.queue.depth(now_minutes),
+            }
+        return report
 
     # -- checkpointing -------------------------------------------------------
 

@@ -61,6 +61,9 @@ class GatewayStats(MetricSet):
     """Requests dispatched to a second replica to cut tail latency."""
     rate_limited: int = 0
     """RATE_LIMITED responses seen from replicas (before retries)."""
+    degraded_served: int = 0
+    """Requests answered from the stale SERP store because no replica
+    could take them (degraded mode; the response carries DEGRADED)."""
     max_queue_depth: int = 0
 
     # -- routing ---------------------------------------------------------------
@@ -102,7 +105,7 @@ class GatewayStats(MetricSet):
             f"  admission         admitted={self.admitted} rejected={self.rejected} "
             f"max-depth={self.max_queue_depth}",
             f"  resilience        retries={self.retries} hedges={self.hedges} "
-            f"rate-limited={self.rate_limited}",
+            f"rate-limited={self.rate_limited} degraded={self.degraded_served}",
             "  virtual latency   "
             f"wait {self.queue_wait.mean_minutes * 60:.2f}s avg / "
             f"{self.queue_wait.max_minutes * 60:.2f}s max, "

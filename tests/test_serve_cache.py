@@ -138,6 +138,57 @@ class TestLRU:
             SerpCache(-1)
 
 
+class TestStaleStore:
+    def test_expired_entries_are_retired_not_discarded(self):
+        cache = SerpCache(16)
+        key = cache.key_for("g", "school", CLEVELAND, day=0)
+        cache.put(key, _response("day0"), now_minutes=100.0)
+        assert cache.get(key, now_minutes=float(MINUTES_PER_DAY)) is None
+        # The day-1 key for the same query/cell finds the day-0 page.
+        tomorrow = cache.key_for("g", "school", CLEVELAND, day=1)
+        stale = cache.get_stale(tomorrow)
+        assert stale is not None and "day0" in stale.html
+
+    def test_sweep_retires_too(self):
+        cache = SerpCache(16)
+        old = cache.key_for("g", "school", CLEVELAND, day=0)
+        cache.put(old, _response("old"), now_minutes=10.0)
+        other = cache.key_for("g", "jobs", CLEVELAND, day=1)
+        cache.put(other, _response("new"), now_minutes=float(MINUTES_PER_DAY) + 10.0)
+        assert cache.get_stale(old) is not None
+
+    def test_newest_expiry_wins_per_dayless_key(self):
+        cache = SerpCache(16)
+        for day in (0, 1):
+            key = cache.key_for("g", "school", CLEVELAND, day=day)
+            cache.put(key, _response(f"day{day}"), now_minutes=day * MINUTES_PER_DAY + 1.0)
+            assert cache.get(key, now_minutes=float((day + 1) * MINUTES_PER_DAY)) is None
+        stale = cache.get_stale(cache.key_for("g", "school", CLEVELAND, day=2))
+        assert stale is not None and "day1" in stale.html
+
+    def test_stale_store_is_bounded_by_capacity(self):
+        cache = SerpCache(2)
+        for name in ("a", "b", "c"):
+            key = cache.key_for("g", name, CLEVELAND, day=0)
+            cache.put(key, _response(name), now_minutes=1.0)
+            cache.get(key, now_minutes=float(MINUTES_PER_DAY))  # expire + retire
+        assert len(cache._stale) == 2
+        assert cache.get_stale(cache.key_for("g", "a", CLEVELAND, day=1)) is None
+
+    def test_no_inventory_returns_none(self):
+        cache = SerpCache(16)
+        key = cache.key_for("g", "school", CLEVELAND, day=0)
+        assert cache.get_stale(key) is None
+
+    def test_clear_drops_stale_inventory(self):
+        cache = SerpCache(16)
+        key = cache.key_for("g", "school", CLEVELAND, day=0)
+        cache.put(key, _response("day0"), now_minutes=1.0)
+        cache.get(key, now_minutes=float(MINUTES_PER_DAY))
+        cache.clear()
+        assert cache.get_stale(key) is None
+
+
 class TestStatsCounters:
     def test_hit_miss_accounting(self):
         cache = SerpCache(4)

@@ -213,6 +213,104 @@ class TestResilience:
         assert gateway.stats.hedges == 0
 
 
+class TestDegradedServing:
+    def _gateway(self, world, **kwargs):
+        cluster, geoip, replicas = _fleet(
+            world, count=2, queue_capacity=1, service_minutes=5.0
+        )
+        gateway = Gateway(
+            replicas, geoip, cache_size=8, max_retries=0,
+            serve_stale_when_down=True, **kwargs,
+        )
+        return cluster, gateway
+
+    def _warm_then_outage(self, cluster, gateway):
+        """Cache School on day 0, expire it into the stale store on day
+        1, then fill every replica queue.  Returns the outage minute."""
+        assert gateway.submit(_request(cluster, 0.0, nonce=1)).response.ok
+        day1 = 1440.0
+        warm = gateway.submit(_request(cluster, day1, nonce=2, query="Jobs"))
+        assert warm.response.ok  # its put() sweeps day-0 School into stale
+        outage = day1 + 1.0
+        for replica in gateway.replicas:
+            replica.queue.try_admit(outage)
+        return outage
+
+    def test_serves_stale_with_degraded_flag_when_all_replicas_down(self, world):
+        cluster, gateway = self._gateway(world)
+        fresh = gateway.submit(_request(cluster, 0.0, nonce=1))
+        outage = self._warm_then_outage(cluster, gateway)
+        result = gateway.submit(_request(cluster, outage, nonce=3))
+        assert result.degraded
+        assert result.response.degraded
+        assert result.response.ok
+        assert result.served_by == "stale-cache"
+        assert result.response.html == fresh.response.html
+        assert gateway.stats.degraded_served == 1
+        assert gateway.stats.rejected == 0
+
+    def test_degraded_response_is_not_recached(self, world):
+        cluster, gateway = self._gateway(world)
+        outage = self._warm_then_outage(cluster, gateway)
+        gateway.submit(_request(cluster, outage, nonce=3))
+        key = gateway.cache.key_for(
+            gateway.dialect.name, "School", CLEVELAND, 1,
+            datacenter=gateway.cluster.by_ip(cluster[0].frontend_ip).name,
+        )
+        assert key not in gateway.cache
+
+    def test_sheds_without_stale_inventory(self, world):
+        cluster, gateway = self._gateway(world)
+        outage = self._warm_then_outage(cluster, gateway)
+        shed = gateway.submit(
+            _request(cluster, outage, nonce=4, query="Weather")
+        )
+        assert shed.response.status is ResponseStatus.OVERLOADED
+        assert gateway.stats.rejected == 1
+
+    def test_session_requests_never_served_stale(self, world):
+        cluster, gateway = self._gateway(world)
+        outage = self._warm_then_outage(cluster, gateway)
+        from dataclasses import replace as dc_replace
+
+        cookied = dc_replace(_request(cluster, outage, nonce=5), cookie_id="c1")
+        result = gateway.submit(cookied)
+        assert result.response.status is ResponseStatus.OVERLOADED
+        assert gateway.stats.degraded_served == 0
+
+    def test_disabled_by_default(self, world):
+        cluster, geoip, replicas = _fleet(
+            world, count=2, queue_capacity=1, service_minutes=5.0
+        )
+        gateway = Gateway(replicas, geoip, cache_size=8, max_retries=0)
+        assert gateway.submit(_request(cluster, 0.0, nonce=1)).response.ok
+        day1 = 1440.0
+        assert gateway.submit(
+            _request(cluster, day1, nonce=2, query="Jobs")
+        ).response.ok
+        outage = day1 + 1.0
+        for replica in gateway.replicas:
+            replica.queue.try_admit(outage)
+        result = gateway.submit(_request(cluster, outage, nonce=3))
+        assert result.response.status is ResponseStatus.OVERLOADED
+
+    def test_replica_health_tracks_breaker_state(self, world):
+        from repro.faults.breaker import BreakerBoard
+
+        cluster, geoip, replicas = _fleet(world, count=2)
+        board = BreakerBoard()
+        gateway = Gateway(replicas, geoip, breakers=board)
+        health = gateway.replica_health(0.0)
+        assert all(entry["health"] == "healthy" for entry in health.values())
+        for _ in range(10):
+            board.record_failure("dc00", 0.0)
+        health = gateway.replica_health(0.0)
+        assert health["dc00"]["health"] == "quarantined"
+        assert health["dc00"]["breaker"] == "open"
+        assert health["dc01"]["health"] == "healthy"
+        assert "queue_depth" in health["dc01"]
+
+
 class TestNetworkCompatibility:
     def test_gateway_quacks_like_an_engine(self, world):
         cluster, geoip, replicas = _fleet(world)
