@@ -1,0 +1,46 @@
+"""Continuous audit service: recurring studies, streaming stats, drift alerts.
+
+Where :func:`repro.core.audit.audit_queries` answers "how personalized
+are these terms?" once, :mod:`repro.audit` keeps asking: register an
+:class:`AuditSpec` with the :class:`AuditService` and every interval of
+virtual time it runs a full paired-control crawl window (a *cycle*),
+streams the per-granularity Jaccard / edit-distance statistics as
+rounds land, journals the cycle durably to an append-only
+:class:`AuditStore`, and raises :class:`AlertRecord` drift alarms when
+a personalization curve leaves its baseline.  An stdlib HTTP API
+(:class:`AuditAPIServer`) and the ``repro audit`` CLI serve the results
+and Prometheus metrics.  See ``docs/AUDIT.md``.
+"""
+
+from repro.audit.drift import (
+    AlertRecord,
+    CusumDetector,
+    DriftConfig,
+    DriftMonitor,
+    sliding_mann_whitney,
+)
+from repro.audit.http_api import AuditAPIServer, handle_path
+from repro.audit.scheduler import AuditScheduler, AuditSpec, CycleOutcome
+from repro.audit.service import AuditService, AuditServiceStats, build_smoke_service
+from repro.audit.store import AuditStore, AuditStoreError
+from repro.audit.streaming import StreamingCell, StreamingComparisons
+
+__all__ = [
+    "AlertRecord",
+    "AuditAPIServer",
+    "AuditScheduler",
+    "AuditService",
+    "AuditServiceStats",
+    "AuditSpec",
+    "AuditStore",
+    "AuditStoreError",
+    "CusumDetector",
+    "CycleOutcome",
+    "DriftConfig",
+    "DriftMonitor",
+    "StreamingCell",
+    "StreamingComparisons",
+    "build_smoke_service",
+    "handle_path",
+    "sliding_mann_whitney",
+]

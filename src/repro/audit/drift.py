@@ -1,0 +1,219 @@
+"""Drift alerting: change-point detection on personalization curves.
+
+Matter et al.'s election audit and Hannák et al.'s personalization
+measurements both found that "how personalized is this engine?" is a
+moving target — engines change rankers, news cycles move the noise
+floor.  The audit service therefore watches each registered audit's
+per-``(category, granularity)`` curves (raw edit mean and
+noise-corrected net edit) across cycles and emits a structured
+:class:`AlertRecord` when a curve drifts off its baseline.
+
+Two detectors, both deterministic and clock-free:
+
+* :class:`CusumDetector` — the service's primary detector.  A frozen
+  baseline (mean/std of the first ``baseline_cycles`` values) turns
+  each new value into a z-score; two one-sided CUSUM statistics
+  accumulate standardized drift above/below the baseline with slack
+  ``slack`` and alarm past ``threshold``, then reset (so a sustained
+  shift re-alerts at a steady cadence rather than once).
+* :func:`sliding_mann_whitney` — a windowed two-sample test over the
+  curve, reusing :func:`repro.stats.hypothesis_tests.mann_whitney_u`;
+  the HTTP API and ``repro audit status`` report it alongside the CUSUM
+  state as a significance cross-check.
+
+Determinism matters more than detector sophistication here: the alert
+ledger must be byte-identical across kill/resume and worker counts
+(pinned by tests), which is why baselines are frozen from the journal
+and every statistic is a pure fold over the cycle series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.stats.hypothesis_tests import MannWhitneyResult, mann_whitney_u
+from repro.stats.summaries import summarize
+
+__all__ = [
+    "AlertRecord",
+    "CusumDetector",
+    "DriftConfig",
+    "DriftMonitor",
+    "sliding_mann_whitney",
+]
+
+#: Decimal places for floats in journaled alert/result dicts.  Rounding
+#: happens once, at serialization, so the journal is canonical and the
+#: streaming-vs-batch parity claims survive JSON round-trips.
+JOURNAL_DECIMALS = 10
+
+
+def journal_round(value: float) -> float:
+    """Canonical float rounding for journaled records."""
+    return round(float(value), JOURNAL_DECIMALS)
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Detection knobs for one audit's drift monitor."""
+
+    baseline_cycles: int = 4
+    """Cycles used to freeze the baseline mean/std of each series."""
+
+    slack: float = 0.5
+    """CUSUM slack ``k`` in baseline-std units: drift smaller than this
+    per cycle is absorbed instead of accumulated."""
+
+    threshold: float = 4.0
+    """CUSUM alarm threshold ``h`` in baseline-std units."""
+
+    min_std: float = 1e-9
+    """Floor on the baseline std, so a flat baseline still standardizes."""
+
+    mw_window: int = 4
+    """Window size for the sliding Mann–Whitney cross-check."""
+
+    def __post_init__(self) -> None:
+        if self.baseline_cycles < 1:
+            raise ValueError("baseline_cycles must be >= 1")
+        if self.slack < 0:
+            raise ValueError("slack must be >= 0")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if self.min_std <= 0:
+            raise ValueError("min_std must be > 0")
+        if self.mw_window < 1:
+            raise ValueError("mw_window must be >= 1")
+
+
+@dataclass(frozen=True)
+class AlertRecord:
+    """One drift alarm, as journaled in the audit store."""
+
+    audit: str
+    cycle: int
+    series: str
+    """Curve identifier, e.g. ``"net:local:county"``."""
+    kind: str
+    """``"drift-high"`` or ``"drift-low"``."""
+    value: float
+    """The cycle's curve value that tripped the alarm."""
+    baseline_mean: float
+    baseline_std: float
+    statistic: float
+    """The CUSUM sum at the alarm (baseline-std units)."""
+    threshold: float
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form (floats journal-rounded)."""
+        raw = asdict(self)
+        for key in ("value", "baseline_mean", "baseline_std", "statistic", "threshold"):
+            raw[key] = journal_round(raw[key])
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "AlertRecord":
+        return cls(**raw)
+
+
+class CusumDetector:
+    """Two-sided CUSUM over one series, against a frozen baseline."""
+
+    def __init__(self, config: DriftConfig):
+        self.config = config
+        self.baseline: List[float] = []
+        self.baseline_mean: Optional[float] = None
+        self.baseline_std: Optional[float] = None
+        self.s_high = 0.0
+        self.s_low = 0.0
+
+    def observe(self, value: float) -> Optional[Tuple[str, float]]:
+        """Feed the next cycle's value; returns ``(kind, statistic)`` on alarm."""
+        if self.baseline_mean is None:
+            self.baseline.append(float(value))
+            if len(self.baseline) >= self.config.baseline_cycles:
+                summary = summarize(self.baseline)
+                self.baseline_mean = summary.mean
+                self.baseline_std = max(summary.std, self.config.min_std)
+            return None
+        z = (float(value) - self.baseline_mean) / self.baseline_std
+        self.s_high = max(0.0, self.s_high + z - self.config.slack)
+        self.s_low = max(0.0, self.s_low - z - self.config.slack)
+        if self.s_high > self.config.threshold:
+            statistic = self.s_high
+            self.s_high = self.s_low = 0.0
+            return ("drift-high", statistic)
+        if self.s_low > self.config.threshold:
+            statistic = self.s_low
+            self.s_high = self.s_low = 0.0
+            return ("drift-low", statistic)
+        return None
+
+
+@dataclass
+class DriftMonitor:
+    """All of one audit's per-series detectors, fed cycle by cycle."""
+
+    audit: str
+    config: DriftConfig = field(default_factory=DriftConfig)
+
+    def __post_init__(self) -> None:
+        self._detectors: Dict[str, CusumDetector] = {}
+
+    def observe_cycle(
+        self, cycle: int, series_values: Dict[str, float]
+    ) -> List[AlertRecord]:
+        """Feed one cycle's curve values; returns the alarms it trips.
+
+        Series are visited in sorted name order so the alert ledger has
+        one canonical ordering.
+        """
+        alerts: List[AlertRecord] = []
+        for series in sorted(series_values):
+            detector = self._detectors.get(series)
+            if detector is None:
+                detector = CusumDetector(self.config)
+                self._detectors[series] = detector
+            value = series_values[series]
+            fired = detector.observe(value)
+            if fired is None:
+                continue
+            kind, statistic = fired
+            alerts.append(
+                AlertRecord(
+                    audit=self.audit,
+                    cycle=cycle,
+                    series=series,
+                    kind=kind,
+                    value=value,
+                    baseline_mean=detector.baseline_mean,
+                    baseline_std=detector.baseline_std,
+                    statistic=statistic,
+                    threshold=self.config.threshold,
+                )
+            )
+        return alerts
+
+    def state(self, series: str) -> Optional[CusumDetector]:
+        """The live detector for one series (``None`` before first value)."""
+        return self._detectors.get(series)
+
+
+def sliding_mann_whitney(
+    series: Sequence[float], *, window: int
+) -> Optional[MannWhitneyResult]:
+    """Mann–Whitney U of the last ``window`` values vs the ``window`` before.
+
+    Returns ``None`` until the series holds two full windows.  A
+    significant result says the recent curve segment is distributed
+    differently from the preceding one — the windowed complement to the
+    CUSUM's cumulative view.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if len(series) < 2 * window:
+        return None
+    recent = list(series[-window:])
+    previous = list(series[-2 * window : -window])
+    return mann_whitney_u(recent, previous)

@@ -1,0 +1,125 @@
+"""Stdlib HTTP API over a running :class:`~repro.audit.service.AuditService`.
+
+Routes (all ``GET``):
+
+========================  ====================================================
+``/healthz``              liveness — ``{"status": "ok"}``
+``/audits``               the service status document (per-audit progress,
+                          drift state, service counters)
+``/audits/<name>``        one audit's journaled cycle results
+``/audits/<name>/series``  per-series curves across cycles (the drift inputs)
+``/audits/<name>/alerts``  the audit's alert ledger
+``/metrics``              the service :class:`~repro.obs.metrics.
+                          MetricsRegistry` in Prometheus text exposition
+                          format (see ``docs/OBSERVABILITY.md``)
+========================  ====================================================
+
+The routing core is :func:`handle_path` — a pure function from path to
+``(status, content_type, body)`` so tests can exercise every route
+without sockets.  :class:`AuditAPIServer` wraps it in a
+``ThreadingHTTPServer`` on a background thread; bind port 0 to let the
+OS pick (the chosen port is on ``.port``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+from repro.audit.service import AuditService
+
+__all__ = ["AuditAPIServer", "handle_path"]
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4"
+
+
+def _json_body(payload, status: int = 200) -> Tuple[int, str, bytes]:
+    return status, _JSON, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _not_found(path: str) -> Tuple[int, str, bytes]:
+    return _json_body({"error": f"no such resource: {path}"}, status=404)
+
+
+def handle_path(service: AuditService, path: str) -> Tuple[int, str, bytes]:
+    """Serve one GET path: ``(status, content_type, body)``."""
+    service.stats.http_requests += 1
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path == "/healthz":
+        return _json_body({"status": "ok"})
+    if path == "/metrics":
+        return 200, _PROM, service.registry().render_prometheus().encode("utf-8")
+    if path == "/audits":
+        return _json_body(service.status())
+    if path.startswith("/audits/"):
+        parts = path.split("/")[2:]
+        name = parts[0]
+        audit = service._scheduler.audits.get(name)
+        if audit is None:
+            return _not_found(path)
+        if len(parts) == 1:
+            return _json_body(
+                {
+                    "audit": name,
+                    "fingerprint": audit.store.header["fingerprint"],
+                    "cycles": audit.store.results(),
+                }
+            )
+        if len(parts) == 2 and parts[1] == "series":
+            curves = {}
+            for category, granularity in audit.store.iter_cells():
+                for metric in ("edit_mean", "net_edit"):
+                    prefix = "edit" if metric == "edit_mean" else "net"
+                    curves[f"{prefix}:{category}:{granularity}"] = audit.store.series(
+                        metric=metric, category=category, granularity=granularity
+                    )
+            return _json_body({"audit": name, "series": curves})
+        if len(parts) == 2 and parts[1] == "alerts":
+            return _json_body({"audit": name, "alerts": audit.store.alerts()})
+    return _not_found(path)
+
+
+class AuditAPIServer:
+    """The service's HTTP face, on a daemon thread."""
+
+    def __init__(self, service: AuditService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(handler) -> None:  # noqa: N805 - stdlib handler idiom
+                status, content_type, body = handle_path(service, handler.path)
+                handler.send_response(status)
+                handler.send_header("Content-Type", content_type)
+                handler.send_header("Content-Length", str(len(body)))
+                handler.end_headers()
+                handler.wfile.write(body)
+
+            def log_message(handler, *args) -> None:  # noqa: N805
+                pass  # the service's stats are the access log
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="audit-api", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "AuditAPIServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5)

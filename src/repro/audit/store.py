@@ -1,0 +1,227 @@
+"""The append-only audit store: a kill-safe journal of cycles and alerts.
+
+Same durability model as the crawl checkpoint journal
+(:mod:`repro.faults.checkpoint`), applied to audit results: one JSONL
+file per registered audit, a header line whose fingerprint pins the
+audit's configuration, then one line per completed cycle carrying the
+cycle's result dict *and* the alerts it tripped::
+
+    {"kind": "header", "version": 1, "audit": "local", "fingerprint": {...}}
+    {"kind": "cycle", "ordinal": 0, "result": {...}, "alerts": [...]}
+    {"kind": "cycle", "ordinal": 1, "result": {...}, "alerts": [...]}
+
+A cycle is **durable** once its line is flushed and fsynced; the line is
+the atomic unit, so a daemon killed mid-write leaves at most one torn
+tail, which :meth:`AuditStore.open` truncates before appending resumes.
+Cycle ordinals must be consecutive from zero — an out-of-order line
+marks the end of the durable prefix.  Because cycle results are a pure
+function of the audit spec (and every float is journal-rounded before
+serialization with ``sort_keys``), a store that is killed and resumed —
+at any point, under any worker count — ends up **byte-identical** to an
+uninterrupted run's store; the tests pin this down.
+
+The store speaks plain dicts only; building result dicts is the
+scheduler's job, mirroring the checkpoint module's division of labor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["AUDIT_STORE_VERSION", "AuditStore", "AuditStoreError"]
+
+AUDIT_STORE_VERSION = 1
+
+
+class AuditStoreError(RuntimeError):
+    """The store file cannot be used with this audit."""
+
+
+def _read_durable(path: str) -> Tuple[dict, List[dict], int]:
+    """Header, consecutive cycle lines, and the durable byte offset."""
+    lines: List[Tuple[dict, int]] = []
+    with open(path, "rb") as handle:
+        offset = 0
+        for raw in handle:
+            offset += len(raw)
+            if not raw.endswith(b"\n"):
+                break  # torn tail: the write in flight at death
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            lines.append((payload, offset))
+    if not lines:
+        raise AuditStoreError(f"audit store {path!r} has no readable header")
+    header, durable_end = lines[0]
+    if header.get("kind") != "header":
+        raise AuditStoreError(f"audit store {path!r} does not start with a header")
+    if header.get("version") != AUDIT_STORE_VERSION:
+        raise AuditStoreError(
+            f"audit store {path!r} is version {header.get('version')}, "
+            f"expected {AUDIT_STORE_VERSION}"
+        )
+    cycles: List[dict] = []
+    for payload, end in lines[1:]:
+        if payload.get("kind") != "cycle" or payload.get("ordinal") != len(cycles):
+            break  # out-of-order journal: stop at the durable prefix
+        cycles.append(payload)
+        durable_end = end
+    return header, cycles, durable_end
+
+
+def _canonical_json(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+class AuditStore:
+    """One audit's durable cycle/alert journal, opened for appending."""
+
+    def __init__(self, path: str, handle, header: dict, cycles: List[dict]):
+        self.path = path
+        self._handle = handle
+        self.header = header
+        self._cycles = cycles
+
+    @classmethod
+    def open(cls, path: str, *, audit: str, fingerprint: dict) -> "AuditStore":
+        """Create a fresh store, or resume an existing compatible one.
+
+        An existing file must carry the same audit name and fingerprint
+        (normalized through a JSON round-trip, since that is how it was
+        journaled); anything after the durable prefix is truncated.
+
+        Raises:
+            AuditStoreError: unreadable header, version mismatch, or a
+                name/fingerprint mismatch — resuming a store produced
+                by a different audit configuration would silently mix
+                incomparable series.
+        """
+        expected = json.loads(_canonical_json(fingerprint))
+        if not os.path.exists(path):
+            handle = open(path, "w", encoding="utf-8")
+            header = {
+                "kind": "header",
+                "version": AUDIT_STORE_VERSION,
+                "audit": audit,
+                "fingerprint": expected,
+            }
+            store = cls(path, handle, header, [])
+            store._write_line(header)
+            return store
+        header, cycles, durable_end = _read_durable(path)
+        if header.get("audit") != audit:
+            raise AuditStoreError(
+                f"audit store {path!r} belongs to audit "
+                f"{header.get('audit')!r}, not {audit!r}"
+            )
+        if header.get("fingerprint") != expected:
+            raise AuditStoreError(
+                f"audit store {path!r} was written by a different audit "
+                "configuration; refusing to mix series"
+            )
+        if os.path.getsize(path) > durable_end:
+            with open(path, "r+b") as tail:
+                tail.truncate(durable_end)
+        return cls(path, open(path, "a", encoding="utf-8"), header, cycles)
+
+    @classmethod
+    def read(cls, path: str) -> Tuple[dict, List[dict]]:
+        """Read-only load of a store's header and durable cycles.
+
+        For status tooling that has no spec to validate against; the
+        file is left untouched (no truncation, no open handle).
+        """
+        header, cycles, _ = _read_durable(path)
+        return header, cycles
+
+    # -- appending -----------------------------------------------------------
+
+    def append_cycle(self, result: dict, alerts: List[dict]) -> None:
+        """Durably journal one completed cycle and its alerts.
+
+        ``result["cycle"]`` must be the next consecutive ordinal — the
+        scheduler only ever appends in cycle order, and the invariant is
+        what lets :meth:`open` treat ordinals as the durable-prefix
+        check.
+        """
+        ordinal = result.get("cycle")
+        if ordinal != len(self._cycles):
+            raise AuditStoreError(
+                f"cycle {ordinal!r} out of order: store holds "
+                f"{len(self._cycles)} cycle(s)"
+            )
+        payload = {
+            "kind": "cycle",
+            "ordinal": ordinal,
+            "result": result,
+            "alerts": alerts,
+        }
+        self._write_line(payload)
+        self._cycles.append(json.loads(_canonical_json(payload)))
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(_canonical_json(payload) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def cycles(self) -> List[dict]:
+        """Durable cycle lines (``{"ordinal", "result", "alerts"}``)."""
+        return self._cycles
+
+    def results(self) -> List[dict]:
+        """Every cycle's result dict, in cycle order."""
+        return [cycle["result"] for cycle in self._cycles]
+
+    def alerts(self) -> List[dict]:
+        """Every journaled alert, in (cycle, series) order."""
+        return [alert for cycle in self._cycles for alert in cycle["alerts"]]
+
+    def alert_ledger_bytes(self) -> bytes:
+        """The alert ledger as canonical JSONL bytes.
+
+        This is the artifact the determinism tests compare: same spec +
+        same schedule must yield identical bytes across kill/resume and
+        worker counts.
+        """
+        return b"".join(
+            (_canonical_json(alert) + "\n").encode("utf-8")
+            for alert in self.alerts()
+        )
+
+    def series(
+        self,
+        *,
+        metric: str = "net_edit",
+        category: str,
+        granularity: str,
+    ) -> List[Optional[float]]:
+        """One per-cycle curve: ``metric`` of a (category, granularity) cell.
+
+        ``None`` entries mark cycles where the cell had no pairs (e.g.
+        every page for the cell was lost to faults that cycle).
+        """
+        values: List[Optional[float]] = []
+        for result in self.results():
+            cell = result["cells"].get(category, {}).get(granularity)
+            values.append(None if cell is None else cell.get(metric))
+        return values
+
+    def iter_cells(self) -> Iterator[Tuple[str, str]]:
+        """Every (category, granularity) cell seen in any cycle, sorted."""
+        seen = set()
+        for result in self.results():
+            for category, by_granularity in result["cells"].items():
+                for granularity in by_granularity:
+                    seen.add((category, granularity))
+        return iter(sorted(seen))

@@ -143,11 +143,72 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--format", choices=["csv", "json"], default="csv")
 
     audit = sub.add_parser(
-        "audit", help="one-shot audit of your own search terms"
+        "audit",
+        help="term audits: one-shot, or the continuous audit service",
     )
-    audit.add_argument("terms", nargs="+", help="search terms to audit")
-    audit.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
-    audit.add_argument("--days", type=int, default=2)
+    audit_sub = audit.add_subparsers(dest="audit_command", required=True)
+
+    audit_terms = audit_sub.add_parser(
+        "terms", help="one-shot audit of your own search terms"
+    )
+    audit_terms.add_argument("terms", nargs="+", help="search terms to audit")
+    audit_terms.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    audit_terms.add_argument("--days", type=int, default=2)
+
+    audit_run = audit_sub.add_parser(
+        "run-once",
+        help="advance the registered audits by N cycles and exit",
+    )
+    audit_run.add_argument(
+        "--store", default=".audit", help="audit store directory"
+    )
+    audit_run.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    audit_run.add_argument("--cycles", type=int, default=1)
+    audit_run.add_argument(
+        "--workers", type=int, default=1, help="workers per cycle (byte-identical)"
+    )
+    audit_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: tiny audit (4 queries, 1 day), seconds of wall clock",
+    )
+    audit_run.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="write the combined alert ledger as canonical JSONL",
+    )
+
+    audit_serve = audit_sub.add_parser(
+        "serve", help="run cycles, then serve the HTTP API"
+    )
+    audit_serve.add_argument(
+        "--store", default=".audit", help="audit store directory"
+    )
+    audit_serve.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    audit_serve.add_argument(
+        "--cycles", type=int, default=1, help="cycles to run before serving"
+    )
+    audit_serve.add_argument("--host", default="127.0.0.1")
+    audit_serve.add_argument(
+        "--port", type=int, default=0, help="0 lets the OS pick"
+    )
+    audit_serve.add_argument(
+        "--smoke", action="store_true", help="CI tier: tiny audit"
+    )
+    audit_serve.add_argument(
+        "--check",
+        action="store_true",
+        help="round-trip every API route over HTTP, then exit "
+        "(non-zero on any failure)",
+    )
+
+    audit_status = audit_sub.add_parser(
+        "status", help="summarize the audit stores in a directory"
+    )
+    audit_status.add_argument(
+        "--store", default=".audit", help="audit store directory"
+    )
 
     diff = sub.add_parser("diff", help="compare two collected datasets")
     diff.add_argument("--a", required=True, help="first dataset path")
@@ -530,12 +591,142 @@ def _cmd_export(args) -> int:
     return 0
 
 
-def _cmd_audit(args) -> int:
+def _cmd_audit_terms(args) -> int:
     from repro.core.audit import audit_queries
 
     report = audit_queries(args.terms, seed=args.seed, days=args.days)
     print(report.render())
     return 0
+
+
+def _audit_service(args):
+    """Build the service for ``audit run-once`` / ``audit serve``.
+
+    ``--smoke`` registers the tiny CI audit; otherwise a small-scale
+    ``local`` audit (the full default corpus at test-scale geography)
+    with an unbounded cycle budget.
+    """
+    from repro.audit import AuditService, AuditSpec, build_smoke_service
+
+    workers = getattr(args, "workers", 1)
+    if args.smoke:
+        return build_smoke_service(
+            args.store, seed=args.seed, cycles=args.cycles, workers=workers
+        )
+    service = AuditService(args.store)
+    service.register(
+        AuditSpec(
+            name="local",
+            config=StudyConfig.small(seed=args.seed),
+            workers=workers,
+        )
+    )
+    return service
+
+
+def _cmd_audit_run_once(args) -> int:
+    service = _audit_service(args)
+    try:
+        outcomes = service.run_once(cycles=args.cycles)
+        for outcome in outcomes:
+            print(
+                f"{outcome.audit} cycle {outcome.cycle}: "
+                f"{outcome.result['pages']} pages, "
+                f"{outcome.result['pairs']} pairs, "
+                f"{len(outcome.alerts)} alert(s)",
+                file=sys.stderr,
+            )
+        print(service.render_status())
+        if args.ledger:
+            ledger = b"".join(
+                service._scheduler.audits[name].store.alert_ledger_bytes()
+                for name in sorted(service._scheduler.audits)
+            )
+            with open(args.ledger, "wb") as handle:
+                handle.write(ledger)
+            print(f"alert ledger -> {args.ledger}", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_audit_serve(args) -> int:
+    from repro.audit import AuditAPIServer
+
+    service = _audit_service(args)
+    try:
+        if args.cycles:
+            service.run_once(cycles=args.cycles)
+        server = AuditAPIServer(service, host=args.host, port=args.port).start()
+        try:
+            print(f"audit API on {server.url}", file=sys.stderr)
+            if args.check:
+                import urllib.request
+
+                paths = ["/healthz", "/audits", "/metrics"]
+                for name in sorted(service.status()["audits"]):
+                    paths += [
+                        f"/audits/{name}",
+                        f"/audits/{name}/series",
+                        f"/audits/{name}/alerts",
+                    ]
+                for path in paths:
+                    with urllib.request.urlopen(server.url + path, timeout=30) as resp:
+                        body = resp.read()
+                        if resp.status != 200:
+                            print(
+                                f"GET {path} -> {resp.status}", file=sys.stderr
+                            )
+                            return 1
+                        print(f"GET {path} -> 200 ({len(body)} bytes)")
+                return 0
+            try:  # pragma: no cover - interactive serve loop
+                import threading
+
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                pass
+            return 0
+        finally:
+            server.close()
+    finally:
+        service.close()
+
+
+def _cmd_audit_status(args) -> int:
+    import glob
+    import os
+
+    from repro.audit.store import AuditStore, AuditStoreError
+
+    paths = sorted(glob.glob(os.path.join(args.store, "*.audit.jsonl")))
+    if not paths:
+        print(f"no audit stores under {args.store}")
+        return 0
+    for path in paths:
+        try:
+            header, cycles = AuditStore.read(path)
+        except AuditStoreError as error:
+            print(f"{path}: UNREADABLE ({error})", file=sys.stderr)
+            continue
+        alerts = sum(len(cycle["alerts"]) for cycle in cycles)
+        print(
+            f"{header['audit']}: {len(cycles)} cycle(s), "
+            f"{alerts} alert(s) -> {path}"
+        )
+    return 0
+
+
+_AUDIT_HANDLERS = {
+    "terms": _cmd_audit_terms,
+    "run-once": _cmd_audit_run_once,
+    "serve": _cmd_audit_serve,
+    "status": _cmd_audit_status,
+}
+
+
+def _cmd_audit(args) -> int:
+    return _AUDIT_HANDLERS[args.audit_command](args)
 
 
 def _cmd_diff(args) -> int:
@@ -888,6 +1079,16 @@ def _cmd_metrics(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `repro-study audit <term>...` predates the audit
+    # service subcommands and still means `audit terms <term>...`.
+    if (
+        len(argv) >= 2
+        and argv[0] == "audit"
+        and argv[1] not in _AUDIT_HANDLERS
+        and argv[1] not in ("-h", "--help")
+    ):
+        argv.insert(1, "terms")
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,

@@ -5,6 +5,12 @@ a downstream user with a list of search terms: it classifies the terms,
 runs a paired-control crawl at the chosen granularities, measures the
 noise floor, and returns per-term net personalization with significance
 — the structured equivalent of ``examples/audit_custom_queries.py``.
+
+This is the *one-shot* entry point.  For a standing audit — the same
+study re-run on a rolling schedule with streaming statistics, a durable
+cycle journal, drift alerting, and an HTTP/CLI surface — use the
+:mod:`repro.audit` service (``repro audit serve``; see
+``docs/AUDIT.md``).
 """
 
 from __future__ import annotations
@@ -107,6 +113,11 @@ def audit_queries(
         An :class:`AuditReport` with per-term net personalization and a
         Mann–Whitney significance verdict against the noise
         distribution.
+
+    For recurring audits of the same terms over time (with drift
+    alerting on the resulting curves), register an
+    :class:`repro.audit.AuditSpec` with the continuous
+    :class:`repro.audit.AuditService` instead.
     """
     if not queries:
         raise ValueError("need at least one query to audit")

@@ -1,6 +1,13 @@
 """Small statistics helpers shared by the analyses."""
 
 from repro.stats.correlation import pearson, permutation_pvalue, spearman
-from repro.stats.summaries import MeanStd, summarize
+from repro.stats.summaries import MeanStd, StreamingMeanStd, summarize
 
-__all__ = ["pearson", "permutation_pvalue", "spearman", "MeanStd", "summarize"]
+__all__ = [
+    "pearson",
+    "permutation_pvalue",
+    "spearman",
+    "MeanStd",
+    "StreamingMeanStd",
+    "summarize",
+]

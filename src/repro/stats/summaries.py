@@ -1,7 +1,20 @@
 """Mean / standard-deviation summaries.
 
 The paper's bar figures report means with standard-deviation error bars;
-this tiny module keeps that aggregation in one place.
+this module keeps that aggregation in one place — in two forms:
+
+* :func:`summarize` — the batch aggregation the end-of-run analyses use;
+* :class:`StreamingMeanStd` — the incremental counterpart the audit
+  service (:mod:`repro.audit`) updates as crawl rounds land, with a
+  :meth:`~StreamingMeanStd.merge` for combining shard-local streams.
+
+Parity contract (pinned by tests): feeding the same values in the same
+order, the streaming **mean and count are bit-identical** to
+:func:`summarize` (the mean is a plain left-to-right running sum divided
+at the end, exactly the batch expression).  The standard deviation uses
+Welford's single-pass update, which agrees with the batch two-pass
+formula to ~1e-12 relative — mathematically equal, but a different
+floating-point evaluation order.
 """
 
 from __future__ import annotations
@@ -10,7 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["MeanStd", "summarize"]
+__all__ = ["MeanStd", "StreamingMeanStd", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -38,3 +51,80 @@ def summarize(values: Iterable[float]) -> MeanStd:
     mean = sum(data) / len(data)
     variance = sum((x - mean) ** 2 for x in data) / len(data)
     return MeanStd(mean=mean, std=math.sqrt(variance), count=len(data))
+
+
+@dataclass
+class StreamingMeanStd:
+    """One-pass mean/std accumulator (Welford), mergeable across streams.
+
+    ``total`` is a plain running sum, so :attr:`mean` reproduces
+    ``summarize(values).mean`` bit-for-bit on the same value order.
+    ``m2`` is Welford's sum of squared deviations, updated around its
+    own running mean (``_welford_mean``) for numerical stability.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    m2: float = 0.0
+    _welford_mean: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the stream."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        delta = value - self._welford_mean
+        self._welford_mean += delta / self.count
+        self.m2 += delta * (value - self._welford_mean)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Fold an iterable of samples, in order."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 on an empty stream)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 on an empty stream)."""
+        return self.m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0.0 on an empty stream)."""
+        return math.sqrt(max(0.0, self.variance))
+
+    def merge(self, other: "StreamingMeanStd") -> None:
+        """Fold another stream into this one (Chan's parallel update).
+
+        The merged ``count`` is exact; ``mean``/``std`` agree with the
+        concatenated stream to floating-point reassociation (summing
+        ``total_a + total_b`` instead of one long left-to-right chain).
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.m2 = other.m2
+            self._welford_mean = other._welford_mean
+            return
+        combined = self.count + other.count
+        delta = other._welford_mean - self._welford_mean
+        self.m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / combined
+        self._welford_mean += delta * other.count / combined
+        self.total += other.total
+        self.count = combined
+
+    def result(self) -> MeanStd:
+        """The stream summarized as a :class:`MeanStd`.
+
+        Raises:
+            ValueError: on an empty stream, matching :func:`summarize`.
+        """
+        if not self.count:
+            raise ValueError("cannot summarize an empty stream")
+        return MeanStd(mean=self.mean, std=self.std, count=self.count)

@@ -1,0 +1,163 @@
+"""Streaming-vs-batch parity for the audit service's incremental stats.
+
+The contract under test (documented in ``repro.audit.streaming``):
+feeding a study's sink stream through :class:`StreamingComparisons`
+produces *the same pair stream, in the same order*, as the batch
+iterators over the finished dataset — so means are bit-identical and
+standard deviations agree to Welford-vs-two-pass tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.streaming import StreamingComparisons
+from repro.core.comparisons import iter_noise_pairs, iter_treatment_pairs
+from repro.core.experiment import StudyConfig
+from repro.core.personalization import PersonalizationAnalysis
+from repro.core.runner import Study
+from repro.faults.plan import FaultPlan
+from repro.queries.corpus import build_corpus
+from repro.stats.summaries import summarize
+
+from .conftest import TEST_SEED
+
+
+def _run_streaming(config):
+    study = Study(config)
+    streaming = StreamingComparisons()
+    dataset = study.run(sink=streaming.observe)
+    streaming.finish()
+    return dataset, streaming
+
+
+def _batch_cells(dataset, iterator):
+    cells = {}
+    for pair in iterator(dataset):
+        jaccards, edits = cells.setdefault(
+            (pair.category, pair.granularity), ([], [])
+        )
+        jaccards.append(pair.jaccard)
+        edits.append(float(pair.edit))
+    return cells
+
+
+@pytest.fixture(scope="module")
+def parity_run():
+    config = StudyConfig.small(
+        list(build_corpus())[:6],
+        seed=TEST_SEED,
+        days=2,
+        locations_per_granularity=3,
+    )
+    return _run_streaming(config)
+
+
+class TestStreamingParity:
+    def test_treatment_cells_match_batch(self, parity_run):
+        dataset, streaming = parity_run
+        batch = _batch_cells(dataset, iter_treatment_pairs)
+        assert set(streaming.treatment) == set(batch)
+        for key, cell in streaming.treatment.items():
+            jaccards, edits = batch[key]
+            assert cell.pairs == len(jaccards)
+            # Same pairs, same order, same summation order: bit-identical.
+            assert cell.jaccard.mean == summarize(jaccards).mean
+            assert cell.edit.mean == summarize(edits).mean
+            assert cell.jaccard.std == pytest.approx(
+                summarize(jaccards).std, abs=1e-9
+            )
+            assert cell.edit.std == pytest.approx(summarize(edits).std, abs=1e-9)
+
+    def test_noise_cells_match_batch(self, parity_run):
+        dataset, streaming = parity_run
+        batch = _batch_cells(dataset, iter_noise_pairs)
+        assert set(streaming.noise) == set(batch)
+        for key, cell in streaming.noise.items():
+            jaccards, edits = batch[key]
+            assert cell.pairs == len(jaccards)
+            assert cell.jaccard.mean == summarize(jaccards).mean
+            assert cell.edit.mean == summarize(edits).mean
+
+    def test_net_edit_matches_personalization_analysis(self, parity_run):
+        dataset, streaming = parity_run
+        analysis = PersonalizationAnalysis(dataset)
+        checked = 0
+        for category, granularity in streaming.treatment:
+            net = streaming.net_edit(category, granularity)
+            if net is None:
+                continue
+            assert net == pytest.approx(
+                analysis.net_edit(category, granularity), abs=1e-12
+            )
+            checked += 1
+        assert checked > 0
+
+    def test_pair_count_matches_batch(self, parity_run):
+        dataset, streaming = parity_run
+        batch_pairs = sum(1 for _ in iter_treatment_pairs(dataset)) + sum(
+            1 for _ in iter_noise_pairs(dataset)
+        )
+        assert streaming.pairs == batch_pairs
+        assert streaming.records == len(dataset)
+
+    def test_parity_survives_parallel_sink(self):
+        config = StudyConfig.small(
+            list(build_corpus())[:4],
+            seed=TEST_SEED,
+            days=1,
+            locations_per_granularity=2,
+        )
+        sequential = StreamingComparisons()
+        Study(config).run(sink=sequential.observe)
+        sequential.finish()
+        parallel = StreamingComparisons()
+        Study(config).run(workers=2, sink=parallel.observe)
+        parallel.finish()
+        assert set(sequential.treatment) == set(parallel.treatment)
+        for key, cell in sequential.treatment.items():
+            other = parallel.treatment[key]
+            assert cell.pairs == other.pairs
+            assert cell.jaccard.mean == other.jaccard.mean
+            assert cell.edit.mean == other.edit.mean
+
+    def test_parity_with_faulty_crawl(self):
+        """Lost records degrade streaming exactly like the batch iterators."""
+        config = StudyConfig.small(
+            list(build_corpus())[:4],
+            seed=TEST_SEED,
+            days=1,
+            locations_per_granularity=2,
+        ).with_overrides(fault_plan=FaultPlan.named("chaos", seed=7))
+        dataset, streaming = _run_streaming(config)
+        assert streaming.records == len(dataset)
+        batch = _batch_cells(dataset, iter_treatment_pairs)
+        for key, cell in streaming.treatment.items():
+            jaccards, _ = batch[key]
+            assert cell.pairs == len(jaccards)
+            assert cell.jaccard.mean == summarize(jaccards).mean
+        batch_noise = _batch_cells(dataset, iter_noise_pairs)
+        assert set(streaming.noise) == set(batch_noise)
+        for key, cell in streaming.noise.items():
+            jaccards, _ = batch_noise[key]
+            assert cell.pairs == len(jaccards)
+
+
+class TestStreamingLifecycle:
+    def test_observe_after_finish_rejected(self, parity_run):
+        _, streaming = parity_run
+        with pytest.raises(RuntimeError):
+            streaming.observe(None)
+
+    def test_finish_idempotent(self):
+        streaming = StreamingComparisons()
+        streaming.finish()
+        streaming.finish()
+        assert streaming.pairs == 0
+
+    def test_empty_cells_report_none(self):
+        streaming = StreamingComparisons()
+        streaming.finish()
+        assert streaming.net_edit("local", "county") is None
+        assert streaming.noise_floor_edit("local", "county") is None
+        assert streaming.cells() == []

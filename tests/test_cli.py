@@ -281,3 +281,59 @@ class TestObservabilityCommands:
         assert "retry histogram (attempts per delivered query):" in out
         assert "attempt(s):" in out
         assert "#" in out
+
+
+class TestAuditServiceCLI:
+    def test_terms_subcommand_explicit(self, capsys):
+        assert main(["audit", "terms", "Coffee", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Coffee" in out and "verdict" in out
+
+    def test_run_once_smoke_writes_store_and_ledger(self, tmp_path, capsys):
+        store = tmp_path / "audits"
+        ledger = tmp_path / "alerts.jsonl"
+        argv = [
+            "audit", "run-once", "--smoke", "--cycles", "2",
+            "--store", str(store), "--ledger", str(ledger),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "smoke: cycles 2/2" in out
+        assert (store / "smoke.audit.jsonl").exists()
+        assert ledger.exists()
+
+    def test_run_once_is_deterministic_across_invocations(self, tmp_path, capsys):
+        store_a, store_b = tmp_path / "a", tmp_path / "b"
+        for store in (store_a, store_b):
+            assert main(
+                ["audit", "run-once", "--smoke", "--cycles", "2",
+                 "--store", str(store)]
+            ) == 0
+        capsys.readouterr()
+        assert (store_a / "smoke.audit.jsonl").read_bytes() == (
+            store_b / "smoke.audit.jsonl"
+        ).read_bytes()
+
+    def test_status_subcommand(self, tmp_path, capsys):
+        store = tmp_path / "audits"
+        assert main(
+            ["audit", "run-once", "--smoke", "--cycles", "1", "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["audit", "status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: 1 cycle(s)" in out
+
+    def test_status_empty_directory(self, tmp_path, capsys):
+        assert main(["audit", "status", "--store", str(tmp_path)]) == 0
+        assert "no audit stores" in capsys.readouterr().out
+
+    def test_serve_check_round_trips_every_route(self, tmp_path, capsys):
+        argv = [
+            "audit", "serve", "--smoke", "--cycles", "1",
+            "--store", str(tmp_path / "audits"), "--port", "0", "--check",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for path in ("/healthz", "/audits", "/metrics", "/audits/smoke/series"):
+            assert f"GET {path} -> 200" in out

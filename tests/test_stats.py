@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.stats.correlation import pearson, permutation_pvalue, spearman
-from repro.stats.summaries import MeanStd, summarize
+from repro.stats.summaries import MeanStd, StreamingMeanStd, summarize
 
 
 class TestSummarize:
@@ -96,3 +96,70 @@ class TestPermutationPvalue:
     def test_pvalue_in_unit_interval(self):
         p = permutation_pvalue([1, 2, 3, 4], [4, 2, 3, 1], iterations=99, seed=4)
         assert 0.0 < p <= 1.0
+
+
+class TestStreamingMeanStd:
+    def test_mean_bit_identical_to_summarize(self):
+        from repro.seeding import derive_rng
+
+        rng = derive_rng(11, "streaming")
+        values = [rng.random() * 10 - 5 for _ in range(500)]
+        streaming = StreamingMeanStd()
+        streaming.observe_many(values)
+        batch = summarize(values)
+        assert streaming.mean == batch.mean  # exact: same summation order
+        assert streaming.count == batch.count
+
+    def test_std_matches_to_welford_tolerance(self):
+        from repro.seeding import derive_rng
+
+        rng = derive_rng(12, "streaming")
+        values = [rng.random() * 100 for _ in range(300)]
+        streaming = StreamingMeanStd()
+        streaming.observe_many(values)
+        assert streaming.std == pytest.approx(summarize(values).std, abs=1e-9)
+
+    def test_result_returns_mean_std(self):
+        streaming = StreamingMeanStd()
+        streaming.observe_many([1.0, 2.0, 3.0, 4.0])
+        result = streaming.result()
+        assert isinstance(result, MeanStd)
+        assert result.mean == 2.5
+        assert result.count == 4
+        assert result.std == pytest.approx(math.sqrt(1.25))
+
+    def test_empty_result_rejected_like_summarize(self):
+        with pytest.raises(ValueError):
+            StreamingMeanStd().result()
+
+    def test_single_value(self):
+        streaming = StreamingMeanStd()
+        streaming.observe(7.0)
+        assert streaming.mean == 7.0
+        assert streaming.std == 0.0
+
+    def test_merge_matches_single_stream(self):
+        from repro.seeding import derive_rng
+
+        rng = derive_rng(13, "streaming")
+        values = [rng.random() * 3 for _ in range(200)]
+        whole = StreamingMeanStd()
+        whole.observe_many(values)
+        left, right = StreamingMeanStd(), StreamingMeanStd()
+        left.observe_many(values[:70])
+        right.observe_many(values[70:])
+        left.merge(right)
+        assert left.count == whole.count
+        # Split sums reassociate the additions, so merge is tight but
+        # not bit-exact (unlike sequential observe()).
+        assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert left.std == pytest.approx(whole.std, abs=1e-9)
+
+    def test_merge_empty_sides(self):
+        streaming = StreamingMeanStd()
+        streaming.observe_many([1.0, 2.0])
+        empty = StreamingMeanStd()
+        streaming.merge(empty)
+        assert streaming.count == 2
+        empty.merge(streaming)
+        assert empty.mean == 1.5
