@@ -350,6 +350,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print a cProfile top-20 cumulative table of the sequential run",
     )
+    crawl_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="repeats per cell, interleaved (default 5); wall = min, "
+        "median alongside",
+    )
+    crawl_bench.add_argument(
+        "--fail-on-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero if workers=1 throughput drops more than PCT%% "
+        "below the latest comparable BENCH_crawl.json entry",
+    )
 
     trace = sub.add_parser(
         "trace", help="validate, profile, or export a deterministic trace"
@@ -980,9 +995,12 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_crawl_bench(args) -> int:
     from repro.parallel.bench import (
+        DEFAULT_REPEATS,
         DEFAULT_WORKER_COUNTS,
         SMOKE_WORKER_COUNTS,
+        load_trajectory,
         profile_sequential,
+        regression_message,
         run_crawl_bench,
     )
 
@@ -995,20 +1013,23 @@ def _cmd_crawl_bench(args) -> int:
             if args.workers
             else DEFAULT_WORKER_COUNTS
         )
+    repeats = args.repeats if args.repeats is not None else DEFAULT_REPEATS
     print(
         f"crawl-bench: scale={scale}, workers={list(counts)}, "
-        f"gateway={args.gateway} ...",
+        f"gateway={args.gateway}, repeats={repeats} ...",
         file=sys.stderr,
     )
+    history = load_trajectory(args.out)
     report = run_crawl_bench(
         worker_counts=counts,
         scale=scale,
         seed=args.seed,
         route_via_gateway=args.gateway,
         out=args.out,
+        repeats=repeats,
     )
     print(report.render())
-    print(f"wrote {args.out}", file=sys.stderr)
+    print(f"appended to {args.out}", file=sys.stderr)
     if args.profile:
         print()
         print(
@@ -1022,6 +1043,13 @@ def _cmd_crawl_bench(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.fail_on_regress is not None:
+        message = regression_message(
+            report, history, threshold_pct=args.fail_on_regress
+        )
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 1
     return 0
 
 

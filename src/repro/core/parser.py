@@ -20,13 +20,21 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from html import unescape
 from html.parser import HTMLParser
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.engine.dialect import DIALECTS, EngineDialect
 from repro.geo.coords import LatLon
 
-__all__ = ["ResultType", "ParsedResult", "ParsedSerp", "parse_serp_html", "SerpParseError"]
+__all__ = [
+    "ResultType",
+    "ParsedResult",
+    "ParsedSerp",
+    "parse_serp_html",
+    "SerpParseError",
+    "set_fast_scan",
+]
 
 
 class SerpParseError(ValueError):
@@ -230,6 +238,243 @@ def _parse_with_dialect(html_text: str, dialect: EngineDialect) -> Optional[Pars
     )
 
 
+# -- fast scan ---------------------------------------------------------------
+#
+# The engine's renderer emits a rigid skeleton: fixed head, one card per
+# line, a single related-searches line, and a fixed footer.  For pages
+# that match that skeleton exactly, a strict string scan extracts the
+# same fields the streaming HTMLParser would — at a fraction of the
+# cost (parsing is the dominant term of the crawl hot path).  Any
+# deviation (truncated transfer, handcrafted markup, unknown layout)
+# makes the scan bail out with None and the HTMLParser path takes over,
+# so the scan can never change *what* is parsed, only how fast.
+
+_HEAD_PREFIX = '<!DOCTYPE html>\n<html>\n<head>\n<meta name="viewport"'
+_CAPTCHA_PREFIX = "<!DOCTYPE html><html><head><title>Unusual traffic</title></head>"
+_PAGE_SUFFIX = "</body>\n</html>\n"
+
+
+@dataclass(frozen=True)
+class _ScanProfile:
+    """Pre-concatenated landmark strings for one dialect (built once)."""
+
+    query_marker: str
+    container_marker: str
+    container_close: str
+    card_prefix: str
+    link_marker: str
+    related_marker: str
+    loc_marker: str
+    dc_marker: str
+    day_marker: str
+    page_marker: str
+    captcha_marker: str
+    subtype_map: Dict[str, ResultType]
+
+
+_SCAN_PROFILES: Dict[str, _ScanProfile] = {}
+
+
+def _scan_profile(dialect: EngineDialect) -> _ScanProfile:
+    profile = _SCAN_PROFILES.get(dialect.name)
+    if profile is None:
+        profile = _ScanProfile(
+            query_marker=f'<input name="{dialect.query_input_name}" value="',
+            container_marker=f'<div id="{dialect.results_container_id}">\n',
+            container_close=f'\n</div>\n<div class="{dialect.related_class}">',
+            card_prefix=f'<div class="{dialect.card_class} ',
+            link_marker=f'<a class="{dialect.link_class}" href="',
+            related_marker=f'<a class="{dialect.related_item_class}" href="',
+            loc_marker=(
+                f'<span class="{dialect.location_note_class}">'
+                'Results for <b class="loc">'
+            ),
+            dc_marker=f'<span class="{dialect.datacenter_note_class}" data-dc="',
+            day_marker=f'<span class="{dialect.day_note_class}" data-day="',
+            page_marker='<nav class="pagination" data-page="',
+            captcha_marker=f"<div id='{dialect.captcha_id}'>",
+            subtype_map={
+                dialect.organic_class: ResultType.NORMAL,
+                dialect.knowledge_class: ResultType.NORMAL,
+                dialect.maps_class: ResultType.MAPS,
+                dialect.news_class: ResultType.NEWS,
+            },
+        )
+        _SCAN_PROFILES[dialect.name] = profile
+    return profile
+
+
+def _fast_scan_dialect(text: str, dialect: EngineDialect) -> Optional[ParsedSerp]:
+    profile = _scan_profile(dialect)
+    qpos = text.find(profile.query_marker)
+    if qpos < 0:
+        return None
+    qstart = qpos + len(profile.query_marker)
+    qend = text.find('"', qstart)
+    if qend < 0:
+        return None
+    query = unescape(text[qstart:qend])
+
+    cpos = text.find(profile.container_marker, qend)
+    if cpos < 0:
+        return None
+    cards_start = cpos + len(profile.container_marker)
+    cend = text.find(profile.container_close, cards_start)
+    if cend < 0:
+        return None
+
+    results: List[ParsedResult] = []
+    rank = 0
+    link_marker = profile.link_marker
+    marker_len = len(link_marker)
+    if cend > cards_start:
+        for line in text[cards_start:cend].split("\n"):
+            if not line.startswith(profile.card_prefix) or not line.endswith("</div>"):
+                return None
+            cls_start = len(profile.card_prefix)
+            cls_end = line.find('"', cls_start)
+            if cls_end < 0:
+                return None
+            card_type = profile.subtype_map.get(line[cls_start:cls_end])
+            if card_type is None:
+                return None
+            pos = cls_end
+            first_only = card_type is ResultType.NORMAL
+            while True:
+                apos = line.find(link_marker, pos)
+                if apos < 0:
+                    break
+                hstart = apos + marker_len
+                hend = line.find('"', hstart)
+                if hend < 0:
+                    return None
+                rank += 1
+                results.append(
+                    ParsedResult(
+                        url=unescape(line[hstart:hend]),
+                        result_type=card_type,
+                        rank=rank,
+                    )
+                )
+                if first_only:
+                    break
+                pos = hend
+
+    rel_start = cend + len(profile.container_close)
+    rel_end = text.find("</div>\n<footer>", rel_start)
+    if rel_end < 0:
+        return None
+    suggestions: List[str] = []
+    segment = text[rel_start:rel_end]
+    pos = 0
+    rel_marker = profile.related_marker
+    while True:
+        apos = segment.find(rel_marker, pos)
+        if apos < 0:
+            break
+        hend = segment.find('">', apos + len(rel_marker))
+        if hend < 0:
+            return None
+        tend = segment.find("</a>", hend)
+        if tend < 0:
+            return None
+        text_value = unescape(segment[hend + 2 : tend]).strip()
+        if text_value:
+            suggestions.append(text_value)
+        pos = tend + 4
+
+    lpos = text.find(profile.loc_marker, rel_end)
+    if lpos < 0:
+        return None
+    lstart = lpos + len(profile.loc_marker)
+    lend = text.find("</b>", lstart)
+    if lend < 0:
+        return None
+    lat_text, _, lon_text = text[lstart:lend].partition(",")
+    try:
+        location = LatLon(float(lat_text), float(lon_text))
+    except ValueError:
+        return None
+
+    dpos = text.find(profile.dc_marker, lend)
+    if dpos < 0:
+        return None
+    dstart = dpos + len(profile.dc_marker)
+    dend = text.find('"', dstart)
+    if dend < 0:
+        return None
+    datacenter = unescape(text[dstart:dend])
+
+    ypos = text.find(profile.day_marker, dend)
+    if ypos < 0:
+        return None
+    ystart = ypos + len(profile.day_marker)
+    yend = text.find('"', ystart)
+    if yend < 0:
+        return None
+    raw_day = text[ystart:yend]
+    day = int(raw_day) if raw_day.lstrip("-").isdigit() else None
+
+    ppos = text.find(profile.page_marker, yend)
+    if ppos < 0:
+        return None
+    pstart = ppos + len(profile.page_marker)
+    pend = text.find('"', pstart)
+    if pend < 0:
+        return None
+    raw_page = text[pstart:pend]
+    page = int(raw_page) if raw_page.isdigit() else 0
+
+    return ParsedSerp(
+        query=query,
+        results=results,
+        reported_location=location,
+        datacenter=datacenter,
+        day=day,
+        dialect=dialect.name,
+        page=page,
+        suggestions=tuple(suggestions),
+    )
+
+
+def _fast_scan(
+    html_text: str, candidates: List[EngineDialect]
+) -> Optional[ParsedSerp]:
+    if html_text.startswith(_CAPTCHA_PREFIX):
+        for candidate in candidates:
+            if _scan_profile(candidate).captcha_marker in html_text:
+                return ParsedSerp(
+                    query="",
+                    results=[],
+                    reported_location=None,
+                    datacenter=None,
+                    day=None,
+                    dialect=candidate.name,
+                )
+        return None
+    if not html_text.startswith(_HEAD_PREFIX) or not html_text.endswith(_PAGE_SUFFIX):
+        return None
+    for candidate in candidates:
+        parsed = _fast_scan_dialect(html_text, candidate)
+        if parsed is not None:
+            return parsed
+    return None
+
+
+_fast_scan_enabled = True
+
+
+def set_fast_scan(enabled: bool) -> bool:
+    """Toggle the string-scan fast path (parity tests compare both).
+
+    Returns the previous setting.
+    """
+    global _fast_scan_enabled
+    previous = _fast_scan_enabled
+    _fast_scan_enabled = bool(enabled)
+    return previous
+
+
 def parse_serp_html(
     html_text: str, *, dialect: Optional[EngineDialect] = None
 ) -> ParsedSerp:
@@ -245,6 +490,10 @@ def parse_serp_html(
             CAPTCHA interstitial in any candidate dialect.
     """
     candidates = [dialect] if dialect is not None else DIALECTS
+    if _fast_scan_enabled:
+        parsed = _fast_scan(html_text, candidates)
+        if parsed is not None:
+            return parsed
     for candidate in candidates:
         parsed = _parse_with_dialect(html_text, candidate)
         if parsed is not None:

@@ -239,6 +239,10 @@ class Study:
                 seed=engine_seed,
                 dialect=self.config.dialect,
                 queue_capacity=max(32, round_burst),
+                # Scoring is pure in (world, calibration, seed): one
+                # memo layer serves every datacenter, so replicas skip
+                # their own static-pool warm-up entirely.
+                ranker=self.engine.ranker,
             )
             self.gateway = Gateway(
                 replicas,
@@ -289,6 +293,11 @@ class Study:
         self.treatments = self._build_treatments()
         self.failures: List[CrawlFailure] = []
         self.stats = CrawlStats()
+        # How many parallel workers had to rebuild this apparatus from
+        # the config instead of inheriting it (fork passes the built
+        # study; spawn falls back to pickling, then to rebuilding).
+        # Accumulated by the executor's merge; 0 on fork platforms.
+        self.worker_rebuilds = 0
         # Set by repro.supervise when the run is supervised: the
         # SupervisorReport (counters + recovery ledger).  Kept as a
         # plain attribute so this module never imports the supervisor.
@@ -421,11 +430,11 @@ class Study:
             replay=GatewayReplay.from_study(self),
         )
 
-    def metrics_registry(self):
+    def metrics_registry(self, *, include_caches: bool = False):
         """This study's stats, bound into a :class:`MetricsRegistry`."""
         from repro.obs.metrics import build_study_registry
 
-        return build_study_registry(self)
+        return build_study_registry(self, include_caches=include_caches)
 
     def _run_checkpointed(self, dataset: SerpDataset, path: str) -> SerpDataset:
         """Sequential run with a durable round journal (see :meth:`run`)."""
@@ -500,8 +509,23 @@ class Study:
         queries = list(self.config.queries)
         return [queries[i : i + block_size] for i in range(0, len(queries), block_size)]
 
+    def prefork_warmup(self) -> dict:
+        """Materialise every pure cache the schedule will touch.
+
+        Called by the parallel executor in the parent before forking so
+        workers inherit hot ranking pools and digest caches
+        copy-on-write instead of rebuilding them per process.  Returns
+        the ranker's cache sizes (see :meth:`Ranker.cache_info`).
+        """
+        from repro.batch import prewarm_study
+
+        return prewarm_study(self)
+
     def _run_round(self, dataset: SerpDataset, scheduled: ScheduledRound) -> None:
         """One lock-step round: every treatment runs the query at once."""
+        from repro.batch import prewarm_round
+
+        prewarm_round(self, scheduled.query, self.treatments)
         self.tracer.begin_round(scheduled.ordinal)
         outcomes = [
             self._crawl_treatment(index, treatment, scheduled)
@@ -554,14 +578,18 @@ class Study:
         called before each round is crawled — the supervisor's
         virtual-time heartbeat hook.
         """
+        from repro.batch import prewarm_round
+
         if trace:
             self.tracer.enable(trace_id_for(self.checkpoint_fingerprint()))
         shard = [(index, self.treatments[index]) for index in treatment_indices]
+        shard_treatments = [treatment for _, treatment in shard]
         for scheduled in self.iter_rounds():
             if scheduled.ordinal < start_ordinal:
                 continue
             if on_round_start is not None:
                 on_round_start(scheduled.ordinal, scheduled.timestamp)
+            prewarm_round(self, scheduled.query, shard_treatments)
             self.tracer.begin_round(scheduled.ordinal)
             outcomes = [
                 (index, self._crawl_treatment(index, treatment, scheduled))

@@ -44,6 +44,12 @@ class SearchEngine:
             cover anything outside it.
         calibration: Ranking/noise tunables.
         seed: Engine seed — drives every deterministic perturbation.
+        ranker: Share another engine's :class:`Ranker` instead of
+            building one.  The ranker is a pure memo layer over (world,
+            calibration, seed) — it holds no serving state — so engines
+            over the same triple (gateway replicas) can share one and
+            split the warm-up cost.  Callers must not share across
+            different seeds/worlds; a guard enforces it.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class SearchEngine:
         calibration: Optional[EngineCalibration] = None,
         seed: int = 0,
         dialect: Optional[EngineDialect] = None,
+        ranker: Optional[Ranker] = None,
     ):
         self.world = world
         self.cluster = cluster
@@ -64,7 +71,14 @@ class SearchEngine:
         self.seed = seed
         self.dialect = dialect or GOOGLE_LIKE
         self.classifier = QueryClassifier(corpus)
-        self.ranker = Ranker(world, self.calibration, seed)
+        if ranker is not None:
+            if ranker.world is not world or ranker.seed != seed:
+                raise ValueError(
+                    "shared ranker must be built over the same world and seed"
+                )
+            self.ranker = ranker
+        else:
+            self.ranker = Ranker(world, self.calibration, seed)
         self.sessions = SessionStore(window_minutes=self.calibration.session_window_minutes)
         self.ratelimiter = RateLimiter(
             max_per_minute=self.calibration.ratelimit_max_per_minute

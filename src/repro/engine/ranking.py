@@ -20,8 +20,9 @@ News card (gated per (topic, day) — stable within a day).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.calibration import EngineCalibration
 from repro.engine.serp import CardType, SerpCard, SerpPage
@@ -35,9 +36,31 @@ from repro.web.world import WebWorld
 __all__ = ["RankingContext", "Ranker"]
 
 
+@dataclass(frozen=True)
+class _PoolBundle:
+    """One static pool flattened into parallel tuples.
+
+    The request-independent half of every candidate's score, laid out so
+    the per-request pass is a single comprehension over aligned tuples
+    instead of dict lookups inside a ``sorted`` key lambda.  ``amps`` is
+    the per-document jitter amplitude (local vs national scope), baked
+    at bundle build time from the ranker's calibration.
+    """
+
+    docs: Tuple[Document, ...]
+    statics: Tuple[float, ...]
+    identities: Tuple[str, ...]
+    amps: Tuple[float, ...]
+
+
 def _centered(*parts) -> float:
     """A deterministic value in (-1, 1) from a seed path."""
     return (stable_unit(*parts) - 0.5) * 2.0
+
+
+#: Sentinel cached for (query, cell) combinations that yield no
+#: meta-card, so the miss itself is memoised.
+_NO_CARD = object()
 
 
 @dataclass(frozen=True)
@@ -64,10 +87,21 @@ class Ranker:
     study tractable without changing any ranking semantics.
     """
 
+    #: Entry caps for the per-request memo dicts.  The key spaces are
+    #: open-ended ((bucket, url) has ``ab_buckets`` x corpus-size
+    #: entries), so a long-lived engine must not grow them without
+    #: bound.  On overflow the dict is cleared outright — every entry is
+    #: a pure function of its key, so eviction can never change a score,
+    #: and wholesale clearing is deterministic regardless of insertion
+    #: order (an LRU would be too, but buys nothing for hash draws).
+    UNIT_MEMO_CAP = 1 << 17
+    VEC_MEMO_CAP = 1 << 13
+
     def __init__(self, world: WebWorld, calibration: EngineCalibration, seed: int):
         self.world = world
         self.calibration = calibration
         self.seed = seed
+        self.fast_path = True
         self._snap_grid = GeoGrid(calibration.snap_cell_miles)
         self._static_pools: dict = {}
         self._state_cache: dict = {}
@@ -80,16 +114,228 @@ class Ranker:
         # calibration stays live.
         self._jitter_units: dict = {}
         self._skew_units: dict = {}
+        # Batch-path caches: flattened pools and per-(pool, bucket) /
+        # per-(pool, datacenter) unit vectors aligned with them.
+        self._bundles: Dict[tuple, _PoolBundle] = {}
+        self._jitter_vecs: dict = {}
+        self._skew_vecs: dict = {}
+        self._suggestion_cache: dict = {}
+        self._organic_cards: Dict[str, SerpCard] = {}
+        self._knowledge_cards: dict = {}
+        self._hits = 0
+        self._misses = 0
 
     # -- public -------------------------------------------------------------
 
     def build_page(self, query: Query, ctx: RankingContext) -> SerpPage:
         """Rank candidates and assemble the card page for one request."""
-        cal = self.calibration
-        snapped = self._snap_grid.snap(ctx.location) if cal.snap_to_grid else ctx.location
+        snapped = (
+            self._snap_grid.snap(ctx.location)
+            if self.calibration.snap_to_grid
+            else ctx.location
+        )
         state = self._nearest_state(snapped)
         metro = self.world.metro_grid.cell_of(snapped)
+        if self.fast_path and not ctx.session_queries and not ctx.session_slugs:
+            return self._build_page_fast(query, ctx, snapped, state, metro)
+        return self._build_page_reference(query, ctx, snapped, state, metro)
 
+    def build_pages_batch(
+        self, query: Query, contexts: Sequence[RankingContext]
+    ) -> List[SerpPage]:
+        """Rank one query for many requests, sharing the static pass.
+
+        All contexts that snap to the same grid cell share one
+        :class:`_PoolBundle` (static score vector, computed once) and
+        one suggestions tuple; only the per-request terms (jitter, skew,
+        session boost) are applied per context.  Output is byte-for-byte
+        what per-request :meth:`build_page` calls would produce, in
+        input order — the parity contract the batch tests pin down.
+        """
+        pages: List[Optional[SerpPage]] = [None] * len(contexts)
+        by_cell: Dict[LatLon, List[int]] = {}
+        snap = self._snap_grid.snap if self.calibration.snap_to_grid else lambda p: p
+        snapped_points = [snap(ctx.location) for ctx in contexts]
+        for index, snapped in enumerate(snapped_points):
+            by_cell.setdefault(snapped, []).append(index)
+        for snapped, members in by_cell.items():
+            state = self._nearest_state(snapped)
+            metro = self.world.metro_grid.cell_of(snapped)
+            # First touch builds the shared static pass for the cell.
+            self._bundle(query, snapped, state, metro)
+            for index in members:
+                ctx = contexts[index]
+                if self.fast_path and not ctx.session_queries and not ctx.session_slugs:
+                    pages[index] = self._build_page_fast(
+                        query, ctx, snapped, state, metro
+                    )
+                else:
+                    pages[index] = self._build_page_reference(
+                        query, ctx, snapped, state, metro
+                    )
+        return pages  # type: ignore[return-value]
+
+    def prewarm(
+        self, query: Query, locations: Sequence[LatLon], datacenters: Sequence[str] = ()
+    ) -> None:
+        """Build the shared static state for a round ahead of serving.
+
+        Idempotent and purely cache-filling: bundles, suggestion tuples
+        and skew vectors for every (cell, datacenter) a round will
+        touch.  The pre-fork warmup walks the whole schedule through
+        this, so forked workers inherit hot caches copy-on-write and
+        never rebuild them.  Maps cards are warmed separately via
+        :meth:`prewarm_maps` — their nonce gate opens for only a subset
+        of (query, cell) pairs, so blanket warming would build cards no
+        request ever asks for.
+        """
+        snap = self._snap_grid.snap if self.calibration.snap_to_grid else lambda p: p
+        for location in locations:
+            snapped = snap(location)
+            state = self._nearest_state(snapped)
+            metro = self.world.metro_grid.cell_of(snapped)
+            bundle = self._bundle(query, snapped, state, metro)
+            self._suggestions(query, state, metro)
+            for datacenter in datacenters:
+                self._skew_vec(query.key, snapped, datacenter, bundle)
+
+    def prewarm_maps(self, query: Query, cells: Sequence[LatLon]) -> None:
+        """Build maps cards for the given *snapped* cells ahead of serving.
+
+        The POI lookup behind a maps card is the most expensive cold
+        miss in the serving path, and cells repeat across shards
+        (copies of a location sit on different crawl machines), so the
+        pre-fork warmup computes each card once in the parent.  Callers
+        pass the gate-passing cell set predicted from the schedule walk
+        (:func:`repro.batch.predicted_maps_cells`); a missed prediction
+        just falls back to the lazy per-request path.
+        """
+        if query.category is not QueryCategory.LOCAL:
+            return
+        cal = self.calibration
+        for snapped in cells:
+            if (query.key, snapped) in self._maps_cache:
+                continue
+            places = self.world.maps_places(query, snapped, cal.maps_card_size)
+            self._maps_cache[(query.key, snapped)] = (
+                SerpCard(card_type=CardType.MAPS, documents=places)
+                if places
+                else _NO_CARD
+            )
+
+    def cache_info(self) -> dict:
+        """Sizes of every memo plus aggregate hit/miss counters."""
+        return {
+            "static_pools": len(self._static_pools),
+            "bundles": len(self._bundles),
+            "jitter_units": len(self._jitter_units),
+            "skew_units": len(self._skew_units),
+            "jitter_vecs": len(self._jitter_vecs),
+            "skew_vecs": len(self._skew_vecs),
+            "suggestions": len(self._suggestion_cache),
+            "organic_cards": len(self._organic_cards),
+            "meta_cards": len(self._maps_cache) + len(self._news_cache)
+            + len(self._knowledge_cards),
+            "hits": self._hits,
+            "misses": self._misses,
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every memo (scores are pure, so semantics are unchanged)."""
+        self._static_pools.clear()
+        self._state_cache.clear()
+        self._maps_cache.clear()
+        self._news_cache.clear()
+        self._jitter_units.clear()
+        self._skew_units.clear()
+        self._bundles.clear()
+        self._jitter_vecs.clear()
+        self._skew_vecs.clear()
+        self._suggestion_cache.clear()
+        self._organic_cards.clear()
+        self._knowledge_cards.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def cache_bytes(self) -> int:
+        """Rough resident size of the memo layer (diagnostics only)."""
+        total = 0
+        for memo in (
+            self._static_pools,
+            self._jitter_units,
+            self._skew_units,
+            self._jitter_vecs,
+            self._skew_vecs,
+            self._suggestion_cache,
+        ):
+            total += sys.getsizeof(memo)
+        return total
+
+    # -- fast path -----------------------------------------------------------
+
+    def _build_page_fast(
+        self, query: Query, ctx: RankingContext, snapped: LatLon, state: str, metro
+    ) -> SerpPage:
+        """Single-pass assembly over the cell's flattened bundle.
+
+        Float evaluation order matches the reference path term for term
+        (``amp*jitter + skew_amp*skew`` then negated with the static
+        score), so the sort keys — and therefore the page bytes — are
+        bit-identical.  Sessions never reach here: the session boost and
+        history blending mutate the pool, so those requests take the
+        reference path.
+        """
+        cal = self.calibration
+        bundle = self._bundle(query, snapped, state, metro)
+        jvec = self._jitter_vec(query.key, snapped, ctx.bucket, bundle)
+        kvec = self._skew_vec(query.key, snapped, ctx.datacenter, bundle)
+        skew_amp = cal.datacenter_skew
+        scored = sorted(
+            zip(
+                (
+                    -(s + (a * j + skew_amp * k))
+                    for s, a, j, k in zip(bundle.statics, bundle.amps, jvec, kvec)
+                ),
+                bundle.identities,
+                range(len(bundle.docs)),
+            )
+        )
+        window_start = ctx.page * cal.organic_slots
+        docs = bundle.docs
+        cards: List[SerpCard] = [
+            self._organic_card(docs[position])
+            for _, _, position in scored[window_start : window_start + cal.organic_slots]
+        ]
+        if ctx.page == 0:
+            knowledge_card = self._knowledge_card(query)
+            if knowledge_card is not None:
+                cards.insert(0, knowledge_card)
+            maps_card = self._maps_card(query, snapped, ctx)
+            if maps_card is not None:
+                cards.insert(min(cal.maps_insert_rank, len(cards)), maps_card)
+            news_card = self._news_card(query, state, ctx)
+            if news_card is not None:
+                cards.insert(min(cal.news_insert_rank, len(cards)), news_card)
+        return SerpPage(
+            query_text=query.text,
+            cards=cards,
+            reported_location=ctx.location,
+            datacenter=ctx.datacenter,
+            day=ctx.day,
+            page=ctx.page,
+            suggestions=self._suggestions(query, state, metro),
+        )
+
+    def _build_page_reference(
+        self, query: Query, ctx: RankingContext, snapped: LatLon, state: str, metro
+    ) -> SerpPage:
+        """The per-request reference implementation (parity oracle).
+
+        Handles every case, including session-carrying requests; the
+        fast path must reproduce its output byte for byte on the cases
+        it accepts.
+        """
+        cal = self.calibration
         pool = self._static_pool(query, snapped, state, metro)
         if ctx.session_queries:
             pool = pool + self._history_entries(query, pool, ctx)
@@ -133,6 +379,105 @@ class Ranker:
                 related_searches(query, state, metro, seed=self.seed)
             ),
         )
+
+    def _bundle(
+        self, query: Query, snapped: LatLon, state: str, metro
+    ) -> _PoolBundle:
+        key = (query.key, snapped)
+        bundle = self._bundles.get(key)
+        if bundle is not None:
+            self._hits += 1
+            return bundle
+        self._misses += 1
+        cal = self.calibration
+        pool = self._static_pool(query, snapped, state, metro)
+        local_scopes = (GeoScope.POINT, GeoScope.CITY)
+        bundle = _PoolBundle(
+            docs=tuple(doc for doc, _ in pool),
+            statics=tuple(score for _, score in pool),
+            identities=tuple(doc.identity for doc, _ in pool),
+            amps=tuple(
+                cal.ab_jitter_local
+                if doc.scope in local_scopes
+                else cal.ab_jitter_national
+                for doc, _ in pool
+            ),
+        )
+        self._bundles[key] = bundle
+        return bundle
+
+    def _jitter_vec(
+        self, query_key, snapped: LatLon, bucket: int, bundle: _PoolBundle
+    ) -> tuple:
+        key = (query_key, snapped, bucket)
+        vec = self._jitter_vecs.get(key)
+        if vec is not None:
+            self._hits += 1
+            return vec
+        self._misses += 1
+        units = self._jitter_units
+        if len(units) > self.UNIT_MEMO_CAP:
+            units.clear()
+        seed = self.seed
+        values = []
+        for url in bundle.identities:
+            unit_key = (bucket, url)
+            unit = units.get(unit_key)
+            if unit is None:
+                unit = _centered("ab-jitter", seed, bucket, url)
+                units[unit_key] = unit
+            values.append(unit)
+        vec = tuple(values)
+        if len(self._jitter_vecs) > self.VEC_MEMO_CAP:
+            self._jitter_vecs.clear()
+        self._jitter_vecs[key] = vec
+        return vec
+
+    def _skew_vec(
+        self, query_key, snapped: LatLon, datacenter: str, bundle: _PoolBundle
+    ) -> tuple:
+        key = (query_key, snapped, datacenter)
+        vec = self._skew_vecs.get(key)
+        if vec is not None:
+            self._hits += 1
+            return vec
+        self._misses += 1
+        units = self._skew_units
+        if len(units) > self.UNIT_MEMO_CAP:
+            units.clear()
+        seed = self.seed
+        values = []
+        for url in bundle.identities:
+            unit_key = (datacenter, url)
+            unit = units.get(unit_key)
+            if unit is None:
+                unit = _centered("dc-skew", seed, datacenter, url)
+                units[unit_key] = unit
+            values.append(unit)
+        vec = tuple(values)
+        if len(self._skew_vecs) > self.VEC_MEMO_CAP:
+            self._skew_vecs.clear()
+        self._skew_vecs[key] = vec
+        return vec
+
+    def _suggestions(self, query: Query, state: str, metro) -> tuple:
+        key = (query.key, state, metro)
+        suggestions = self._suggestion_cache.get(key)
+        if suggestions is None:
+            from repro.engine.suggestions import related_searches
+
+            suggestions = tuple(
+                related_searches(query, state, metro, seed=self.seed)
+            )
+            self._suggestion_cache[key] = suggestions
+        return suggestions
+
+    def _organic_card(self, doc: Document) -> SerpCard:
+        card = self._organic_cards.get(doc.identity)
+        if card is None:
+            card = SerpCard(card_type=CardType.ORGANIC, documents=[doc])
+            self._organic_cards[doc.identity] = card
+        return card
 
     # -- candidates and static scoring ----------------------------------------
 
@@ -278,13 +623,17 @@ class Ranker:
         entity's official site, so the parser extracts it as a normal
         first-link card.
         """
+        if query.key in self._knowledge_cards:
+            return self._knowledge_cards[query.key]
+        card = None
         if query.category is QueryCategory.POLITICIAN and not query.is_common_name:
             official = self.world.universal_candidates(query)[0]
-            return SerpCard(card_type=CardType.KNOWLEDGE, documents=[official])
-        if query.category is QueryCategory.LOCAL and query.is_brand:
+            card = SerpCard(card_type=CardType.KNOWLEDGE, documents=[official])
+        elif query.category is QueryCategory.LOCAL and query.is_brand:
             homepage = self.world.universal_candidates(query)[0]
-            return SerpCard(card_type=CardType.KNOWLEDGE, documents=[homepage])
-        return None
+            card = SerpCard(card_type=CardType.KNOWLEDGE, documents=[homepage])
+        self._knowledge_cards[query.key] = card
+        return card
 
     def _maps_card(
         self, query: Query, snapped: LatLon, ctx: RankingContext
@@ -297,13 +646,16 @@ class Ranker:
         if gate >= probability:
             return None
         cache_key = (query.key, snapped)
-        places = self._maps_cache.get(cache_key)
-        if places is None:
+        card = self._maps_cache.get(cache_key)
+        if card is None:
             places = self.world.maps_places(query, snapped, cal.maps_card_size)
-            self._maps_cache[cache_key] = places
-        if not places:
-            return None
-        return SerpCard(card_type=CardType.MAPS, documents=places)
+            card = (
+                SerpCard(card_type=CardType.MAPS, documents=places)
+                if places
+                else _NO_CARD
+            )
+            self._maps_cache[cache_key] = card
+        return card if card is not _NO_CARD else None
 
     def _news_card(
         self, query: Query, state: str, ctx: RankingContext
@@ -320,10 +672,13 @@ class Ranker:
         ):
             return None
         cache_key = (query.key, ctx.day, state)
-        articles = self._news_cache.get(cache_key)
-        if articles is None:
+        card = self._news_cache.get(cache_key)
+        if card is None:
             articles = self.world.news_articles(query, ctx.day, state, cal.news_card_size)
-            self._news_cache[cache_key] = articles
-        if not articles:
-            return None
-        return SerpCard(card_type=CardType.NEWS, documents=articles)
+            card = (
+                SerpCard(card_type=CardType.NEWS, documents=articles)
+                if articles
+                else _NO_CARD
+            )
+            self._news_cache[cache_key] = card
+        return card if card is not _NO_CARD else None

@@ -46,6 +46,46 @@ _PAGE_TEMPLATE = """<!DOCTYPE html>
 """
 
 
+# Rendered-fragment caches.  The ranking layer pools card objects
+# (organic cards per document, meta-cards per cell/day), so the same
+# SerpCard instance is rendered at the same rank thousands of times per
+# study.  Keys use id(card) for O(1) hashing; the value pins the card
+# object so its id cannot be recycled while the entry lives.  Related
+# strips key on the suggestions tuple itself (shared per query/region).
+_CARD_HTML_CAP = 1 << 14
+_card_html_cache: dict = {}
+_RELATED_HTML_CAP = 1 << 12
+_related_html_cache: dict = {}
+
+
+def _render_card_cached(card: SerpCard, index: int, dialect: EngineDialect) -> str:
+    key = (id(card), index, dialect.name)
+    entry = _card_html_cache.get(key)
+    if entry is not None:
+        return entry[1]
+    rendered = _render_card(card, index, dialect)
+    if len(_card_html_cache) >= _CARD_HTML_CAP:
+        _card_html_cache.clear()
+    _card_html_cache[key] = (card, rendered)
+    return rendered
+
+
+def _render_related(suggestions: tuple, dialect: EngineDialect) -> str:
+    key = (suggestions, dialect.name)
+    rendered = _related_html_cache.get(key)
+    if rendered is None:
+        rendered = "".join(
+            f'<a class="{dialect.related_item_class}" '
+            f'href="/search?{dialect.query_input_name}={html.escape(s, quote=True)}">'
+            f"{html.escape(s)}</a>"
+            for s in suggestions
+        )
+        if len(_related_html_cache) >= _RELATED_HTML_CAP:
+            _related_html_cache.clear()
+        _related_html_cache[key] = rendered
+    return rendered
+
+
 def _render_card(card: SerpCard, index: int, dialect: EngineDialect) -> str:
     if card.card_type is CardType.ORGANIC:
         doc = card.documents[0]
@@ -91,15 +131,10 @@ def render_page(page: SerpPage, dialect: Optional[EngineDialect] = None) -> str:
     """Render a :class:`SerpPage` to the mobile HTML the crawler saves."""
     dialect = dialect or GOOGLE_LIKE
     cards = "\n".join(
-        _render_card(card, index + 1, dialect)
+        _render_card_cached(card, index + 1, dialect)
         for index, card in enumerate(page.cards)
     )
-    related = "".join(
-        f'<a class="{dialect.related_item_class}" '
-        f'href="/search?{dialect.query_input_name}={html.escape(s, quote=True)}">'
-        f"{html.escape(s)}</a>"
-        for s in page.suggestions
-    )
+    related = _render_related(tuple(page.suggestions), dialect)
     return _PAGE_TEMPLATE.format(
         query=html.escape(page.query_text, quote=True),
         query_input=dialect.query_input_name,

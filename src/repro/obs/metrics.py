@@ -480,7 +480,7 @@ def render_table(snapshot: dict) -> str:
     return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
 
 
-def build_study_registry(study) -> MetricsRegistry:
+def build_study_registry(study, *, include_caches: bool = False) -> MetricsRegistry:
     """Wire one study's stats holders into a registry.
 
     Crawl and fault counters are always present; gateway metrics join
@@ -488,8 +488,25 @@ def build_study_registry(study) -> MetricsRegistry:
     crawl the gateway's live telemetry is shard-local and is *not*
     merged back — the canonical gateway view for a crawl is the trace
     replay; see ``docs/OBSERVABILITY.md``.)
+
+    ``include_caches`` additionally binds the ranker's memo hit/miss
+    counters (``ranker_cache_*``).  They are opt-in because cache
+    traffic is an implementation detail of *how* a run was executed:
+    a resumed or differently-sharded run serves the same pages with
+    different hit counts, and the default registry's snapshot is part
+    of the byte-identity contract across kill/resume.
     """
     registry = MetricsRegistry()
+    if include_caches:
+        ranker = study.engine.ranker
+        registry.register_counter(
+            "ranker_cache_hits_total", ranker, "_hits",
+            help="ranking memo hits (bundles and unit vectors)",
+        )
+        registry.register_counter(
+            "ranker_cache_misses_total", ranker, "_misses",
+            help="ranking memo misses (bundles and unit vectors)",
+        )
     stats = study.stats
     crawl_help = {
         "requests": "query attempts issued (excluding breaker fast-fails)",

@@ -1,10 +1,19 @@
 """Crawl benchmark: sweep worker counts, prove parity, record history.
 
-``run_crawl_bench`` runs the same study config once per worker count,
-measures wall-clock crawl time, verifies every parallel dataset is
-byte-identical to the sequential baseline (SHA-256 over the canonical
-JSONL serialisation), and writes a machine-readable ``BENCH_crawl.json``
-— the first entry in the repo's perf trajectory.  The ``--profile``
+``run_crawl_bench`` measures the same study config at every worker
+count, verifies every parallel dataset is byte-identical to the
+sequential baseline (SHA-256 over the canonical JSONL serialisation),
+and appends an entry to the ``BENCH_crawl.json`` perf *trajectory* —
+a bounded, timestamped history keyed by git sha, so perf changes are
+visible across PRs instead of overwritten by each one.
+
+Every measurement is repeated (``--repeats``, default 5) with the
+repeats *interleaved* across cells: the box's throughput drifts on the
+scale of seconds (thermal/cgroup effects), so running all of cell A
+then all of cell B folds that drift into the A-vs-B comparison.
+Interleaving samples every cell under every drift regime; the reported
+wall time is the minimum (least-noise estimator) with the median
+alongside, and overhead percentages compare medians.  The ``--profile``
 path wraps the sequential run in :mod:`cProfile` so future perf PRs
 can cite the hot path they attack.
 """
@@ -15,11 +24,14 @@ import hashlib
 import io
 import json
 import os
+import subprocess
 import sys
 import time
 from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from statistics import median
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.datastore import SerpDataset
 from repro.core.experiment import DEFAULT_STUDY_SEED, StudyConfig
@@ -29,15 +41,25 @@ __all__ = [
     "BenchCell",
     "BenchReport",
     "bench_config",
+    "load_trajectory",
+    "regression_message",
     "run_crawl_bench",
     "profile_sequential",
     "DEFAULT_WORKER_COUNTS",
+    "DEFAULT_REPEATS",
 ]
 
 DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
 
 #: Worker counts used by ``--smoke`` (CI: fast, still exercises the merge).
 SMOKE_WORKER_COUNTS: Tuple[int, ...] = (1, 2)
+
+#: Repeats per measurement; 5 keeps the min/median stable against the
+#: box's observed ±30% run-to-run drift.
+DEFAULT_REPEATS = 5
+
+#: Trajectory entries kept in ``BENCH_crawl.json`` (oldest dropped).
+TRAJECTORY_KEEP = 20
 
 
 def dataset_digest(dataset: SerpDataset) -> str:
@@ -93,17 +115,23 @@ def bench_config(
 
 @dataclass(frozen=True)
 class BenchCell:
-    """One worker count's measurement."""
+    """One worker count's measurement (aggregated over repeats)."""
 
     workers: int
     wall_seconds: float
+    """Minimum wall time across repeats — the least-noise estimator."""
+    wall_seconds_median: float
+    repeats: int
     pages: int
     requests: int
     failures: int
     requests_per_second: float
+    """Throughput at the minimum wall time."""
     speedup_vs_workers_1: float
+    """min(workers=1 wall) / min(this cell's wall)."""
     dataset_sha256: str
     byte_identical_to_sequential: bool
+    """True only if *every* repeat's dataset matched the baseline digest."""
 
 
 @dataclass
@@ -120,6 +148,7 @@ class BenchReport:
     rounds: int
     cpus: int
     start_method: str
+    repeats: int = 1
     cells: List[BenchCell] = field(default_factory=list)
     fault_layer: Optional[dict] = None
     """Injection-off overhead of the fault/breaker layer: one extra
@@ -170,10 +199,29 @@ class BenchReport:
         raw["parity_ok"] = self.parity_ok
         return raw
 
-    def write(self, path) -> Path:
+    def write(self, path, *, keep: int = TRAJECTORY_KEEP) -> Path:
+        """Append this report to the trajectory file at ``path``.
+
+        The file holds the last ``keep`` entries, each stamped with the
+        UTC time and git sha that produced it.  A legacy single-report
+        snapshot (the pre-trajectory format) is absorbed as the oldest
+        entry rather than discarded.
+        """
         target = Path(path)
+        entry = self.to_dict()
+        entry["timestamp"] = (
+            datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        )
+        entry["git_sha"] = _git_sha()
+        entries = load_trajectory(target)
+        entries.append(entry)
+        payload = {
+            "benchmark": "crawl",
+            "format": "trajectory-v1",
+            "entries": entries[-keep:],
+        }
         target.write_text(
-            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
         return target
 
@@ -183,13 +231,15 @@ class BenchReport:
             f"{self.rounds // max(1, self.queries)} days, "
             f"{self.treatments} treatments, {self.rounds} rounds, "
             f"{self.cpus} cpu(s), start_method={self.start_method}, "
-            f"gateway={'on' if self.route_via_gateway else 'off'}",
-            f"{'workers':>7} {'wall s':>8} {'pages':>7} {'req/s':>8} "
-            f"{'speedup':>8} {'parity':>7}",
+            f"gateway={'on' if self.route_via_gateway else 'off'}, "
+            f"repeats={self.repeats} (wall = min, med = median)",
+            f"{'workers':>7} {'wall s':>8} {'med s':>8} {'pages':>7} "
+            f"{'req/s':>8} {'speedup':>8} {'parity':>7}",
         ]
         for cell in self.cells:
             lines.append(
-                f"{cell.workers:>7} {cell.wall_seconds:>8.2f} {cell.pages:>7} "
+                f"{cell.workers:>7} {cell.wall_seconds:>8.2f} "
+                f"{cell.wall_seconds_median:>8.2f} {cell.pages:>7} "
                 f"{cell.requests_per_second:>8.1f} "
                 f"{cell.speedup_vs_workers_1:>7.2f}x "
                 f"{'ok' if cell.byte_identical_to_sequential else 'FAIL':>7}"
@@ -234,6 +284,88 @@ class BenchReport:
         return "\n".join(lines)
 
 
+def _git_sha() -> Optional[str]:
+    """Short sha of HEAD, or None outside a usable git checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def load_trajectory(path) -> List[dict]:
+    """Entries of a ``BENCH_crawl.json`` trajectory, oldest first.
+
+    Understands both the trajectory format and the legacy single-report
+    snapshot (returned as a one-entry history).  Unreadable or foreign
+    content yields an empty history rather than an error — the bench
+    then simply starts a fresh trajectory.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    try:
+        raw = json.loads(target.read_text(encoding="utf-8"))
+    except (ValueError, OSError):
+        return []
+    if isinstance(raw, dict) and isinstance(raw.get("entries"), list):
+        return [entry for entry in raw["entries"] if isinstance(entry, dict)]
+    if isinstance(raw, dict) and "cells" in raw:
+        return [raw]
+    return []
+
+
+def regression_message(
+    report: BenchReport, history: Sequence[dict], *, threshold_pct: float
+) -> Optional[str]:
+    """The CI regression gate: None if within bounds, else a message.
+
+    Compares the new workers=1 throughput against the most recent
+    history entry measured under the same (scale, gateway, seed).  Pass
+    the history loaded *before* the run appended its own entry.  No
+    comparable baseline (fresh trajectory, changed config) passes the
+    gate — a threshold needs something honest to compare against.
+    """
+    baseline = None
+    for entry in reversed(list(history)):
+        if (
+            entry.get("scale") == report.scale
+            and entry.get("route_via_gateway") == report.route_via_gateway
+            and entry.get("seed") == report.seed
+            and entry.get("cells")
+        ):
+            baseline = entry
+            break
+    if baseline is None:
+        return None
+    old_cell = next(
+        (cell for cell in baseline["cells"] if cell.get("workers") == 1), None
+    )
+    new_cell = next((cell for cell in report.cells if cell.workers == 1), None)
+    if old_cell is None or new_cell is None:
+        return None
+    old_rps = old_cell.get("requests_per_second")
+    if not old_rps:
+        return None
+    new_rps = new_cell.requests_per_second
+    if new_rps >= old_rps * (1.0 - threshold_pct / 100.0):
+        return None
+    return (
+        f"PERF REGRESSION: workers=1 throughput {new_rps:.1f} req/s is "
+        f"{100.0 * (old_rps - new_rps) / old_rps:.1f}% below the committed "
+        f"baseline {old_rps:.1f} req/s "
+        f"(entry {baseline.get('git_sha') or '?'} at "
+        f"{baseline.get('timestamp') or '?'}; threshold {threshold_pct:.0f}%)"
+    )
+
+
 def run_crawl_bench(
     *,
     worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
@@ -242,16 +374,27 @@ def run_crawl_bench(
     route_via_gateway: bool = False,
     out: Optional[os.PathLike] = None,
     start_method: Optional[str] = None,
+    repeats: int = DEFAULT_REPEATS,
 ) -> BenchReport:
     """Sweep worker counts over one config; verify parity against workers=1.
 
     The workers=1 cell runs the plain sequential path and its dataset
     digest is the parity baseline; every other cell runs through the
-    parallel executor.  When ``out`` is given the report is also
-    written there as JSON.
+    parallel executor.  Each cell — including the fault/obs/supervise
+    layer probes — is measured ``repeats`` times with the repeats
+    interleaved across cells (see the module docstring for why), and
+    parity is checked on *every* run.  When ``out`` is given the report
+    is appended to the trajectory file there.
     """
-    from repro.parallel.executor import _preferred_start_method, run_parallel
+    import tempfile
 
+    from repro.faults.plan import FaultPlan
+    from repro.obs.exporters import read_trace
+    from repro.parallel.executor import _preferred_start_method, run_parallel
+    from repro.supervise import KillSpec
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
     if not worker_counts or worker_counts[0] != 1:
         worker_counts = (1,) + tuple(w for w in worker_counts if w != 1)
     config = bench_config(scale, seed=seed, route_via_gateway=route_via_gateway)
@@ -267,11 +410,24 @@ def run_crawl_bench(
         rounds=probe.round_count(),
         cpus=os.cpu_count() or 1,
         start_method=start_method or _preferred_start_method(),
+        repeats=repeats,
     )
 
-    baseline_digest: Optional[str] = None
-    baseline_wall: Optional[float] = None
-    for workers in worker_counts:
+    walls: Dict[str, List[float]] = {}
+    infos: Dict[str, dict] = {}
+    baseline: List[str] = []  # the first workers=1 digest, once known
+
+    def record(name: str, wall: float, digest: str, **info) -> None:
+        if not baseline:
+            baseline.append(digest)
+        matched = digest == baseline[0]
+        walls.setdefault(name, []).append(wall)
+        if name not in infos:
+            infos[name] = dict(info, digest=digest, parity=matched)
+        else:
+            infos[name]["parity"] = infos[name]["parity"] and matched
+
+    def run_cell(workers: int) -> None:
         study = Study(config)
         started = time.perf_counter()
         if workers == 1:
@@ -281,130 +437,165 @@ def run_crawl_bench(
                 study, workers=workers, start_method=start_method
             )
         wall = time.perf_counter() - started
-        digest = dataset_digest(dataset)
-        if baseline_digest is None:
-            baseline_digest = digest
-            baseline_wall = wall
-        report.cells.append(
-            BenchCell(
-                workers=workers,
-                wall_seconds=round(wall, 4),
-                pages=len(dataset),
-                requests=study.stats.requests,
-                failures=len(study.failures),
-                requests_per_second=round(study.stats.requests / wall, 2),
-                speedup_vs_workers_1=round(baseline_wall / wall, 3),
-                dataset_sha256=digest,
-                byte_identical_to_sequential=digest == baseline_digest,
-            )
+        record(
+            f"w{workers}",
+            wall,
+            dataset_digest(dataset),
+            pages=len(dataset),
+            requests=study.stats.requests,
+            failures=len(study.failures),
         )
 
     # Injection-off overhead: the hardened stack (FaultyNetwork with a
     # zero-rate plan + per-IP breakers) must be byte-identical to the
     # plain path, and its cost is recorded so perf history catches
     # regressions in the always-on robustness plumbing.
-    from repro.faults.plan import FaultPlan
-
-    calm_study = Study(config.with_overrides(fault_plan=FaultPlan(seed=seed)))
-    started = time.perf_counter()
-    calm_dataset = calm_study.run()
-    calm_wall = time.perf_counter() - started
-    report.fault_layer = {
-        "wall_seconds": round(calm_wall, 4),
-        "overhead_pct_vs_sequential": round(
-            100.0 * (calm_wall - baseline_wall) / baseline_wall, 2
-        ),
-        "byte_identical_to_sequential": dataset_digest(calm_dataset)
-        == baseline_digest,
-    }
+    def run_calm() -> None:
+        study = Study(config.with_overrides(fault_plan=FaultPlan(seed=seed)))
+        started = time.perf_counter()
+        dataset = study.run()
+        record("calm", time.perf_counter() - started, dataset_digest(dataset))
 
     # Tracing-off overhead: the tracer hooks stay wired even when no
     # trace is requested, so their disabled-path cost is bounded by an
     # identical sequential re-run; a traced run records what turning
     # tracing on costs and proves it never perturbs the dataset.
-    import tempfile
-
-    obs_study = Study(config)
-    started = time.perf_counter()
-    obs_dataset = obs_study.run()
-    obs_wall = time.perf_counter() - started
-
-    handle, trace_path = tempfile.mkstemp(suffix=".trace.jsonl")
-    os.close(handle)
-    try:
-        traced_study = Study(config)
+    def run_obs() -> None:
+        study = Study(config)
         started = time.perf_counter()
-        traced_dataset = traced_study.run(trace=trace_path)
-        traced_wall = time.perf_counter() - started
-        from repro.obs.exporters import read_trace
+        dataset = study.run()
+        record("obs", time.perf_counter() - started, dataset_digest(dataset))
 
-        _, _, trace_summary = read_trace(trace_path)
-    finally:
-        os.unlink(trace_path)
-    report.obs_layer = {
-        "wall_seconds": round(obs_wall, 4),
-        "overhead_pct_vs_sequential": round(
-            100.0 * (obs_wall - baseline_wall) / baseline_wall, 2
-        ),
-        "byte_identical_to_sequential": dataset_digest(obs_dataset)
-        == baseline_digest,
-        "traced_wall_seconds": round(traced_wall, 4),
-        "traced_overhead_pct_vs_sequential": round(
-            100.0 * (traced_wall - baseline_wall) / baseline_wall, 2
-        ),
-        "trace_spans": trace_summary["spans"],
-        "traced_byte_identical_to_sequential": dataset_digest(traced_dataset)
-        == baseline_digest,
-    }
+    def run_traced() -> None:
+        handle, trace_path = tempfile.mkstemp(suffix=".trace.jsonl")
+        os.close(handle)
+        try:
+            study = Study(config)
+            started = time.perf_counter()
+            dataset = study.run(trace=trace_path)
+            wall = time.perf_counter() - started
+            _, _, trace_summary = read_trace(trace_path)
+        finally:
+            os.unlink(trace_path)
+        record(
+            "traced",
+            wall,
+            dataset_digest(dataset),
+            spans=trace_summary["spans"],
+        )
 
     # Supervision overhead: heartbeats + per-round snapshot capture +
     # the parent watchdog, measured clean against the same worker count
     # unsupervised, then once more with a worker murdered at a round
     # boundary to price a full detect-respawn-reexecute cycle.
-    from repro.supervise import KillSpec
-
     supervise_workers = max((w for w in worker_counts if w > 1), default=2)
-    unsupervised_wall = next(
-        (
-            cell.wall_seconds
-            for cell in report.cells
-            if cell.workers == supervise_workers
-        ),
-        baseline_wall,
-    )
-    sup_study = Study(config)
-    started = time.perf_counter()
-    sup_dataset = run_parallel(
-        sup_study,
-        workers=supervise_workers,
-        supervise=True,
-        start_method=start_method,
-    )
-    sup_wall = time.perf_counter() - started
 
-    kill_study = Study(config)
-    started = time.perf_counter()
-    kill_dataset = run_parallel(
-        kill_study,
-        workers=supervise_workers,
-        supervise=True,
-        start_method=start_method,
-        kill_specs=(KillSpec(shard=0, ordinal=1),),
+    def run_sup() -> None:
+        study = Study(config)
+        started = time.perf_counter()
+        dataset = run_parallel(
+            study,
+            workers=supervise_workers,
+            supervise=True,
+            start_method=start_method,
+        )
+        record("sup", time.perf_counter() - started, dataset_digest(dataset))
+
+    def run_kill() -> None:
+        study = Study(config)
+        started = time.perf_counter()
+        dataset = run_parallel(
+            study,
+            workers=supervise_workers,
+            supervise=True,
+            start_method=start_method,
+            kill_specs=(KillSpec(shard=0, ordinal=1),),
+        )
+        record(
+            "kill",
+            time.perf_counter() - started,
+            dataset_digest(dataset),
+            recoveries=study.supervisor.stats.recoveries,
+        )
+
+    tasks = [(lambda w=w: run_cell(w)) for w in worker_counts]
+    tasks += [run_calm, run_obs, run_traced, run_sup, run_kill]
+    for _ in range(repeats):
+        for task in tasks:
+            task()
+
+    def agg(name: str) -> Tuple[float, float]:
+        samples = walls[name]
+        return min(samples), median(samples)
+
+    w1_min, w1_med = agg("w1")
+    for workers in worker_counts:
+        cell_min, cell_med = agg(f"w{workers}")
+        info = infos[f"w{workers}"]
+        report.cells.append(
+            BenchCell(
+                workers=workers,
+                wall_seconds=round(cell_min, 4),
+                wall_seconds_median=round(cell_med, 4),
+                repeats=repeats,
+                pages=info["pages"],
+                requests=info["requests"],
+                failures=info["failures"],
+                requests_per_second=round(info["requests"] / cell_min, 2),
+                speedup_vs_workers_1=round(w1_min / cell_min, 3),
+                dataset_sha256=info["digest"],
+                byte_identical_to_sequential=info["parity"],
+            )
+        )
+
+    calm_min, calm_med = agg("calm")
+    report.fault_layer = {
+        "wall_seconds": round(calm_min, 4),
+        "wall_seconds_median": round(calm_med, 4),
+        "overhead_pct_vs_sequential": round(
+            100.0 * (calm_med - w1_med) / w1_med, 2
+        ),
+        "byte_identical_to_sequential": infos["calm"]["parity"],
+    }
+
+    obs_min, obs_med = agg("obs")
+    traced_min, traced_med = agg("traced")
+    report.obs_layer = {
+        "wall_seconds": round(obs_min, 4),
+        "wall_seconds_median": round(obs_med, 4),
+        "overhead_pct_vs_sequential": round(
+            100.0 * (obs_med - w1_med) / w1_med, 2
+        ),
+        "byte_identical_to_sequential": infos["obs"]["parity"],
+        "traced_wall_seconds": round(traced_min, 4),
+        "traced_wall_seconds_median": round(traced_med, 4),
+        "traced_overhead_pct_vs_sequential": round(
+            100.0 * (traced_med - w1_med) / w1_med, 2
+        ),
+        "trace_spans": infos["traced"]["spans"],
+        "traced_byte_identical_to_sequential": infos["traced"]["parity"],
+    }
+
+    unsup_med = (
+        agg(f"w{supervise_workers}")[1]
+        if f"w{supervise_workers}" in walls
+        else w1_med
     )
-    kill_wall = time.perf_counter() - started
+    sup_min, sup_med = agg("sup")
+    kill_min, kill_med = agg("kill")
     report.supervise_layer = {
         "workers": supervise_workers,
-        "wall_seconds": round(sup_wall, 4),
+        "wall_seconds": round(sup_min, 4),
+        "wall_seconds_median": round(sup_med, 4),
         "overhead_pct_vs_unsupervised": round(
-            100.0 * (sup_wall - unsupervised_wall) / unsupervised_wall, 2
+            100.0 * (sup_med - unsup_med) / unsup_med, 2
         ),
-        "byte_identical_to_sequential": dataset_digest(sup_dataset)
-        == baseline_digest,
+        "byte_identical_to_sequential": infos["sup"]["parity"],
         "kill_recover": {
-            "wall_seconds": round(kill_wall, 4),
-            "recoveries": kill_study.supervisor.stats.recoveries,
-            "byte_identical_to_sequential": dataset_digest(kill_dataset)
-            == baseline_digest,
+            "wall_seconds": round(kill_min, 4),
+            "wall_seconds_median": round(kill_med, 4),
+            "recoveries": infos["kill"]["recoveries"],
+            "byte_identical_to_sequential": infos["kill"]["parity"],
         },
     }
     if out is not None:
@@ -459,6 +650,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="also print a cProfile top-20 cumulative table of the sequential run",
     )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="repeats per cell, interleaved; wall = min, median alongside",
+    )
+    parser.add_argument(
+        "--fail-on-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero if workers=1 throughput drops more than PCT%% "
+        "below the latest comparable trajectory entry",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -466,15 +671,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         scale = args.scale
         counts = tuple(int(part) for part in args.workers.split(",") if part)
+    history = load_trajectory(args.out)
     report = run_crawl_bench(
         worker_counts=counts,
         scale=scale,
         seed=args.seed,
         route_via_gateway=args.gateway,
         out=args.out,
+        repeats=args.repeats,
     )
     print(report.render())
-    print(f"wrote {args.out}")
+    print(f"appended to {args.out}")
     if args.profile:
         print()
         print(profile_sequential(scale=scale, seed=args.seed,
@@ -483,4 +690,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("PARITY FAILURE: parallel dataset differs from sequential",
               file=sys.stderr)
         return 1
+    if args.fail_on_regress is not None:
+        message = regression_message(
+            report, history, threshold_pct=args.fail_on_regress
+        )
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 1
     return 0

@@ -16,12 +16,19 @@ Design
   browser of a machine in one worker preserves that sequence exactly,
   so admission (and therefore CAPTCHAs, retries, and failures) is
   identical to the sequential run.
-* **Workers are replicas, not clones.**  Each worker process rebuilds
-  its whole apparatus — world, engine, datacenters, gateway — from the
-  same :class:`StudyConfig`.  That is cheap because everything derives
-  from one integer seed, and it guarantees a worker's engine state is
-  exactly what the sequential engine's state would be restricted to
-  the worker's shard of traffic.
+* **Workers inherit, they do not rebuild.**  The parent constructs and
+  pre-warms the whole apparatus once (world, engine, ranking pools,
+  digest caches — :meth:`Study.prefork_warmup`), then forked workers
+  inherit it copy-on-write; ``spawn`` platforms receive the same built
+  study pickled.  Everything inherited is either pure in the seed
+  (world, caches — shared bytes, never diverge) or freshly zeroed
+  serving state (sessions, rate-limiter windows, nonce counters — the
+  state a rebuilt worker would start with anyway), so shard output is
+  byte-identical to the rebuild-from-config strategy this replaces.
+  Only if the study will not pickle does a spawn worker fall back to
+  rebuilding from the :class:`StudyConfig`; ``Study.worker_rebuilds``
+  counts how many workers took that path (0 on fork platforms — the
+  invariant the tests pin).
 * **Everything else is request-determined.**  Nonces derive from
   (browser id, per-browser ordinal); DNS rotation keys on the nonce;
   per-datacenter index skew keys on the DNS-resolved frontend IP;
@@ -50,6 +57,7 @@ without a kill-and-resume in between.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import queue as queue_module
 import traceback
 from dataclasses import dataclass
@@ -152,7 +160,7 @@ def _preferred_start_method() -> str:
 
 def _worker_main(
     worker_id: int,
-    config,
+    payload,
     indices,
     result_queue,
     start_ordinal: int = 0,
@@ -160,7 +168,12 @@ def _worker_main(
     capture: bool = False,
     trace: bool = False,
 ) -> None:
-    """Worker entry point: rebuild the study, crawl the shard, stream rounds.
+    """Worker entry point: take the study, crawl the shard, stream rounds.
+
+    ``payload`` is normally the parent's built-and-warmed :class:`Study`
+    (inherited copy-on-write under ``fork``, arriving pickled under
+    ``spawn``); a :class:`StudyConfig` arrives only on the rebuild
+    fallback, and the final ``done`` message reports which path ran.
 
     On resume (``start_ordinal > 0``) the worker restores its own shard
     snapshot before crawling, so its engine/browser/stats state is
@@ -171,7 +184,8 @@ def _worker_main(
     sequential trace.
     """
     try:
-        study = Study(config)
+        rebuilt = not isinstance(payload, Study)
+        study = Study(payload) if rebuilt else payload
         if worker_state is not None:
             study.restore_state(worker_state)
 
@@ -185,7 +199,9 @@ def _worker_main(
             capture_state=capture,
             trace=trace,
         )
-        result_queue.put(("done", worker_id, study.stats, study.fault_stats))
+        result_queue.put(
+            ("done", worker_id, study.stats, study.fault_stats, rebuilt)
+        )
     except BaseException:  # propagate everything, including KeyboardInterrupt
         result_queue.put(("error", worker_id, traceback.format_exc()))
 
@@ -311,13 +327,25 @@ def run_parallel(
 
     builder = study._trace_builder(trace) if trace is not None else None
     context = multiprocessing.get_context(start_method or _preferred_start_method())
+    # Zero-rebuild delivery: warm every pure cache once in the parent,
+    # then hand workers the built study itself — inherited copy-on-write
+    # under fork, pickled by multiprocessing under spawn.  Only a study
+    # that cannot pickle makes spawn workers rebuild from the config
+    # (study.worker_rebuilds counts those).
+    payload = study
+    study.prefork_warmup()
+    if context.get_start_method() != "fork":
+        try:
+            pickle.dumps(study)
+        except Exception:
+            payload = study.config
     result_queue = context.Queue(maxsize=plan.workers * _QUEUE_DEPTH_PER_WORKER)
     processes = [
         context.Process(
             target=_worker_main,
             args=(
                 worker_id,
-                study.config,
+                payload,
                 plan.assignments[worker_id],
                 result_queue,
                 start_ordinal,
@@ -428,6 +456,8 @@ def _merge(
         elif kind == "done":
             study.stats.merge(message[2])
             study.fault_stats.merge(message[3])
+            if message[4]:
+                study.worker_rebuilds += 1
             done_workers.add(message[1])
         else:  # "error"
             raise RuntimeError(

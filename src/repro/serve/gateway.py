@@ -84,13 +84,17 @@ def build_replicas(
     dialect: Optional[EngineDialect] = None,
     queue_capacity: int = 32,
     service_minutes: float = DEFAULT_SERVICE_MINUTES,
+    ranker=None,
 ) -> List[Replica]:
     """One replica per datacenter, all over the same world and seed.
 
     Every replica's engine is constructed identically, so any of them
     serves any request with the same bytes; what replicas do *not*
     share is serving state (queues, per-replica rate limiters, session
-    stores) — the operational surface the gateway manages.
+    stores) — the operational surface the gateway manages.  Because
+    scoring is a pure function of (world, calibration, seed), replicas
+    *can* share one ranking memo layer: pass ``ranker`` to have every
+    engine reuse it instead of warming a private copy per datacenter.
     """
     return [
         Replica(
@@ -103,6 +107,7 @@ def build_replicas(
                 calibration=calibration,
                 seed=seed,
                 dialect=dialect,
+                ranker=ranker,
             ),
             queue=ReplicaQueue(capacity=queue_capacity, service_minutes=service_minutes),
         )

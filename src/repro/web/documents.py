@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass
 from typing import Optional
 
@@ -64,5 +65,14 @@ class Document:
 
     @property
     def identity(self) -> str:
-        """The string identity used by metrics and dedup."""
-        return str(self.url)
+        """The string identity used by metrics and dedup.
+
+        Computed once and interned: identities key every hot memo
+        (jitter/skew units, card pools, dedup sets), so repeated
+        ``str(url)`` formatting and duplicate string storage both cost.
+        """
+        identity = self.__dict__.get("_identity")
+        if identity is None:
+            identity = sys.intern(str(self.url))
+            object.__setattr__(self, "_identity", identity)
+        return identity

@@ -147,8 +147,11 @@ class TestCommands:
         assert "workers" in printed
         import json
 
-        report = json.loads(out.read_text())
+        trajectory = json.loads(out.read_text())
+        assert trajectory["format"] == "trajectory-v1"
+        report = trajectory["entries"][-1]
         assert report["parity_ok"] is True
+        assert report["timestamp"]
         assert [cell["workers"] for cell in report["cells"]] == [1, 2]
         assert all(cell["requests_per_second"] > 0 for cell in report["cells"])
 

@@ -228,6 +228,169 @@ class TestCardAssembly:
         assert organic_scores == sorted(organic_scores, reverse=True)
 
 
+def _context_grid():
+    """Mixed cells, buckets, datacenters, nonces, and pages — the shapes
+    one lock-step round actually produces."""
+    contexts = []
+    nonce = 1
+    for location in (CLEVELAND, AUSTIN):
+        for bucket in (0, 1, 2):
+            for datacenter in ("dc00", "dc01"):
+                contexts.append(
+                    RankingContext(
+                        location=location,
+                        day=0,
+                        datacenter=datacenter,
+                        bucket=bucket,
+                        nonce=nonce,
+                        page=nonce % 2,
+                    )
+                )
+                nonce += 1
+    return contexts
+
+
+class TestBatchParity:
+    """build_pages_batch and the build_page fast path must be invisible:
+    byte-for-byte what per-request reference calls produce."""
+
+    @pytest.mark.parametrize("name", ["generic", "brand", "controversial"])
+    def test_batch_matches_per_request_reference(
+        self, ranker_world, queries, name
+    ):
+        query = queries[name]
+        contexts = _context_grid()
+        reference = _ranker(ranker_world)
+        reference.fast_path = False
+        expected = [
+            render_page(reference.build_page(query, ctx)) for ctx in contexts
+        ]
+        batch = _ranker(ranker_world)
+        pages = batch.build_pages_batch(query, contexts)
+        assert [render_page(page) for page in pages] == expected
+
+    def test_fast_path_toggle_is_byte_invisible(self, ranker_world, queries):
+        query = queries["generic"]
+        contexts = _context_grid()
+        slow = _ranker(ranker_world)
+        slow.fast_path = False
+        fast = _ranker(ranker_world)
+        assert fast.fast_path  # the default
+        for ctx in contexts:
+            assert render_page(fast.build_page(query, ctx)) == render_page(
+                slow.build_page(query, ctx)
+            )
+
+    def test_batch_session_contexts_take_reference_path(
+        self, ranker_world, queries
+    ):
+        # A session-carrying request mutates the pool (history blending,
+        # session boost), so the batch path must route it through the
+        # reference implementation — mixed in with fast-path siblings.
+        query = queries["generic"]
+        plain = RankingContext(
+            location=CLEVELAND, day=0, datacenter="dc00", bucket=0, nonce=1
+        )
+        session = RankingContext(
+            location=CLEVELAND,
+            day=0,
+            datacenter="dc00",
+            bucket=0,
+            nonce=2,
+            session_slugs=("school",),
+        )
+        reference = _ranker(ranker_world)
+        reference.fast_path = False
+        expected = [
+            render_page(reference.build_page(query, ctx))
+            for ctx in (plain, session, plain)
+        ]
+        batch = _ranker(ranker_world)
+        pages = batch.build_pages_batch(query, (plain, session, plain))
+        assert [render_page(page) for page in pages] == expected
+
+    def test_batch_preserves_input_order(self, ranker_world, queries):
+        contexts = _context_grid()
+        pages = _ranker(ranker_world).build_pages_batch(
+            queries["generic"], contexts
+        )
+        assert [page.reported_location for page in pages] == [
+            ctx.location for ctx in contexts
+        ]
+        assert [page.datacenter for page in pages] == [
+            ctx.datacenter for ctx in contexts
+        ]
+
+
+class TestRankerCaches:
+    def test_cache_info_tracks_memo_growth_and_hits(self, ranker_world, queries):
+        ranker = _ranker(ranker_world)
+        query = queries["generic"]
+        ctx = _ctx(CLEVELAND)
+        ranker.build_page(query, ctx)
+        info = ranker.cache_info()
+        assert info["static_pools"] >= 1
+        assert info["bundles"] >= 1
+        assert info["jitter_vecs"] >= 1
+        assert info["misses"] > 0
+        ranker.build_page(query, ctx)
+        again = ranker.cache_info()
+        assert again["hits"] > info["hits"]
+        assert again["bundles"] == info["bundles"]
+
+    def test_clear_caches_resets_without_changing_output(
+        self, ranker_world, queries
+    ):
+        ranker = _ranker(ranker_world)
+        query = queries["generic"]
+        ctx = _ctx(CLEVELAND)
+        before = render_page(ranker.build_page(query, ctx))
+        ranker.clear_caches()
+        info = ranker.cache_info()
+        assert all(value == 0 for value in info.values())
+        assert render_page(ranker.build_page(query, ctx)) == before
+
+    def test_memo_caps_bound_growth_without_changing_output(
+        self, ranker_world, queries
+    ):
+        query = queries["generic"]
+        unbounded = _ranker(ranker_world)
+        capped = _ranker(ranker_world)
+        capped.UNIT_MEMO_CAP = 0  # instance override: clear on every overflow
+        capped.VEC_MEMO_CAP = 0
+        for bucket in range(8):
+            ctx = _ctx(CLEVELAND, bucket=bucket, nonce=bucket + 1)
+            assert render_page(capped.build_page(query, ctx)) == render_page(
+                unbounded.build_page(query, ctx)
+            )
+            assert len(capped._jitter_vecs) <= 1
+            assert len(capped._skew_vecs) <= 1
+        assert len(unbounded._jitter_vecs) == 8
+
+    def test_prewarm_fills_only_pure_memos(self, ranker_world, queries):
+        query = queries["generic"]
+        cold = _ranker(ranker_world)
+        expected = render_page(cold.build_page(query, _ctx(CLEVELAND)))
+        warm = _ranker(ranker_world)
+        warm.prewarm(query, [CLEVELAND], ["dc00"])
+        info = warm.cache_info()
+        assert info["bundles"] == 1
+        assert info["skew_vecs"] == 1
+        assert info["suggestions"] == 1
+        assert render_page(warm.build_page(query, _ctx(CLEVELAND))) == expected
+
+    def test_prewarm_maps_builds_cards_for_local_queries_only(
+        self, ranker_world, queries
+    ):
+        local = _ranker(ranker_world)
+        snapped = local._snap_grid.snap(CLEVELAND)
+        local.prewarm_maps(queries["brand"], [snapped])
+        assert (queries["brand"].key, snapped) in local._maps_cache
+        national = _ranker(ranker_world)
+        national.prewarm_maps(queries["controversial"], [snapped])
+        assert not national._maps_cache
+
+
 class TestRenderer:
     def test_rank_attributes_sequential(self, ranker_world, queries):
         ranker = _ranker(ranker_world, maps_prob_generic=1.0)

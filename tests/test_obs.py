@@ -374,6 +374,21 @@ class TestMetricsRegistry:
         assert fresh.fault_stats == study.fault_stats
         assert fresh.gateway.stats == study.gateway.stats
 
+    def test_ranker_cache_counters_are_opt_in(self):
+        # Cache traffic depends on *how* a run executed (sharding,
+        # resume), so the default registry must exclude it — the
+        # snapshot is part of the kill/resume byte-identity contract.
+        study = Study(_config())
+        study.run()
+        default = study.metrics_registry().snapshot()["metrics"]
+        assert "ranker_cache_hits_total" not in default
+        assert "ranker_cache_misses_total" not in default
+        ranker = study.engine.ranker
+        opted = study.metrics_registry(include_caches=True).snapshot()["metrics"]
+        assert opted["ranker_cache_hits_total"]["value"] == ranker._hits
+        assert opted["ranker_cache_misses_total"]["value"] == ranker._misses
+        assert ranker._hits > 0
+
     def test_prometheus_rendering(self):
         stats = GatewayStats()
         stats.record_dispatch("dc00", depth=2)

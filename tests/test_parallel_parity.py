@@ -7,6 +7,7 @@ the failure list is equal, for every worker count and routing mode.
 """
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -165,3 +166,129 @@ class TestChaosParity:
         config = _config(fault_plan=FaultPlan.named("flaky-network"))
         expected = _serialized(Study(config).run())
         assert _serialized(run_parallel(Study(config), workers=3)) == expected
+
+
+class TestBatchPathParity:
+    """The batched SERP hot path (round prewarm + vectorized fast path +
+    string-scan parser) must be byte-invisible: a run with every fast
+    path disabled is the parity oracle for the default run."""
+
+    def test_fast_path_off_run_is_byte_identical(self):
+        config = _config()
+        reference = Study(config)
+        reference.engine.ranker.fast_path = False
+        expected = _serialized(reference.run())
+        assert _serialized(Study(config).run()) == expected
+
+    @pytest.mark.parametrize("route_via_gateway", [False, True])
+    def test_fast_path_off_oracle_matches_parallel(self, route_via_gateway):
+        from repro.faults.plan import FaultPlan
+
+        config = _config(
+            route_via_gateway=route_via_gateway,
+            fault_plan=FaultPlan.named("chaos"),
+            max_retries=2,
+        )
+        reference = Study(config)
+        reference.engine.ranker.fast_path = False
+        expected = _serialized(reference.run())
+        for workers in (1, 2, 4):
+            parallel = run_parallel(Study(config), workers=workers)
+            assert _serialized(parallel) == expected, (
+                f"workers={workers} gateway={route_via_gateway}"
+            )
+
+    def test_parser_fast_scan_off_is_byte_identical(self):
+        from repro.core.parser import set_fast_scan
+
+        config = _config()
+        expected = _serialized(Study(config).run())
+        previous = set_fast_scan(False)
+        try:
+            assert _serialized(Study(config).run()) == expected
+        finally:
+            set_fast_scan(previous)
+
+
+class TestZeroRebuildWorkers:
+    """Workers inherit the parent's built-and-warmed study; nobody
+    rebuilds from config unless the study cannot pickle under spawn —
+    and the fallback is output-invisible when it happens."""
+
+    def test_fork_workers_inherit_without_rebuild(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        config = _config()
+        expected = dataset_digest(Study(config).run())
+        study = Study(config)
+        dataset = run_parallel(study, workers=2, start_method="fork")
+        assert dataset_digest(dataset) == expected
+        assert study.worker_rebuilds == 0
+
+    def test_spawn_workers_receive_built_study(self):
+        config = _config()
+        expected = dataset_digest(Study(config).run())
+        study = Study(config)
+        dataset = run_parallel(study, workers=2, start_method="spawn")
+        assert dataset_digest(dataset) == expected
+        assert study.worker_rebuilds == 0
+
+    def test_unpicklable_study_falls_back_to_config_rebuild(self):
+        config = _config()
+        expected = dataset_digest(Study(config).run())
+        study = Study(config)
+        study.engine.ranker._poison = lambda: None  # closures do not pickle
+        dataset = run_parallel(study, workers=2, start_method="spawn")
+        assert dataset_digest(dataset) == expected
+        assert study.worker_rebuilds == 2
+
+    def test_worker_main_reports_rebuild_path(self):
+        from repro.parallel.executor import _worker_main
+
+        class Sink:
+            def __init__(self):
+                self.messages = []
+
+            def put(self, message):
+                self.messages.append(message)
+
+        config = _config()
+        study = Study(config)
+        study.prefork_warmup()
+        plan = plan_shards(len(study.treatments), len(study.fleet), 2)
+
+        inherited = Sink()
+        _worker_main(0, study, plan.assignments[0], inherited)
+        done = inherited.messages[-1]
+        assert done[0] == "done"
+        assert done[4] is False
+
+        rebuilt = Sink()
+        _worker_main(1, config, plan.assignments[1], rebuilt)
+        done = rebuilt.messages[-1]
+        assert done[0] == "done"
+        assert done[4] is True
+
+    def test_prefork_warmup_is_output_invisible(self):
+        config = _config()
+        expected = _serialized(Study(config).run())
+        warmed = Study(config)
+        info = warmed.prefork_warmup()
+        assert info["bundles"] > 0
+        assert info["skew_vecs"] > 0
+        assert _serialized(warmed.run()) == expected
+
+    def test_prefork_warmup_predicts_maps_cards_exactly(self):
+        # The maps gate keys on (query, nonce) and nonces are a pure
+        # function of the schedule, so on a clean run the warmup's
+        # schedule walk must warm exactly the cards the crawl asks for
+        # lazily — no misses, nothing wasted.
+        config = _config()
+        baseline = Study(config)
+        baseline.run()
+        assert baseline.stats.retries == 0  # clean run: prediction is exact
+        lazily_needed = set(baseline.engine.ranker._maps_cache)
+        assert lazily_needed
+        warmed = Study(config)
+        warmed.prefork_warmup()
+        assert set(warmed.engine.ranker._maps_cache) == lazily_needed
