@@ -98,7 +98,13 @@ def test_serve_matrix(serving_world, render_sink):
                 f"{report.overloaded:>6} {stats.max_queue_depth:>6}"
             )
             throughput[(policy, cache_size)] = report.requests_per_second
-            assert report.ok + report.rate_limited + report.overloaded == REQUESTS
+            assert (
+                report.ok
+                + report.degraded
+                + report.rate_limited
+                + report.overloaded
+                == REQUESTS
+            )
             assert report.ok > 0.9 * REQUESTS
 
     header = (

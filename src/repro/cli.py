@@ -7,6 +7,8 @@ Examples::
     repro-study validate --machines 50
     repro-study demographics --dataset study.jsonl.gz
     repro-study serve-bench --routing geo-affinity --cache-size 4096
+    repro-study serve-bench --gateways 4 --out BENCH_serve.json
+    repro-study chaos-serve --plan serve-chaos --gateways 3 --smoke
     repro-study crawl-bench --workers 1,2,4,8 --out BENCH_crawl.json
     repro-study chaos --plan chaos --workers 2 --checkpoint crawl.ckpt
     repro-study run --scale small --out s.jsonl.gz --trace s.trace.jsonl
@@ -262,6 +264,81 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a JSONL trace of the served requests",
+    )
+    serve.add_argument(
+        "--gateways",
+        type=int,
+        default=0,
+        help="fleet mode: sweep 1..N consistent-hash gateways instead of "
+        "the single-gateway path (0 keeps the legacy bench)",
+    )
+    serve.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="shard replication factor R in fleet mode",
+    )
+    serve.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="append a trajectory-v1 entry (e.g. BENCH_serve.json); "
+        "implies fleet mode",
+    )
+    serve.add_argument(
+        "--fail-on-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if single-gateway throughput regresses more than PCT%% "
+        "against the trajectory baseline (implies fleet mode)",
+    )
+
+    chaos_serve = sub.add_parser(
+        "chaos-serve",
+        help="hurt the gateway fleet under a fault plan and audit the "
+        "outcome accounting",
+    )
+    chaos_serve.add_argument(
+        "--plan",
+        choices=sorted(NAMED_PLANS),
+        default="serve-chaos",
+        help="named fault plan (see repro.faults.plan.NAMED_PLANS)",
+    )
+    chaos_serve.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    chaos_serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the serve-fault schedule (independent of the load seed)",
+    )
+    chaos_serve.add_argument("--gateways", type=int, default=3)
+    chaos_serve.add_argument("--replication", type=int, default=2)
+    chaos_serve.add_argument("--requests", type=int, default=2000)
+    chaos_serve.add_argument(
+        "--clients",
+        type=int,
+        default=1_000_000,
+        help="lazy client population size (never materialised)",
+    )
+    chaos_serve.add_argument(
+        "--rate", type=float, default=40.0, help="mean arrivals per virtual minute"
+    )
+    chaos_serve.add_argument("--cache-size", type=int, default=1024)
+    chaos_serve.add_argument("--queue-capacity", type=int, default=32)
+    chaos_serve.add_argument(
+        "--routing", choices=sorted(ROUTING_POLICIES), default="round-robin"
+    )
+    chaos_serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: few hundred requests, seconds of wall clock",
+    )
+    chaos_serve.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="write the accounting ledger as JSON (the CI artifact)",
     )
 
     chaos = sub.add_parser(
@@ -768,6 +845,13 @@ def _cmd_reportcard(args) -> int:
 
 
 def _cmd_serve_bench(args) -> int:
+    fleet_mode = (
+        args.gateways > 0
+        or args.out is not None
+        or args.fail_on_regress is not None
+    )
+    if fleet_mode:
+        return _serve_bench_fleet(args)
     from repro.engine.datacenters import DatacenterCluster
     from repro.net.geoip import GeoIPDatabase
     from repro.queries.corpus import build_corpus
@@ -836,6 +920,121 @@ def _cmd_serve_bench(args) -> int:
         builder.close()
         gateway.tracer.disable()
         print(f"trace -> {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _serve_bench_fleet(args) -> int:
+    """Fleet-mode serve bench: sweep sizes, trajectory, regression gate."""
+    from repro.serve.bench import (
+        load_trajectory,
+        run_serve_bench,
+        serve_regression_message,
+    )
+
+    sizes = (1,) if args.gateways <= 1 else (1, args.gateways)
+    history = []
+    if args.fail_on_regress is not None and args.out:
+        history = load_trajectory(args.out)
+    print(
+        f"serve-bench (fleet): sizes={list(sizes)} R={args.replication}, "
+        f"{args.requests} requests over {args.clients} lazy clients",
+        file=sys.stderr,
+    )
+    report = run_serve_bench(
+        fleet_sizes=sizes,
+        replication=args.replication,
+        requests=args.requests,
+        clients=args.clients,
+        rate_per_minute=args.rate,
+        routing=args.routing,
+        cache_size=args.cache_size,
+        queue_capacity=args.queue_capacity,
+        seed=args.seed,
+        out=args.out,
+    )
+    print(report.render())
+    if args.out:
+        print(f"trajectory -> {args.out}", file=sys.stderr)
+    if args.fail_on_regress is not None:
+        message = serve_regression_message(
+            report, history, threshold_pct=args.fail_on_regress
+        )
+        if message:
+            print(message, file=sys.stderr)
+            return 1
+        print(
+            f"no regression beyond {args.fail_on_regress:.0f}% "
+            f"({len(history)} baseline entries checked)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_chaos_serve(args) -> int:
+    from repro.engine.datacenters import DatacenterCluster
+    from repro.faults.plan import FaultPlan
+    from repro.queries.corpus import build_corpus
+    from repro.seeding import derive_seed
+    from repro.serve import (
+        LazyClientPopulation,
+        LoadGenerator,
+        ServeChaos,
+        build_fleet,
+    )
+    from repro.web.world import WebWorld
+
+    requests = min(args.requests, 400) if args.smoke else args.requests
+    gateways = min(args.gateways, 3) if args.smoke else args.gateways
+    plan = FaultPlan.named(args.plan, seed=args.fault_seed)
+    if not plan.has_serve_faults:
+        print(
+            f"plan {args.plan!r} has no serve-side faults; the run will "
+            "exercise the happy path only",
+            file=sys.stderr,
+        )
+    corpus = build_corpus()
+    world = WebWorld(derive_seed(args.seed, "world"))
+    cluster = DatacenterCluster()
+    population = LazyClientPopulation(args.seed, args.clients, cluster)
+    fleet = build_fleet(
+        world,
+        cluster,
+        population.geoip_view(),
+        count=gateways,
+        corpus=corpus,
+        seed=derive_seed(args.seed, "engine"),
+        queue_capacity=args.queue_capacity,
+        cache_size=args.cache_size,
+        policy=args.routing,
+        replication=args.replication,
+        plan=plan,
+    )
+    loadgen = LoadGenerator(
+        list(corpus), population, args.seed, rate_per_minute=args.rate
+    )
+    print(
+        f"chaos-serve: plan={args.plan} (fault seed {args.fault_seed}, "
+        f"~{plan.serve_fault_rate:.1%} of requests fault a shard), "
+        f"{gateways} gateways R={args.replication}, {requests} requests "
+        f"over {args.clients} lazy clients ...",
+        file=sys.stderr,
+    )
+    report = ServeChaos(fleet, loadgen).run(requests)
+    print(report.render())
+    if args.ledger:
+        import json
+
+        with open(args.ledger, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"ledger -> {args.ledger}", file=sys.stderr)
+    if report.unaccounted() != 0:
+        print(
+            f"ACCOUNTING VIOLATION: {report.unaccounted()} of "
+            f"{report.offered} requests unaccounted for",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1133,6 +1332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reportcard": _cmd_reportcard,
         "schedule": _cmd_schedule,
         "serve-bench": _cmd_serve_bench,
+        "chaos-serve": _cmd_chaos_serve,
         "chaos": _cmd_chaos,
         "crawl-bench": _cmd_crawl_bench,
         "trace": _cmd_trace,

@@ -70,6 +70,28 @@ class FaultKind(enum.Enum):
     stuck NFS mount).  Fires only under supervised execution — the
     supervisor's liveness deadline catches it."""
 
+    GATEWAY_CRASH = "gateway-crash"
+    """A whole serving shard dies: process gone, cache lost.  The fleet
+    reroutes to replica shards and anti-entropy backfills the cache
+    when the shard rejoins.  Serve-side; see :mod:`repro.serve.fleet`."""
+
+    REPLICA_BLACKOUT = "replica-blackout"
+    """Every engine replica behind one shard becomes unreachable (rack
+    power event); the shard's cache survives and can serve stale."""
+
+    CACHE_WIPE = "cache-wipe"
+    """A shard's SERP cache is flushed (bad deploy, memcache restart)
+    without downtime — the shard keeps answering, cold."""
+
+    SHARD_SLOWDOWN = "shard-slowdown"
+    """One shard's replicas service requests several times slower for a
+    window (noisy neighbour, GC storm); queues back up and shed."""
+
+    FRONT_PARTITION = "front-partition"
+    """The front tier loses the route to a healthy shard: the shard and
+    its cache are fine, but requests cannot reach it until the
+    partition heals (no backfill needed on recovery)."""
+
 
 class FailureKind(enum.Enum):
     """Taxonomy of crawl failures (``CrawlFailure.kind``)."""
@@ -117,6 +139,16 @@ _GATE_ORDER: Tuple[Tuple[str, FaultKind], ...] = (
     ("server_error_rate", FaultKind.SERVER_ERROR),
 )
 
+#: Evaluation order for serve-side gates, same contract: at most one
+#: serve fault per request, the first whose gate passes.
+_SERVE_GATE_ORDER: Tuple[Tuple[str, FaultKind], ...] = (
+    ("gateway_crash_rate", FaultKind.GATEWAY_CRASH),
+    ("replica_blackout_rate", FaultKind.REPLICA_BLACKOUT),
+    ("cache_wipe_rate", FaultKind.CACHE_WIPE),
+    ("shard_slowdown_rate", FaultKind.SHARD_SLOWDOWN),
+    ("front_partition_rate", FaultKind.FRONT_PARTITION),
+)
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -147,6 +179,25 @@ class FaultPlan:
     worker_stall_rate: float = 0.0
     """Per-request probability the worker process hangs before
     dispatching (supervised runs only; inert otherwise)."""
+    gateway_crash_rate: float = 0.0
+    """Per-request probability the primary shard for this request's key
+    dies (cache and all; serve fleet only, inert elsewhere)."""
+    replica_blackout_rate: float = 0.0
+    """Per-request probability every replica behind the primary shard
+    goes dark while its cache survives."""
+    cache_wipe_rate: float = 0.0
+    """Per-request probability the primary shard's cache is flushed."""
+    shard_slowdown_rate: float = 0.0
+    """Per-request probability the primary shard's replicas slow down
+    by ``slowdown_factor`` for an outage window."""
+    front_partition_rate: float = 0.0
+    """Per-request probability the front tier loses its route to the
+    primary shard for an outage window."""
+    serve_outage_minutes: float = 30.0
+    """Base duration (virtual minutes) of serve-side outages; each
+    outage draws a deterministic factor in ``[0.5, 1.5)`` of this."""
+    slowdown_factor: float = 4.0
+    """Service-time multiplier applied during a shard slow-down."""
 
     def __post_init__(self) -> None:
         for field in fields(self):
@@ -161,6 +212,10 @@ class FaultPlan:
                 raise ValueError(
                     "storm_minutes must be positive and shorter than the period"
                 )
+        if self.serve_outage_minutes <= 0:
+            raise ValueError("serve_outage_minutes must be positive")
+        if self.slowdown_factor <= 1.0:
+            raise ValueError("slowdown_factor must exceed 1")
 
     # -- decisions ------------------------------------------------------------
 
@@ -194,6 +249,28 @@ class FaultPlan:
             ):
                 return kind
         return None
+
+    def serve_fault(self, nonce: int) -> Optional[FaultKind]:
+        """The serve-side fault this request triggers, if any.
+
+        Keyed on the request nonce like every crawl gate, so a chaos
+        schedule is a pure function of the offered load — independent
+        of fleet size, replication factor, or how shards interleave.
+        """
+        for rate_name, kind in _SERVE_GATE_ORDER:
+            rate = getattr(self, rate_name)
+            if rate > 0.0 and (
+                stable_unit("serve-fault", self.seed, kind.value, nonce) < rate
+            ):
+                return kind
+        return None
+
+    def serve_outage_duration(self, nonce: int, kind: FaultKind) -> float:
+        """Virtual minutes this outage lasts, in ``[0.5, 1.5) ×`` base."""
+        factor = 0.5 + stable_unit(
+            "serve-outage", self.seed, kind.value, nonce
+        )
+        return self.serve_outage_minutes * factor
 
     def truncates(self, nonce: int) -> bool:
         """Whether this attempt's response body gets cut off."""
@@ -233,9 +310,22 @@ class FaultPlan:
         return 1.0 - survive
 
     @property
+    def serve_fault_rate(self) -> float:
+        """Probability a served request draws at least one serve fault."""
+        survive = 1.0
+        for rate_name, _ in _SERVE_GATE_ORDER:
+            survive *= 1.0 - getattr(self, rate_name)
+        return 1.0 - survive
+
+    @property
     def has_worker_faults(self) -> bool:
         """True when the plan can kill or hang whole worker processes."""
         return self.worker_crash_rate > 0.0 or self.worker_stall_rate > 0.0
+
+    @property
+    def has_serve_faults(self) -> bool:
+        """True when the plan can hurt the serving fleet."""
+        return self.serve_fault_rate > 0.0
 
     @property
     def is_zero(self) -> bool:
@@ -244,6 +334,7 @@ class FaultPlan:
             self.request_fault_rate == 0.0
             and self.storm_period_minutes is None
             and not self.has_worker_faults
+            and not self.has_serve_faults
         )
 
     @classmethod
@@ -290,5 +381,14 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
         timeout_rate=0.02,
         worker_crash_rate=0.02,
         worker_stall_rate=0.004,
+    ),
+    "serve-chaos": FaultPlan(
+        gateway_crash_rate=0.002,
+        replica_blackout_rate=0.003,
+        cache_wipe_rate=0.002,
+        shard_slowdown_rate=0.004,
+        front_partition_rate=0.003,
+        serve_outage_minutes=25.0,
+        slowdown_factor=4.0,
     ),
 }

@@ -42,6 +42,8 @@ __all__ = [
     "BenchReport",
     "bench_config",
     "load_trajectory",
+    "write_trajectory_entry",
+    "TRAJECTORY_KEEP",
     "regression_message",
     "run_crawl_bench",
     "profile_sequential",
@@ -207,23 +209,9 @@ class BenchReport:
         snapshot (the pre-trajectory format) is absorbed as the oldest
         entry rather than discarded.
         """
-        target = Path(path)
-        entry = self.to_dict()
-        entry["timestamp"] = (
-            datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        return write_trajectory_entry(
+            path, self.to_dict(), benchmark="crawl", keep=keep
         )
-        entry["git_sha"] = _git_sha()
-        entries = load_trajectory(target)
-        entries.append(entry)
-        payload = {
-            "benchmark": "crawl",
-            "format": "trajectory-v1",
-            "entries": entries[-keep:],
-        }
-        target.write_text(
-            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-        )
-        return target
 
     def render(self) -> str:
         lines = [
@@ -298,6 +286,33 @@ def _git_sha() -> Optional[str]:
         return None
     sha = result.stdout.strip()
     return sha if result.returncode == 0 and sha else None
+
+
+def write_trajectory_entry(
+    path, entry: dict, *, benchmark: str, keep: int = TRAJECTORY_KEEP
+) -> Path:
+    """Append one stamped entry to a trajectory-v1 file.
+
+    The shared history mechanics for every bench (crawl, serve, ...):
+    the entry gets the UTC timestamp and git sha of the producing run,
+    the file keeps the last ``keep`` entries, and a legacy single-report
+    snapshot is absorbed as the oldest entry rather than discarded.
+    """
+    target = Path(path)
+    stamped = dict(entry)
+    stamped["timestamp"] = (
+        datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    )
+    stamped["git_sha"] = _git_sha()
+    entries = load_trajectory(target)
+    entries.append(stamped)
+    payload = {
+        "benchmark": benchmark,
+        "format": "trajectory-v1",
+        "entries": entries[-keep:],
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
 
 
 def load_trajectory(path) -> List[dict]:

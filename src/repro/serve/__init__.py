@@ -13,13 +13,32 @@ See ``docs/SERVING.md`` for the architecture and
 """
 
 from repro.serve.admission import DEFAULT_SERVICE_MINUTES, QueueSlot, ReplicaQueue
+from repro.serve.bench import (
+    ServeBenchCell,
+    ServeBenchReport,
+    run_serve_bench,
+    serve_regression_message,
+)
 from repro.serve.cache import CacheKey, SerpCache
+from repro.serve.chaos import ServeChaos, ServeChaosReport
+from repro.serve.fleet import (
+    BrownoutPolicy,
+    FleetShard,
+    GatewayFleet,
+    HashRing,
+    build_fleet,
+    build_fleet_registry,
+    shard_key_of,
+)
 from repro.serve.gateway import Gateway, GatewayResult, Replica, build_replicas
 from repro.serve.loadgen import (
     ClientPopulation,
+    LazyClientGeoIP,
+    LazyClientPopulation,
     LoadGenerator,
     LoadReport,
     SyntheticClient,
+    ZipfSampler,
     run_load,
 )
 from repro.serve.routing import (
@@ -30,7 +49,7 @@ from repro.serve.routing import (
     RoutingPolicy,
     make_policy,
 )
-from repro.serve.stats import GatewayStats, LatencyAccumulator
+from repro.serve.stats import FleetStats, GatewayStats, LatencyAccumulator
 
 __all__ = [
     "DEFAULT_SERVICE_MINUTES",
@@ -42,10 +61,26 @@ __all__ = [
     "GatewayResult",
     "Replica",
     "build_replicas",
+    "BrownoutPolicy",
+    "FleetShard",
+    "GatewayFleet",
+    "HashRing",
+    "build_fleet",
+    "build_fleet_registry",
+    "shard_key_of",
+    "ServeChaos",
+    "ServeChaosReport",
+    "ServeBenchCell",
+    "ServeBenchReport",
+    "run_serve_bench",
+    "serve_regression_message",
     "ClientPopulation",
+    "LazyClientGeoIP",
+    "LazyClientPopulation",
     "LoadGenerator",
     "LoadReport",
     "SyntheticClient",
+    "ZipfSampler",
     "run_load",
     "ROUTING_POLICIES",
     "GeoAffinityPolicy",
@@ -53,6 +88,7 @@ __all__ = [
     "RoundRobinPolicy",
     "RoutingPolicy",
     "make_policy",
+    "FleetStats",
     "GatewayStats",
     "LatencyAccumulator",
 ]

@@ -1,0 +1,264 @@
+"""The serve bench: fleet throughput sweep with a perf trajectory.
+
+Mirrors the crawl bench's history mechanics (``repro.parallel.bench``):
+each run appends one stamped entry to ``BENCH_serve.json`` in the
+trajectory-v1 format — UTC timestamp plus git sha, last
+:data:`~repro.parallel.bench.TRAJECTORY_KEEP` entries kept — via the
+*shared* :func:`~repro.parallel.bench.write_trajectory_entry` helper,
+and :func:`serve_regression_message` is the CI gate comparing the new
+single-gateway throughput against the latest comparable entry.
+
+The sweep itself builds a fresh :class:`~repro.serve.fleet.
+GatewayFleet` per cell over one shared world (engines share a ranker,
+so cell cost is serving state, not index construction), drives the
+same lazy-population load stream through each, and records the outcome
+partition — with ``degraded`` counted apart from ``ok``, never folded
+into successes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.serve.fleet import build_fleet
+from repro.serve.loadgen import (
+    LazyClientPopulation,
+    LoadGenerator,
+    run_load,
+)
+
+__all__ = [
+    "ServeBenchCell",
+    "ServeBenchReport",
+    "run_serve_bench",
+    "serve_regression_message",
+    "load_trajectory",  # re-export: the serve gate reads the same format
+]
+
+
+def load_trajectory(path):
+    """Entries of a trajectory file, oldest first (shared format)."""
+    # Imported lazily: repro.parallel pulls in the crawl executor,
+    # which imports the serve gateway — a cycle at module-import time.
+    from repro.parallel.bench import load_trajectory as _load
+
+    return _load(path)
+
+DEFAULT_FLEET_SIZES: Sequence[int] = (1, 2)
+
+
+@dataclass
+class ServeBenchCell:
+    """One measured (fleet size, replication) configuration."""
+
+    gateways: int
+    replication: int
+    requests: int
+    wall_seconds: float
+    requests_per_second: float
+    ok: int
+    degraded: int
+    rate_limited: int
+    overloaded: int
+    cache_hit_rate: float
+    rerouted: int
+    hot_promotions: int
+
+
+@dataclass
+class ServeBenchReport:
+    """One sweep over fleet sizes; one trajectory entry when written."""
+
+    benchmark: str = "serve"
+    seed: int = 0
+    clients: int = 0
+    requests: int = 0
+    rate_per_minute: float = 0.0
+    routing: str = "round-robin"
+    cache_size: int = 0
+    replication: int = 1
+    cells: List[ServeBenchCell] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def write(self, path, *, keep: Optional[int] = None):
+        """Append this report to the ``BENCH_serve.json`` trajectory.
+
+        Same mechanics as the crawl bench (timestamp + git sha, last
+        ``keep`` entries, default :data:`TRAJECTORY_KEEP`), through the
+        shared helper.
+        """
+        from repro.parallel.bench import TRAJECTORY_KEEP, write_trajectory_entry
+
+        return write_trajectory_entry(
+            path,
+            self.to_dict(),
+            benchmark="serve",
+            keep=TRAJECTORY_KEEP if keep is None else keep,
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"serve bench: {self.requests} requests, {self.clients} "
+            f"clients (lazy), rate={self.rate_per_minute}/min, "
+            f"routing={self.routing}, cache={self.cache_size}, "
+            f"R={self.replication}",
+            f"{'gateways':>8} {'wall s':>8} {'req/s':>9} {'ok':>6} "
+            f"{'degr':>5} {'rl':>5} {'shed':>5} {'hit-rate':>9} "
+            f"{'reroute':>8}",
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.gateways:>8} {cell.wall_seconds:>8.2f} "
+                f"{cell.requests_per_second:>9.1f} {cell.ok:>6} "
+                f"{cell.degraded:>5} {cell.rate_limited:>5} "
+                f"{cell.overloaded:>5} {cell.cache_hit_rate:>8.1%} "
+                f"{cell.rerouted:>8}"
+            )
+        return "\n".join(lines)
+
+
+def run_serve_bench(
+    *,
+    fleet_sizes: Sequence[int] = DEFAULT_FLEET_SIZES,
+    replication: int = 2,
+    requests: int = 2000,
+    clients: int = 100_000,
+    rate_per_minute: float = 40.0,
+    routing: str = "round-robin",
+    cache_size: int = 4096,
+    queue_capacity: int = 32,
+    seed: int = 0,
+    out=None,
+) -> ServeBenchReport:
+    """Sweep fleet sizes over one load; append to the trajectory.
+
+    The client population is lazy — ``clients`` can be a million
+    without materialising anyone — and each cell gets a fresh fleet
+    (fresh caches and queues) while the world, corpus, and ranking
+    memos are shared across cells.
+    """
+    import time
+
+    from repro.engine.datacenters import DatacenterCluster
+    from repro.queries.corpus import build_corpus
+    from repro.seeding import derive_seed
+    from repro.web.world import WebWorld
+
+    corpus = build_corpus()
+    world = WebWorld(derive_seed(seed, "world"))
+    cluster = DatacenterCluster()
+    population = LazyClientPopulation(seed, clients, cluster)
+    geoip = population.geoip_view()
+    report = ServeBenchReport(
+        seed=seed,
+        clients=clients,
+        requests=requests,
+        rate_per_minute=rate_per_minute,
+        routing=routing,
+        cache_size=cache_size,
+        replication=replication,
+    )
+    shared_ranker = None
+    for size in fleet_sizes:
+        fleet = build_fleet(
+            world,
+            cluster,
+            geoip,
+            count=size,
+            corpus=corpus,
+            seed=derive_seed(seed, "engine"),
+            queue_capacity=queue_capacity,
+            cache_size=cache_size,
+            policy=routing,
+            replication=replication,
+            ranker=shared_ranker,
+        )
+        if shared_ranker is None:
+            first = next(iter(fleet.shards.values()))
+            shared_ranker = first.gateway.replicas[0].engine.ranker
+        loadgen = LoadGenerator(
+            list(corpus), population, seed, rate_per_minute=rate_per_minute
+        )
+        started = time.perf_counter()
+        load = run_load(fleet, loadgen, requests)
+        wall = time.perf_counter() - started
+        shard_stats = [
+            shard.gateway.stats for shard in fleet.shards.values()
+        ]
+        lookups = sum(s.cache_lookups for s in shard_stats)
+        hits = sum(s.cache_hits for s in shard_stats)
+        report.cells.append(
+            ServeBenchCell(
+                gateways=size,
+                replication=min(replication, size),
+                requests=requests,
+                wall_seconds=wall,
+                requests_per_second=requests / wall if wall > 0 else 0.0,
+                ok=load.ok,
+                degraded=load.degraded,
+                rate_limited=load.rate_limited,
+                overloaded=load.overloaded,
+                cache_hit_rate=hits / lookups if lookups else 0.0,
+                rerouted=fleet.stats.rerouted,
+                hot_promotions=fleet.stats.hot_promotions,
+            )
+        )
+    if out is not None:
+        report.write(out)
+    return report
+
+
+def serve_regression_message(
+    report: ServeBenchReport,
+    history: Sequence[dict],
+    *,
+    threshold_pct: float,
+) -> Optional[str]:
+    """The serve-bench CI gate: None if within bounds, else a message.
+
+    Compares the new single-gateway (``gateways == 1``) throughput
+    against the most recent history entry with the same load shape.
+    Pass the history loaded *before* this run appended its entry.  No
+    comparable baseline passes — same contract as the crawl gate.
+    """
+    baseline = None
+    for entry in reversed(list(history)):
+        if (
+            entry.get("seed") == report.seed
+            and entry.get("clients") == report.clients
+            and entry.get("requests") == report.requests
+            and entry.get("rate_per_minute") == report.rate_per_minute
+            and entry.get("routing") == report.routing
+            and entry.get("cache_size") == report.cache_size
+            and entry.get("replication") == report.replication
+            and entry.get("cells")
+        ):
+            baseline = entry
+            break
+    if baseline is None:
+        return None
+    old_cell = next(
+        (cell for cell in baseline["cells"] if cell.get("gateways") == 1),
+        None,
+    )
+    new_cell = next(
+        (cell for cell in report.cells if cell.gateways == 1), None
+    )
+    if old_cell is None or new_cell is None:
+        return None
+    old_rps = old_cell.get("requests_per_second")
+    if not old_rps:
+        return None
+    new_rps = new_cell.requests_per_second
+    if new_rps >= old_rps * (1.0 - threshold_pct / 100.0):
+        return None
+    return (
+        f"PERF REGRESSION: gateways=1 throughput {new_rps:.1f} req/s is "
+        f"{100.0 * (old_rps - new_rps) / old_rps:.1f}% below the committed "
+        f"baseline {old_rps:.1f} req/s "
+        f"(entry {baseline.get('git_sha') or '?'} at "
+        f"{baseline.get('timestamp') or '?'}; threshold {threshold_pct:.0f}%)"
+    )

@@ -187,6 +187,24 @@ class SerpCache:
 
     # -- introspection ---------------------------------------------------------
 
+    def peek(self, key: CacheKey, now_minutes: float) -> Optional[SearchResponse]:
+        """The live entry for ``key`` without touching stats or LRU order.
+
+        Anti-entropy backfill reads peer caches through this: copying
+        inventory between shards is repair traffic, not serving
+        traffic, so it must not inflate hit rates or refresh recency.
+        Expired entries read as absent (retirement stays lazy).
+        """
+        if self.capacity == 0:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        response, expires_at = entry
+        if now_minutes >= expires_at:
+            return None
+        return response
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -212,6 +212,9 @@ class Gateway:
         self.breakers = breakers
         self.serve_stale_when_down = serve_stale_when_down
         self.cluster = replicas[0].engine.cluster
+        # Virtual instant until which every replica is unreachable (a
+        # fleet-injected blackout); 0.0 = no blackout, the normal case.
+        self._replicas_down_until = 0.0
         # Live serving traces only (the serve bench).  A parity-mode
         # study crawl leaves this disabled: per-shard gateway telemetry
         # is not canonical, so crawl traces reconstruct gateway spans
@@ -322,7 +325,14 @@ class Gateway:
         for attempt in range(self.max_retries + 1):
             attempts = attempt + 1
             now = attempt_request.timestamp_minutes
-            preference = self.policy.rank(self.replicas, attempt_request, location, now)
+            if now < self._replicas_down_until:
+                # Replica blackout: admission sees an empty fleet and
+                # falls through to the stale/shed ladder below.
+                preference = []
+            else:
+                preference = self.policy.rank(
+                    self.replicas, attempt_request, location, now
+                )
             if self.breakers is not None:
                 # Replicas with an open breaker are skipped outright;
                 # recovery happens inside allow(), which flips an open
@@ -448,6 +458,22 @@ class Gateway:
                     self.tracer.event("gateway.hedge", at=now, replica=replica.name)
                 return replica, hedged_slot
         return None
+
+    # -- fleet levers ---------------------------------------------------------
+
+    def blackout(self, until_minutes: float) -> None:
+        """Mark every replica unreachable until the given virtual time.
+
+        The cache keeps serving; misses walk the degraded ladder
+        (stale store, then shed).  Overlapping blackouts extend rather
+        than shorten each other.  Used by the serve-chaos injector.
+        """
+        self._replicas_down_until = max(self._replicas_down_until, until_minutes)
+
+    @property
+    def blackout_until(self) -> float:
+        """Virtual instant the current replica blackout ends (0 = none)."""
+        return self._replicas_down_until
 
     # -- health ---------------------------------------------------------------
 

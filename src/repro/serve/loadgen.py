@@ -10,6 +10,14 @@ query corpus with Zipf-distributed popularity — the skew that makes a
 SERP cache earn its keep — entirely from derived seeds, so two runs
 with one seed produce byte-identical request streams.
 
+For fleet-scale runs, :class:`LazyClientPopulation` models the same
+user space *without materialising it*: every client attribute is a
+pure hash of ``(seed, index)`` computed on first touch, the GeoIP side
+is a :class:`LazyClientGeoIP` view that derives homes on lookup, and
+the load generator switches to an analytic Zipf sampler whose memory
+is bounded by the distribution's head rather than the population — a
+million-user id space costs the same as a hundred-user one.
+
 :func:`run_load` is the measurement driver shared by the
 ``serve-bench`` CLI command and ``benchmarks/bench_serve.py``.
 """
@@ -17,6 +25,7 @@ with one seed produce byte-identical request streams.
 from __future__ import annotations
 
 import bisect
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
@@ -28,15 +37,27 @@ from repro.geo.usa import US_STATES
 from repro.net.geoip import GeoIPDatabase
 from repro.net.ip import IPv4Address
 from repro.queries.model import Query
-from repro.seeding import derive_rng, stable_hash
+from repro.seeding import derive_rng, stable_hash, stable_unit
 from repro.serve.gateway import Gateway
 from repro.serve.stats import GatewayStats
 
-__all__ = ["SyntheticClient", "ClientPopulation", "LoadGenerator", "LoadReport", "run_load"]
+__all__ = [
+    "SyntheticClient",
+    "ClientPopulation",
+    "LazyClientPopulation",
+    "LazyClientGeoIP",
+    "ZipfSampler",
+    "LoadGenerator",
+    "LoadReport",
+    "run_load",
+]
 
 #: Client IPs are carved out of 100.64.0.0/10 — the carrier-grade NAT
 #: range real mobile traffic arrives from.
 _CLIENT_IP_BASE = IPv4Address((100 << 24) | (64 << 16))
+
+#: Addresses available in that /10 after the base (the population cap).
+_CLIENT_IP_SPACE = (1 << 22) - 1
 
 
 @dataclass(frozen=True)
@@ -114,6 +135,167 @@ class ClientPopulation:
         return self.clients[index]
 
 
+class LazyClientPopulation:
+    """A million-user id space that is never materialised.
+
+    Duck-type compatible with :class:`ClientPopulation` where the load
+    generator needs it (``len``, indexing), but every client is a pure
+    function of ``(seed, index)`` computed on touch via
+    :func:`~repro.seeding.stable_hash` — no RNG sequence to replay, no
+    per-client storage, and identical attributes whether client 999999
+    is the first or the millionth one asked for.  Pair it with
+    :class:`LazyClientGeoIP` so the GeoIP side stays lazy too.
+    """
+
+    #: Duck-type marker the load generator keys its lazy path on.
+    lazy = True
+
+    def __init__(
+        self,
+        seed: int,
+        count: int,
+        cluster: DatacenterCluster,
+        *,
+        gps_fraction: float = 0.8,
+        pin_frontend: bool = False,
+    ):
+        if count < 1:
+            raise ValueError("population needs at least one client")
+        if count > _CLIENT_IP_SPACE:
+            raise ValueError(
+                f"population exceeds the CGNAT client range "
+                f"({count} > {_CLIENT_IP_SPACE})"
+            )
+        self.seed = seed
+        self.count = count
+        self.cluster = cluster
+        self.gps_fraction = gps_fraction
+        self.pin_frontend = pin_frontend
+        self._states = sorted(US_STATES)
+
+    def client(self, index: int) -> SyntheticClient:
+        """Derive client ``index`` — O(1), no stored state."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"client index out of range: {index}")
+        seed = self.seed
+        name = self._states[
+            stable_hash("lazy-client-state", seed, index) % len(self._states)
+        ]
+        centroid = US_STATES[name]
+        home = LatLon(
+            max(-90.0, min(90.0, centroid.lat
+                           + 1.4 * stable_unit("lazy-client-lat", seed, index)
+                           - 0.7)),
+            max(-180.0, min(180.0, centroid.lon
+                            + 1.4 * stable_unit("lazy-client-lon", seed, index)
+                            - 0.7)),
+        )
+        frontend = (
+            self.cluster[0]
+            if self.pin_frontend
+            else self.cluster[
+                stable_hash("lazy-client-frontend", seed, index)
+                % len(self.cluster)
+            ]
+        )
+        return SyntheticClient(
+            ip=_CLIENT_IP_BASE + (index + 1),
+            home=home,
+            uses_gps=stable_unit("lazy-client-gps", seed, index)
+            < self.gps_fraction,
+            frontend_ip=frontend.frontend_ip,
+        )
+
+    def geoip_view(self) -> "LazyClientGeoIP":
+        """A GeoIP database that derives client homes on lookup."""
+        return LazyClientGeoIP(self)
+
+    def register(self, geoip: GeoIPDatabase) -> None:
+        raise TypeError(
+            "a lazy population is never registered host-by-host; "
+            "use geoip_view() for an on-demand GeoIP database"
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index: int) -> SyntheticClient:
+        return self.client(index)
+
+
+class LazyClientGeoIP(GeoIPDatabase):
+    """GeoIP over a lazy population: homes derived at lookup time.
+
+    Client-range addresses resolve to the derived home (bit-identical
+    to what eager registration would have stored); anything else falls
+    through to the normal host/subnet tables, so datacenter fleets can
+    still be registered on top.
+    """
+
+    def __init__(self, population: LazyClientPopulation):
+        super().__init__()
+        self._population = population
+
+    def lookup(self, ip: IPv4Address) -> Optional[LatLon]:
+        index = ip.value - _CLIENT_IP_BASE.value - 1
+        if 0 <= index < len(self._population):
+            return self._population.client(index).home
+        return super().lookup(ip)
+
+
+class ZipfSampler:
+    """Inverse-CDF Zipf over ranks ``0..n-1`` with O(head) memory.
+
+    The first ``head`` ranks use exact cumulative weights (they carry
+    nearly all the mass under search-like exponents); the tail mass is
+    the Euler–Maclaurin midpoint approximation of ``sum(k^-s)``, and
+    tail draws invert that integral in closed form.  Everything is a
+    pure function of the uniform draw, so a lazy million-user sweep
+    samples identically across runs without a million-entry table.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0, *, head: int = 4096):
+        if n < 1:
+            raise ValueError("sampler needs at least one rank")
+        self.n = n
+        self.exponent = exponent
+        self.head = min(head, n)
+        total = 0.0
+        self._head_cdf: List[float] = []
+        for rank in range(self.head):
+            total += 1.0 / (rank + 1) ** exponent
+            self._head_cdf.append(total)
+        self._head_mass = total
+        self._tail_mass = self._tail_integral(self.head + 0.5, n + 0.5)
+        self.total_mass = self._head_mass + self._tail_mass
+
+    def _tail_integral(self, lo: float, hi: float) -> float:
+        """``∫ x^-s dx`` over ``[lo, hi]`` (midpoint bounds)."""
+        if hi <= lo:
+            return 0.0
+        s = self.exponent
+        if abs(s - 1.0) < 1e-12:
+            return math.log(hi) - math.log(lo)
+        return (hi ** (1.0 - s) - lo ** (1.0 - s)) / (1.0 - s)
+
+    def sample(self, u: float) -> int:
+        """The rank for a uniform draw ``u`` in ``[0, 1)``."""
+        target = u * self.total_mass
+        if target < self._head_mass or self.head == self.n:
+            rank = bisect.bisect_left(self._head_cdf, target)
+            return min(rank, self.head - 1)
+        # Invert the tail integral from head+0.5 up to the target mass.
+        remaining = target - self._head_mass
+        s = self.exponent
+        lo = self.head + 0.5
+        if abs(s - 1.0) < 1e-12:
+            x = math.exp(math.log(lo) + remaining)
+        else:
+            x = (lo ** (1.0 - s) + (1.0 - s) * remaining) ** (1.0 / (1.0 - s))
+        rank = int(x - 0.5)
+        return max(self.head, min(rank, self.n - 1))
+
+
 class LoadGenerator:
     """A seeded Poisson request stream over a query corpus.
 
@@ -149,10 +331,27 @@ class LoadGenerator:
         rank_rng.shuffle(query_order)
         self._query_cdf = _zipf_cdf(len(self.queries), zipf_exponent)
         self._query_by_rank = query_order
-        client_order = list(range(len(population)))
-        rank_rng.shuffle(client_order)
-        self._client_cdf = _zipf_cdf(len(population), zipf_exponent)
-        self._client_by_rank = client_order
+        if getattr(population, "lazy", False):
+            # Lazy path: no million-entry shuffle or CDF.  Rank equals
+            # client index — lazy client attributes are already
+            # hash-random in the index, so no shuffle is needed to
+            # decorrelate popularity from geography.
+            self._client_sampler: Optional[ZipfSampler] = ZipfSampler(
+                len(population), zipf_exponent
+            )
+            self._client_cdf: List[float] = []
+            self._client_by_rank: List[int] = []
+        else:
+            self._client_sampler = None
+            client_order = list(range(len(population)))
+            rank_rng.shuffle(client_order)
+            self._client_cdf = _zipf_cdf(len(population), zipf_exponent)
+            self._client_by_rank = client_order
+
+    def _pick_client_index(self, rng) -> int:
+        if self._client_sampler is not None:
+            return self._client_sampler.sample(rng.random())
+        return _pick(self._client_by_rank, self._client_cdf, rng)
 
     def requests(self, count: int) -> Iterator[SearchRequest]:
         """Yield ``count`` requests with non-decreasing virtual times."""
@@ -160,7 +359,7 @@ class LoadGenerator:
         now = self.start_minutes
         for i in range(count):
             query = self.queries[_pick(self._query_by_rank, self._query_cdf, rng)]
-            client = self.population[_pick(self._client_by_rank, self._client_cdf, rng)]
+            client = self.population[self._pick_client_index(rng)]
             gps: Optional[LatLon] = None
             if client.uses_gps:
                 gps = LatLon(
@@ -205,6 +404,10 @@ class LoadReport:
     requests: int
     wall_seconds: float
     ok: int = 0
+    degraded: int = 0
+    """Stale-store answers served with the DEGRADED flag.  Counted
+    apart from ``ok``: a degraded page is yesterday's bytes, and a
+    summary that folds it into successes hides the fleet limping."""
     rate_limited: int = 0
     overloaded: int = 0
     stats: GatewayStats = field(default_factory=GatewayStats)
@@ -217,7 +420,8 @@ class LoadReport:
         lines = [
             f"load run: {self.requests} requests in {self.wall_seconds:.2f}s wall "
             f"-> {self.requests_per_second:,.0f} req/s",
-            f"  responses         ok={self.ok} rate-limited={self.rate_limited} "
+            f"  responses         ok={self.ok} degraded={self.degraded} "
+            f"rate-limited={self.rate_limited} "
             f"overloaded={self.overloaded}",
             self.stats.render(),
         ]
@@ -225,13 +429,19 @@ class LoadReport:
 
 
 def run_load(gateway: Gateway, loadgen: LoadGenerator, count: int) -> LoadReport:
-    """Drive ``count`` generated requests through ``gateway``, timed."""
+    """Drive ``count`` generated requests through ``gateway``, timed.
+
+    ``gateway`` is duck-typed: anything with ``submit`` and ``stats``
+    works, including a :class:`~repro.serve.fleet.GatewayFleet`.
+    """
     report = LoadReport(requests=count, wall_seconds=0.0, stats=gateway.stats)
     started = time.perf_counter()
     for request in loadgen.requests(count):
         result = gateway.submit(request)
         status = result.response.status
-        if status is ResponseStatus.OK:
+        if result.degraded:
+            report.degraded += 1
+        elif status is ResponseStatus.OK:
             report.ok += 1
         elif status is ResponseStatus.RATE_LIMITED:
             report.rate_limited += 1

@@ -22,7 +22,7 @@ from typing import Dict
 
 from repro.obs.metrics import Histogram, MetricSet
 
-__all__ = ["LatencyAccumulator", "GatewayStats"]
+__all__ = ["LatencyAccumulator", "GatewayStats", "FleetStats"]
 
 #: Backwards-compatible name: the accumulator grew buckets and became
 #: the shared histogram type.
@@ -119,4 +119,99 @@ class GatewayStats(MetricSet):
                 f"{name}={count}" for name, count in sorted(self.replica_requests.items())
             )
             lines.append(f"  per-replica       {share}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FleetStats(MetricSet):
+    """Counters for the consistent-hash gateway fleet.
+
+    The four outcome counters partition ``requests`` exactly — the
+    accounting invariant the chaos harness audits: every offered
+    request is served fresh, served stale, deliberately shed, or
+    failed; nothing vanishes.  Ladder and fault counters ride along so
+    a chaos ledger can explain *why* the outcomes happened.
+    """
+
+    requests: int = 0
+    """Requests offered to the front tier."""
+
+    # -- outcome partition ----------------------------------------------------
+    served_fresh: int = 0
+    """OK responses computed or cache-hit on a live shard."""
+    served_stale: int = 0
+    """DEGRADED responses from a stale store (shard- or fleet-level)."""
+    shed: int = 0
+    """OVERLOADED answers: queues full, owners dark, or brownout."""
+    failed: int = 0
+    """Terminal non-OK answers (rate-limited past retries, 5xx)."""
+
+    # -- degradation ladder ---------------------------------------------------
+    rerouted: int = 0
+    """Requests served by a replica shard because the primary owner was
+    down, partitioned, or browned out."""
+    fleet_stale_served: int = 0
+    """Stale answers found by scanning live peers after every owner of
+    the key was unreachable (the fleet-level stale rung)."""
+    backfills: int = 0
+    """Anti-entropy repair passes run when a crashed shard rejoined."""
+    backfilled_entries: int = 0
+    """Cache entries copied from peers during those repairs."""
+    hot_promotions: int = 0
+    """Keys promoted to the hot set (served by every shard)."""
+    hot_requests: int = 0
+    """Requests routed via the hot set instead of ring owners."""
+    brownout_entries: int = 0
+    """Times the SLO controller switched the fleet into brownout."""
+    brownout_shed: int = 0
+    """Requests deliberately shed while browned out."""
+
+    # -- fault injection -------------------------------------------------------
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    """Per-kind serve faults the chaos plan fired (by kind value)."""
+
+    # -- routing ---------------------------------------------------------------
+    shard_requests: Dict[str, int] = field(default_factory=dict)
+    """Requests delegated to each shard gateway (by shard name)."""
+
+    def record_outcome(self, outcome: str) -> None:
+        """Bump the outcome partition; ``outcome`` is a counter name."""
+        setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def unaccounted(self) -> int:
+        """Offered requests missing from the outcome partition (0 = all
+        accounted for; negative = double-counted)."""
+        return self.requests - (
+            self.served_fresh + self.served_stale + self.shed + self.failed
+        )
+
+    def render(self) -> str:
+        """A human-readable fleet report."""
+        lines = [
+            "fleet stats",
+            f"  offered           {self.requests}",
+            f"  outcomes          fresh={self.served_fresh} "
+            f"stale={self.served_stale} shed={self.shed} "
+            f"failed={self.failed} unaccounted={self.unaccounted()}",
+            f"  ladder            rerouted={self.rerouted} "
+            f"fleet-stale={self.fleet_stale_served} "
+            f"backfills={self.backfills} "
+            f"backfilled-entries={self.backfilled_entries}",
+            f"  hot keys          promotions={self.hot_promotions} "
+            f"requests={self.hot_requests}",
+            f"  brownout          entries={self.brownout_entries} "
+            f"shed={self.brownout_shed}",
+        ]
+        if self.faults_injected:
+            kinds = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.faults_injected.items())
+            )
+            lines.append(f"  faults injected   {kinds}")
+        if self.shard_requests:
+            share = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.shard_requests.items())
+            )
+            lines.append(f"  per-shard         {share}")
         return "\n".join(lines)

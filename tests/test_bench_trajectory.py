@@ -1,9 +1,9 @@
-"""The crawl bench's perf trajectory and CI regression gate.
+"""The bench perf trajectories and CI regression gates.
 
 These are pure-mechanics tests over synthetic reports — the actual
-sweep (measurement, parity checks, layer probes) is exercised by
-``benchmarks/bench_crawl.py``; here we pin the history format: append,
-bound, legacy migration, stamping, and the workers=1 throughput gate.
+sweeps are exercised by ``benchmarks/``; here we pin the shared
+history format (append, bound, legacy migration, stamping) for both
+the crawl and serve benches, plus each bench's throughput gate.
 """
 
 import json
@@ -14,6 +14,11 @@ from repro.parallel.bench import (
     BenchReport,
     load_trajectory,
     regression_message,
+)
+from repro.serve.bench import (
+    ServeBenchCell,
+    ServeBenchReport,
+    serve_regression_message,
 )
 
 
@@ -160,3 +165,104 @@ class TestRegressionGate:
             )
             is None
         )
+
+
+def _serve_cell(gateways: int = 1, rps: float = 500.0) -> ServeBenchCell:
+    return ServeBenchCell(
+        gateways=gateways,
+        replication=min(2, gateways),
+        requests=400,
+        wall_seconds=1.0,
+        requests_per_second=rps,
+        ok=395,
+        degraded=3,
+        rate_limited=2,
+        overloaded=0,
+        cache_hit_rate=0.05,
+        rerouted=0,
+        hot_promotions=0,
+    )
+
+
+def _serve_report(rps: float = 500.0, **overrides) -> ServeBenchReport:
+    fields = dict(
+        seed=7,
+        clients=50_000,
+        requests=400,
+        rate_per_minute=40.0,
+        routing="round-robin",
+        cache_size=4096,
+        replication=2,
+    )
+    fields.update(overrides)
+    report = ServeBenchReport(**fields)
+    report.cells.append(_serve_cell(rps=rps))
+    report.cells.append(_serve_cell(gateways=2, rps=rps * 2))
+    return report
+
+
+class TestServeTrajectory:
+    def test_write_shares_the_trajectory_mechanics(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        _serve_report(rps=500.0).write(path)
+        _serve_report(rps=520.0).write(path, keep=1)
+        raw = json.loads(path.read_text())
+        assert raw["format"] == "trajectory-v1"
+        assert raw["benchmark"] == "serve"
+        entries = raw["entries"]
+        assert len(entries) == 1  # keep=1 bounded the history
+        assert entries[0]["cells"][0]["requests_per_second"] == 520.0
+        assert re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", entries[0]["timestamp"]
+        )
+        assert "git_sha" in entries[0]
+
+    def test_degraded_is_reported_apart_from_ok(self):
+        rendered = _serve_report().render()
+        assert "degr" in rendered
+        cell = _serve_report().cells[0]
+        assert cell.ok + cell.degraded + cell.rate_limited + cell.overloaded == 400
+
+
+class TestServeRegressionGate:
+    def _history(self, rps: float = 500.0, **overrides) -> list:
+        entry = _serve_report(rps=rps, **overrides).to_dict()
+        entry["git_sha"] = "abc1234"
+        entry["timestamp"] = "2026-08-08T00:00:00Z"
+        return [entry]
+
+    def test_fires_on_single_gateway_regression(self):
+        message = serve_regression_message(
+            _serve_report(rps=300.0),
+            self._history(rps=500.0),
+            threshold_pct=20.0,
+        )
+        assert message is not None
+        assert "PERF REGRESSION" in message
+        assert "40.0% below" in message
+
+    def test_passes_within_threshold_and_on_improvement(self):
+        history = self._history(rps=500.0)
+        for rps in (450.0, 700.0):
+            assert (
+                serve_regression_message(
+                    _serve_report(rps=rps), history, threshold_pct=20.0
+                )
+                is None
+            )
+
+    def test_different_load_shape_is_not_comparable(self):
+        report = _serve_report(rps=100.0)
+        for overrides in (
+            {"clients": 999},
+            {"routing": "geo-affinity"},
+            {"replication": 1},
+            {"cache_size": 64},
+        ):
+            history = self._history(rps=500.0, **overrides)
+            assert (
+                serve_regression_message(
+                    report, history, threshold_pct=20.0
+                )
+                is None
+            )

@@ -131,6 +131,44 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-bench", "--routing", "coin-flip"])
 
+    def test_serve_bench_fleet_mode_writes_trajectory(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        args = ["serve-bench", "--gateways", "2", "--requests", "150",
+                "--clients", "5000", "--seed", "9", "--out", str(out),
+                "--fail-on-regress", "50"]
+        assert main(args) == 0
+        printed = capsys.readouterr().out
+        assert "gateways" in printed
+        assert "degr" in printed  # degraded column, never folded into ok
+        import json
+
+        trajectory = json.loads(out.read_text())
+        assert trajectory["format"] == "trajectory-v1"
+        assert trajectory["benchmark"] == "serve"
+        report = trajectory["entries"][-1]
+        assert [cell["gateways"] for cell in report["cells"]] == [1, 2]
+        assert all(cell["requests_per_second"] > 0 for cell in report["cells"])
+        # Second run gates against the entry the first one appended.
+        assert main(args) == 0
+
+    def test_chaos_serve_smoke_accounts_for_everything(self, tmp_path, capsys):
+        ledger = tmp_path / "serve-ledger.json"
+        assert main(["chaos-serve", "--smoke", "--requests", "200",
+                     "--seed", "9", "--fault-seed", "11",
+                     "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "unaccounted=0 (OK)" in out
+        import json
+
+        raw = json.loads(ledger.read_text())
+        assert raw["unaccounted"] == 0
+        assert raw["offered"] == 200
+        assert raw["offered"] == (
+            raw["served_fresh"] + raw["served_stale"]
+            + raw["shed"] + raw["failed"]
+        )
+        assert sum(raw["faults_injected"].values()) > 0
+
     def test_run_with_workers_matches_sequential(self, tmp_path):
         sequential = tmp_path / "seq.jsonl"
         parallel = tmp_path / "par.jsonl"
