@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.audit.drift import DriftConfig, sliding_mann_whitney
 from repro.audit.scheduler import AuditScheduler, AuditSpec, CycleOutcome
 from repro.core.experiment import DEFAULT_STUDY_SEED, StudyConfig
+from repro.obs.events import NULL_RECORDER
 from repro.obs.metrics import MetricSet, MetricsRegistry
 from repro.queries.corpus import build_corpus
 
@@ -49,6 +50,9 @@ class AuditService:
         self._lock = threading.RLock()
         self._scheduler = AuditScheduler(store_dir, stats=self.stats)
         self._registry: Optional[MetricsRegistry] = None
+        #: Wide-event recorder for the ``audit`` stream (one event per
+        #: completed cycle, carrying its drift alerts); off by default.
+        self.events = NULL_RECORDER
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -74,12 +78,31 @@ class AuditService:
 
     def run_cycle(self, name: str, **kwargs) -> CycleOutcome:
         with self._lock:
-            return self._scheduler.run_cycle(name, **kwargs)
+            outcome = self._scheduler.run_cycle(name, **kwargs)
+            self._emit_cycle_event(outcome)
+            return outcome
 
     def run_once(self, *, cycles: int = 1, **kwargs) -> List[CycleOutcome]:
         """Advance every pending audit by up to ``cycles`` cycles."""
         with self._lock:
-            return self._scheduler.run_once(cycles=cycles, **kwargs)
+            outcomes = self._scheduler.run_once(cycles=cycles, **kwargs)
+            for outcome in outcomes:
+                self._emit_cycle_event(outcome)
+            return outcomes
+
+    def _emit_cycle_event(self, outcome: CycleOutcome) -> None:
+        """One ``audit`` wide event per completed cycle."""
+        if not self.events.enabled:
+            return
+        self.events.emit(
+            "audit",
+            key=(outcome.audit, outcome.cycle),
+            ts=float(outcome.cycle),
+            audit=outcome.audit,
+            cycle=outcome.cycle,
+            alerts=len(outcome.alerts),
+            alert_series=sorted(alert.series for alert in outcome.alerts),
+        )
 
     def pending(self) -> List[str]:
         with self._lock:

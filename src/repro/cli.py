@@ -101,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the unified metrics snapshot as JSON",
     )
+    run.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="write the canonical wide-event log: one JSONL event per "
+        "crawl cell, byte-identical for any --workers (composes with "
+        "--checkpoint; query with `repro telemetry`)",
+    )
 
     report = sub.add_parser("report", help="print figure tables from a dataset")
     report.add_argument("--dataset", required=True)
@@ -340,6 +348,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the accounting ledger as JSON (the CI artifact)",
     )
+    chaos_serve.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="write the wide-event log: one `serve` event per request "
+        "plus `serve.control` transitions (query with `repro telemetry`)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -464,6 +479,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="top-N span names in the profile report",
     )
+    trace.add_argument(
+        "--folded",
+        default=None,
+        metavar="OUT",
+        help="export folded stacks (flamegraph.pl / speedscope import)",
+    )
+    trace.add_argument(
+        "--speedscope",
+        default=None,
+        metavar="OUT",
+        help="export a speedscope.app profile (one row per crawl location)",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="render a metrics snapshot written by run --metrics"
@@ -474,6 +501,88 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table", "prom"],
         default="table",
         help="table: aligned names; prom: Prometheus text exposition",
+    )
+    metrics.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the rendered output to a file instead of stdout",
+    )
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="query a wide-event log: rollups, burn-rate SLOs, HTML report",
+    )
+    telemetry.add_argument(
+        "path", help="wide-event JSONL log (run --events / chaos-serve --events)"
+    )
+    telemetry.add_argument(
+        "--html",
+        default=None,
+        metavar="OUT",
+        help="write the self-contained HTML telemetry report",
+    )
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command")
+    tel_query = telemetry_sub.add_parser(
+        "query", help="print matching events as JSON lines"
+    )
+    tel_rollup = telemetry_sub.add_parser(
+        "rollup", help="group events by dimensions into deterministic cells"
+    )
+    tel_rollup.add_argument(
+        "--by",
+        required=True,
+        metavar="DIMS",
+        help="comma-separated dimension names, e.g. outcome or rung,cache",
+    )
+    tel_rollup.add_argument(
+        "--value",
+        default=None,
+        metavar="FIELD",
+        help="numeric field to aggregate per cell (sum/mean/max), "
+        "e.g. latency",
+    )
+    tel_slo = telemetry_sub.add_parser(
+        "slo", help="evaluate burn-rate SLOs and print the alert ledger"
+    )
+    tel_slo.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on SLO violations, still-firing alerts, or "
+        "brownout accounting mismatches",
+    )
+    tel_slo.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="write the deterministic alert ledger as JSON",
+    )
+    for tel in (tel_query, tel_rollup, tel_slo):
+        # Accept --html after the subcommand too; SUPPRESS keeps the
+        # parent parser's value when the subcommand omits it.
+        tel.add_argument(
+            "--html",
+            default=argparse.SUPPRESS,
+            metavar="OUT",
+            help=argparse.SUPPRESS,
+        )
+    for tel in (tel_query, tel_rollup):
+        tel.add_argument(
+            "--stream",
+            default=None,
+            help="restrict to one stream (crawl, serve, serve.control, "
+            "gateway, audit)",
+        )
+        tel.add_argument(
+            "--where",
+            action="append",
+            default=[],
+            metavar="DIM=VALUE",
+            help="dimension equality filter, repeatable "
+            "(e.g. --where outcome=shed --where day=1)",
+        )
+    tel_query.add_argument(
+        "--limit", type=int, default=None, help="print at most N events"
     )
     return parser
 
@@ -523,6 +632,7 @@ def _cmd_run(args) -> int:
         workers=args.workers,
         checkpoint=args.checkpoint,
         trace=args.trace,
+        events=args.events,
         supervise=args.supervise,
     )
     dataset.save(args.out)
@@ -538,8 +648,17 @@ def _cmd_run(args) -> int:
             for kind, count in sorted(study.stats.failures_by_kind.items())
         )
         print(f"failures by kind: {breakdown}", file=sys.stderr)
+    if study.gateway is not None:
+        stats = study.gateway.stats
+        print(
+            f"gateway: degraded(stale)={stats.degraded_served} "
+            f"rejected={stats.rejected} rate-limited={stats.rate_limited}",
+            file=sys.stderr,
+        )
     if args.trace:
         print(f"trace -> {args.trace}", file=sys.stderr)
+    if args.events:
+        print(f"events -> {args.events}", file=sys.stderr)
     if args.metrics:
         import json
 
@@ -1019,8 +1138,10 @@ def _cmd_chaos_serve(args) -> int:
         f"over {args.clients} lazy clients ...",
         file=sys.stderr,
     )
-    report = ServeChaos(fleet, loadgen).run(requests)
+    report = ServeChaos(fleet, loadgen).run(requests, events=args.events)
     print(report.render())
+    if args.events:
+        print(f"events -> {args.events}", file=sys.stderr)
     if args.ledger:
         import json
 
@@ -1265,8 +1386,13 @@ def _cmd_schedule(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.obs.exporters import read_trace, validate_trace, write_chrome_trace
-    from repro.obs.profile import profile_trace
+    from repro.obs.exporters import (
+        read_trace,
+        validate_trace,
+        write_chrome_trace,
+        write_speedscope,
+    )
+    from repro.obs.profile import profile_trace, write_folded
 
     acted = False
     if args.check:
@@ -1285,6 +1411,14 @@ def _cmd_trace(args) -> int:
         write_chrome_trace(args.path, args.chrome)
         print(f"chrome trace -> {args.chrome}", file=sys.stderr)
         acted = True
+    if args.folded:
+        write_folded(args.path, args.folded)
+        print(f"folded stacks -> {args.folded}", file=sys.stderr)
+        acted = True
+    if args.speedscope:
+        write_speedscope(args.path, args.speedscope)
+        print(f"speedscope profile -> {args.speedscope}", file=sys.stderr)
+        acted = True
     if not acted:
         print(profile_trace(args.path).render(top=args.top))
     return 0
@@ -1298,10 +1432,121 @@ def _cmd_metrics(args) -> int:
     with open(args.path, "r", encoding="utf-8") as handle:
         snapshot = json.load(handle)
     if args.format == "prom":
-        print(render_prometheus(snapshot))
+        rendered = render_prometheus(snapshot)
     else:
-        print(render_table(snapshot))
+        rendered = render_table(snapshot)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"metrics -> {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
     return 0
+
+
+def _parse_where(pairs) -> dict:
+    where = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--where expects DIM=VALUE, got {pair!r}")
+        dim, _, value = pair.partition("=")
+        where[dim] = value
+    return where
+
+
+def _cmd_telemetry(args) -> int:
+    import json
+
+    from repro.obs.events import read_events, validate_events
+    from repro.obs.slo import evaluate_slos
+    from repro.obs.telemetry import (
+        filter_events,
+        format_kv_rows,
+        rollup,
+        write_html_report,
+    )
+
+    header, events, _ = read_events(args.path)
+    exit_code = 0
+    sub = args.telemetry_command
+    if sub == "query":
+        selected = filter_events(
+            events, stream=args.stream, where=_parse_where(args.where)
+        )
+        if args.limit is not None:
+            selected = selected[: args.limit]
+        for event in selected:
+            print(json.dumps(event, sort_keys=True, separators=(",", ":")))
+    elif sub == "rollup":
+        selected = filter_events(
+            events, stream=args.stream, where=_parse_where(args.where)
+        )
+        by = [dim.strip() for dim in args.by.split(",") if dim.strip()]
+        print(rollup(selected, by, value=args.value).render())
+    elif sub == "slo":
+        report = evaluate_slos(events)
+        rows = []
+        for result in report.results:
+            state = "met" if result.met else "VIOLATED"
+            if result.firing:
+                state += ", alert firing"
+            rows.append(
+                (
+                    result.slo.name,
+                    f"{result.good_fraction:.4f} good "
+                    f"(objective {result.slo.objective:g}, "
+                    f"{result.bad}/{result.total} bad) [{state}]",
+                )
+            )
+        rows.append(("ledger entries", len(report.ledger)))
+        rows.append(
+            (
+                "brownout replay",
+                "exact"
+                if not report.brownout_mismatches
+                else f"{len(report.brownout_mismatches)} mismatch(es)",
+            )
+        )
+        width = max(len(label) for label, _ in rows) + 2
+        print(
+            "\n".join(
+                [f"slo report: {args.path}"]
+                + [f"  {label:<{width}}{value}" for label, value in rows]
+            )
+        )
+        if args.ledger:
+            with open(args.ledger, "w", encoding="utf-8") as handle:
+                json.dump(report.ledger, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"alert ledger -> {args.ledger}", file=sys.stderr)
+        if args.check:
+            for problem in report.violations:
+                print(f"VIOLATION: {problem}", file=sys.stderr)
+            exit_code = 1 if report.violations else 0
+    else:
+        problems = validate_events(args.path)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        streams = {}
+        for event in events:
+            stream = event.get("stream", "?")
+            streams[stream] = streams.get(stream, 0) + 1
+        rows = [("log id", header.get("log_id"))]
+        rows.extend(
+            (f"stream {name}", count) for name, count in sorted(streams.items())
+        )
+        print(
+            "\n".join(
+                [f"{args.path}: ok ({len(events)} events)"]
+                + format_kv_rows(rows)
+            )
+        )
+    if args.html:
+        write_html_report(args.path, args.html)
+        print(f"html report -> {args.html}", file=sys.stderr)
+    return exit_code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1337,6 +1582,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "crawl-bench": _cmd_crawl_bench,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "telemetry": _cmd_telemetry,
     }
     return handlers[args.command](args)
 

@@ -341,6 +341,7 @@ class Study:
         workers: int = 1,
         checkpoint: Optional[str] = None,
         trace: Optional[str] = None,
+        events: Optional[str] = None,
         supervise: bool = False,
     ) -> SerpDataset:
         """Execute the full schedule and return the collected dataset.
@@ -369,6 +370,13 @@ class Study:
                 for any ``workers`` count.  Cannot be combined with
                 ``checkpoint`` — the journal does not carry spans, so a
                 resumed trace would silently miss its earlier rounds.
+            events: Optional path for the canonical wide-event log (see
+                :mod:`repro.obs.events`): one ``crawl`` event per
+                (round, treatment) cell.  Events are synthesized from
+                the canonical outcome stream at flush time, so the file
+                is byte-identical for any ``workers`` count **and**
+                composes with ``checkpoint`` — a resumed run replays
+                the journaled rounds' events before crawling on.
             supervise: Run under :mod:`repro.supervise`: worker
                 processes get heartbeat/exit-code monitoring, and a
                 crashed or hung worker's shard is re-executed from its
@@ -396,22 +404,32 @@ class Study:
                 sink=sink,
                 checkpoint=checkpoint,
                 trace=trace,
+                events=events,
                 supervise=supervise,
             )
         dataset = SerpDataset()
         self._sink = sink
         builder = self._trace_builder(trace) if trace is not None else None
+        event_builder = (
+            self._events_builder(events) if events is not None else None
+        )
         try:
             if checkpoint is not None:
-                return self._run_checkpointed(dataset, checkpoint)
+                return self._run_checkpointed(dataset, checkpoint, event_builder)
             for scheduled in self.iter_rounds():
-                self._run_round(dataset, scheduled)
+                outcomes = self._run_round(dataset, scheduled)
                 if builder is not None:
                     builder.add_round(scheduled.ordinal, self.tracer.drain())
+                if event_builder is not None:
+                    event_builder.add_round(
+                        scheduled.ordinal, list(enumerate(outcomes))
+                    )
         finally:
             if builder is not None:
                 builder.close()
                 self.tracer.disable()
+            if event_builder is not None:
+                event_builder.close()
             self._sink = None
         return dataset
 
@@ -430,21 +448,30 @@ class Study:
             replay=GatewayReplay.from_study(self),
         )
 
+    def _events_builder(self, path: str):
+        """Open the canonical wide-event log at ``path`` for this study."""
+        from repro.obs.events import CrawlEventBuilder
+
+        return CrawlEventBuilder(path, study=self)
+
     def metrics_registry(self, *, include_caches: bool = False):
         """This study's stats, bound into a :class:`MetricsRegistry`."""
         from repro.obs.metrics import build_study_registry
 
         return build_study_registry(self, include_caches=include_caches)
 
-    def _run_checkpointed(self, dataset: SerpDataset, path: str) -> SerpDataset:
+    def _run_checkpointed(
+        self, dataset: SerpDataset, path: str, event_builder=None
+    ) -> SerpDataset:
         """Sequential run with a durable round journal (see :meth:`run`)."""
         fingerprint = self.checkpoint_fingerprint()
         resume = load_checkpoint(path, expected_fingerprint=fingerprint, workers=1)
         if resume is not None:
-            for outcomes in resume.rounds:
-                self._commit_outcomes(
-                    dataset, [deserialize_outcome(payload) for payload in outcomes]
-                )
+            for ordinal, outcomes in enumerate(resume.rounds):
+                decoded = [deserialize_outcome(payload) for payload in outcomes]
+                self._commit_outcomes(dataset, decoded)
+                if event_builder is not None:
+                    event_builder.add_round(ordinal, list(enumerate(decoded)))
             if resume.next_ordinal > 0:
                 self.restore_state(resume.worker_states[0])
             writer = CheckpointWriter.append_to(path)
@@ -476,6 +503,10 @@ class Study:
                     {0: self.capture_state(scheduled.timestamp)},
                 )
                 self._commit_outcomes(dataset, outcomes)
+                if event_builder is not None:
+                    event_builder.add_round(
+                        scheduled.ordinal, list(enumerate(outcomes))
+                    )
         finally:
             writer.close()
         return dataset
@@ -521,7 +552,9 @@ class Study:
 
         return prewarm_study(self)
 
-    def _run_round(self, dataset: SerpDataset, scheduled: ScheduledRound) -> None:
+    def _run_round(
+        self, dataset: SerpDataset, scheduled: ScheduledRound
+    ) -> List[Union[SerpRecord, CrawlFailure]]:
         """One lock-step round: every treatment runs the query at once."""
         from repro.batch import prewarm_round
 
@@ -532,6 +565,7 @@ class Study:
             for index, treatment in enumerate(self.treatments)
         ]
         self._commit_outcomes(dataset, outcomes)
+        return outcomes
 
     def _commit_outcomes(
         self,

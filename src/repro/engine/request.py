@@ -74,6 +74,16 @@ class SearchRequest:
         """Virtual day index of the request."""
         return int(self.timestamp_minutes // (24 * 60))
 
+    def wide_dims(self) -> dict:
+        """The request dimensions every wide event carries."""
+        return {
+            "ts": self.timestamp_minutes,
+            "query": self.query_text,
+            "day": self.day,
+            "page": self.page,
+            "session": self.cookie_id is not None,
+        }
+
 
 @dataclass(frozen=True)
 class SearchResponse:

@@ -2,10 +2,21 @@
 
 Tracing (:mod:`repro.obs.trace`), unified metrics
 (:mod:`repro.obs.metrics`), exporters (:mod:`repro.obs.exporters`),
-merge-time gateway replay (:mod:`repro.obs.replay`), and the
-virtual-time profiler (:mod:`repro.obs.profile`).
+merge-time gateway replay (:mod:`repro.obs.replay`), the virtual-time
+profiler (:mod:`repro.obs.profile`), and the telemetry plane — the
+wide-event log (:mod:`repro.obs.events`), rollups
+(:mod:`repro.obs.telemetry`), and burn-rate SLOs
+(:mod:`repro.obs.slo`).
 """
 
+from repro.obs.events import (
+    NULL_RECORDER,
+    CrawlEventBuilder,
+    EventLog,
+    EventRecorder,
+    read_events,
+    validate_events,
+)
 from repro.obs.metrics import (
     Histogram,
     MetricSet,
@@ -13,6 +24,20 @@ from repro.obs.metrics import (
     build_study_registry,
     render_prometheus,
     render_table,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    evaluate_slos,
+    is_bad_serve_outcome,
+    verify_brownout_accounting,
+)
+from repro.obs.telemetry import (
+    Rollup,
+    filter_events,
+    format_kv_rows,
+    rollup,
+    write_html_report,
 )
 from repro.obs.trace import NULL_TRACER, Tracer, trace_id_for
 
@@ -26,4 +51,20 @@ __all__ = [
     "Tracer",
     "NULL_TRACER",
     "trace_id_for",
+    "EventLog",
+    "EventRecorder",
+    "NULL_RECORDER",
+    "CrawlEventBuilder",
+    "read_events",
+    "validate_events",
+    "SLO",
+    "DEFAULT_SLOS",
+    "evaluate_slos",
+    "is_bad_serve_outcome",
+    "verify_brownout_accounting",
+    "Rollup",
+    "rollup",
+    "filter_events",
+    "format_kv_rows",
+    "write_html_report",
 ]

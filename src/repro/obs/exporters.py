@@ -36,6 +36,8 @@ __all__ = [
     "validate_trace",
     "chrome_trace",
     "write_chrome_trace",
+    "speedscope_trace",
+    "write_speedscope",
 ]
 
 
@@ -345,4 +347,113 @@ def write_chrome_trace(path, out) -> None:
     """Export ``path`` (canonical JSONL) as Chrome trace JSON at ``out``."""
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(chrome_trace(path), handle, sort_keys=True)
+        handle.write("\n")
+
+
+def speedscope_trace(path) -> dict:
+    """Convert a trace file to speedscope's evented-profile JSON.
+
+    Open the result at https://www.speedscope.app (or any compatible
+    viewer) for interactive flamegraphs.  One evented profile per
+    timeline row — the schedule plus each treatment, matching the
+    Chrome exporter's ``tid`` layout — with open/close events in
+    microseconds (one virtual minute = 60,000,000).
+    """
+    header, spans, _ = read_trace(path)
+    by_id = {span["id"]: span for span in spans}
+    by_parent: Dict[str, List[dict]] = {}
+    for span in spans:
+        by_parent.setdefault(span["parent"], []).append(span)
+
+    def tid_of(span: dict) -> int:
+        node = span
+        while node is not None:
+            treatment = node["attrs"].get("treatment")
+            if treatment is not None:
+                return int(treatment) + 1
+            node = by_id.get(node["parent"])
+        return 0
+
+    names = sorted({span["name"] for span in spans})
+    frame_index = {name: index for index, name in enumerate(names)}
+    row_names: Dict[int, str] = {0: "schedule"}
+    row_spans: Dict[int, List[dict]] = {}
+    for span in spans:
+        tid = tid_of(span)
+        row_spans.setdefault(tid, []).append(span)
+        if tid and tid not in row_names and span["name"] == "crawl":
+            row_names[tid] = span["attrs"].get("location", f"treatment {tid - 1}")
+
+    profiles = []
+    for tid in sorted(row_spans):
+        members = {span["id"] for span in row_spans[tid]}
+        events: List[dict] = []
+        start_value: Optional[float] = None
+        end_value = 0.0
+
+        def visit(span: dict, low: float, high: float) -> None:
+            # Clamp into the parent's bounds: speedscope rejects
+            # profiles whose close events are not perfectly LIFO.
+            nonlocal start_value, end_value
+            start = min(max(span["start"], low), high)
+            end = min(max(span["end"], start), high)
+            start_micros = start * _MICROS_PER_VIRTUAL_MINUTE
+            end_micros = end * _MICROS_PER_VIRTUAL_MINUTE
+            if start_value is None or start_micros < start_value:
+                start_value = start_micros
+            if end_micros > end_value:
+                end_value = end_micros
+            events.append(
+                {"type": "O", "frame": frame_index[span["name"]], "at": start_micros}
+            )
+            for child in sorted(
+                (
+                    node
+                    for node in by_parent.get(span["id"], [])
+                    if node["id"] in members
+                ),
+                key=lambda node: (node["start"], node["id"]),
+            ):
+                visit(child, start, end)
+            events.append(
+                {"type": "C", "frame": frame_index[span["name"]], "at": end_micros}
+            )
+
+        # Roots of this row: spans whose parent lives on another row
+        # (or nowhere) — each opens a fresh stack.
+        roots = sorted(
+            (
+                span
+                for span in row_spans[tid]
+                if span["parent"] not in members
+            ),
+            key=lambda span: (span["start"], span["id"]),
+        )
+        for root in roots:
+            visit(root, root["start"], max(root["end"], root["start"]))
+        profiles.append(
+            {
+                "type": "evented",
+                "name": row_names.get(tid, f"treatment {tid - 1}"),
+                "unit": "microseconds",
+                "startValue": start_value if start_value is not None else 0.0,
+                "endValue": end_value,
+                "events": events,
+            }
+        )
+
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": f"repro trace {header['trace_id']}",
+        "activeProfileIndex": 0,
+        "exporter": "repro",
+        "shared": {"frames": [{"name": name} for name in names]},
+        "profiles": profiles,
+    }
+
+
+def write_speedscope(path, out) -> None:
+    """Export ``path`` (canonical JSONL) as speedscope JSON at ``out``."""
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(speedscope_trace(path), handle, sort_keys=True)
         handle.write("\n")

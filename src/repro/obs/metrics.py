@@ -421,15 +421,34 @@ def _prom_name(name: str) -> str:
     return f"repro_{name}"
 
 
+def _prom_escape_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_escape_help(text: str) -> str:
+    """Escape HELP text per the text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def render_prometheus(snapshot: dict) -> str:
-    """Prometheus text exposition format for a registry snapshot."""
+    """Prometheus text exposition format for a registry snapshot.
+
+    Conformant exposition: histogram buckets are cumulative and end at
+    ``le="+Inf"`` equal to ``_count``, ``_sum``/``_count`` ride under
+    the histogram family, and the max-tracking sidecar is its own
+    ``_max`` gauge family (a bare extra sample under a histogram TYPE
+    is invalid).  Label values and HELP text are escaped.
+    """
     lines: List[str] = []
     for name in sorted(snapshot["metrics"]):
         entry = snapshot["metrics"][name]
         kind, value = entry["kind"], entry["value"]
         full = _prom_name(name)
         if entry.get("help"):
-            lines.append(f"# HELP {full} {entry['help']}")
+            lines.append(f"# HELP {full} {_prom_escape_help(entry['help'])}")
         if kind in ("counter", "gauge"):
             lines.append(f"# TYPE {full} {kind}")
             lines.append(f"{full} {value}")
@@ -437,7 +456,8 @@ def render_prometheus(snapshot: dict) -> str:
             label = entry.get("label", "key")
             lines.append(f"# TYPE {full} counter")
             for key in sorted(value):
-                lines.append(f'{full}{{{label}="{key}"}} {value[key]}')
+                escaped = _prom_escape_label(key)
+                lines.append(f'{full}{{{label}="{escaped}"}} {value[key]}')
         else:  # histogram
             lines.append(f"# TYPE {full} histogram")
             cumulative = 0
@@ -448,6 +468,7 @@ def render_prometheus(snapshot: dict) -> str:
             lines.append(f'{full}_bucket{{le="+Inf"}} {cumulative}')
             lines.append(f"{full}_sum {value['total_minutes']}")
             lines.append(f"{full}_count {value['count']}")
+            lines.append(f"# TYPE {full}_max gauge")
             lines.append(f"{full}_max {value['max_minutes']}")
     return "\n".join(lines) + ("\n" if lines else "")
 

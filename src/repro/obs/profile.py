@@ -19,6 +19,13 @@ bucket:
 
 Breaker fast-fails consume no virtual time (that is their point), so
 they are counted, not attributed.
+
+Flamegraphs: :func:`folded_stacks` renders the trace in the folded
+stack-sample format (``a;b;c weight``) that ``flamegraph.pl`` and
+speedscope consume directly — each span contributes its *self* virtual
+time (duration minus children) at its stack path, weighted in
+microseconds (one virtual minute = 60,000,000, matching the Chrome
+exporter's timebase).
 """
 
 from __future__ import annotations
@@ -26,10 +33,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.obs.exporters import read_trace
+from repro.obs.exporters import _MICROS_PER_VIRTUAL_MINUTE, read_trace
 from repro.obs.metrics import Histogram
 
-__all__ = ["RoundProfile", "TraceProfile", "profile_trace"]
+__all__ = [
+    "RoundProfile",
+    "TraceProfile",
+    "profile_trace",
+    "folded_stacks",
+    "write_folded",
+]
 
 _ATTRIBUTION_BUCKETS = ("queue-wait", "service", "backoff", "other")
 
@@ -141,6 +154,52 @@ def _attribute(crawl: dict) -> RoundProfile:
     )
     profile.attribution["other"] = max(0.0, profile.makespan_minutes - attributed)
     return profile
+
+
+def folded_stacks(path) -> List[str]:
+    """A trace as folded stacks: ``root;child;leaf self_micros`` lines.
+
+    Self time only — a stack's weight is its span's virtual duration
+    minus its children's, scaled to microseconds — so the flamegraph's
+    column widths sum to wall (virtual) time exactly.  Lines merge by
+    stack path and sort lexically; the output is canonical for a
+    canonical trace.
+    """
+    _, spans, _ = read_trace(path)
+    by_parent: Dict[str, List[dict]] = {}
+    by_id: Dict[str, dict] = {}
+    for span in spans:
+        by_id[span["id"]] = span
+        by_parent.setdefault(span["parent"], []).append(span)
+    weights: Dict[str, int] = {}
+
+    def visit(span: dict, prefix: str) -> None:
+        stack = f"{prefix};{span['name']}" if prefix else span["name"]
+        children = sorted(
+            by_parent.get(span["id"], []),
+            key=lambda child: (child["start"], child["id"]),
+        )
+        child_minutes = sum(child["end"] - child["start"] for child in children)
+        self_minutes = max(0.0, (span["end"] - span["start"]) - child_minutes)
+        micros = int(round(self_minutes * _MICROS_PER_VIRTUAL_MINUTE))
+        if micros > 0:
+            weights[stack] = weights.get(stack, 0) + micros
+        for child in children:
+            visit(child, stack)
+
+    for root in sorted(
+        (span for span in spans if span["parent"] not in by_id),
+        key=lambda span: (span["start"], span["id"]),
+    ):
+        visit(root, "")
+    return [f"{stack} {weights[stack]}" for stack in sorted(weights)]
+
+
+def write_folded(path, out) -> None:
+    """Export ``path`` (canonical JSONL trace) as folded stacks at ``out``."""
+    with open(out, "w", encoding="utf-8") as handle:
+        for line in folded_stacks(path):
+            handle.write(line + "\n")
 
 
 def profile_trace(path) -> TraceProfile:

@@ -1,0 +1,346 @@
+"""Multi-window burn-rate SLOs over the wide-event log.
+
+An SLO declares an objective (e.g. "99% of serve requests end fresh")
+per subsystem stream; the engine walks the event log in virtual time
+and maintains two sliding windows — a *fast* window that catches sharp
+regressions and a *slow* window that confirms they are sustained (the
+standard multi-window multi-burn alerting shape).  The burn rate is
+the window's bad fraction divided by the SLO's error budget: burn 1.0
+spends the budget exactly at the objective's pace, burn 14.4 spends a
+30-day budget in 50 hours.  An alert **fires** when *both* windows
+exceed their thresholds and **resolves** when the fast window falls
+back below — the resulting ledger is a pure function of the event
+stream, so it is identical across worker counts and kill/resume by
+construction (the log itself is).
+
+One classifier, one accounting
+------------------------------
+:func:`is_bad_serve_outcome` is the **single** definition of a bad
+serve outcome, imported by the fleet's brownout controller and used
+here — the SLO engine must never disagree with the controller about
+what counts against the window.  Beyond sharing the classifier, the
+engine *observes* the controller rather than re-deriving it: serve
+events carry the exact ``counted`` mark the controller applied (the
+deliberate-brownout-shed exclusion), and
+:func:`verify_brownout_accounting` replays the controller's window
+arithmetic from those marks and checks it lands on the very
+(bad, total) integers the controller journaled in its
+``serve.control`` transitions.  Audit drift alerts likewise enter the
+ledger verbatim from ``audit`` events instead of being recomputed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SLO",
+    "SLOResult",
+    "SLOReport",
+    "DEFAULT_SLOS",
+    "is_bad_serve_outcome",
+    "is_bad_event",
+    "evaluate_slos",
+    "verify_brownout_accounting",
+]
+
+
+def is_bad_serve_outcome(outcome: str) -> bool:
+    """Whether a fleet outcome counts against the serve SLO window.
+
+    The one shared definition: anything that is not a fresh page —
+    stale, shed, failed — is bad.  The fleet's brownout controller and
+    the SLO engine both import this; they cannot drift apart.
+    """
+    return outcome != "served_fresh"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over a wide-event stream."""
+
+    name: str
+    stream: str
+    """Which event stream the SLO measures (``crawl``, ``serve``, ...)."""
+    objective: float
+    """Target good fraction, e.g. ``0.99``."""
+    kind: str = "availability"
+    """``availability`` (bad outcomes) or ``latency`` (slow requests)."""
+    latency_threshold_minutes: float = 0.0
+    """For ``latency`` SLOs: virtual latency above this is bad."""
+    fast_window_minutes: float = 5.0
+    slow_window_minutes: float = 60.0
+    fast_burn_threshold: float = 14.4
+    slow_burn_threshold: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency" and self.latency_threshold_minutes <= 0:
+            raise ValueError("latency SLOs need a positive threshold")
+        if self.fast_window_minutes <= 0 or self.slow_window_minutes <= 0:
+            raise ValueError("window minutes must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+#: The stock per-subsystem objectives ``repro telemetry slo`` evaluates.
+#: 5m/1h virtual-time windows with the canonical 14.4x/6x burn pairing.
+DEFAULT_SLOS: Tuple[SLO, ...] = (
+    SLO(name="crawl-availability", stream="crawl", objective=0.99),
+    SLO(name="serve-availability", stream="serve", objective=0.99),
+    SLO(
+        name="serve-latency",
+        stream="serve",
+        objective=0.95,
+        kind="latency",
+        latency_threshold_minutes=1.0,
+    ),
+)
+
+
+def is_bad_event(slo: SLO, event: dict) -> bool:
+    """Classify one event against one SLO."""
+    if slo.kind == "latency":
+        return event.get("latency", 0.0) > slo.latency_threshold_minutes
+    outcome = event.get("outcome", "")
+    if slo.stream == "serve":
+        return is_bad_serve_outcome(outcome)
+    return outcome != "ok"
+
+
+@dataclass
+class SLOResult:
+    """One SLO evaluated over a whole event log."""
+
+    slo: SLO
+    total: int = 0
+    bad: int = 0
+    alerts: List[dict] = field(default_factory=list)
+
+    @property
+    def good_fraction(self) -> float:
+        return 1.0 - (self.bad / self.total) if self.total else 1.0
+
+    @property
+    def met(self) -> bool:
+        return self.good_fraction >= self.slo.objective
+
+    @property
+    def firing(self) -> bool:
+        """Whether the last ledger transition left the alert firing."""
+        return bool(self.alerts) and self.alerts[-1]["state"] == "firing"
+
+
+@dataclass
+class SLOReport:
+    """Every SLO's result plus the merged deterministic alert ledger."""
+
+    results: List[SLOResult]
+    ledger: List[dict]
+    """Burn-rate transitions, brownout transitions, and audit alerts in
+    virtual-time order — the artifact the determinism tests compare."""
+    brownout_mismatches: List[str]
+    """Window-accounting disagreements with the fleet controller
+    (empty = the engine reproduced its arithmetic exactly)."""
+
+    @property
+    def violations(self) -> List[str]:
+        """What ``repro telemetry slo --check`` gates on."""
+        problems = [
+            f"SLO {result.slo.name}: good fraction "
+            f"{result.good_fraction:.4f} below objective "
+            f"{result.slo.objective:g} ({result.bad}/{result.total} bad)"
+            for result in self.results
+            if not result.met
+        ]
+        problems.extend(
+            f"SLO {result.slo.name}: burn-rate alert still firing at end of log"
+            for result in self.results
+            if result.firing
+        )
+        problems.extend(self.brownout_mismatches)
+        return problems
+
+
+class _BurnWindow:
+    """A sliding (virtual-time, bad) window tracking its bad count."""
+
+    __slots__ = ("minutes", "samples", "bad")
+
+    def __init__(self, minutes: float) -> None:
+        self.minutes = minutes
+        self.samples: Deque[Tuple[float, bool]] = deque()
+        self.bad = 0
+
+    def add(self, ts: float, bad: bool) -> None:
+        self.samples.append((ts, bad))
+        if bad:
+            self.bad += 1
+        horizon = ts - self.minutes
+        while self.samples and self.samples[0][0] < horizon:
+            _, was_bad = self.samples.popleft()
+            if was_bad:
+                self.bad -= 1
+
+    def burn_rate(self, budget: float) -> float:
+        total = len(self.samples)
+        if not total:
+            return 0.0
+        return (self.bad / total) / budget
+
+
+def _evaluate_one(slo: SLO, events: List[dict]) -> SLOResult:
+    result = SLOResult(slo=slo)
+    fast = _BurnWindow(slo.fast_window_minutes)
+    slow = _BurnWindow(slo.slow_window_minutes)
+    firing = False
+    for event in events:
+        bad = is_bad_event(slo, event)
+        result.total += 1
+        if bad:
+            result.bad += 1
+        ts = event["ts"]
+        fast.add(ts, bad)
+        slow.add(ts, bad)
+        burn_fast = fast.burn_rate(slo.error_budget)
+        burn_slow = slow.burn_rate(slo.error_budget)
+        if (
+            not firing
+            and burn_fast >= slo.fast_burn_threshold
+            and burn_slow >= slo.slow_burn_threshold
+        ):
+            firing = True
+            result.alerts.append(
+                {
+                    "at": ts,
+                    "slo": slo.name,
+                    "kind": "burn-rate",
+                    "state": "firing",
+                    "burn_fast": round(burn_fast, 4),
+                    "burn_slow": round(burn_slow, 4),
+                }
+            )
+        elif firing and burn_fast < slo.fast_burn_threshold:
+            firing = False
+            result.alerts.append(
+                {
+                    "at": ts,
+                    "slo": slo.name,
+                    "kind": "burn-rate",
+                    "state": "resolved",
+                    "burn_fast": round(burn_fast, 4),
+                    "burn_slow": round(burn_slow, 4),
+                }
+            )
+    return result
+
+
+def verify_brownout_accounting(
+    events: List[dict], *, window_minutes: Optional[float] = None
+) -> List[str]:
+    """Replay the brownout window from serve events' ``counted`` marks.
+
+    The fleet journals ``(window_bad, window_total)`` on every
+    ``brownout.enter`` / ``brownout.exit`` control event.  This replays
+    the same arithmetic — append counted samples, classify with the
+    shared :func:`is_bad_serve_outcome`, prune to the window horizon —
+    and reports any control point where the recomputed integers differ.
+    An empty list means the SLO engine reproduces the controller's
+    accounting exactly, with no second source of truth: the classifier
+    is imported, the exclusions are the controller's own marks.
+    """
+    problems: List[str] = []
+    window: Deque[Tuple[float, bool]] = deque()
+    bad_count = 0
+    minutes = window_minutes
+    for event in events:
+        stream = event.get("stream")
+        if stream == "serve.control" and event.get("control", "").startswith(
+            "brownout."
+        ):
+            if minutes is None:
+                minutes = event.get("window_minutes")
+            ts = event["ts"]
+            if minutes is not None:
+                horizon = ts - minutes
+                while window and window[0][0] < horizon:
+                    _, was_bad = window.popleft()
+                    if was_bad:
+                        bad_count -= 1
+            if (len(window), bad_count) != (
+                event.get("window_total"),
+                event.get("window_bad"),
+            ):
+                problems.append(
+                    f"brownout accounting mismatch at ts={ts}: controller "
+                    f"saw bad/total {event.get('window_bad')}/"
+                    f"{event.get('window_total')}, replay computed "
+                    f"{bad_count}/{len(window)}"
+                )
+        elif stream == "serve" and event.get("counted"):
+            window.append((event["ts"], is_bad_serve_outcome(event["outcome"])))
+            if is_bad_serve_outcome(event["outcome"]):
+                bad_count += 1
+    return problems
+
+
+def evaluate_slos(
+    events: List[dict], slos: Sequence[SLO] = DEFAULT_SLOS
+) -> SLOReport:
+    """Evaluate every SLO over one event list; build the merged ledger."""
+    by_stream: Dict[str, List[dict]] = {}
+    for event in events:
+        by_stream.setdefault(event.get("stream", ""), []).append(event)
+    results = [
+        _evaluate_one(slo, by_stream.get(slo.stream, [])) for slo in slos
+    ]
+    ledger: List[dict] = []
+    for result in results:
+        ledger.extend(result.alerts)
+    # The fleet's brownout transitions and the audit service's drift
+    # alerts join the ledger verbatim — observed, not re-derived.
+    for event in by_stream.get("serve.control", []):
+        control = event.get("control", "")
+        if control.startswith("brownout."):
+            ledger.append(
+                {
+                    "at": event["ts"],
+                    "slo": "fleet-brownout",
+                    "kind": "brownout",
+                    "state": (
+                        "firing" if control == "brownout.enter" else "resolved"
+                    ),
+                    "bad_fraction": event.get("bad_fraction"),
+                    "window_bad": event.get("window_bad"),
+                    "window_total": event.get("window_total"),
+                }
+            )
+    for event in by_stream.get("audit", []):
+        for series in event.get("alert_series", []):
+            ledger.append(
+                {
+                    "at": event["ts"],
+                    "slo": f"audit:{event.get('audit')}",
+                    "kind": "audit-drift",
+                    "state": "firing",
+                    "cycle": event.get("cycle"),
+                    "series": series,
+                }
+            )
+    ledger.sort(key=lambda entry: (entry["at"], entry["slo"], entry["state"]))
+    # The replay needs the original interleaving (controller transitions
+    # happen *before* the triggering request's own serve event), so it
+    # filters the full stream itself rather than taking the per-stream
+    # buckets.
+    return SLOReport(
+        results=results,
+        ledger=ledger,
+        brownout_mismatches=verify_brownout_accounting(events),
+    )

@@ -1,0 +1,368 @@
+"""The telemetry plane: deterministic rollups over the wide-event log.
+
+A rollup is ``group_by`` over any dimension set: every event lands in
+the cell keyed by its values for the chosen dimensions, and each cell
+accumulates count / sum / min / max plus a fixed-bucket
+:class:`~repro.obs.metrics.Histogram` of an optional numeric value
+field.  Cells also keep **exemplars** — the first few event (and trace
+span) ids that landed in them — so an aggregate row links back to the
+raw events and the matching trace spans that explain it.
+
+Everything is deterministic: cells sort by group key, exemplars are
+first-arrival in canonical log order, and rendering is pure string
+formatting — two identical logs roll up to identical bytes.
+
+:func:`format_kv_rows` is the one key/value table renderer the serving
+stats reports share (see :meth:`~repro.serve.stats.FleetStats.render`
+and friends) — the ad-hoc per-report column arithmetic lives here now.
+
+The module also renders the static HTML report behind
+``repro telemetry --html``: stream counts, stock rollups, SLO results,
+and the alert ledger in one self-contained page (inline CSS, stdlib
+only).
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import read_events
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "Rollup",
+    "RollupCell",
+    "rollup",
+    "filter_events",
+    "format_kv_rows",
+    "html_report",
+    "write_html_report",
+]
+
+#: Label column width of the shared key/value table format — the same
+#: 18-character gutter the serving reports have always printed.
+_KV_WIDTH = 18
+
+
+def format_kv_rows(
+    rows: Sequence[Tuple[str, object]], *, indent: str = "  "
+) -> List[str]:
+    """Render (label, value) pairs as aligned report lines."""
+    return [f"{indent}{label:<{_KV_WIDTH}}{value}" for label, value in rows]
+
+
+def filter_events(
+    events: List[dict],
+    *,
+    stream: Optional[str] = None,
+    where: Optional[Dict[str, str]] = None,
+) -> List[dict]:
+    """Events matching a stream and/or dimension equality filters.
+
+    ``where`` values compare against ``str(event[dim])`` so CLI filters
+    like ``outcome=ok`` or ``day=1`` need no type plumbing.
+    """
+    selected = events
+    if stream is not None:
+        selected = [event for event in selected if event.get("stream") == stream]
+    if where:
+        selected = [
+            event
+            for event in selected
+            if all(str(event.get(dim)) == want for dim, want in where.items())
+        ]
+    return selected
+
+
+@dataclass
+class RollupCell:
+    """One group's aggregates."""
+
+    key: Tuple[str, ...]
+    count: int = 0
+    value_sum: float = 0.0
+    value_min: Optional[float] = None
+    value_max: Optional[float] = None
+    histogram: Histogram = field(default_factory=Histogram)
+    exemplars: List[dict] = field(default_factory=list)
+
+    @property
+    def value_mean(self) -> float:
+        return self.value_sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "key": list(self.key),
+            "count": self.count,
+            "sum": round(self.value_sum, 6),
+            "min": self.value_min,
+            "max": self.value_max,
+            "histogram": self.histogram.capture_state(),
+            "exemplars": self.exemplars,
+        }
+
+
+@dataclass
+class Rollup:
+    """A ``group_by`` result: dimension names plus sorted cells."""
+
+    by: Tuple[str, ...]
+    value: Optional[str]
+    cells: List[RollupCell]
+    total_events: int
+
+    def to_dict(self) -> dict:
+        return {
+            "by": list(self.by),
+            "value": self.value,
+            "total_events": self.total_events,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def render(self) -> str:
+        """Aligned text table, one row per cell."""
+        title = f"rollup by ({', '.join(self.by)})"
+        if self.value:
+            title += f" over {self.value}"
+        headers = list(self.by) + ["count"]
+        if self.value:
+            headers += ["sum", "mean", "max"]
+        rows = []
+        for cell in self.cells:
+            row = list(cell.key) + [str(cell.count)]
+            if self.value:
+                row += [
+                    f"{cell.value_sum:.3f}",
+                    f"{cell.value_mean:.3f}",
+                    f"{cell.value_max if cell.value_max is not None else 0.0:.3f}",
+                ]
+            rows.append(row)
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [title]
+        lines.append("  " + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        for cell, row in zip(self.cells, rows):
+            line = "  " + "  ".join(v.ljust(widths[i]) for i, v in enumerate(row))
+            if cell.exemplars:
+                sample = cell.exemplars[0]
+                link = sample.get("span") or sample.get("id")
+                line += f"  [{link}]"
+            lines.append(line.rstrip())
+        lines.append(f"  ({self.total_events} events)")
+        return "\n".join(lines)
+
+
+def rollup(
+    events: List[dict],
+    by: Sequence[str],
+    *,
+    value: Optional[str] = None,
+    exemplars: int = 3,
+) -> Rollup:
+    """Group events by the given dimensions into deterministic cells.
+
+    Args:
+        events: The event dicts (canonical log order).
+        by: Dimension names; an event missing one groups under ``"-"``.
+        value: Optional numeric field to aggregate (sum/min/max and a
+            histogram per cell), e.g. ``latency``.
+        exemplars: Sample event/span ids kept per cell (first arrivals).
+    """
+    if not by:
+        raise ValueError("rollup needs at least one dimension")
+    cells: Dict[Tuple[str, ...], RollupCell] = {}
+    for event in events:
+        key = tuple(
+            "-" if event.get(dim) is None else str(event.get(dim)) for dim in by
+        )
+        cell = cells.get(key)
+        if cell is None:
+            cell = cells[key] = RollupCell(key=key)
+        cell.count += 1
+        if value is not None and isinstance(event.get(value), (int, float)):
+            amount = float(event[value])
+            cell.value_sum += amount
+            cell.value_min = (
+                amount if cell.value_min is None else min(cell.value_min, amount)
+            )
+            cell.value_max = (
+                amount if cell.value_max is None else max(cell.value_max, amount)
+            )
+            cell.histogram.record(amount)
+        if len(cell.exemplars) < exemplars:
+            exemplar = {"id": event.get("id")}
+            if event.get("span"):
+                exemplar["span"] = event["span"]
+            cell.exemplars.append(exemplar)
+    ordered = [cells[key] for key in sorted(cells)]
+    return Rollup(
+        by=tuple(by), value=value, cells=ordered, total_events=len(events)
+    )
+
+
+# -- HTML report -------------------------------------------------------------
+
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #1a1a2e; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+th, td { border: 1px solid #ccd; padding: 0.25em 0.7em; text-align: left;
+         font-size: 0.9em; }
+th { background: #eef; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+code { background: #f4f4fa; padding: 0.1em 0.3em; font-size: 0.85em; }
+.ok { color: #0a7a33; } .bad { color: #b00020; }
+.meta { color: #667; font-size: 0.85em; }
+"""
+
+
+def _html_table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    out = ["<table>", "<tr>" + "".join(f"<th>{_html.escape(h)}</th>" for h in headers) + "</tr>"]
+    for row in rows:
+        out.append(
+            "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _cell_rows(roll: Rollup) -> List[List[str]]:
+    rows = []
+    for cell in roll.cells:
+        row = [_html.escape(part) for part in cell.key] + [str(cell.count)]
+        if roll.value:
+            row += [f"{cell.value_mean:.3f}", f"{cell.value_max or 0.0:.3f}"]
+        links = ", ".join(
+            f"<code>{_html.escape(e.get('span') or e.get('id') or '')}</code>"
+            for e in cell.exemplars
+        )
+        row.append(links)
+        rows.append(row)
+    return rows
+
+
+def html_report(
+    header: dict, events: List[dict], slo_report=None, *, title: str = "repro telemetry"
+) -> str:
+    """The static, self-contained HTML telemetry report."""
+    parts = [
+        "<!doctype html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_html.escape(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{_html.escape(title)}</h1>",
+        f"<p class='meta'>log <code>{_html.escape(str(header.get('log_id')))}</code>"
+        f" &middot; {len(events)} events</p>",
+    ]
+
+    streams = rollup(events, ["stream"]) if events else None
+    if streams is not None:
+        parts.append("<h2>Streams</h2>")
+        parts.extend(
+            _html_table(
+                ["stream", "count", "exemplars"],
+                [
+                    [_html.escape(cell.key[0]), str(cell.count),
+                     ", ".join(f"<code>{_html.escape(e.get('id') or '')}</code>"
+                               for e in cell.exemplars)]
+                    for cell in streams.cells
+                ],
+            )
+        )
+
+    stock = [
+        ("Outcomes", ["stream", "outcome"], None),
+        ("Serve ladder", ["rung", "outcome"], "latency"),
+        ("Shards", ["shard", "outcome"], "latency"),
+        ("Crawl by granularity", ["granularity", "outcome"], None),
+    ]
+    for section, dims, value in stock:
+        selected = [e for e in events if e.get(dims[0]) is not None]
+        if not selected:
+            continue
+        roll = rollup(selected, dims, value=value)
+        headers = list(dims) + ["count"]
+        if value:
+            headers += ["mean", "max"]
+        headers.append("exemplars")
+        parts.append(f"<h2>{_html.escape(section)}</h2>")
+        parts.extend(_html_table(headers, _cell_rows(roll)))
+
+    if slo_report is not None:
+        parts.append("<h2>SLOs</h2>")
+        rows = []
+        for result in slo_report.results:
+            status = (
+                "<span class='ok'>met</span>"
+                if result.met
+                else "<span class='bad'>MISSED</span>"
+            )
+            rows.append(
+                [
+                    _html.escape(result.slo.name),
+                    _html.escape(result.slo.stream),
+                    f"{result.slo.objective:g}",
+                    f"{result.good_fraction:.4f}",
+                    f"{result.bad}/{result.total}",
+                    status,
+                ]
+            )
+        parts.extend(
+            _html_table(
+                ["slo", "stream", "objective", "good fraction", "bad/total", "status"],
+                rows,
+            )
+        )
+        parts.append("<h2>Alert ledger</h2>")
+        if slo_report.ledger:
+            parts.extend(
+                _html_table(
+                    ["virtual time", "slo", "kind", "state", "detail"],
+                    [
+                        [
+                            f"{entry['at']:.2f}",
+                            _html.escape(entry["slo"]),
+                            _html.escape(entry["kind"]),
+                            _html.escape(entry["state"]),
+                            _html.escape(
+                                json.dumps(
+                                    {
+                                        k: v
+                                        for k, v in entry.items()
+                                        if k not in ("at", "slo", "kind", "state")
+                                    },
+                                    sort_keys=True,
+                                )
+                            ),
+                        ]
+                        for entry in slo_report.ledger
+                    ],
+                )
+            )
+        else:
+            parts.append("<p>(no alerts)</p>")
+        if slo_report.brownout_mismatches:
+            parts.append("<h2 class='bad'>Brownout accounting mismatches</h2><ul>")
+            parts.extend(
+                f"<li>{_html.escape(p)}</li>" for p in slo_report.brownout_mismatches
+            )
+            parts.append("</ul>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_html_report(events_path, out, *, slos=None) -> None:
+    """Render ``events_path`` (wide-event JSONL) as HTML at ``out``."""
+    from repro.obs.slo import DEFAULT_SLOS, evaluate_slos
+
+    header, events, _ = read_events(events_path)
+    report = evaluate_slos(events, slos if slos is not None else DEFAULT_SLOS)
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(html_report(header, events, report))

@@ -202,6 +202,12 @@ class Tracer:
             return
         self._stack[-1].events.append({"name": name, "at": at, "attrs": attrs})
 
+    def current_span_id(self) -> Optional[str]:
+        """The innermost open span's id — wide-event exemplar linkage."""
+        if not self.enabled or not self._stack:
+            return None
+        return self._stack[-1].span_id
+
     def annotate(self, **attrs) -> None:
         """Merge attrs into the innermost open span."""
         if not self.enabled or not self._stack:

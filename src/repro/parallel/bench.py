@@ -166,6 +166,14 @@ class BenchReport:
     baseline, and a second run with ``trace=`` records what switching
     tracing on costs.  Both must stay byte-identical to the plain
     sequential run."""
+    events_layer: Optional[dict] = None
+    """Wide-event-log overhead: the crawl events are synthesized
+    parent-side from round outcomes (never on the worker hot path), so
+    the disabled cost is one ``is None`` check per flushed round.  One
+    sequential run with the log off bounds that cost against the
+    baseline; a second with ``events=`` prices turning the log on and
+    proves it never perturbs the dataset.  Both must stay
+    byte-identical to the plain sequential run."""
     supervise_layer: Optional[dict] = None
     """Supervision overhead: one clean run under ``supervise=True`` at
     the sweep's largest worker count (heartbeats, snapshot capture, and
@@ -185,6 +193,12 @@ class BenchReport:
                 ok
                 and self.obs_layer["byte_identical_to_sequential"]
                 and self.obs_layer["traced_byte_identical_to_sequential"]
+            )
+        if self.events_layer is not None:
+            ok = (
+                ok
+                and self.events_layer["byte_identical_to_sequential"]
+                and self.events_layer["enabled_byte_identical_to_sequential"]
             )
         if self.supervise_layer is not None:
             ok = (
@@ -253,6 +267,20 @@ class BenchReport:
                 f"{layer['traced_overhead_pct_vs_sequential']:+.1f}% vs sequential, "
                 f"{layer['trace_spans']} spans, parity "
                 f"{'ok' if layer['traced_byte_identical_to_sequential'] else 'FAIL'}"
+            )
+        if self.events_layer is not None:
+            layer = self.events_layer
+            lines.append(
+                f"events layer (log off, the default): "
+                f"{layer['wall_seconds']:.2f}s, "
+                f"{layer['overhead_pct_vs_sequential']:+.1f}% vs sequential, "
+                f"parity {'ok' if layer['byte_identical_to_sequential'] else 'FAIL'}"
+            )
+            lines.append(
+                f"events layer (log on): {layer['enabled_wall_seconds']:.2f}s, "
+                f"{layer['enabled_overhead_pct_vs_sequential']:+.1f}% vs sequential, "
+                f"{layer['events']} events, parity "
+                f"{'ok' if layer['enabled_byte_identical_to_sequential'] else 'FAIL'}"
             )
         if self.supervise_layer is not None:
             layer = self.supervise_layer
@@ -499,6 +527,34 @@ def run_crawl_bench(
             spans=trace_summary["spans"],
         )
 
+    # Wide-event-log overhead: with no log requested the only cost is
+    # the parent-side `is None` guard per flushed round; with a log the
+    # builder synthesizes one event per crawl cell outside the workers.
+    def run_events_off() -> None:
+        study = Study(config)
+        started = time.perf_counter()
+        dataset = study.run()
+        record(
+            "events-off", time.perf_counter() - started, dataset_digest(dataset)
+        )
+
+    def run_events_on() -> None:
+        from repro.obs.events import read_events
+
+        handle, events_path = tempfile.mkstemp(suffix=".events.jsonl")
+        os.close(handle)
+        try:
+            study = Study(config)
+            started = time.perf_counter()
+            dataset = study.run(events=events_path)
+            wall = time.perf_counter() - started
+            _, events, _ = read_events(events_path)
+        finally:
+            os.unlink(events_path)
+        record(
+            "events-on", wall, dataset_digest(dataset), events=len(events)
+        )
+
     # Supervision overhead: heartbeats + per-round snapshot capture +
     # the parent watchdog, measured clean against the same worker count
     # unsupervised, then once more with a worker murdered at a round
@@ -534,7 +590,15 @@ def run_crawl_bench(
         )
 
     tasks = [(lambda w=w: run_cell(w)) for w in worker_counts]
-    tasks += [run_calm, run_obs, run_traced, run_sup, run_kill]
+    tasks += [
+        run_calm,
+        run_obs,
+        run_traced,
+        run_events_off,
+        run_events_on,
+        run_sup,
+        run_kill,
+    ]
     for _ in range(repeats):
         for task in tasks:
             task()
@@ -589,6 +653,24 @@ def run_crawl_bench(
         ),
         "trace_spans": infos["traced"]["spans"],
         "traced_byte_identical_to_sequential": infos["traced"]["parity"],
+    }
+
+    events_off_min, events_off_med = agg("events-off")
+    events_on_min, events_on_med = agg("events-on")
+    report.events_layer = {
+        "wall_seconds": round(events_off_min, 4),
+        "wall_seconds_median": round(events_off_med, 4),
+        "overhead_pct_vs_sequential": round(
+            100.0 * (events_off_med - w1_med) / w1_med, 2
+        ),
+        "byte_identical_to_sequential": infos["events-off"]["parity"],
+        "enabled_wall_seconds": round(events_on_min, 4),
+        "enabled_wall_seconds_median": round(events_on_med, 4),
+        "enabled_overhead_pct_vs_sequential": round(
+            100.0 * (events_on_med - w1_med) / w1_med, 2
+        ),
+        "events": infos["events-on"]["events"],
+        "enabled_byte_identical_to_sequential": infos["events-on"]["parity"],
     }
 
     unsup_med = (

@@ -214,6 +214,7 @@ def run_parallel(
     start_method: Optional[str] = None,
     checkpoint: Optional[str] = None,
     trace: Optional[str] = None,
+    events: Optional[str] = None,
     supervise: bool = False,
     policy=None,
     kill_specs=(),
@@ -247,6 +248,11 @@ def run_parallel(
             through the same :class:`~repro.obs.exporters.TraceBuilder`
             the sequential run uses, so the file is byte-identical for
             any worker count.  Mutually exclusive with ``checkpoint``.
+        events: Optional canonical wide-event log path, as in
+            :meth:`Study.run`.  Crawl events are synthesized from the
+            merged outcome stream at flush time (the parent-side
+            builder pattern), so the file is byte-identical for any
+            worker count and composes with ``checkpoint``.
         supervise: Delegate to :func:`repro.supervise.run_supervised`:
             workers are heartbeat-monitored, and crashed/hung workers'
             shards are re-executed from their last snapshot instead of
@@ -274,6 +280,7 @@ def run_parallel(
             sink=sink,
             start_method=start_method,
             trace=trace,
+            events=events,
             policy=policy,
             kill_specs=kill_specs,
         )
@@ -297,21 +304,24 @@ def run_parallel(
     start_ordinal = 0
     worker_states: dict = {}
     dataset = SerpDataset()
+    event_builder = study._events_builder(events) if events is not None else None
     if checkpoint is not None:
         fingerprint = study.checkpoint_fingerprint()
         resume = load_checkpoint(
             checkpoint, expected_fingerprint=fingerprint, workers=plan.workers
         )
         if resume is not None:
-            for outcomes in resume.rounds:
-                for payload in outcomes:
-                    outcome = deserialize_outcome(payload)
+            for ordinal, outcomes in enumerate(resume.rounds):
+                decoded = [deserialize_outcome(payload) for payload in outcomes]
+                for outcome in decoded:
                     if isinstance(outcome, SerpRecord):
                         dataset.add(outcome)
                         if sink is not None:
                             sink(outcome)
                     else:
                         study.failures.append(outcome)
+                if event_builder is not None:
+                    event_builder.add_round(ordinal, list(enumerate(decoded)))
             start_ordinal = resume.next_ordinal
             worker_states = resume.worker_states
             writer = CheckpointWriter.append_to(checkpoint)
@@ -372,6 +382,7 @@ def run_parallel(
             start_ordinal=start_ordinal,
             writer=writer,
             builder=builder,
+            event_builder=event_builder,
         )
     finally:
         if writer is not None:
@@ -379,6 +390,8 @@ def run_parallel(
         if builder is not None:
             builder.close()
             study.tracer.disable()
+        if event_builder is not None:
+            event_builder.close()
         for process in processes:
             if process.is_alive():
                 process.terminate()
@@ -398,6 +411,7 @@ def _merge(
     start_ordinal: int = 0,
     writer=None,
     builder=None,
+    event_builder=None,
 ) -> None:
     """Drain worker messages, flushing rounds in canonical order.
 
@@ -433,6 +447,8 @@ def _merge(
                 )
             if builder is not None:
                 builder.add_round(next_ordinal, round_spans or [])
+            if event_builder is not None:
+                event_builder.add_round(next_ordinal, outcomes)
             for _, outcome in outcomes:
                 if isinstance(outcome, SerpRecord):
                     dataset.add(outcome)

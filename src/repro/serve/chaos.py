@@ -24,8 +24,9 @@ ledgers — byte-for-byte — which the chaos tests pin.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.obs.telemetry import format_kv_rows
 from repro.serve.fleet import GatewayFleet
 from repro.serve.loadgen import LoadGenerator, LoadReport, run_load
 
@@ -70,36 +71,50 @@ class ServeChaosReport:
         return raw
 
     def render(self) -> str:
-        lines = [
-            f"serve-chaos ledger: {self.offered} offered in "
-            f"{self.wall_seconds:.2f}s wall",
-            f"  outcomes          fresh={self.served_fresh} "
-            f"stale={self.served_stale} shed={self.shed} "
-            f"failed={self.failed}",
-            f"  accounting        unaccounted={self.unaccounted()} "
-            f"({'OK' if self.unaccounted() == 0 else 'VIOLATION'})",
-            f"  ladder            rerouted={self.rerouted} "
-            f"fleet-stale={self.fleet_stale_served} "
-            f"backfills={self.backfills} "
-            f"backfilled-entries={self.backfilled_entries}",
-            f"  brownout          entries={self.brownout_entries} "
-            f"shed={self.brownout_shed}",
+        rows = [
+            (
+                "outcomes",
+                f"fresh={self.served_fresh} "
+                f"stale={self.served_stale} shed={self.shed} "
+                f"failed={self.failed}",
+            ),
+            (
+                "accounting",
+                f"unaccounted={self.unaccounted()} "
+                f"({'OK' if self.unaccounted() == 0 else 'VIOLATION'})",
+            ),
+            (
+                "ladder",
+                f"rerouted={self.rerouted} "
+                f"fleet-stale={self.fleet_stale_served} "
+                f"backfills={self.backfills} "
+                f"backfilled-entries={self.backfilled_entries}",
+            ),
+            (
+                "brownout",
+                f"entries={self.brownout_entries} "
+                f"shed={self.brownout_shed}",
+            ),
         ]
         if self.faults_injected:
             kinds = ", ".join(
                 f"{kind}={count}"
                 for kind, count in sorted(self.faults_injected.items())
             )
-            lines.append(f"  faults injected   {kinds}")
+            rows.append(("faults injected", kinds))
         else:
-            lines.append("  faults injected   (none)")
+            rows.append(("faults injected", "(none)"))
         if self.shard_requests:
             share = ", ".join(
                 f"{name}={count}"
                 for name, count in sorted(self.shard_requests.items())
             )
-            lines.append(f"  per-shard         {share}")
-        return "\n".join(lines)
+            rows.append(("per-shard", share))
+        title = (
+            f"serve-chaos ledger: {self.offered} offered in "
+            f"{self.wall_seconds:.2f}s wall"
+        )
+        return "\n".join([title] + format_kv_rows(rows))
 
 
 class ServeChaos:
@@ -109,9 +124,40 @@ class ServeChaos:
         self.fleet = fleet
         self.loadgen = loadgen
 
-    def run(self, count: int) -> ServeChaosReport:
-        """Serve ``count`` requests; return the accounting ledger."""
-        load = run_load(self.fleet, self.loadgen, count)
+    def run(
+        self, count: int, *, events: Optional[str] = None
+    ) -> ServeChaosReport:
+        """Serve ``count`` requests; return the accounting ledger.
+
+        With ``events``, the fleet journals one wide event per request
+        (``serve`` stream) plus its control transitions
+        (``serve.control``) to that path — the log the telemetry plane
+        queries.  The log id derives from (loadgen seed, count), so a
+        repeated configuration writes identical bytes.
+        """
+        if events is None:
+            load = run_load(self.fleet, self.loadgen, count)
+            return self.report(load)
+        from repro.obs.events import EventLog, EventRecorder, NULL_RECORDER
+        from repro.obs.trace import format_id
+        from repro.seeding import stable_hash
+
+        log = EventLog(
+            events,
+            log_id=format_id(
+                stable_hash("serve-events", self.loadgen.seed, count)
+            ),
+            meta={"seed": self.loadgen.seed, "count": count},
+        )
+        recorder = EventRecorder()
+        recorder.attach(log)
+        self.fleet.events = recorder
+        try:
+            load = run_load(self.fleet, self.loadgen, count)
+        finally:
+            self.fleet.events = NULL_RECORDER
+            recorder.detach()
+            log.close()
         return self.report(load)
 
     def report(self, load: LoadReport) -> ServeChaosReport:

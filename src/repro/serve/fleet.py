@@ -68,7 +68,9 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.request import ResponseStatus, SearchResponse
 from repro.faults.plan import FaultKind, FaultPlan
+from repro.obs.events import NULL_RECORDER
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import is_bad_serve_outcome
 from repro.obs.trace import NULL_TRACER
 from repro.seeding import stable_hash, stable_unit
 from repro.serve.admission import DEFAULT_SERVICE_MINUTES
@@ -274,6 +276,9 @@ class GatewayFleet:
         self._window_bad = 0
         self._browned_out = False
         self._tracer = NULL_TRACER
+        #: Wide-event recorder (``serve`` / ``serve.control`` streams);
+        #: disabled until a log is attached.
+        self.events = NULL_RECORDER
 
     # -- plumbing -------------------------------------------------------------
 
@@ -317,15 +322,19 @@ class GatewayFleet:
 
         key, owners, hot = self._route(request)
         primary = owners[0]
-        if self.plan is not None:
+        fault = (
             self._inject(request, primary, tracing)
+            if self.plan is not None
+            else None
+        )
 
         if self._browned_out and self._sheds_in_brownout(request.nonce):
             self.stats.brownout_shed += 1
             if tracing:
                 self._tracer.event("fleet.brownout.shed", at=now)
             return self._finish(
-                self._overloaded_result(), "shed", "front-tier", now, tracing
+                self._overloaded_result(), "shed", "front-tier", now, tracing,
+                request=request, rung="brownout-shed", fault=fault,
             )
 
         candidates = (
@@ -372,7 +381,11 @@ class GatewayFleet:
             elif name != primary:
                 self.stats.rerouted += 1
             outcome = self._classify(result)
-            return self._finish(result, outcome, name, now, tracing)
+            rung = "hot" if hot else ("reroute" if name != primary else "primary")
+            return self._finish(
+                result, outcome, name, now, tracing,
+                request=request, rung=rung, fault=fault,
+            )
 
         # Every candidate dark — the fleet-level stale rung: any live
         # peer may hold yesterday's page for this key.
@@ -401,12 +414,14 @@ class GatewayFleet:
                     degraded=True,
                 )
                 return self._finish(
-                    result, "served_stale", name, now, tracing
+                    result, "served_stale", name, now, tracing,
+                    request=request, rung="fleet-stale", fault=fault,
                 )
         if tracing:
             self._tracer.event("fleet.shed", at=now, reason="owners-dark")
         return self._finish(
-            self._overloaded_result(), "shed", "front-tier", now, tracing
+            self._overloaded_result(), "shed", "front-tier", now, tracing,
+            request=request, rung="owners-dark", fault=fault,
         )
 
     def handle(self, request) -> SearchResponse:
@@ -471,11 +486,14 @@ class GatewayFleet:
 
     # -- fault injection ------------------------------------------------------
 
-    def _inject(self, request, primary: str, tracing: bool) -> None:
-        """Fire this request's serve fault (if any) at the primary owner."""
+    def _inject(self, request, primary: str, tracing: bool) -> Optional[str]:
+        """Fire this request's serve fault (if any) at the primary owner.
+
+        Returns the fault kind value so the request's wide event can
+        carry it."""
         kind = self.plan.serve_fault(request.nonce)
         if kind is None:
-            return
+            return None
         shard = self._shards[primary]
         now = request.timestamp_minutes
         until = now + self.plan.serve_outage_duration(request.nonce, kind)
@@ -503,6 +521,16 @@ class GatewayFleet:
                 shard=shard.name,
                 until=round(until, 3),
             )
+        if self.events.enabled:
+            self.events.emit(
+                "serve.control",
+                key=("fault", kind.value),
+                control=f"fault.{kind.value}",
+                ts=now,
+                shard=shard.name,
+                until=round(until, 3),
+            )
+        return kind.value
 
     def _apply_slowdown(self, shard: FleetShard, until: float) -> None:
         """Scale the shard's replica service times for the window.
@@ -575,6 +603,15 @@ class GatewayFleet:
             self._tracer.event(
                 "fleet.backfill", at=now, shard=shard.name, entries=copied
             )
+        if self.events.enabled:
+            self.events.emit(
+                "serve.control",
+                key=("backfill", shard.name),
+                control="backfill",
+                ts=now,
+                shard=shard.name,
+                entries=copied,
+            )
 
     # -- brownout (SLO controller) --------------------------------------------
 
@@ -609,6 +646,7 @@ class GatewayFleet:
                     at=now,
                     bad_fraction=round(fraction, 4),
                 )
+            self._emit_brownout("brownout.enter", now, fraction, total)
         elif self._browned_out and fraction <= self.brownout.max_bad_fraction / 2:
             self._browned_out = False
             if tracing:
@@ -617,6 +655,29 @@ class GatewayFleet:
                     at=now,
                     bad_fraction=round(fraction, 4),
                 )
+            self._emit_brownout("brownout.exit", now, fraction, total)
+
+    def _emit_brownout(
+        self, control: str, now: float, fraction: float, total: int
+    ) -> None:
+        """Journal one brownout transition with its exact window integers.
+
+        The SLO engine replays the window from the serve events'
+        ``counted`` marks and must land on these very (bad, total)
+        numbers — the integers are the proof there is no second source
+        of truth."""
+        if not self.events.enabled:
+            return
+        self.events.emit(
+            "serve.control",
+            key=(control,),
+            control=control,
+            ts=now,
+            bad_fraction=round(fraction, 4),
+            window_bad=self._window_bad,
+            window_total=total,
+            window_minutes=self.brownout.window_minutes,
+        )
 
     @property
     def browned_out(self) -> bool:
@@ -640,20 +701,57 @@ class GatewayFleet:
         shard_name: str,
         now: float,
         tracing: bool,
+        *,
+        request=None,
+        rung: Optional[str] = None,
+        fault: Optional[str] = None,
     ) -> GatewayResult:
-        """One exit for every path: outcome partition, SLO window, span."""
+        """One exit for every path: outcome partition, SLO window, span,
+        and the request's wide event."""
         self.stats.record_outcome(outcome)
-        self.stats.shard_requests[shard_name] = (
-            self.stats.shard_requests.get(shard_name, 0) + 1
-        )
+        self.stats.record_shard_outcome(shard_name, outcome)
+        counted = False
         if self.brownout is not None:
             # Deliberate brownout sheds are excluded from the window —
             # feeding them back would latch the controller on.
             if outcome != "shed" or shard_name != "front-tier" or not self._browned_out:
-                bad = outcome != "served_fresh"
+                counted = True
+                bad = is_bad_serve_outcome(outcome)
                 self._window.append((now, bad))
                 if bad:
                     self._window_bad += 1
+        if self.events.enabled and request is not None:
+            if result.cache_hit:
+                cache = "hit"
+            elif request.cookie_id is not None:
+                cache = "bypass"
+            elif result.degraded:
+                cache = "stale"
+            else:
+                cache = "miss"
+            extra = {}
+            span = self._tracer.current_span_id()
+            if span is not None:
+                extra["span"] = span
+            self.events.emit(
+                "serve",
+                key=(request.nonce,),
+                shard=shard_name,
+                outcome=outcome,
+                rung=rung,
+                cache=cache,
+                served_by=result.served_by,
+                latency=round(result.latency_minutes, 6),
+                wait=round(result.wait_minutes, 6),
+                attempts=result.attempts,
+                hedged=result.hedged,
+                status=result.response.status.name,
+                fault=fault,
+                brownout=self._browned_out,
+                counted=counted,
+                **request.wide_dims(),
+                **extra,
+            )
         if tracing:
             self._tracer.end(outcome=outcome, shard=shard_name)
         return result
@@ -773,6 +871,13 @@ def build_fleet_registry(fleet: GatewayFleet) -> MetricsRegistry:
         "shard_requests",
         label="shard",
         help="requests delegated to each shard",
+    )
+    registry.register_labeled(
+        "fleet_shard_outcomes",
+        stats,
+        "shard_outcomes",
+        label="shard_outcome",
+        help="per-shard outcome split (shard:outcome keys)",
     )
     registry.register_labeled(
         "fleet_faults_injected",

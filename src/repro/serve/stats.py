@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.obs.metrics import Histogram, MetricSet
+from repro.obs.telemetry import format_kv_rows
 
 __all__ = ["LatencyAccumulator", "GatewayStats", "FleetStats"]
 
@@ -95,31 +96,44 @@ class GatewayStats(MetricSet):
 
     def render(self) -> str:
         """A human-readable metrics report."""
-        lines = [
-            "gateway stats",
-            f"  requests          {self.requests}",
-            f"  cache             hits={self.cache_hits} misses={self.cache_misses} "
-            f"bypasses={self.cache_bypasses} hit-rate={self.hit_rate:.1%}",
-            f"  cache churn       evictions={self.cache_evictions} "
-            f"expirations={self.cache_expirations}",
-            f"  admission         admitted={self.admitted} rejected={self.rejected} "
-            f"max-depth={self.max_queue_depth}",
-            f"  resilience        retries={self.retries} hedges={self.hedges} "
-            f"rate-limited={self.rate_limited} degraded={self.degraded_served}",
-            "  virtual latency   "
-            f"wait {self.queue_wait.mean_minutes * 60:.2f}s avg / "
-            f"{self.queue_wait.max_minutes * 60:.2f}s max, "
-            f"service {self.service.mean_minutes * 60:.2f}s avg / "
-            f"{self.service.max_minutes * 60:.2f}s max, "
-            f"total {self.total.mean_minutes * 60:.2f}s avg / "
-            f"{self.total.max_minutes * 60:.2f}s max",
+        rows = [
+            ("requests", self.requests),
+            (
+                "cache",
+                f"hits={self.cache_hits} misses={self.cache_misses} "
+                f"bypasses={self.cache_bypasses} hit-rate={self.hit_rate:.1%}",
+            ),
+            (
+                "cache churn",
+                f"evictions={self.cache_evictions} "
+                f"expirations={self.cache_expirations}",
+            ),
+            (
+                "admission",
+                f"admitted={self.admitted} rejected={self.rejected} "
+                f"max-depth={self.max_queue_depth}",
+            ),
+            (
+                "resilience",
+                f"retries={self.retries} hedges={self.hedges} "
+                f"rate-limited={self.rate_limited} degraded={self.degraded_served}",
+            ),
+            (
+                "virtual latency",
+                f"wait {self.queue_wait.mean_minutes * 60:.2f}s avg / "
+                f"{self.queue_wait.max_minutes * 60:.2f}s max, "
+                f"service {self.service.mean_minutes * 60:.2f}s avg / "
+                f"{self.service.max_minutes * 60:.2f}s max, "
+                f"total {self.total.mean_minutes * 60:.2f}s avg / "
+                f"{self.total.max_minutes * 60:.2f}s max",
+            ),
         ]
         if self.replica_requests:
             share = ", ".join(
                 f"{name}={count}" for name, count in sorted(self.replica_requests.items())
             )
-            lines.append(f"  per-replica       {share}")
-        return "\n".join(lines)
+            rows.append(("per-replica", share))
+        return "\n".join(["gateway stats"] + format_kv_rows(rows))
 
 
 @dataclass
@@ -173,10 +187,22 @@ class FleetStats(MetricSet):
     # -- routing ---------------------------------------------------------------
     shard_requests: Dict[str, int] = field(default_factory=dict)
     """Requests delegated to each shard gateway (by shard name)."""
+    shard_outcomes: Dict[str, int] = field(default_factory=dict)
+    """Per-shard outcome partition, keyed ``"shard:outcome"`` — each
+    shard's fresh/stale/shed/failed split (flat keys so snapshots merge
+    per key like every other labeled counter)."""
 
     def record_outcome(self, outcome: str) -> None:
         """Bump the outcome partition; ``outcome`` is a counter name."""
         setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def record_shard_outcome(self, shard_name: str, outcome: str) -> None:
+        """Bump one shard's request count and outcome split."""
+        self.shard_requests[shard_name] = (
+            self.shard_requests.get(shard_name, 0) + 1
+        )
+        key = f"{shard_name}:{outcome}"
+        self.shard_outcomes[key] = self.shard_outcomes.get(key, 0) + 1
 
     def unaccounted(self) -> int:
         """Offered requests missing from the outcome partition (0 = all
@@ -187,31 +213,48 @@ class FleetStats(MetricSet):
 
     def render(self) -> str:
         """A human-readable fleet report."""
-        lines = [
-            "fleet stats",
-            f"  offered           {self.requests}",
-            f"  outcomes          fresh={self.served_fresh} "
-            f"stale={self.served_stale} shed={self.shed} "
-            f"failed={self.failed} unaccounted={self.unaccounted()}",
-            f"  ladder            rerouted={self.rerouted} "
-            f"fleet-stale={self.fleet_stale_served} "
-            f"backfills={self.backfills} "
-            f"backfilled-entries={self.backfilled_entries}",
-            f"  hot keys          promotions={self.hot_promotions} "
-            f"requests={self.hot_requests}",
-            f"  brownout          entries={self.brownout_entries} "
-            f"shed={self.brownout_shed}",
+        rows = [
+            ("offered", self.requests),
+            (
+                "outcomes",
+                f"fresh={self.served_fresh} "
+                f"stale={self.served_stale} shed={self.shed} "
+                f"failed={self.failed} unaccounted={self.unaccounted()}",
+            ),
+            (
+                "ladder",
+                f"rerouted={self.rerouted} "
+                f"fleet-stale={self.fleet_stale_served} "
+                f"backfills={self.backfills} "
+                f"backfilled-entries={self.backfilled_entries}",
+            ),
+            (
+                "hot keys",
+                f"promotions={self.hot_promotions} "
+                f"requests={self.hot_requests}",
+            ),
+            (
+                "brownout",
+                f"entries={self.brownout_entries} "
+                f"shed={self.brownout_shed}",
+            ),
         ]
         if self.faults_injected:
             kinds = ", ".join(
                 f"{kind}={count}"
                 for kind, count in sorted(self.faults_injected.items())
             )
-            lines.append(f"  faults injected   {kinds}")
+            rows.append(("faults injected", kinds))
         if self.shard_requests:
             share = ", ".join(
                 f"{name}={count}"
                 for name, count in sorted(self.shard_requests.items())
             )
-            lines.append(f"  per-shard         {share}")
-        return "\n".join(lines)
+            rows.append(("per-shard", share))
+        if self.shard_outcomes:
+            split = ", ".join(
+                f"{key}={count}"
+                for key, count in sorted(self.shard_outcomes.items())
+            )
+            rows.append(("shard outcomes", split))
+        return "\n".join(["fleet stats"] + format_kv_rows(rows))

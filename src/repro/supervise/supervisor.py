@@ -383,6 +383,7 @@ class _Supervisor:
         builder,
         kill_specs: Tuple[KillSpec, ...],
         trace: bool,
+        event_builder=None,
     ) -> None:
         self.study = study
         self.policy = policy
@@ -392,6 +393,7 @@ class _Supervisor:
         self.result_queue = result_queue
         self.sink = sink
         self.builder = builder
+        self.event_builder = event_builder
         self.kill_specs = kill_specs
         self.trace = trace
         self.total_rounds = study.round_count()
@@ -555,6 +557,8 @@ class _Supervisor:
             del self.arrivals[self.next_flush]
             if self.builder is not None:
                 self.builder.add_round(self.next_flush, round_spans or [])
+            if self.event_builder is not None:
+                self.event_builder.add_round(self.next_flush, outcomes)
             for _, outcome in outcomes:
                 if isinstance(outcome, SerpRecord):
                     self.dataset.add(outcome)
@@ -807,6 +811,7 @@ def run_supervised(
     sink=None,
     start_method: Optional[str] = None,
     trace: Optional[str] = None,
+    events: Optional[str] = None,
     policy: Optional[SupervisorPolicy] = None,
     kill_specs: Sequence[KillSpec] = (),
 ) -> SerpDataset:
@@ -827,6 +832,9 @@ def run_supervised(
             appended as ``supervisor.*`` spans under the study root, so
             a clean supervised trace is byte-identical to the
             unsupervised one.
+        events: Optional wide-event log path.  Events are synthesized
+            from the merged outcome stream, so a supervised log is
+            byte-identical to the sequential one even across recoveries.
         policy: Detection/recovery knobs (default
             :class:`SupervisorPolicy`).
         kill_specs: :class:`KillSpec` murder points (tests/chaos CLI).
@@ -843,6 +851,7 @@ def run_supervised(
     report = SupervisorReport(workers=plan.workers)
     study.supervisor = report
     builder = study._trace_builder(trace) if trace is not None else None
+    event_builder = study._events_builder(events) if events is not None else None
     context = multiprocessing.get_context(
         start_method or _preferred_start_method()
     )
@@ -858,6 +867,7 @@ def run_supervised(
         builder,
         tuple(kill_specs),
         trace is not None,
+        event_builder,
     )
     dataset = SerpDataset()
     try:
@@ -872,5 +882,7 @@ def run_supervised(
                 )
             builder.close()
             study.tracer.disable()
+        if event_builder is not None:
+            event_builder.close()
         supervisor.shutdown()
     return dataset
