@@ -74,6 +74,12 @@ class AuditSpec:
     """Journal the in-flight cycle's crawl for mid-cycle kill/resume."""
     trace_cycles: bool = False
     """Write a canonical per-cycle trace next to the store."""
+    retention_cycles: Optional[int] = None
+    """Keep at most this many full cycle lines in the store; older
+    cycles are compacted into the drift-series + alert summary the
+    replay needs (``None`` = keep everything).  A retention knob, like
+    the execution knobs, is excluded from the fingerprint: compaction
+    provably changes no ledger byte."""
     drift: DriftConfig = field(default_factory=DriftConfig)
 
     def __post_init__(self) -> None:
@@ -87,6 +93,8 @@ class AuditSpec:
             raise ValueError("interval_minutes must be > 0")
         if self.cycles is not None and self.cycles < 1:
             raise ValueError("cycles must be >= 1 or None")
+        if self.retention_cycles is not None and self.retention_cycles < 1:
+            raise ValueError("retention_cycles must be >= 1 or None")
         if self.checkpoint_cycles and self.supervise:
             raise ValueError(
                 "checkpoint_cycles and supervise cannot be combined "
@@ -162,7 +170,7 @@ class RegisteredAudit:
 
     @property
     def next_cycle(self) -> int:
-        return len(self.store.cycles)
+        return self.store.next_ordinal
 
     @property
     def done(self) -> bool:
@@ -211,12 +219,20 @@ class AuditScheduler:
             self.store_path(spec.name), audit=spec.name, fingerprint=spec.fingerprint()
         )
         monitor = DriftMonitor(spec.name, spec.drift)
-        for cycle_line in store.cycles:
-            replayed = monitor.observe_cycle(
+        replay = [
+            (entry["cycle"], entry["values"], entry["alerts"])
+            for entry in store.compacted
+        ] + [
+            (
                 cycle_line["ordinal"],
                 self._series_values(cycle_line["result"]),
+                cycle_line["alerts"],
             )
-            if [alert.to_dict() for alert in replayed] != cycle_line["alerts"]:
+            for cycle_line in store.cycles
+        ]
+        for ordinal, values, journaled_alerts in replay:
+            replayed = monitor.observe_cycle(ordinal, values)
+            if [alert.to_dict() for alert in replayed] != journaled_alerts:
                 store.close()
                 raise AuditStoreError(
                     f"audit store for {spec.name!r} journals alerts that this "
@@ -308,6 +324,10 @@ class AuditScheduler:
         result = self._build_result(spec, cycle, study, dataset, streaming)
         alerts = audit.monitor.observe_cycle(cycle, self._series_values(result))
         audit.store.append_cycle(result, [alert.to_dict() for alert in alerts])
+        if spec.retention_cycles is not None:
+            audit.store.compact(
+                spec.retention_cycles, series_values=self._series_values
+            )
         if checkpoint is not None and os.path.exists(checkpoint):
             # The cycle is durable in the store; the crawl journal has
             # served its purpose and a stale one would poison cycle

@@ -7,18 +7,33 @@ audit's configuration, then one line per completed cycle carrying the
 cycle's result dict *and* the alerts it tripped::
 
     {"kind": "header", "version": 1, "audit": "local", "fingerprint": {...}}
-    {"kind": "cycle", "ordinal": 0, "result": {...}, "alerts": [...]}
+    {"kind": "compact", "dropped": [{"cycle": 0, "values": {...}, "alerts": [...]}]}
     {"kind": "cycle", "ordinal": 1, "result": {...}, "alerts": [...]}
 
-A cycle is **durable** once its line is flushed and fsynced; the line is
-the atomic unit, so a daemon killed mid-write leaves at most one torn
-tail, which :meth:`AuditStore.open` truncates before appending resumes.
-Cycle ordinals must be consecutive from zero — an out-of-order line
-marks the end of the durable prefix.  Because cycle results are a pure
-function of the audit spec (and every float is journal-rounded before
-serialization with ``sort_keys``), a store that is killed and resumed —
-at any point, under any worker count — ends up **byte-identical** to an
-uninterrupted run's store; the tests pin this down.
+Every line is CRC32-framed through :mod:`repro.store` (legacy unframed
+stores still load).  A cycle is **durable** once its line is flushed
+and fsynced; the line is the atomic unit, so a daemon killed mid-write
+leaves at most one torn tail, which :meth:`AuditStore.open` truncates
+before appending resumes.  Cycle ordinals must be consecutive — an
+out-of-order line marks the end of the durable prefix; a record that
+fails its checksum *before* later valid data raises
+:class:`~repro.store.record_log.StoreCorruption`.  Because cycle
+results are a pure function of the audit spec (and every float is
+journal-rounded before serialization with ``sort_keys``), a store that
+is killed and resumed — at any point, under any worker count — ends up
+**byte-identical** to an uninterrupted run's store; the tests pin this
+down.
+
+Retention: :meth:`AuditStore.compact` rewrites the store keeping only
+the last N full cycle lines.  Dropped cycles collapse into the single
+``compact`` line, which preserves exactly what the rest of the system
+ever reads from old cycles — the drift-series values the scheduler
+replays through its :class:`~repro.audit.drift.DriftMonitor` on
+registration, and the alerts that make up the alert ledger — so
+:meth:`alert_ledger_bytes` and the drift replay are bit-identical
+before and after compaction (the tests prove it).  The rewrite goes to
+a temp file that atomically replaces the store, directory fsync
+included.
 
 The store speaks plain dicts only; building result dicts is the
 scheduler's job, mirroring the checkpoint module's division of labor.
@@ -28,7 +43,10 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.store.fileops import current_ops
+from repro.store.record_log import RecordLogWriter, read_log
 
 __all__ = ["AUDIT_STORE_VERSION", "AuditStore", "AuditStoreError"]
 
@@ -39,20 +57,9 @@ class AuditStoreError(RuntimeError):
     """The store file cannot be used with this audit."""
 
 
-def _read_durable(path: str) -> Tuple[dict, List[dict], int]:
-    """Header, consecutive cycle lines, and the durable byte offset."""
-    lines: List[Tuple[dict, int]] = []
-    with open(path, "rb") as handle:
-        offset = 0
-        for raw in handle:
-            offset += len(raw)
-            if not raw.endswith(b"\n"):
-                break  # torn tail: the write in flight at death
-            try:
-                payload = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                break
-            lines.append((payload, offset))
+def _read_durable(path: str) -> Tuple[dict, List[dict], List[dict], int]:
+    """Header, compacted entries, consecutive cycle lines, durable offset."""
+    lines = read_log(path)
     if not lines:
         raise AuditStoreError(f"audit store {path!r} has no readable header")
     header, durable_end = lines[0]
@@ -63,13 +70,22 @@ def _read_durable(path: str) -> Tuple[dict, List[dict], int]:
             f"audit store {path!r} is version {header.get('version')}, "
             f"expected {AUDIT_STORE_VERSION}"
         )
+    rest = lines[1:]
+    compacted: List[dict] = []
+    if rest and rest[0][0].get("kind") == "compact":
+        compacted = rest[0][0].get("dropped", [])
+        durable_end = rest[0][1]
+        rest = rest[1:]
     cycles: List[dict] = []
-    for payload, end in lines[1:]:
-        if payload.get("kind") != "cycle" or payload.get("ordinal") != len(cycles):
+    base = len(compacted)
+    for payload, end in rest:
+        if payload.get("kind") != "cycle" or payload.get("ordinal") != base + len(
+            cycles
+        ):
             break  # out-of-order journal: stop at the durable prefix
         cycles.append(payload)
         durable_end = end
-    return header, cycles, durable_end
+    return header, compacted, cycles, durable_end
 
 
 def _canonical_json(payload: dict) -> str:
@@ -79,11 +95,19 @@ def _canonical_json(payload: dict) -> str:
 class AuditStore:
     """One audit's durable cycle/alert journal, opened for appending."""
 
-    def __init__(self, path: str, handle, header: dict, cycles: List[dict]):
+    def __init__(
+        self,
+        path: str,
+        log: RecordLogWriter,
+        header: dict,
+        cycles: List[dict],
+        compacted: Optional[List[dict]] = None,
+    ):
         self.path = path
-        self._handle = handle
+        self._log = log
         self.header = header
         self._cycles = cycles
+        self._compacted = compacted or []
 
     @classmethod
     def open(cls, path: str, *, audit: str, fingerprint: dict) -> "AuditStore":
@@ -101,17 +125,16 @@ class AuditStore:
         """
         expected = json.loads(_canonical_json(fingerprint))
         if not os.path.exists(path):
-            handle = open(path, "w", encoding="utf-8")
             header = {
                 "kind": "header",
                 "version": AUDIT_STORE_VERSION,
                 "audit": audit,
                 "fingerprint": expected,
             }
-            store = cls(path, handle, header, [])
+            store = cls(path, RecordLogWriter.create(path), header, [])
             store._write_line(header)
             return store
-        header, cycles, durable_end = _read_durable(path)
+        header, compacted, cycles, durable_end = _read_durable(path)
         if header.get("audit") != audit:
             raise AuditStoreError(
                 f"audit store {path!r} belongs to audit "
@@ -123,9 +146,8 @@ class AuditStore:
                 "configuration; refusing to mix series"
             )
         if os.path.getsize(path) > durable_end:
-            with open(path, "r+b") as tail:
-                tail.truncate(durable_end)
-        return cls(path, open(path, "a", encoding="utf-8"), header, cycles)
+            current_ops().truncate(path, durable_end)
+        return cls(path, RecordLogWriter.append_to(path), header, cycles, compacted)
 
     @classmethod
     def read(cls, path: str) -> Tuple[dict, List[dict]]:
@@ -134,7 +156,7 @@ class AuditStore:
         For status tooling that has no spec to validate against; the
         file is left untouched (no truncation, no open handle).
         """
-        header, cycles, _ = _read_durable(path)
+        header, _, cycles, _ = _read_durable(path)
         return header, cycles
 
     # -- appending -----------------------------------------------------------
@@ -148,10 +170,10 @@ class AuditStore:
         check.
         """
         ordinal = result.get("cycle")
-        if ordinal != len(self._cycles):
+        if ordinal != self.next_ordinal:
             raise AuditStoreError(
                 f"cycle {ordinal!r} out of order: store holds "
-                f"{len(self._cycles)} cycle(s)"
+                f"{self.next_ordinal} cycle(s)"
             )
         payload = {
             "kind": "cycle",
@@ -163,36 +185,97 @@ class AuditStore:
         self._cycles.append(json.loads(_canonical_json(payload)))
 
     def _write_line(self, payload: dict) -> None:
-        self._handle.write(_canonical_json(payload) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        self._log.append(_canonical_json(payload))
+        self._log.commit()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        self._log.close()
+
+    # -- retention -----------------------------------------------------------
+
+    def compact(
+        self,
+        keep_last: int,
+        *,
+        series_values: Callable[[dict], dict],
+    ) -> int:
+        """Drop all but the last ``keep_last`` full cycle lines.
+
+        Dropped cycles collapse into the store's single ``compact``
+        line, each contributing ``{"cycle", "values", "alerts"}`` —
+        ``values`` being ``series_values(result)``, the exact per-cycle
+        series the scheduler's drift replay consumes.  The rewrite is
+        atomic (temp file, fsync, replace, directory fsync) and the
+        store stays open for appending afterwards; ordinals keep
+        counting from where they were, so subsequent cycles are
+        byte-identical to an uncompacted twin's.
+
+        Returns the number of cycle lines dropped (0 = no rewrite).
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        drop = len(self._cycles) - keep_last
+        if drop <= 0:
+            return 0
+        dropped_entries = self._compacted + [
+            {
+                "cycle": cycle["ordinal"],
+                "values": series_values(cycle["result"]),
+                "alerts": cycle["alerts"],
+            }
+            for cycle in self._cycles[:drop]
+        ]
+        retained = self._cycles[drop:]
+        ops = current_ops()
+        temp = self.path + ".compact"
+        rewrite = RecordLogWriter.create(temp)
+        rewrite.append(_canonical_json(self.header))
+        rewrite.append(_canonical_json({"kind": "compact", "dropped": dropped_entries}))
+        for cycle in retained:
+            rewrite.append(_canonical_json(cycle))
+        rewrite.commit()
+        rewrite.close()
+        self._log.close()
+        ops.replace(temp, self.path)
+        ops.fsync_dir(os.path.dirname(self.path))
+        self._log = RecordLogWriter.append_to(self.path)
+        self._compacted = json.loads(json.dumps(dropped_entries))
+        self._cycles = retained
+        return drop
 
     # -- accessors -----------------------------------------------------------
 
     @property
     def cycles(self) -> List[dict]:
-        """Durable cycle lines (``{"ordinal", "result", "alerts"}``)."""
+        """Retained full cycle lines (``{"ordinal", "result", "alerts"}``)."""
         return self._cycles
 
+    @property
+    def compacted(self) -> List[dict]:
+        """Compacted-away cycles (``{"cycle", "values", "alerts"}``)."""
+        return self._compacted
+
+    @property
+    def next_ordinal(self) -> int:
+        """The ordinal the next appended cycle must carry."""
+        return len(self._compacted) + len(self._cycles)
+
     def results(self) -> List[dict]:
-        """Every cycle's result dict, in cycle order."""
+        """Every retained cycle's result dict, in cycle order."""
         return [cycle["result"] for cycle in self._cycles]
 
     def alerts(self) -> List[dict]:
-        """Every journaled alert, in (cycle, series) order."""
-        return [alert for cycle in self._cycles for alert in cycle["alerts"]]
+        """Every journaled alert — compacted and retained — in order."""
+        return [
+            alert for entry in self._compacted for alert in entry["alerts"]
+        ] + [alert for cycle in self._cycles for alert in cycle["alerts"]]
 
     def alert_ledger_bytes(self) -> bytes:
         """The alert ledger as canonical JSONL bytes.
 
         This is the artifact the determinism tests compare: same spec +
-        same schedule must yield identical bytes across kill/resume and
-        worker counts.
+        same schedule must yield identical bytes across kill/resume,
+        worker counts, *and* compaction.
         """
         return b"".join(
             (_canonical_json(alert) + "\n").encode("utf-8")
@@ -208,6 +291,8 @@ class AuditStore:
     ) -> List[Optional[float]]:
         """One per-cycle curve: ``metric`` of a (category, granularity) cell.
 
+        Covers retained cycles only — compacted cycles keep their drift
+        series in :attr:`compacted`, not their full cell grids.
         ``None`` entries mark cycles where the cell had no pairs (e.g.
         every page for the cell was lost to faults that cycle).
         """

@@ -41,6 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     from repro.faults.plan import NAMED_PLANS
+    from repro.store.faults import DISK_NAMED_PLANS
 
     run = sub.add_parser("run", help="run the crawl and save the dataset")
     run.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
@@ -413,6 +414,93 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the supervision ledger as JSON (with --kill-workers)",
+    )
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan a record log (checkpoint, audit store, event log) for "
+        "torn tails and corruption; --repair scavenges",
+    )
+    fsck.add_argument("path", help="record-log path (rotated segments included)")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="scavenge intact records byte-for-byte into a recovered file "
+        "that atomically replaces each damaged segment",
+    )
+    fsck.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="write the fsck report as JSON (`-` for stdout)",
+    )
+
+    disk_chaos = sub.add_parser(
+        "disk-chaos",
+        help="checkpointed crawl under injected disk faults: crash, "
+        "fsck --repair, resume, prove byte parity against a clean run",
+    )
+    disk_chaos.add_argument(
+        "--plan",
+        choices=sorted(DISK_NAMED_PLANS),
+        default="disk-chaos",
+        help="named disk-fault plan (see repro.store.faults.DISK_NAMED_PLANS)",
+    )
+    disk_chaos.add_argument("--seed", type=int, default=DEFAULT_STUDY_SEED)
+    disk_chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the disk-fault schedule (independent of the study seed)",
+    )
+    disk_chaos.add_argument(
+        "--scale", choices=["small", "medium", "full"], default="small"
+    )
+    disk_chaos.add_argument(
+        "--days", type=int, default=None, help="override day count"
+    )
+    disk_chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: tiny corpus, 1 day, seconds of wall clock",
+    )
+    disk_chaos.add_argument(
+        "--checkpoint",
+        default=None,
+        help="journal path written under the fault plan "
+        "(default: crawl.ckpt in a temp dir)",
+    )
+    disk_chaos.add_argument(
+        "--out",
+        default=None,
+        help="dataset written by the faulted, resumed run (use a plain "
+        ".jsonl path — gzip headers embed timestamps and break `cmp`)",
+    )
+    disk_chaos.add_argument(
+        "--baseline-out",
+        default=None,
+        help="dataset written by the clean twin run (byte-parity reference)",
+    )
+    disk_chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the chaos/fsck report JSON",
+    )
+    disk_chaos.add_argument(
+        "--amplify",
+        type=float,
+        default=1.0,
+        help="multiply every plan rate (capped at 0.9) — the smoke tier "
+        "writes so few records that production rates draw no faults",
+    )
+    disk_chaos.add_argument(
+        "--max-crashes",
+        type=int,
+        default=200,
+        help="give up if the run has not completed after this many "
+        "simulated crashes",
     )
 
     crawl_bench = sub.add_parser(
@@ -1313,6 +1401,239 @@ def _cmd_chaos(args) -> int:
     return status
 
 
+def _cmd_fsck(args) -> int:
+    import json
+
+    from repro.store import fsck_path
+
+    report = fsck_path(args.path, repair=args.repair)
+    if not report.segments:
+        print(f"{args.path}: no such file", file=sys.stderr)
+        return 2
+    for segment in report.segments:
+        if segment.corrupt:
+            verdict = "repaired" if segment.repaired else "CORRUPT"
+        elif segment.torn is not None:
+            verdict = "repaired (torn tail)" if segment.repaired else "torn tail"
+        else:
+            verdict = "clean"
+        legacy = (
+            f", {segment.legacy_records} legacy" if segment.legacy_records else ""
+        )
+        print(
+            f"{segment.segment}: {verdict} — {segment.records} record(s), "
+            f"{segment.size} byte(s){legacy}"
+        )
+        for region in segment.corrupt:
+            print(
+                f"  corrupt after record {region['record_index']} at byte "
+                f"{region['offset']} ({region['bytes']} byte(s)): "
+                f"{region['reason']}"
+            )
+        if segment.torn is not None:
+            print(
+                f"  truncated: true — durable prefix ends at byte "
+                f"{segment.durable_end}"
+            )
+        if segment.repaired:
+            print(
+                f"  scavenged {segment.scavenged_records} record(s), dropped "
+                f"{segment.dropped_bytes} byte(s)"
+            )
+    if report.exit_code:
+        print(
+            f"{report.path}: {report.corrupt_records} corrupt record(s) left "
+            "in place (run with --repair to scavenge)",
+            file=sys.stderr,
+        )
+    elif report.repaired:
+        print(f"{report.path}: repaired; log is clean")
+    else:
+        print(f"{report.path}: ok ({report.records} record(s))")
+    if args.json_out:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"report -> {args.json_out}", file=sys.stderr)
+    return report.exit_code
+
+
+def _cmd_disk_chaos(args) -> int:
+    import json
+    import os
+    import tempfile
+
+    from repro.faults.checkpoint import CheckpointError
+    from repro.store import (
+        REAL_OPS,
+        STORE_STATS,
+        DiskFault,
+        DiskFaultPlan,
+        FaultyFileOps,
+        StoreCorruption,
+        fsck_path,
+        use_fileops,
+    )
+
+    plan = DiskFaultPlan.named(args.plan, seed=args.fault_seed)
+    if args.amplify != 1.0:
+        import dataclasses
+
+        plan = dataclasses.replace(
+            plan,
+            **{
+                spec.name: min(getattr(plan, spec.name) * args.amplify, 0.9)
+                for spec in dataclasses.fields(plan)
+                if spec.name.endswith("_rate")
+            },
+        )
+    if args.smoke:
+        from repro.queries.corpus import build_corpus
+
+        config = StudyConfig.small(
+            list(build_corpus())[:4],
+            seed=args.seed,
+            days=1,
+            locations_per_granularity=2,
+        )
+    else:
+        config = _config_for_scale(args.scale, args.seed, args.days)
+
+    workdir = None
+    if not (args.checkpoint and args.out and args.baseline_out):
+        workdir = tempfile.mkdtemp(prefix="repro-disk-chaos-")
+    checkpoint = args.checkpoint or os.path.join(workdir, "crawl.ckpt")
+    out = args.out or os.path.join(workdir, "faulted.jsonl")
+    baseline_out = args.baseline_out or os.path.join(workdir, "baseline.jsonl")
+
+    print(
+        f"disk-chaos: plan={args.plan} (fault seed {args.fault_seed}), "
+        f"{len(config.queries)} queries, {config.days} day(s), "
+        f"checkpoint={checkpoint}",
+        file=sys.stderr,
+    )
+
+    # The parity reference: the same study on a healthy disk.
+    baseline = Study(config).run()
+    baseline.save(baseline_out)
+
+    STORE_STATS.reset()
+    ops = FaultyFileOps(plan)
+    crash_log = []
+    dataset = None
+    while dataset is None:
+        study = Study(config)
+        try:
+            with use_fileops(ops):
+                dataset = study.run(checkpoint=checkpoint)
+        except DiskFault as fault:
+            ops.simulate_crash()
+            entry = {
+                "crash": ops.stats.crashes,
+                "fault": fault.kind.value,
+                "file": os.path.basename(fault.path),
+            }
+            detail = ""
+            # Recovery always runs on a healthy disk: real file ops,
+            # outside the fault seam.
+            if os.path.exists(checkpoint):
+                repair = fsck_path(checkpoint, repair=True, ops=REAL_OPS)
+                entry["fsck"] = {
+                    "repaired": repair.repaired,
+                    "corrupt_records": repair.corrupt_records,
+                    "torn_segments": repair.torn_segments,
+                }
+                if repair.repaired:
+                    detail = (
+                        f"; fsck scavenged {repair.corrupt_records} corrupt, "
+                        f"{repair.torn_segments} torn segment(s)"
+                    )
+            crash_log.append(entry)
+            print(
+                f"  crash {ops.stats.crashes}: {fault.kind.value}{detail}",
+                file=sys.stderr,
+            )
+        except (CheckpointError, StoreCorruption) as error:
+            # A crash can leave a journal with no durable header (or a
+            # scavenge can drop it): start the journal over.
+            crash_log.append({"crash": ops.stats.crashes, "reset": str(error)})
+            print(f"  journal unusable ({error}); starting fresh", file=sys.stderr)
+            if os.path.exists(checkpoint):
+                os.remove(checkpoint)
+        if dataset is None and ops.stats.crashes >= args.max_crashes:
+            print(
+                f"gave up after {ops.stats.crashes} simulated crashes",
+                file=sys.stderr,
+            )
+            return 1
+
+    # Final verdict: repair anything a silent fault left behind, then
+    # the log must scan clean.
+    fsck_path(checkpoint, repair=True, ops=REAL_OPS)
+    final = fsck_path(checkpoint, ops=REAL_OPS)
+    dataset.save(out)
+    with open(out, "rb") as handle:
+        faulted_bytes = handle.read()
+    with open(baseline_out, "rb") as handle:
+        baseline_bytes = handle.read()
+    parity = faulted_bytes == baseline_bytes
+
+    injected = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(ops.stats.injected.items())
+    )
+    print(
+        f"\nsurvived {ops.stats.crashes} crash(es); "
+        f"injected: {injected or 'none'}"
+    )
+    print(
+        f"recovery: {STORE_STATS.torn_tails_recovered} torn tail(s) scavenged, "
+        f"{STORE_STATS.corrupt_records_detected} corrupt record(s) detected, "
+        f"{STORE_STATS.repairs} repair(s)"
+    )
+    status = 0
+    if final.exit_code != 0:
+        print(
+            "FSCK FAILURE: corruption remains after repair", file=sys.stderr
+        )
+        status = 1
+    else:
+        print("fsck: clean after repair (exit 0)")
+    if not parity:
+        print(
+            "PARITY FAILURE: faulted run's dataset differs from the clean run",
+            file=sys.stderr,
+        )
+        status = 1
+    else:
+        print(
+            f"byte parity: faulted dataset == clean dataset "
+            f"({len(dataset)} records)"
+        )
+    if args.report:
+        payload = {
+            "plan": args.plan,
+            "fault_seed": args.fault_seed,
+            "seed": args.seed,
+            "checkpoint": checkpoint,
+            "records": len(dataset),
+            "crashes": ops.stats.crashes,
+            "injected": dict(sorted(ops.stats.injected.items())),
+            "crash_log": crash_log,
+            "store_stats": STORE_STATS.as_dict(),
+            "final_fsck": final.to_dict(),
+            "parity": parity,
+            "status": status,
+        }
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report -> {args.report}", file=sys.stderr)
+    return status
+
+
 def _cmd_crawl_bench(args) -> int:
     from repro.parallel.bench import (
         DEFAULT_REPEATS,
@@ -1579,6 +1900,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "chaos-serve": _cmd_chaos_serve,
         "chaos": _cmd_chaos,
+        "fsck": _cmd_fsck,
+        "disk-chaos": _cmd_disk_chaos,
         "crawl-bench": _cmd_crawl_bench,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,

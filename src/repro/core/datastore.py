@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -246,12 +247,27 @@ class SerpDataset:
     # -- persistence -------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Write the dataset as (optionally gzipped) JSON lines."""
+        """Write the dataset as (optionally gzipped) JSON lines.
+
+        The write is crash-atomic: records go to a temp file in the
+        same directory, which is fsynced and then renamed over the
+        target (directory fsync included), so a crash mid-save leaves
+        either the old file or the new one — never a half-written
+        crawl.
+        """
+        from repro.store.fileops import current_ops
+
         target = Path(path)
         opener = gzip.open if target.suffix == ".gz" else open
-        with opener(target, "wt", encoding="utf-8") as handle:
+        temp = target.with_name(target.name + ".tmp")
+        with opener(temp, "wt", encoding="utf-8") as handle:
             for record in self._records:
                 handle.write(json.dumps(record.to_dict()) + "\n")
+        with open(temp, "rb") as handle:
+            os.fsync(handle.fileno())
+        ops = current_ops()
+        ops.replace(str(temp), str(target))
+        ops.fsync_dir(str(target.parent))
 
     @classmethod
     def load(cls, path) -> "SerpDataset":

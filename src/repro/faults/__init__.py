@@ -16,6 +16,11 @@ package makes failure a *first-class, reproducible input*:
   virtual time (:class:`BreakerBoard`);
 * :mod:`~repro.faults.checkpoint` — the round-granular crawl journal
   behind ``Study.run(checkpoint=path)``.
+
+The same methodology applied *below* the process boundary — torn
+writes, bit rot, full disks, lying fsyncs, lost renames — lives in
+:mod:`repro.store.faults`; its plan/injector pair is re-exported here
+so both chaos toolkits are importable from one place.
 """
 
 from repro.faults.breaker import (
@@ -46,6 +51,13 @@ from repro.faults.plan import (
     NAMED_PLANS,
 )
 from repro.faults.retry import DEFAULT_RETRY_CAP_MINUTES, RetryPolicy
+from repro.store.faults import (
+    DISK_NAMED_PLANS,
+    DiskFault,
+    DiskFaultKind,
+    DiskFaultPlan,
+    FaultyFileOps,
+)
 
 __all__ = [
     "BreakerBoard",
@@ -69,4 +81,9 @@ __all__ = [
     "NAMED_PLANS",
     "DEFAULT_RETRY_CAP_MINUTES",
     "RetryPolicy",
+    "DISK_NAMED_PLANS",
+    "DiskFault",
+    "DiskFaultKind",
+    "DiskFaultPlan",
+    "FaultyFileOps",
 ]

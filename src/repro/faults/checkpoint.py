@@ -34,6 +34,15 @@ This module is deliberately ignorant of study objects: it speaks JSON
 dicts only.  (De)serializing records and snapshots is the runner's
 job, which keeps the dependency arrow pointing ``core.runner →
 faults.checkpoint`` with no cycle.
+
+Since the :mod:`repro.store` migration every line is CRC32-framed
+(``~F1 <len> <crc> <payload>``) so torn writes and bit flips are
+*detected*, not silently parsed; the payload inside the frame is the
+same canonical JSON as before, and legacy unframed journals still
+load.  A frame that fails its checksum **before** later valid data is
+interior corruption and raises
+:class:`~repro.store.record_log.StoreCorruption` instead of quietly
+shortening the run — ``repro fsck --repair`` is the explicit way out.
 """
 
 from __future__ import annotations
@@ -42,6 +51,9 @@ import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.store.fileops import current_ops
+from repro.store.record_log import RecordLogWriter, read_log
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -73,15 +85,18 @@ class ResumeState:
 class CheckpointWriter:
     """Appends durable round + state lines to a checkpoint journal."""
 
-    def __init__(self, path: str, handle):
+    def __init__(self, path: str, log: RecordLogWriter):
         self.path = path
-        self._handle = handle
+        self._log = log
 
     @classmethod
     def create(cls, path: str, header: dict) -> "CheckpointWriter":
-        """Start a fresh journal (truncating any existing file)."""
-        handle = open(path, "w", encoding="utf-8")
-        writer = cls(path, handle)
+        """Start a fresh journal (truncating any existing file).
+
+        The parent directory is fsynced so the journal's directory
+        entry — not just its bytes — survives a crash.
+        """
+        writer = cls(path, RecordLogWriter.create(path))
         writer._write_line({"kind": "header", **header})
         writer.flush()
         return writer
@@ -89,7 +104,7 @@ class CheckpointWriter:
     @classmethod
     def append_to(cls, path: str) -> "CheckpointWriter":
         """Reopen an existing (already truncated-to-durable) journal."""
-        return cls(path, open(path, "a", encoding="utf-8"))
+        return cls(path, RecordLogWriter.append_to(path))
 
     def append_round(
         self, ordinal: int, outcomes: List[dict], states: Dict[int, dict]
@@ -112,16 +127,13 @@ class CheckpointWriter:
         self.flush()
 
     def _write_line(self, payload: dict) -> None:
-        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._log.append(json.dumps(payload, sort_keys=True))
 
     def flush(self) -> None:
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        self._log.commit()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        self._log.close()
 
 
 def load_checkpoint(
@@ -133,22 +145,16 @@ def load_checkpoint(
     Raises :class:`CheckpointError` when the file exists but cannot be
     resumed: unreadable header, version/fingerprint mismatch, or a
     worker-count mismatch (shard state snapshots only fit the worker
-    layout that produced them).
+    layout that produced them).  Interior corruption — a record that
+    fails its checksum before later valid data — raises
+    :class:`~repro.store.record_log.StoreCorruption` instead of being
+    silently absorbed into a shorter resume.
     """
     if not os.path.exists(path):
         return None
-    lines: List[tuple] = []  # (payload, end_offset)
-    with open(path, "rb") as handle:
-        offset = 0
-        for raw in handle:
-            offset += len(raw)
-            if not raw.endswith(b"\n"):
-                break  # partial tail: the write in flight at death
-            try:
-                payload = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                break
-            lines.append((payload, offset))
+    # Torn tails (the write in flight at death) are dropped here and
+    # truncated below; framed and legacy unframed lines both load.
+    lines = read_log(path)
     if not lines:
         raise CheckpointError(f"checkpoint {path!r} has no readable header")
 
@@ -201,8 +207,7 @@ def load_checkpoint(
     # Drop anything after the durable prefix so appends start clean.
     actual_size = os.path.getsize(path)
     if actual_size > durable_end:
-        with open(path, "r+b") as handle:
-            handle.truncate(durable_end)
+        current_ops().truncate(path, durable_end)
 
     return ResumeState(
         next_ordinal=len(rounds), rounds=rounds, worker_states=worker_states

@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.trace import format_id
 from repro.seeding import stable_hash
+from repro.store.record_log import RecordLogWriter, read_log, scan_log
 
 __all__ = [
     "EVENTS_VERSION",
@@ -95,10 +96,29 @@ def crawl_span_id(trace_id: str, ordinal: int, treatment: int) -> str:
 
 
 class EventLog:
-    """Streams canonical wide-event JSONL to a file."""
+    """Streams canonical wide-event JSONL to a file.
 
-    def __init__(self, path, *, log_id: str, meta: Optional[dict] = None):
-        self._handle = open(path, "w", encoding="utf-8")
+    Records are CRC32-framed through :mod:`repro.store` (the payload
+    inside the frame is the same canonical JSON as ever, so rollup and
+    SLO byte-identity are untouched).  ``segment_bytes`` turns on
+    :class:`~repro.store.record_log.RecordLogWriter` rotation for
+    long-lived logs; the default is one file, matching the readers'
+    single-path API.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        log_id: str,
+        meta: Optional[dict] = None,
+        segment_bytes: Optional[int] = None,
+    ):
+        # Observability output: no directory fsync, no per-record
+        # fsync — an event log is replayable, not load-bearing state.
+        self._log = RecordLogWriter.create(
+            path, segment_bytes=segment_bytes, fsync_directory=False
+        )
         self.log_id = log_id
         self._events = 0
         self._streams: Dict[str, int] = {}
@@ -113,7 +133,7 @@ class EventLog:
         )
 
     def _write(self, payload: dict) -> None:
-        self._handle.write(_dumps(payload) + "\n")
+        self._log.append(_dumps(payload))
 
     def emit(self, event: dict) -> None:
         """Write one event record (``kind``/bookkeeping added here)."""
@@ -134,7 +154,7 @@ class EventLog:
                 "streams": self._streams,
             }
         )
-        self._handle.close()
+        self._log.close()
 
 
 class EventRecorder:
@@ -240,37 +260,69 @@ class CrawlEventBuilder:
 
 
 def read_events(path) -> Tuple[dict, List[dict], Optional[dict]]:
-    """Parse a wide-event file into (header, events, summary)."""
+    """Parse a wide-event file into (header, events, summary).
+
+    Torn tails are tolerated: the durable prefix is returned (with
+    ``summary`` ``None`` when the summary line was lost), matching how
+    every journal reader in the system treats the write in flight at
+    death.  Interior corruption raises
+    :class:`~repro.store.record_log.StoreCorruption`; framed and
+    legacy unframed files both load.
+    """
     header: Optional[dict] = None
     summary: Optional[dict] = None
     events: List[dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            kind = record.get("kind")
-            if kind == "header":
-                header = record
-            elif kind == "event":
-                events.append(record)
-            elif kind == "summary":
-                summary = record
-            else:
-                raise ValueError(f"unknown event record kind {kind!r}")
+    for record, _ in read_log(path):
+        kind = record.get("kind")
+        if kind == "header":
+            header = record
+        elif kind == "event":
+            events.append(record)
+        elif kind == "summary":
+            summary = record
+        else:
+            raise ValueError(f"unknown event record kind {kind!r}")
     if header is None:
         raise ValueError(f"{path}: not a wide-event file (no header line)")
     return header, events, summary
 
 
 def validate_events(path) -> List[str]:
-    """Structural checks over a wide-event file (empty list = ok)."""
+    """Structural checks over a wide-event file (empty list = ok).
+
+    Damage is reported, never raised: a torn tail yields a
+    ``truncated: true`` problem naming the byte offset of the durable
+    prefix, and interior corruption yields one problem per damaged
+    region with its segment coordinates.
+    """
     problems: List[str] = []
-    try:
-        header, events, summary = read_events(path)
-    except (ValueError, json.JSONDecodeError) as error:
-        return [str(error)]
+    report = scan_log(path)
+    for region in report.corrupt:
+        problems.append(
+            f"corrupt record after record {region.record_index} at byte "
+            f"{region.start}: {region.reason}"
+        )
+    if report.torn is not None:
+        problems.append(
+            f"truncated: true — durable prefix ends at byte "
+            f"{report.durable_end} ({report.size - report.durable_end} "
+            "byte(s) torn)"
+        )
+    header: Optional[dict] = None
+    summary: Optional[dict] = None
+    events: List[dict] = []
+    for scanned in report.records:
+        kind = scanned.obj.get("kind")
+        if kind == "header":
+            header = scanned.obj
+        elif kind == "event":
+            events.append(scanned.obj)
+        elif kind == "summary":
+            summary = scanned.obj
+        else:
+            problems.append(f"unknown event record kind {kind!r}")
+    if header is None:
+        return [f"{path}: not a wide-event file (no header line)"] + problems
     if header.get("version") != EVENTS_VERSION:
         problems.append(f"unsupported events version {header.get('version')!r}")
     if not header.get("log_id"):

@@ -177,17 +177,34 @@ class TraceBuilder:
         self._handle.close()
 
 
-def read_trace(path) -> Tuple[dict, List[dict], Optional[dict]]:
-    """Parse a trace file into (header, spans, summary)."""
+def _scan_trace(path):
+    """Parse a trace's durable prefix; (header, spans, summary, torn, size).
+
+    ``torn`` is the byte offset where an unterminated or unparseable
+    tail begins (``None`` when the file is whole) — the trace format is
+    unframed JSONL, so like every pre-framing journal reader the
+    recovery rule is: the durable prefix is everything before the first
+    line that fails to parse.
+    """
     header: Optional[dict] = None
     summary: Optional[dict] = None
     spans: List[dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
+    torn: Optional[int] = None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            torn = offset  # the write in flight at death
+            break
+        line = data[offset : newline].strip()
+        if line:
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                torn = offset
+                break
             kind = record.get("kind")
             if kind == "header":
                 header = record
@@ -197,6 +214,17 @@ def read_trace(path) -> Tuple[dict, List[dict], Optional[dict]]:
                 summary = record
             else:
                 raise ValueError(f"unknown trace record kind {kind!r}")
+        offset = newline + 1
+    return header, spans, summary, torn, len(data)
+
+
+def read_trace(path) -> Tuple[dict, List[dict], Optional[dict]]:
+    """Parse a trace file into (header, spans, summary).
+
+    Torn tails are tolerated: the durable prefix is returned, with
+    ``summary`` ``None`` when the summary line was lost.
+    """
+    header, spans, summary, _, _ = _scan_trace(path)
     if header is None:
         raise ValueError(f"{path}: not a trace file (no header line)")
     return header, spans, summary
@@ -205,16 +233,24 @@ def read_trace(path) -> Tuple[dict, List[dict], Optional[dict]]:
 def validate_trace(path) -> List[str]:
     """Structural checks over a trace file; returns problems (empty = ok).
 
-    Checks: header present and versioned; span ids unique; every
-    parent id exists (the root's empty parent excepted); ``end >=
-    start`` and events inside their span's bounds; round ordinals
-    contiguous from 0; summary counts match the file.
+    Checks: header present and versioned; no torn tail (reported as
+    ``truncated: true`` with the byte offset of the durable prefix);
+    span ids unique; every parent id exists (the root's empty parent
+    excepted); ``end >= start`` and events inside their span's bounds;
+    round ordinals contiguous from 0; summary counts match the file.
     """
     problems: List[str] = []
     try:
-        header, spans, summary = read_trace(path)
+        header, spans, summary, torn, size = _scan_trace(path)
     except (ValueError, json.JSONDecodeError) as error:
         return [str(error)]
+    if header is None:
+        return [f"{path}: not a trace file (no header line)"]
+    if torn is not None:
+        problems.append(
+            f"truncated: true — durable prefix ends at byte {torn} "
+            f"({size - torn} byte(s) torn)"
+        )
     if header.get("version") != TRACE_VERSION:
         problems.append(f"unsupported trace version {header.get('version')!r}")
     if not header.get("trace_id"):

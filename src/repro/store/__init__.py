@@ -1,0 +1,78 @@
+"""repro.store — the durable record-log layer under every journal.
+
+One framing, one crash model, one fault injector for every file the
+system promises to get back after a crash: the crawl checkpoint
+(:mod:`repro.faults.checkpoint`), the audit store
+(:mod:`repro.audit.store`), and the wide-event log
+(:mod:`repro.obs.events`) all write CRC32-framed JSONL through this
+package's :class:`RecordLogWriter`, and all recover through its
+scavenging scanner, which tells a *torn tail* (the write in flight at
+death — truncate and resume) from *interior corruption* (bit rot or a
+misdirected write strictly before later valid data — a structured
+:class:`StoreCorruption`, never a silent skip).
+
+Durability is exercised, not assumed: :class:`DiskFaultPlan` injects
+torn writes, bit flips, ENOSPC, dropped fsyncs, and lost renames
+through the swappable :class:`FileOps` seam, deterministically keyed
+the same way :class:`~repro.faults.plan.FaultPlan` keys network chaos.
+:func:`fsck_path` is the offline half: scan, classify, and — with
+``repair`` — scavenge every valid record into a clean file.
+"""
+
+from repro.store.fileops import FileHandle, FileOps, REAL_OPS, current_ops, use_fileops
+from repro.store.faults import (
+    DISK_NAMED_PLANS,
+    DiskFault,
+    DiskFaultKind,
+    DiskFaultPlan,
+    DiskFaultStats,
+    FaultyFileOps,
+)
+from repro.store.record_log import (
+    FRAME_PREFIX,
+    RecordLogWriter,
+    ScanReport,
+    STORE_STATS,
+    StoreCorruption,
+    StoreStats,
+    frame_record,
+    read_log,
+    reframe_line,
+    scan_bytes,
+    scan_log,
+    segment_paths,
+    set_recovery_hook,
+    unframe_line,
+)
+from repro.store.fsck import FsckReport, build_store_registry, fsck_path
+
+__all__ = [
+    "DISK_NAMED_PLANS",
+    "DiskFault",
+    "DiskFaultKind",
+    "DiskFaultPlan",
+    "DiskFaultStats",
+    "FaultyFileOps",
+    "FileHandle",
+    "FileOps",
+    "FRAME_PREFIX",
+    "FsckReport",
+    "REAL_OPS",
+    "RecordLogWriter",
+    "ScanReport",
+    "STORE_STATS",
+    "StoreCorruption",
+    "StoreStats",
+    "build_store_registry",
+    "current_ops",
+    "frame_record",
+    "fsck_path",
+    "read_log",
+    "reframe_line",
+    "scan_bytes",
+    "scan_log",
+    "segment_paths",
+    "set_recovery_hook",
+    "unframe_line",
+    "use_fileops",
+]

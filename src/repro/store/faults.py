@@ -1,0 +1,412 @@
+"""Deterministic disk-fault injection under the file-ops seam.
+
+The fault-injection methodology :mod:`repro.faults.plan` applies to
+the network is applied here below the process boundary, to the disk
+itself.  A :class:`DiskFaultPlan` is a seeded schedule of filesystem
+misbehaviour; :class:`FaultyFileOps` wires it into the
+:class:`~repro.store.fileops.FileOps` seam and keeps a *durability
+shadow* — the crash-consistency model POSIX actually offers — so
+:meth:`FaultyFileOps.simulate_crash` can answer the only question that
+matters: *what is on the disk after the power comes back?*
+
+Determinism works exactly as in :class:`~repro.faults.plan.FaultPlan`:
+every gate is a pure function of the plan seed and a **nonce** derived
+from the bytes being written (``crc32`` of the buffer, or of the
+cumulative handle stream for fsyncs).  Content-keyed nonces make the
+schedule independent of how writers interleave — the same record draws
+the same fault whether the study runs sequentially, sharded, or
+resumed.  Gates are additionally keyed on the crash **generation**
+(incremented by each simulated crash) so a restarted process that
+rewrites identical bytes re-rolls the dice instead of dying on the
+same record forever — the same ``(nonce, generation)`` trick
+:meth:`FaultPlan.worker_fault` uses for respawned workers.
+
+Fault vocabulary (at most one per write, first gate wins):
+
+``enospc``
+    The write fails cleanly before any byte lands (disk full).
+``torn-write``
+    Only a prefix of the buffer reaches the platter and the process
+    dies mid-write — the canonical source of torn tails.
+``bit-flip``
+    One bit of the buffer is flipped on its way to disk and the write
+    *succeeds silently* — the corruption CRC framing exists to catch.
+``fsync-dropped``
+    ``fsync`` returns success without making the data durable
+    (firmware lies); only a later crash reveals the loss.
+``rename-lost``
+    ``os.replace`` succeeds in the page cache but the directory update
+    is lost if the process crashes before the directory is fsynced.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import zlib
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Set
+
+from repro.seeding import stable_unit
+from repro.store.fileops import FileHandle, FileOps, REAL_OPS
+
+__all__ = [
+    "DISK_NAMED_PLANS",
+    "DiskFault",
+    "DiskFaultKind",
+    "DiskFaultPlan",
+    "DiskFaultStats",
+    "FaultyFileOps",
+]
+
+
+class DiskFaultKind(enum.Enum):
+    """One thing the injector can do to a file operation."""
+
+    TORN_WRITE = "torn-write"
+    BIT_FLIP = "bit-flip"
+    ENOSPC = "enospc"
+    FSYNC_DROP = "fsync-dropped"
+    RENAME_LOST = "rename-lost"
+
+
+class DiskFault(OSError):
+    """An injected disk failure the process cannot write through.
+
+    Raised for ``enospc`` (the write never happened) and ``torn-write``
+    (a prefix landed and the process is considered dead mid-write); the
+    silent kinds — bit flips, dropped fsyncs, lost renames — never
+    raise, because real disks do not announce them either.
+    """
+
+    def __init__(self, kind: DiskFaultKind, path: str):
+        super().__init__(f"injected {kind.value} on {path!r}")
+        self.kind = kind
+        self.path = path
+
+
+#: Evaluation order for per-write gates: at most one fault fires per
+#: write, the first whose gate passes.
+_WRITE_GATE_ORDER = (
+    ("enospc_rate", DiskFaultKind.ENOSPC),
+    ("torn_write_rate", DiskFaultKind.TORN_WRITE),
+    ("bit_flip_rate", DiskFaultKind.BIT_FLIP),
+)
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """A seeded, reproducible schedule of filesystem misbehaviour."""
+
+    seed: int = 0
+    torn_write_rate: float = 0.0
+    """Per-write probability only a prefix of the buffer lands and the
+    process dies mid-write."""
+    bit_flip_rate: float = 0.0
+    """Per-write probability one bit of the buffer flips silently."""
+    enospc_rate: float = 0.0
+    """Per-write probability the write fails cleanly with ENOSPC."""
+    fsync_drop_rate: float = 0.0
+    """Per-fsync probability the sync silently does nothing."""
+    rename_lost_rate: float = 0.0
+    """Per-replace probability the rename is lost on the next crash."""
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            if spec.name.endswith("_rate"):
+                rate = getattr(self, spec.name)
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(f"{spec.name} must be in [0, 1], got {rate}")
+
+    # -- decisions ------------------------------------------------------------
+
+    def write_fault(self, nonce: int, generation: int) -> Optional[DiskFaultKind]:
+        """The fault injected into this write, if any."""
+        for rate_name, kind in _WRITE_GATE_ORDER:
+            rate = getattr(self, rate_name)
+            if rate > 0.0 and (
+                stable_unit("disk-fault", self.seed, kind.value, nonce, generation)
+                < rate
+            ):
+                return kind
+        return None
+
+    def fsync_dropped(self, nonce: int, generation: int) -> bool:
+        """Whether this fsync silently fails to make data durable."""
+        return self.fsync_drop_rate > 0.0 and (
+            stable_unit(
+                "disk-fault",
+                self.seed,
+                DiskFaultKind.FSYNC_DROP.value,
+                nonce,
+                generation,
+            )
+            < self.fsync_drop_rate
+        )
+
+    def rename_lost(self, nonce: int, generation: int) -> bool:
+        """Whether this replace's directory update dies with the process."""
+        return self.rename_lost_rate > 0.0 and (
+            stable_unit(
+                "disk-fault",
+                self.seed,
+                DiskFaultKind.RENAME_LOST.value,
+                nonce,
+                generation,
+            )
+            < self.rename_lost_rate
+        )
+
+    def torn_fraction(self, nonce: int) -> float:
+        """How much of a torn write's buffer survives, in ``[0, 1)``."""
+        return stable_unit("disk-cut", self.seed, nonce)
+
+    def flip_position(self, nonce: int, bit_count: int) -> int:
+        """Which bit of the buffer a bit-flip corrupts."""
+        position = int(stable_unit("disk-flip", self.seed, nonce) * bit_count)
+        return min(position, bit_count - 1)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing."""
+        return all(
+            getattr(self, spec.name) == 0.0
+            for spec in fields(self)
+            if spec.name.endswith("_rate")
+        )
+
+    @classmethod
+    def named(cls, name: str, *, seed: int = 0) -> "DiskFaultPlan":
+        """Look up a registered plan, reseeded."""
+        try:
+            template = DISK_NAMED_PLANS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown disk fault plan {name!r}; known: {sorted(DISK_NAMED_PLANS)}"
+            ) from None
+        from dataclasses import replace
+
+        return replace(template, seed=seed)
+
+
+#: Registered plans, from benign to hostile.  ``disk-chaos`` is the
+#: acceptance bar: torn writes, silent bit rot, full disks, lying
+#: fsyncs, and lost renames all at once.
+DISK_NAMED_PLANS: Dict[str, DiskFaultPlan] = {
+    "disk-calm": DiskFaultPlan(),
+    "torn-tails": DiskFaultPlan(torn_write_rate=0.05),
+    "bit-rot": DiskFaultPlan(bit_flip_rate=0.05),
+    "disk-chaos": DiskFaultPlan(
+        torn_write_rate=0.02,
+        bit_flip_rate=0.02,
+        enospc_rate=0.01,
+        fsync_drop_rate=0.03,
+        rename_lost_rate=0.05,
+    ),
+}
+
+
+@dataclass
+class DiskFaultStats:
+    """Ledger of every injected fault and every simulated crash.
+
+    The disk-chaos harness reconciles this against what ``fsck`` and
+    the scavenging loaders detected: a fault that is in this ledger but
+    surfaced nowhere — not as a crash, not as a torn tail, not as a
+    detected corrupt record, not overwritten before it was ever read —
+    would be a silently-accepted corruption.
+    """
+
+    crashes: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    ledger: List[dict] = field(default_factory=list)
+
+    def record(self, kind: DiskFaultKind, path: str, nonce: int, generation: int):
+        self.injected[kind.value] = self.injected.get(kind.value, 0) + 1
+        self.ledger.append(
+            {
+                "kind": kind.value,
+                "path": os.path.basename(path),
+                "nonce": nonce,
+                "generation": generation,
+            }
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "injected": dict(sorted(self.injected.items())),
+            "ledger": list(self.ledger),
+        }
+
+
+class FaultyFileOps(FileOps):
+    """A :class:`FileOps` that injects a plan and models crash loss.
+
+    The durability shadow tracks, per path, how many bytes are
+    *actually durable* (fsynced without the sync being dropped), which
+    created files and renames are still waiting on a directory fsync,
+    and what every pending rename would roll back to.
+    :meth:`simulate_crash` applies the shadow to the real files:
+    non-durable suffixes are truncated away, non-durable directory
+    entries disappear, lost renames revert.  Anything the shadow says
+    survived is exactly what a kernel that honoured every (non-dropped)
+    fsync would have kept.
+    """
+
+    def __init__(self, plan: DiskFaultPlan, *, base: FileOps = REAL_OPS):
+        self.plan = plan
+        self.generation = 0
+        self.stats = DiskFaultStats()
+        self._base = base
+        self._durable: Dict[str, int] = {}
+        self._created: Set[str] = set()
+        self._pending_replaces: List[dict] = []
+        self._open: List[FileHandle] = []
+
+    # -- opens ----------------------------------------------------------------
+
+    def open_append(self, path) -> FileHandle:
+        path = str(path)
+        if not os.path.exists(path):
+            self._created.add(path)
+            self._durable.setdefault(path, 0)
+        else:
+            # Bytes that survived a previous crash are durable by
+            # construction; the shadow only tracks this incarnation.
+            self._durable.setdefault(path, os.path.getsize(path))
+        handle = self._base.open_append(path)
+        self._open.append(handle)
+        return handle
+
+    def open_trunc(self, path) -> FileHandle:
+        path = str(path)
+        if not os.path.exists(path):
+            self._created.add(path)
+        handle = self._base.open_trunc(path)
+        self._durable[path] = 0
+        self._open.append(handle)
+        return handle
+
+    # -- writes ---------------------------------------------------------------
+
+    def write(self, handle: FileHandle, data: bytes) -> None:
+        handle.stream_crc = zlib.crc32(data, handle.stream_crc)
+        nonce = zlib.crc32(data)
+        kind = self.plan.write_fault(nonce, self.generation)
+        if kind is DiskFaultKind.ENOSPC:
+            self.stats.record(kind, handle.path, nonce, self.generation)
+            raise DiskFault(kind, handle.path)
+        if kind is DiskFaultKind.TORN_WRITE:
+            cut = min(int(self.plan.torn_fraction(nonce) * len(data)), len(data) - 1)
+            self._base.write(handle, data[:cut])
+            self._base.flush(handle)
+            self.stats.record(kind, handle.path, nonce, self.generation)
+            raise DiskFault(kind, handle.path)
+        if kind is DiskFaultKind.BIT_FLIP and data:
+            position = self.plan.flip_position(nonce, len(data) * 8)
+            corrupted = bytearray(data)
+            corrupted[position // 8] ^= 1 << (position % 8)
+            data = bytes(corrupted)
+            self.stats.record(kind, handle.path, nonce, self.generation)
+        self._base.write(handle, data)
+
+    def flush(self, handle: FileHandle) -> None:
+        self._base.flush(handle)
+
+    def fsync(self, handle: FileHandle) -> None:
+        self._base.flush(handle)
+        if self.plan.fsync_dropped(handle.stream_crc, self.generation):
+            self.stats.record(
+                DiskFaultKind.FSYNC_DROP, handle.path, handle.stream_crc,
+                self.generation,
+            )
+            return  # the sync lied; the shadow keeps the old durable length
+        self._base.fsync(handle)
+        self._durable[handle.path] = handle.raw.tell()
+
+    def close(self, handle: FileHandle) -> None:
+        self._base.close(handle)
+        if handle in self._open:
+            self._open.remove(handle)
+
+    # -- renames and directories ----------------------------------------------
+
+    def replace(self, src, dst) -> None:
+        src, dst = str(src), str(dst)
+        with open(src, "rb") as handle:
+            new_bytes = handle.read()
+        old_bytes = None
+        if os.path.exists(dst):
+            with open(dst, "rb") as handle:
+                old_bytes = handle.read()
+        self._base.replace(src, dst)
+        nonce = zlib.crc32(new_bytes)
+        self._durable[dst] = len(new_bytes)
+        self._durable.pop(src, None)
+        if self.plan.rename_lost(nonce, self.generation):
+            self.stats.record(DiskFaultKind.RENAME_LOST, dst, nonce, self.generation)
+            self._pending_replaces.append(
+                {"src": src, "dst": dst, "old": old_bytes, "new": new_bytes}
+            )
+        else:
+            self._created.discard(src)
+
+    def fsync_dir(self, dirpath) -> None:
+        dirpath = str(dirpath) or "."
+        self._base.fsync_dir(dirpath)
+        resolved = os.path.abspath(dirpath)
+        self._created = {
+            path
+            for path in self._created
+            if os.path.abspath(os.path.dirname(path) or ".") != resolved
+        }
+        self._pending_replaces = [
+            pending
+            for pending in self._pending_replaces
+            if os.path.abspath(os.path.dirname(pending["dst"]) or ".") != resolved
+        ]
+
+    def truncate(self, path, size: int) -> None:
+        self._base.truncate(path, size)
+        self._durable[str(path)] = min(self._durable.get(str(path), size), size)
+
+    # -- the crash ------------------------------------------------------------
+
+    def simulate_crash(self) -> None:
+        """Apply the durability shadow: keep only what a real crash would.
+
+        Closes every live handle, truncates each file to its durable
+        length, reverts renames whose directory update never became
+        durable, deletes files whose directory entry never became
+        durable, and advances the fault generation so the restarted
+        process re-rolls every gate.
+        """
+        for handle in list(self._open):
+            try:
+                self._base.close(handle)
+            except OSError:
+                pass
+        self._open = []
+        for path, durable in self._durable.items():
+            if os.path.exists(path) and os.path.getsize(path) > durable:
+                self._base.truncate(path, durable)
+        for pending in reversed(self._pending_replaces):
+            with open(pending["src"], "wb") as handle:
+                handle.write(pending["new"])
+            if pending["old"] is None:
+                if os.path.exists(pending["dst"]):
+                    os.remove(pending["dst"])
+            else:
+                with open(pending["dst"], "wb") as handle:
+                    handle.write(pending["old"])
+        for path in self._created:
+            if os.path.exists(path):
+                os.remove(path)
+        self._durable = {}
+        self._created = set()
+        self._pending_replaces = []
+        self.generation += 1
+        self.stats.crashes += 1

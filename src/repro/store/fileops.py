@@ -1,0 +1,113 @@
+"""The swappable file-operation seam under every durable writer.
+
+Durable writers never touch ``open``/``os.fsync``/``os.replace``
+directly; they go through the process-wide :class:`FileOps` instance
+returned by :func:`current_ops`.  In production that is
+:data:`REAL_OPS` — thin wrappers over the real syscalls, including the
+parent-directory fsync POSIX requires before a freshly created file's
+*name* (not just its bytes) is guaranteed to survive a crash.  Under
+test, :func:`use_fileops` swaps in a
+:class:`~repro.store.faults.FaultyFileOps` that injects disk faults
+and models crash consistency, so the same writer code can be proven
+correct against torn writes, dropped fsyncs, and lost renames.
+
+The seam is deliberately narrow — append/truncating opens, byte
+writes, flush/fsync, atomic replace, directory fsync, truncate.
+*Reads* are not routed through it: injected corruption is written to
+the real file, so readers (and ``repro fsck``) face it exactly where a
+real disk would put it.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["FileHandle", "FileOps", "REAL_OPS", "current_ops", "use_fileops"]
+
+
+class FileHandle:
+    """An open file tracked by the :class:`FileOps` that produced it."""
+
+    __slots__ = ("path", "raw", "stream_crc")
+
+    def __init__(self, path, raw):
+        self.path = str(path)
+        self.raw = raw
+        #: Rolling CRC32 of every byte the *writer intended* to write
+        #: through this handle — the content-derived nonce fault gates
+        #: key on (see :meth:`DiskFaultPlan.fsync_dropped`).
+        self.stream_crc = 0
+
+
+class FileOps:
+    """Real file operations; the default implementation of the seam."""
+
+    def open_append(self, path) -> FileHandle:
+        """Open ``path`` for appending, creating it if absent."""
+        return FileHandle(path, open(path, "ab"))
+
+    def open_trunc(self, path) -> FileHandle:
+        """Open ``path`` for writing, truncating any existing content."""
+        return FileHandle(path, open(path, "wb"))
+
+    def write(self, handle: FileHandle, data: bytes) -> None:
+        handle.raw.write(data)
+
+    def flush(self, handle: FileHandle) -> None:
+        handle.raw.flush()
+
+    def fsync(self, handle: FileHandle) -> None:
+        """Flush and fsync: the bytes are durable when this returns."""
+        handle.raw.flush()
+        os.fsync(handle.raw.fileno())
+
+    def close(self, handle: FileHandle) -> None:
+        if handle.raw is not None:
+            handle.raw.close()
+            handle.raw = None
+
+    def replace(self, src, dst) -> None:
+        """Atomically rename ``src`` over ``dst``."""
+        os.replace(src, dst)
+
+    def fsync_dir(self, dirpath) -> None:
+        """Fsync a directory so entry creations/renames survive a crash."""
+        try:
+            fd = os.open(dirpath or ".", os.O_RDONLY)
+        except OSError:
+            return  # platforms that refuse directory opens
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass  # some filesystems reject directory fsync; best effort
+        finally:
+            os.close(fd)
+
+    def truncate(self, path, size: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+
+
+#: The production seam: real syscalls, no faults.
+REAL_OPS = FileOps()
+
+_current: FileOps = REAL_OPS
+
+
+def current_ops() -> FileOps:
+    """The process-wide file-operation seam durable writers use."""
+    return _current
+
+
+@contextmanager
+def use_fileops(ops: FileOps) -> Iterator[FileOps]:
+    """Swap the seam for the duration of a ``with`` block (tests/chaos)."""
+    global _current
+    previous = _current
+    _current = ops
+    try:
+        yield ops
+    finally:
+        _current = previous

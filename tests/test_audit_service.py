@@ -291,12 +291,14 @@ class TestDeterminism:
         store_dir = tmp_path / "tampered"
         _run_cycles(tmp_path, "tampered", _spec(), 3)
         path = store_dir / "aud.audit.jsonl"
+        from repro.store import reframe_line, unframe_line
+
         lines = path.read_text().splitlines()
         for index, line in enumerate(lines):
-            payload = json.loads(line)
+            payload = json.loads(unframe_line(line))
             if payload.get("kind") == "cycle" and payload["alerts"]:
                 payload["alerts"] = []
-                lines[index] = json.dumps(payload, sort_keys=True)
+                lines[index] = reframe_line(json.dumps(payload, sort_keys=True))
         path.write_text("\n".join(lines) + "\n")
         scheduler = AuditScheduler(str(store_dir))
         with pytest.raises(AuditStoreError, match="does not reproduce"):

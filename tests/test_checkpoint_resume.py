@@ -14,14 +14,17 @@ value of N — deterministically, with no signal-delivery flakiness.
 """
 
 import json
+import os
 
 import pytest
 
 from repro.core.experiment import StudyConfig
 from repro.core.runner import Study
-from repro.faults.checkpoint import CheckpointError
+from repro.faults.checkpoint import CheckpointError, load_checkpoint
 from repro.faults.plan import FaultPlan
 from repro.queries.corpus import build_corpus
+from repro.store import StoreCorruption
+from repro.store.record_log import read_log
 
 #: >10% request-level fault rate, every fault kind enabled.
 CHAOS = FaultPlan.named("chaos")
@@ -227,6 +230,82 @@ class TestMismatchRejection:
         path.write_text("this is not a checkpoint\n", encoding="utf-8")
         with pytest.raises(CheckpointError):
             Study(_config()).run(checkpoint=str(path))
+
+
+class TestFramedJournalDamage:
+    """Satellite 4: the framed journal under byte-level disk damage."""
+
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        """A complete 1-day checkpointed run and its journal geometry."""
+        config = StudyConfig.small(
+            _queries(), days=1, locations_per_granularity=2
+        ).with_overrides(machine_count=5)
+        path = tmp_path_factory.mktemp("journal") / "full.ckpt"
+        study = Study(config)
+        study.run(checkpoint=str(path))
+        data = path.read_bytes()
+        # One round's group = a round line + one state line (workers=1);
+        # a round is durable at the end of its state line.
+        round_ends = [
+            end
+            for payload, end in read_log(str(path))
+            if payload.get("kind") == "state"
+        ]
+        assert len(round_ends) >= 2
+        return study, data, round_ends
+
+    def test_torn_tail_at_every_byte_of_a_round_boundary(
+        self, journal, tmp_path
+    ):
+        """Property sweep: truncate the journal at *every* byte offset
+        across one full round group (round line + state line) and load.
+
+        Whatever the cut — mid frame header, mid checksum, mid payload,
+        exactly on the newline — the loader must return precisely the
+        rounds whose groups are complete, never raise, and truncate the
+        file back to that durable prefix.
+        """
+        study, data, round_ends = journal
+        fingerprint = study.checkpoint_fingerprint()
+        target = tmp_path / "torn.ckpt"
+        start, stop = round_ends[0], round_ends[1]
+        for cut in range(start, stop + 1):
+            target.write_bytes(data[:cut])
+            state = load_checkpoint(
+                str(target), expected_fingerprint=fingerprint, workers=1
+            )
+            expected = 2 if cut == stop else 1
+            assert state.next_ordinal == expected, f"cut@{cut}"
+            assert os.path.getsize(target) == round_ends[expected - 1], (
+                f"cut@{cut}: partial tail not truncated"
+            )
+
+    def test_bit_flip_that_still_parses_as_json_is_detected(
+        self, journal, tmp_path
+    ):
+        """A low-bit flip on a digit keeps the payload valid JSON — the
+        corruption an unframed journal would silently resume from.  The
+        frame's checksum must turn it into a loud ``StoreCorruption``."""
+        study, data, _ = journal
+        fingerprint = study.checkpoint_fingerprint()
+        header_len = len(b"~F1 ") + 8 + 1 + 8 + 1
+        lines = data.split(b"\n")
+        line = bytearray(lines[1])  # round 0's line, before valid data
+        for i in range(header_len, len(line)):
+            if chr(line[i]).isdigit():
+                line[i] ^= 1
+                break
+        json.loads(bytes(line[header_len:]))  # still parses as JSON
+        lines[1] = bytes(line)
+        target = tmp_path / "flipped.ckpt"
+        target.write_bytes(b"\n".join(lines))
+        with pytest.raises(StoreCorruption) as excinfo:
+            load_checkpoint(
+                str(target), expected_fingerprint=fingerprint, workers=1
+            )
+        assert excinfo.value.record_index == 1
+        assert "fsck" in str(excinfo.value)
 
 
 class TestNoFaultCheckpoint:

@@ -301,6 +301,27 @@ class TestTraceFile:
         )
         assert validate_trace(broken)
 
+    def test_torn_tail_is_reported_not_raised(self, trace_path, tmp_path):
+        data = trace_path.read_bytes()
+        torn = tmp_path / "torn.trace.jsonl"
+        torn.write_bytes(data + b'{"kind": "span", "name": "cra')
+        header, spans, summary = read_trace(torn)  # must not raise
+        assert summary is not None  # the durable prefix is complete
+        problems = validate_trace(torn)
+        assert any(
+            "truncated: true" in p and str(len(data)) in p for p in problems
+        )
+
+    def test_mid_file_cut_returns_durable_prefix(self, trace_path, tmp_path):
+        data = trace_path.read_bytes()
+        cut = tmp_path / "cut.trace.jsonl"
+        cut.write_bytes(data[: int(len(data) * 0.6)])
+        header, spans, summary = read_trace(cut)
+        assert header is not None
+        assert spans  # everything before the torn byte survives
+        assert summary is None
+        assert any("truncated: true" in p for p in validate_trace(cut))
+
     def test_chrome_export(self, trace_path):
         doc = chrome_trace(trace_path)
         events = doc["traceEvents"]

@@ -1,0 +1,597 @@
+"""repro.store: framing, damage classification, disk faults, fsck, compaction.
+
+The contract under test (the PR's acceptance bar): every durable
+journal is CRC32-framed; torn tails are scavenged transparently while
+interior corruption is *detected* and named, never silently absorbed;
+``fsck --repair`` recovers every intact record byte-for-byte; the
+disk-fault injector is deterministic; and audit-store compaction
+changes no observable byte — alert ledger, drift replay, and future
+cycle lines are identical with and without retention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.audit import AuditScheduler, AuditSpec, AuditStore, DriftConfig
+from repro.core.datastore import SerpDataset, SerpRecord
+from repro.core.experiment import StudyConfig
+from repro.obs.events import EventLog, read_events, validate_events
+from repro.queries.corpus import build_corpus
+from repro.store import (
+    REAL_OPS,
+    STORE_STATS,
+    DiskFault,
+    DiskFaultPlan,
+    FaultyFileOps,
+    RecordLogWriter,
+    StoreCorruption,
+    build_store_registry,
+    frame_record,
+    fsck_path,
+    read_log,
+    reframe_line,
+    scan_bytes,
+    scan_log,
+    segment_paths,
+    unframe_line,
+    use_fileops,
+)
+
+from .conftest import TEST_SEED
+
+
+def _dumps(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _write_log(path, payloads, **kwargs):
+    log = RecordLogWriter.create(path, **kwargs)
+    for payload in payloads:
+        log.append(_dumps(payload))
+    log.commit()
+    log.close()
+
+
+def _rows(count):
+    return [{"kind": "row", "i": i} for i in range(count)]
+
+
+def _flip_payload_digit(data: bytes, line_index: int) -> bytes:
+    """Flip the low bit of a digit inside one framed line's payload.
+
+    Digits stay digits under a low-bit flip, so the damaged payload
+    still parses as JSON — exactly the corruption unframed JSONL
+    would silently accept.
+    """
+    lines = data.split(b"\n")
+    line = bytearray(lines[line_index])
+    header_len = len(b"~F1 ") + 8 + 1 + 8 + 1
+    for i in range(header_len, len(line)):
+        if chr(line[i]).isdigit():
+            line[i] ^= 1
+            break
+    else:
+        raise AssertionError("no digit found in payload")
+    json.loads(bytes(line[header_len:]))  # still valid JSON
+    lines[line_index] = bytes(line)
+    return b"\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_frame_preserves_payload_bytes(self):
+        payload = _dumps({"b": 2, "a": [1, None]}).encode("utf-8")
+        report = scan_bytes(frame_record(payload))
+        assert report.clean
+        [record] = report.records
+        assert record.payload == payload
+        assert record.framed
+
+    def test_unframe_reframe_roundtrip(self):
+        text = _dumps({"kind": "cycle", "ordinal": 3})
+        assert unframe_line(reframe_line(text)) == text
+
+    def test_unframe_passes_legacy_lines_through(self):
+        assert unframe_line('{"a": 1}\n') == '{"a": 1}'
+
+    def test_payload_may_not_contain_newlines(self):
+        with pytest.raises(ValueError, match="single line"):
+            frame_record(b'{"a":\n1}')
+
+    def test_legacy_lines_coexist_with_framed(self, tmp_path):
+        path = str(tmp_path / "mixed.log")
+        _write_log(path, _rows(2))
+        with open(path, "ab") as handle:
+            handle.write(_dumps({"kind": "row", "i": 2}).encode("utf-8") + b"\n")
+        rows = [obj for obj, _ in read_log(path)]
+        assert [row["i"] for row in rows] == [0, 1, 2]
+        assert scan_log(path).legacy_records == 1
+
+
+# ---------------------------------------------------------------------------
+# Damage classification: torn tail vs interior corruption
+# ---------------------------------------------------------------------------
+
+
+class TestDamageClassification:
+    def test_torn_tail_is_benign(self, tmp_path):
+        path = str(tmp_path / "torn.log")
+        _write_log(path, _rows(3))
+        with open(path, "ab") as handle:
+            handle.write(b"~F1 000000")  # write in flight at death
+        STORE_STATS.reset()
+        rows = read_log(path)
+        assert [obj["i"] for obj, _ in rows] == [0, 1, 2]
+        assert STORE_STATS.torn_tails_recovered == 1
+        assert STORE_STATS.torn_bytes_dropped == 10
+
+    def test_trailing_garbage_line_is_torn_not_corrupt(self, tmp_path):
+        path = str(tmp_path / "tail.log")
+        _write_log(path, _rows(2))
+        with open(path, "ab") as handle:
+            handle.write(b"not json at all\n")
+        report = scan_log(path)
+        assert report.torn is not None
+        assert not report.corrupt
+        assert len(read_log(path)) == 2
+
+    def test_interior_corruption_raises_with_coordinates(self, tmp_path):
+        path = str(tmp_path / "rot.log")
+        _write_log(path, _rows(4))
+        data = open(path, "rb").read()
+        lines = data.split(b"\n")
+        line = bytearray(lines[1])
+        line[len(line) // 2] ^= 0x40
+        lines[1] = bytes(line)
+        open(path, "wb").write(b"\n".join(lines))
+        with pytest.raises(StoreCorruption) as excinfo:
+            read_log(path)
+        assert excinfo.value.record_index == 1
+        assert excinfo.value.offset == scan_log(path).corrupt[0].start
+        assert "fsck" in str(excinfo.value)
+
+    def test_bit_flip_that_still_parses_as_json_is_detected(self, tmp_path):
+        # The headline framing property: a one-bit flip that leaves the
+        # payload syntactically valid JSON — invisible to a plain JSONL
+        # reader — still fails its checksum.
+        path = str(tmp_path / "flip.log")
+        _write_log(path, _rows(4))
+        flipped = _flip_payload_digit(open(path, "rb").read(), 2)
+        open(path, "wb").write(flipped)
+        report = scan_log(path)
+        assert [region.reason for region in report.corrupt] == ["checksum mismatch"]
+        assert report.corrupt[0].record_index == 2
+        with pytest.raises(StoreCorruption):
+            read_log(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "blank.log")
+        _write_log(path, _rows(2))
+        data = open(path, "rb").read().replace(b"\n", b"\n\n", 1)
+        open(path, "wb").write(data)
+        assert len(read_log(path)) == 2
+
+
+# ---------------------------------------------------------------------------
+# Rotation
+# ---------------------------------------------------------------------------
+
+
+class TestRotation:
+    def test_rotation_keeps_every_record_in_order(self, tmp_path):
+        path = str(tmp_path / "rot.log")
+        _write_log(path, _rows(40), segment_bytes=256)
+        segments = segment_paths(path)
+        assert len(segments) > 2
+        assert segments[-1] == path
+        assert segments[:-1] == sorted(segments[:-1])
+        seen = []
+        for segment in segments:
+            seen.extend(obj["i"] for obj, _ in read_log(segment))
+        assert seen == list(range(40))
+
+    def test_fsck_repairs_a_rotated_segment(self, tmp_path):
+        path = str(tmp_path / "rot.log")
+        _write_log(path, _rows(40), segment_bytes=256)
+        victim = segment_paths(path)[0]
+        flipped = _flip_payload_digit(open(victim, "rb").read(), 1)
+        open(victim, "wb").write(flipped)
+        assert fsck_path(path).exit_code == 1
+        report = fsck_path(path, repair=True)
+        assert report.exit_code == 0
+        assert sum(1 for s in report.segments if s.repaired) == 1
+        assert fsck_path(path).exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# fsck / scavenge
+# ---------------------------------------------------------------------------
+
+
+class TestFsck:
+    def _damaged(self, tmp_path):
+        path = str(tmp_path / "damaged.log")
+        _write_log(path, _rows(5))
+        data = open(path, "rb").read()
+        data = _flip_payload_digit(data, 2)
+        open(path, "wb").write(data + b"~F1 torn")
+        return path
+
+    def test_exit_one_until_repaired(self, tmp_path):
+        path = self._damaged(tmp_path)
+        report = fsck_path(path)
+        assert report.exit_code == 1
+        assert report.corrupt_records == 1
+        assert report.truncated
+
+    def test_repair_preserves_valid_records_byte_for_byte(self, tmp_path):
+        path = self._damaged(tmp_path)
+        before = {record.line for record in scan_log(path).records}
+        report = fsck_path(path, repair=True)
+        assert report.exit_code == 0
+        after = open(path, "rb").read()
+        assert {record.line for record in scan_log(path).records} == before
+        assert len(after) == sum(len(line) for line in before)
+        rows = [obj["i"] for obj, _ in read_log(path)]
+        assert rows == [0, 1, 3, 4]  # record 2 was scavenged around
+
+    def test_torn_only_log_exits_zero(self, tmp_path):
+        path = str(tmp_path / "torn.log")
+        _write_log(path, _rows(3))
+        with open(path, "ab") as handle:
+            handle.write(b"~F1 0000")
+        report = fsck_path(path)
+        assert report.exit_code == 0
+        assert report.truncated
+
+    def test_counts_surface_in_store_registry(self, tmp_path):
+        STORE_STATS.reset()
+        path = self._damaged(tmp_path)
+        fsck_path(path, repair=True)
+        metrics = build_store_registry().snapshot()["metrics"]
+        assert metrics["repro_store_repairs"]["value"] == 1
+        assert metrics["repro_store_records_scavenged"]["value"] == 4
+        assert metrics["repro_store_corrupt_records_detected"]["value"] == 1
+
+    def test_disk_stats_surface_in_store_registry(self, tmp_path):
+        plan = DiskFaultPlan(seed=3, enospc_rate=1.0)
+        ops = FaultyFileOps(plan)
+        handle = REAL_OPS.open_trunc(str(tmp_path / "doomed.log"))
+        with pytest.raises(DiskFault):
+            ops.write(handle, b"doomed")
+        REAL_OPS.close(handle)
+        ops.simulate_crash()
+        metrics = build_store_registry(disk_stats=ops.stats).snapshot()["metrics"]
+        assert metrics["repro_store_disk_crashes"]["value"] == 1
+        assert metrics["repro_store_disk_faults_injected"]["value"] == {
+            "enospc": 1
+        }
+
+
+# ---------------------------------------------------------------------------
+# Disk-fault injection
+# ---------------------------------------------------------------------------
+
+
+class TestFaultyFileOps:
+    def test_enospc_lands_no_bytes(self, tmp_path):
+        path = str(tmp_path / "full.log")
+        ops = FaultyFileOps(DiskFaultPlan(seed=1, enospc_rate=1.0))
+        log = RecordLogWriter.create(path, ops=ops)
+        with pytest.raises(DiskFault, match="enospc"):
+            log.append(_dumps({"i": 0}))
+        ops.simulate_crash()
+        # create() fsynced the directory, so the empty journal survives
+        # — but the refused write left nothing behind.
+        assert os.path.exists(path)
+        assert os.path.getsize(path) == 0
+
+    def test_torn_write_leaves_a_strict_prefix(self, tmp_path):
+        path = str(tmp_path / "torn.log")
+        ops = FaultyFileOps(DiskFaultPlan(seed=2, torn_write_rate=1.0))
+        log = RecordLogWriter.create(path, ops=ops)
+        with pytest.raises(DiskFault, match="torn-write"):
+            log.append(_dumps({"kind": "row", "i": 0}))
+        framed = frame_record(_dumps({"kind": "row", "i": 0}).encode("utf-8"))
+        assert os.path.getsize(path) < len(framed)
+
+    def test_dropped_fsync_loses_the_tail_on_crash(self, tmp_path):
+        path = str(tmp_path / "lying.log")
+        ops = FaultyFileOps(DiskFaultPlan(seed=3, fsync_drop_rate=1.0))
+        log = RecordLogWriter.create(path, ops=ops)
+        log.append(_dumps({"i": 0}))
+        log.commit()  # fsync silently dropped
+        log.close()
+        assert os.path.getsize(path) > 0
+        ops.simulate_crash()
+        assert os.path.getsize(path) == 0
+
+    def test_honest_fsync_survives_crash(self, tmp_path):
+        path = str(tmp_path / "honest.log")
+        ops = FaultyFileOps(DiskFaultPlan(seed=3))
+        log = RecordLogWriter.create(path, ops=ops)
+        log.append(_dumps({"i": 0}))
+        log.commit()
+        log.append(_dumps({"i": 1}))  # durable only up to record 0
+        log.flush()
+        ops.simulate_crash()
+        assert [obj["i"] for obj, _ in read_log(path)] == [0]
+
+    def test_lost_rename_reverts_on_crash(self, tmp_path):
+        old = tmp_path / "target"
+        old.write_bytes(b"old contents\n")
+        new = tmp_path / "target.tmp"
+        new.write_bytes(b"new contents\n")
+        ops = FaultyFileOps(DiskFaultPlan(seed=4, rename_lost_rate=1.0))
+        ops.replace(str(new), str(old))
+        assert old.read_bytes() == b"new contents\n"  # page cache view
+        ops.simulate_crash()
+        assert old.read_bytes() == b"old contents\n"
+        assert new.read_bytes() == b"new contents\n"
+
+    def test_directory_fsync_makes_the_rename_stick(self, tmp_path):
+        old = tmp_path / "target"
+        old.write_bytes(b"old contents\n")
+        new = tmp_path / "target.tmp"
+        new.write_bytes(b"new contents\n")
+        ops = FaultyFileOps(DiskFaultPlan(seed=4, rename_lost_rate=1.0))
+        ops.replace(str(new), str(old))
+        ops.fsync_dir(str(tmp_path))
+        ops.simulate_crash()
+        assert old.read_bytes() == b"new contents\n"
+
+    def test_created_file_without_dir_fsync_vanishes(self, tmp_path):
+        path = str(tmp_path / "ghost.log")
+        ops = FaultyFileOps(DiskFaultPlan(seed=5))
+        handle = ops.open_append(path)
+        ops.write(handle, b"data\n")
+        ops.fsync(handle)  # bytes durable, directory entry is not
+        ops.close(handle)
+        ops.simulate_crash()
+        assert not os.path.exists(path)
+
+    def _chaos_run(self, root, label):
+        root.mkdir(exist_ok=True)
+        plan = DiskFaultPlan(
+            seed=7,
+            torn_write_rate=0.25,
+            bit_flip_rate=0.2,
+            enospc_rate=0.1,
+            fsync_drop_rate=0.2,
+            rename_lost_rate=0.2,
+        )
+        ops = FaultyFileOps(plan)
+        path = str(root / f"{label}.log")
+        crashes = []
+        attempts = 0
+        i = 0
+        while i < 25:
+            attempts += 1
+            assert attempts < 400, "chaos loop did not converge"
+            try:
+                if os.path.exists(path):
+                    fsck_path(path, repair=True, ops=REAL_OPS)
+                    rows = read_log(path)
+                    i = rows[-1][0]["i"] + 1 if rows else 0
+                    log = RecordLogWriter.append_to(path, ops=ops)
+                else:
+                    i = 0
+                    log = RecordLogWriter.create(path, ops=ops)
+                while i < 25:
+                    log.append(_dumps({"kind": "row", "i": i}))
+                    log.commit()
+                    i += 1
+                log.close()
+            except DiskFault as fault:
+                crashes.append((i, fault.kind.value))
+                ops.simulate_crash()
+        return crashes, open(path, "rb").read(), ops.stats.as_dict()
+
+    def test_fault_schedule_is_deterministic(self, tmp_path):
+        first = self._chaos_run(tmp_path / "a", "run")
+        second = self._chaos_run(tmp_path / "b", "run")
+        assert first[0] == second[0]  # same crashes at the same points
+        assert first[1] == second[1]  # same final bytes
+        assert first[2] == second[2]  # same injection ledger
+        assert first[2]["crashes"] > 0, "plan injected nothing"
+
+    def test_generation_reroll_prevents_deterministic_death(self, tmp_path):
+        # Content-keyed gates alone would kill every retry of the same
+        # record; the generation key must let a restart make progress.
+        crashes, final, _ = self._chaos_run(tmp_path, "reroll")
+        assert crashes  # it did crash ...
+        rows = read_log(str(tmp_path / "reroll.log"))
+        assert rows[-1][0]["i"] == 24  # ... and still finished
+
+
+class TestFaultyOpsCreateDirFsync:
+    def test_record_log_create_survives_immediate_crash(self, tmp_path):
+        # RecordLogWriter.create fsyncs the parent directory (the
+        # satellite-2 contract), so a journal's *name* is durable even
+        # if the process dies before writing a byte.
+        path = str(tmp_path / "fresh.log")
+        ops = FaultyFileOps(DiskFaultPlan(seed=6))
+        RecordLogWriter.create(path, ops=ops)
+        ops.simulate_crash()
+        assert os.path.exists(path)
+
+
+# ---------------------------------------------------------------------------
+# Crash-atomic dataset save (satellite 1 + 2)
+# ---------------------------------------------------------------------------
+
+
+def _record(i):
+    return SerpRecord(
+        query=f"q{i}",
+        category="local",
+        granularity="county",
+        location_name=f"loc{i}",
+        day=0,
+        copy_index=0,
+        urls=(f"http://example.com/{i}",),
+        type_codes=bytes([0]),
+    )
+
+
+class TestAtomicDatasetSave:
+    def test_save_is_atomic_under_lost_rename_and_crash(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        SerpDataset([_record(0)]).save(path)
+        ops = FaultyFileOps(DiskFaultPlan(seed=8, rename_lost_rate=1.0))
+        with use_fileops(ops):
+            SerpDataset([_record(0), _record(1)]).save(path)
+        # save fsyncs the parent directory after the rename, so even a
+        # hostile plan cannot roll the dataset back to the old bytes.
+        ops.simulate_crash()
+        assert len(SerpDataset.load(path)) == 2
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "crawl.jsonl.gz"
+        SerpDataset([_record(0)]).save(path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["crawl.jsonl.gz"]
+        assert len(SerpDataset.load(path)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Wide-event log damage tolerance (satellite 3)
+# ---------------------------------------------------------------------------
+
+
+class TestEventLogDamage:
+    def _log(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path, log_id="deadbeef", meta={"k": "v"})
+        for i in range(4):
+            log.emit({"id": f"e{i}", "stream": "serve", "ts": float(i)})
+        log.close()
+        return path
+
+    def test_torn_tail_reported_with_offset(self, tmp_path):
+        path = self._log(tmp_path)
+        durable = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"~F1 00000")
+        header, events, summary = read_events(path)
+        assert len(events) == 4 and summary is not None
+        problems = validate_events(path)
+        assert any(
+            "truncated: true" in p and str(durable) in p for p in problems
+        )
+
+    def test_lost_summary_reads_as_none(self, tmp_path):
+        path = self._log(tmp_path)
+        data = open(path, "rb").read()
+        lines = data.split(b"\n")
+        open(path, "wb").write(b"\n".join(lines[:-2]) + b"\n")
+        header, events, summary = read_events(path)
+        assert summary is None
+        assert len(events) == 4
+        assert any("no summary" in p for p in validate_events(path))
+
+    def test_interior_corruption_raises_on_read_reports_on_validate(
+        self, tmp_path
+    ):
+        path = self._log(tmp_path)
+        flipped = _flip_payload_digit(open(path, "rb").read(), 2)
+        open(path, "wb").write(flipped)
+        with pytest.raises(StoreCorruption):
+            read_events(path)
+        problems = validate_events(path)
+        assert any("corrupt record after record 2" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# Audit-store retention / compaction equivalence
+# ---------------------------------------------------------------------------
+
+
+def _audit_spec(retention=None):
+    config = StudyConfig.small(
+        list(build_corpus())[:4],
+        seed=TEST_SEED,
+        days=1,
+        locations_per_granularity=2,
+    )
+    return AuditSpec(
+        name="aud",
+        config=config,
+        drift=DriftConfig(baseline_cycles=1, mw_window=1),
+        retention_cycles=retention,
+    )
+
+
+class TestAuditCompaction:
+    @pytest.fixture(scope="class")
+    def twins(self, tmp_path_factory):
+        """The same audit run with and without retention, 3 cycles each."""
+        out = {}
+        for label, retention in (("plain", None), ("compact", 2)):
+            root = tmp_path_factory.mktemp(f"audit-{label}")
+            scheduler = AuditScheduler(str(root))
+            spec = _audit_spec(retention)
+            audit = scheduler.register(spec)
+            for _ in range(3):
+                scheduler.run_cycle("aud")
+            out[label] = {
+                "root": root,
+                "ledger": audit.store.alert_ledger_bytes(),
+                "cycles": [dict(c) for c in audit.store.cycles],
+                "next": audit.store.next_ordinal,
+            }
+            scheduler.close()
+        return out
+
+    def test_retention_keeps_last_n_cycles(self, twins):
+        assert [c["ordinal"] for c in twins["plain"]["cycles"]] == [0, 1, 2]
+        assert [c["ordinal"] for c in twins["compact"]["cycles"]] == [1, 2]
+
+    def test_ordinals_continue_across_compaction(self, twins):
+        assert twins["compact"]["next"] == twins["plain"]["next"] == 3
+
+    def test_alert_ledger_is_bit_identical(self, twins):
+        assert twins["plain"]["ledger"], "ledger must be non-empty"
+        assert twins["compact"]["ledger"] == twins["plain"]["ledger"]
+
+    def test_retained_cycle_lines_are_identical(self, twins):
+        plain = {c["ordinal"]: c for c in twins["plain"]["cycles"]}
+        for cycle in twins["compact"]["cycles"]:
+            assert _dumps(cycle) == _dumps(plain[cycle["ordinal"]])
+
+    def test_register_replays_compacted_store(self, twins):
+        # Re-opening must replay the compaction summary through a fresh
+        # monitor and accept the store (the tamper check still works).
+        scheduler = AuditScheduler(str(twins["compact"]["root"]))
+        audit = scheduler.register(_audit_spec(2))
+        assert audit.store.next_ordinal >= 3
+        scheduler.close()
+
+    def test_future_cycles_are_byte_identical(self, twins):
+        lines = {}
+        for label, retention in (("plain", None), ("compact", 2)):
+            scheduler = AuditScheduler(str(twins[label]["root"]))
+            audit = scheduler.register(_audit_spec(retention))
+            scheduler.run_cycle("aud")
+            lines[label] = _dumps(audit.store.cycles[-1])
+            ledger = audit.store.alert_ledger_bytes()
+            scheduler.close()
+            lines[label + "-ledger"] = ledger
+        assert lines["plain"] == lines["compact"]
+        assert lines["plain-ledger"] == lines["compact-ledger"]
+
+    def test_compacted_store_scans_clean(self, twins):
+        path = twins["compact"]["root"] / "aud.audit.jsonl"
+        assert fsck_path(str(path)).exit_code == 0
+        header, cycles = AuditStore.read(str(path))
+        ordinals = [c["ordinal"] for c in cycles]
+        assert ordinals == list(range(ordinals[0], ordinals[0] + len(ordinals)))
+        assert len(ordinals) <= 2  # retention_cycles=2 is enforced
